@@ -1,0 +1,96 @@
+// Experiment E1 — containment decision time on the §2 "joinable
+// attributes" family, generalized to chains of n hops:
+//
+//   q  = chain with subclass hops  (2n-1 atoms)
+//   qq = chain without             (n atoms)
+//
+// q ⊆ qq holds for every n (rho_8 collapses the sub steps); classical
+// containment misses it. This benchmark validates the verdicts and
+// measures the deterministic decision cost as n grows — polynomial here,
+// since chases of acyclic queries stay small.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "containment/containment.h"
+#include "gen/generators.h"
+#include "term/world.h"
+
+namespace {
+
+void PrintVerdictTable() {
+  using namespace floq;
+  std::printf("== E1: chain containment verdicts ==\n");
+  std::printf("%-6s %-10s %-10s %-12s %-14s %s\n", "hops", "|q1|", "|q2|",
+              "paper", "classical", "chase conjuncts");
+  for (int hops : {2, 4, 8, 16, 32}) {
+    World world;
+    ConjunctiveQuery q = gen::MakeAttributeChainQuery(world, hops, true, "q");
+    ConjunctiveQuery qq =
+        gen::MakeAttributeChainQuery(world, hops, false, "qq");
+    Result<ContainmentResult> paper = CheckContainment(world, q, qq);
+    Result<ContainmentResult> classical =
+        CheckClassicalContainment(world, q, qq);
+    std::printf("%-6d %-10d %-10d %-12s %-14s %u\n", hops, q.size(),
+                qq.size(), paper.ok() && paper->contained ? "CONTAINED" : "no",
+                classical.ok() && classical->contained ? "CONTAINED" : "no",
+                paper.ok() ? paper->chase.size() : 0);
+  }
+  std::printf("\n");
+}
+
+void BM_ChainContainmentPaper(benchmark::State& state) {
+  using namespace floq;
+  const int hops = int(state.range(0));
+  World world;
+  ConjunctiveQuery q = gen::MakeAttributeChainQuery(world, hops, true, "q");
+  ConjunctiveQuery qq = gen::MakeAttributeChainQuery(world, hops, false, "qq");
+  for (auto _ : state) {
+    Result<ContainmentResult> result = CheckContainment(world, q, qq);
+    benchmark::DoNotOptimize(result.ok() && result->contained);
+    if (result.ok()) {
+      state.counters["chase_atoms"] = result->chase.size();
+      state.counters["hom_nodes"] = double(result->hom_stats.nodes_visited);
+    }
+  }
+}
+BENCHMARK(BM_ChainContainmentPaper)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ChainContainmentClassical(benchmark::State& state) {
+  using namespace floq;
+  const int hops = int(state.range(0));
+  World world;
+  ConjunctiveQuery q = gen::MakeAttributeChainQuery(world, hops, true, "q");
+  ConjunctiveQuery qq = gen::MakeAttributeChainQuery(world, hops, false, "qq");
+  for (auto _ : state) {
+    Result<ContainmentResult> result = CheckClassicalContainment(world, q, qq);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_ChainContainmentClassical)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// Self-containment of the long chain: the homomorphism search must embed
+// the full body, stressing the join order heuristic.
+void BM_ChainSelfContainment(benchmark::State& state) {
+  using namespace floq;
+  const int hops = int(state.range(0));
+  World world;
+  ConjunctiveQuery q = gen::MakeAttributeChainQuery(world, hops, true, "q");
+  for (auto _ : state) {
+    Result<ContainmentResult> result = CheckContainment(world, q, q);
+    benchmark::DoNotOptimize(result.ok() && result->contained);
+  }
+}
+BENCHMARK(BM_ChainSelfContainment)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintVerdictTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

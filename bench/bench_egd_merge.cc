@@ -1,0 +1,87 @@
+// Experiment E4 — rho_4 (EGD) repair cost. A fan of m parallel values of
+// one functional attribute forces m-1 merges and instance rewrites; the
+// cascade variant chains fans so merges enable further merges. Validates
+// that Example 1's head-rewriting machinery scales.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "chase/chase.h"
+#include "gen/generators.h"
+#include "query/parser.h"
+#include "term/world.h"
+#include "util/strings.h"
+
+namespace {
+
+void PrintMergeTable() {
+  using namespace floq;
+  std::printf("== E4: EGD fan merges ==\n");
+  std::printf("%-8s %-10s %-10s %-10s %s\n", "fan m", "merges", "rebuilds",
+              "data left", "outcome");
+  for (int m : {2, 16, 128, 1024, 4096}) {
+    World world;
+    ConjunctiveQuery q = gen::MakeFunctFanQuery(world, m);
+    ChaseResult chase = ChaseQuery(world, q);
+    std::printf("%-8d %-10llu %-10llu %-10zu %s\n", m,
+                (unsigned long long)chase.stats().egd_merges,
+                (unsigned long long)chase.stats().rebuilds,
+                chase.conjuncts().WithPredicate(pfl::kData).size(),
+                ChaseOutcomeName(chase.outcome()));
+  }
+  std::printf("\n");
+}
+
+void BM_EgdFanMerge(benchmark::State& state) {
+  using namespace floq;
+  const int fan = int(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    World world;
+    ConjunctiveQuery q = gen::MakeFunctFanQuery(world, fan);
+    state.ResumeTiming();
+    ChaseResult chase = ChaseQuery(world, q);
+    benchmark::DoNotOptimize(chase.size());
+    state.counters["merges"] = double(chase.stats().egd_merges);
+  }
+  state.SetComplexityN(fan);
+}
+BENCHMARK(BM_EgdFanMerge)
+    ->Arg(2)->Arg(8)->Arg(32)->Arg(128)->Arg(512)->Arg(2048)->Arg(4096)
+    ->Complexity();
+
+// Cascade: data chains under a functional attribute where each merge at
+// depth d enables the merge at depth d+1 (tests the fixpoint loop).
+void BM_EgdCascade(benchmark::State& state) {
+  using namespace floq;
+  const int depth = int(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    World world;
+    // q(X1,Y1) :- funct(a,o), data(o,a,X1), data(o,a,Y1),
+    //             funct(a,X1), data(X1,a,X2), data(Y1,a,Y2), ...
+    std::string text = "q() :- funct(a, o), data(o, a, X1), data(o, a, Y1)";
+    for (int i = 1; i < depth; ++i) {
+      text += StrCat(", funct(a, X", i, ")");
+      text += StrCat(", data(X", i, ", a, X", i + 1, ")");
+      text += StrCat(", data(Y", i, ", a, Y", i + 1, ")");
+    }
+    text += ".";
+    ConjunctiveQuery q = *ParseQuery(world, text);
+    state.ResumeTiming();
+    ChaseResult chase = ChaseQuery(world, q);
+    benchmark::DoNotOptimize(chase.size());
+    state.counters["merges"] = double(chase.stats().egd_merges);
+  }
+}
+BENCHMARK(BM_EgdCascade)->Arg(2)->Arg(8)->Arg(32)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintMergeTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Experiment E7 — the NP guess in Theorem 13 is realized as indexed
+// backtracking. This benchmark probes the search frontier: embedding
+// random q2 bodies of growing size and join density into the chase of a
+// fixed q1, reporting visited search nodes alongside wall time.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "chase/chase.h"
+#include "containment/homomorphism.h"
+#include "gen/generators.h"
+#include "term/world.h"
+
+namespace {
+
+// A q1 whose chase has many interchangeable conjuncts: a wide schema with
+// several classes, attributes, members.
+floq::ConjunctiveQuery MakeWideTarget(floq::World& world) {
+  floq::gen::RandomQuerySpec spec;
+  spec.seed = 12345;
+  spec.atoms = 24;
+  spec.variable_pool = 10;
+  spec.constant_pool = 0;
+  spec.constant_probability = 0.0;
+  spec.arity = 0;
+  spec.with_constraints = false;  // keep the chase finite and level-0
+  return floq::gen::MakeRandomQuery(world, spec, "target");
+}
+
+void PrintSearchTable() {
+  using namespace floq;
+  World world;
+  ConjunctiveQuery q1 = MakeWideTarget(world);
+  ChaseResult chase = ChaseLevelZero(world, q1);
+  std::printf("== E7: homomorphism search effort into a %u-conjunct chase ==\n",
+              chase.size());
+  std::printf("%-10s %-10s %-14s %-12s %s\n", "q2 atoms", "pool", "found",
+              "avg nodes", "max nodes");
+  for (int atoms : {2, 4, 8, 12, 16}) {
+    for (int pool : {3, 6}) {
+      uint64_t total_nodes = 0, max_nodes = 0;
+      int found = 0, trials = 50;
+      for (int t = 0; t < trials; ++t) {
+        gen::RandomQuerySpec spec;
+        spec.seed = uint64_t(atoms * 1000 + pool * 100 + t);
+        spec.atoms = atoms;
+        spec.variable_pool = pool;
+        spec.constant_pool = 0;
+        spec.constant_probability = 0.0;
+        spec.arity = 0;
+        spec.with_constraints = false;
+        ConjunctiveQuery q2 =
+            gen::MakeRandomQuery(world, spec, "probe").RenameApart(world);
+        MatchStats stats;
+        if (FindQueryHomomorphism(q2, chase.conjuncts(), {}, &stats)) {
+          ++found;
+        }
+        total_nodes += stats.nodes_visited;
+        max_nodes = std::max(max_nodes, stats.nodes_visited);
+      }
+      std::printf("%-10d %-10d %3d/%-10d %-12.1f %llu\n", atoms, pool, found,
+                  trials, double(total_nodes) / trials,
+                  (unsigned long long)max_nodes);
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_HomSearch(benchmark::State& state) {
+  using namespace floq;
+  const int atoms = int(state.range(0));
+  World world;
+  ConjunctiveQuery q1 = MakeWideTarget(world);
+  ChaseResult chase = ChaseLevelZero(world, q1);
+
+  std::vector<ConjunctiveQuery> probes;
+  for (int t = 0; t < 32; ++t) {
+    gen::RandomQuerySpec spec;
+    spec.seed = uint64_t(atoms * 777 + t);
+    spec.atoms = atoms;
+    spec.variable_pool = 5;
+    spec.constant_pool = 0;
+    spec.constant_probability = 0.0;
+    spec.arity = 0;
+    spec.with_constraints = false;
+    probes.push_back(
+        gen::MakeRandomQuery(world, spec, "probe").RenameApart(world));
+  }
+
+  size_t i = 0;
+  uint64_t nodes = 0;
+  for (auto _ : state) {
+    MatchStats stats;
+    auto hom = FindQueryHomomorphism(probes[i++ % probes.size()],
+                                     chase.conjuncts(), {}, &stats);
+    benchmark::DoNotOptimize(hom.has_value());
+    nodes += stats.nodes_visited;
+  }
+  state.counters["nodes/op"] =
+      benchmark::Counter(double(nodes), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_HomSearch)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSearchTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

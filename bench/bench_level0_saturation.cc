@@ -1,0 +1,96 @@
+// Experiment E5 — the preliminary chase (level 0, Sigma_FL^-) is
+// polynomial in |q| (part of Theorem 13's argument: "this is done in time
+// polynomial in |q1|"). Measures fixpoint time and size on subclass
+// towers (worst case for rho_2: quadratic closure) and random queries.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "chase/chase.h"
+#include "gen/generators.h"
+#include "query/parser.h"
+#include "term/world.h"
+#include "util/strings.h"
+
+namespace {
+
+floq::ConjunctiveQuery MakeSubclassTower(floq::World& world, int height) {
+  using floq::StrCat;
+  std::string text = "q() :- ";
+  for (int i = 0; i < height; ++i) {
+    if (i > 0) text += ", ";
+    text += StrCat("sub(C", i, ", C", i + 1, ")");
+  }
+  text += ".";
+  return *floq::ParseQuery(world, text);
+}
+
+void PrintGrowthTable() {
+  using namespace floq;
+  std::printf("== E5: level-0 saturation growth ==\n");
+  std::printf("%-18s %-8s %-12s %s\n", "query", "|q|", "level-0 size",
+              "ratio");
+  for (int height : {4, 8, 16, 32, 64, 128}) {
+    World world;
+    ConjunctiveQuery q = MakeSubclassTower(world, height);
+    ChaseResult chase = ChaseLevelZero(world, q);
+    std::printf("sub-tower %-8d %-8d %-12u %.1f\n", height, q.size(),
+                chase.size(), double(chase.size()) / q.size());
+  }
+  for (uint64_t seed : {1, 2, 3}) {
+    World world;
+    gen::RandomQuerySpec spec;
+    spec.seed = seed;
+    spec.atoms = 32;
+    spec.variable_pool = 8;
+    ConjunctiveQuery q = gen::MakeRandomQuery(world, spec);
+    ChaseResult chase = ChaseLevelZero(world, q);
+    std::printf("random/%-11llu %-8d %-12u %.1f\n",
+                (unsigned long long)seed, q.size(), chase.size(),
+                double(chase.size()) / q.size());
+  }
+  std::printf("\n");
+}
+
+void BM_LevelZeroSubclassTower(benchmark::State& state) {
+  using namespace floq;
+  const int height = int(state.range(0));
+  World world;
+  ConjunctiveQuery q = MakeSubclassTower(world, height);
+  for (auto _ : state) {
+    ChaseResult chase = ChaseLevelZero(world, q);
+    benchmark::DoNotOptimize(chase.size());
+    state.counters["conjuncts"] = chase.size();
+  }
+  state.SetComplexityN(height);
+}
+BENCHMARK(BM_LevelZeroSubclassTower)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Complexity();
+
+void BM_LevelZeroRandomQuery(benchmark::State& state) {
+  using namespace floq;
+  const int atoms = int(state.range(0));
+  World world;
+  gen::RandomQuerySpec spec;
+  spec.seed = 99;
+  spec.atoms = atoms;
+  spec.variable_pool = std::max(2, atoms / 4);
+  ConjunctiveQuery q = gen::MakeRandomQuery(world, spec);
+  for (auto _ : state) {
+    ChaseResult chase = ChaseLevelZero(world, q);
+    benchmark::DoNotOptimize(chase.size());
+    state.counters["conjuncts"] = chase.size();
+  }
+}
+BENCHMARK(BM_LevelZeroRandomQuery)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintGrowthTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

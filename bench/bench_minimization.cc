@@ -1,0 +1,92 @@
+// Experiment E8 — query minimization under Sigma_FL (the optimization
+// application from the paper's introduction). Queries of n essential
+// atoms are padded with r constraint-implied atoms; minimization must
+// remove exactly the r redundant ones.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "containment/minimize.h"
+#include "query/parser.h"
+#include "term/world.h"
+#include "util/strings.h"
+
+namespace {
+
+// Essential: a subclass tower C0 :: C1 :: ... :: Cn with member(X, C0).
+// Redundant padding: member(X, Ci) for i = 1..r (implied via rho_3).
+floq::ConjunctiveQuery MakePaddedQuery(floq::World& world, int tower,
+                                       int redundant) {
+  using floq::StrCat;
+  std::string text = "q(X) :- member(X, C0)";
+  for (int i = 0; i < tower; ++i) {
+    text += StrCat(", sub(C", i, ", C", i + 1, ")");
+  }
+  for (int i = 1; i <= redundant && i <= tower; ++i) {
+    text += StrCat(", member(X, C", i, ")");
+  }
+  text += ".";
+  return *floq::ParseQuery(world, text);
+}
+
+void PrintMinimizationTable() {
+  using namespace floq;
+  std::printf("== E8: minimization under Sigma_FL ==\n");
+  std::printf("%-8s %-11s %-9s %-9s %-10s %s\n", "tower", "redundant",
+              "before", "after", "removed", "checks");
+  for (int tower : {2, 4, 8}) {
+    for (int redundant : {1, 2, 4, 8}) {
+      World world;
+      ConjunctiveQuery q = MakePaddedQuery(world, tower, redundant);
+      MinimizeStats stats;
+      Result<ConjunctiveQuery> minimal = MinimizeQuery(world, q, {}, &stats);
+      if (!minimal.ok()) {
+        std::printf("error: %s\n", minimal.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%-8d %-11d %-9d %-9d %-10d %d\n", tower,
+                  std::min(redundant, tower), q.size(), minimal->size(),
+                  stats.atoms_removed, stats.containment_checks);
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_Minimize(benchmark::State& state) {
+  using namespace floq;
+  const int tower = int(state.range(0));
+  const int redundant = int(state.range(1));
+  World world;
+  ConjunctiveQuery q = MakePaddedQuery(world, tower, redundant);
+  for (auto _ : state) {
+    Result<ConjunctiveQuery> minimal = MinimizeQuery(world, q);
+    benchmark::DoNotOptimize(minimal.ok());
+    if (minimal.ok()) state.counters["final_size"] = minimal->size();
+  }
+}
+BENCHMARK(BM_Minimize)
+    ->Args({2, 1})->Args({4, 2})->Args({4, 4})->Args({8, 4})->Args({8, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MinimizeAlreadyMinimal(benchmark::State& state) {
+  using namespace floq;
+  const int tower = int(state.range(0));
+  World world;
+  ConjunctiveQuery q = MakePaddedQuery(world, tower, 0);
+  for (auto _ : state) {
+    Result<ConjunctiveQuery> minimal = MinimizeQuery(world, q);
+    benchmark::DoNotOptimize(minimal.ok());
+  }
+}
+BENCHMARK(BM_MinimizeAlreadyMinimal)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintMinimizationTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

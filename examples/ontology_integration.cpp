@@ -1,0 +1,88 @@
+// Ontology integration: classify the queries of two information sources
+// into a subsumption hierarchy — the information-integration use case the
+// paper motivates ("the classification problem in information integration
+// systems", §1).
+//
+//   build/examples/ontology_integration
+
+#include <cstdio>
+#include <vector>
+
+#include "containment/containment.h"
+#include "flogic/parser.h"
+#include "term/world.h"
+
+int main() {
+  using namespace floq;
+  World world;
+
+  // A small university mediation scenario: several source views, each a
+  // conjunctive meta-query over the shared F-logic Lite vocabulary.
+  struct View {
+    const char* name;
+    const char* text;
+  };
+  const std::vector<View> views = {
+      {"people_with_names",
+       "v(X) :- X : person, X[name -> _]."},
+      {"people",
+       "v(X) :- X : person."},
+      {"subclass_members",
+       "v(X) :- C :: person, X : C."},
+      {"named_entities",
+       "v(X) :- X[name -> _]."},
+      {"mandatory_named_people",
+       // name is a mandatory attribute of person here, so every member of
+       // a *nonempty* person class has one (rho_5 at work).
+       "v(X) :- person[name {1:*} *=> string], X : person."},
+      {"typed_values",
+       "v(X) :- O[A *=> T], O[A -> X], X : T."},
+  };
+
+  std::vector<ConjunctiveQuery> queries;
+  for (const View& view : views) {
+    Result<ConjunctiveQuery> q = flogic::ParseQuery(world, view.text);
+    if (!q.ok()) {
+      std::printf("parse error in %s: %s\n", view.name,
+                  q.status().ToString().c_str());
+      return 1;
+    }
+    queries.push_back(std::move(q).value());
+  }
+
+  std::printf("pairwise containment matrix (row ⊆ column?):\n\n%-24s", "");
+  for (const View& view : views) std::printf("%-6.5s", view.name);
+  std::printf("\n");
+
+  int contained_pairs = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::printf("%-24s", views[i].name);
+    for (size_t j = 0; j < queries.size(); ++j) {
+      Result<ContainmentResult> result =
+          CheckContainment(world, queries[i], queries[j]);
+      bool yes = result.ok() && result->contained;
+      contained_pairs += yes && i != j;
+      std::printf("%-6s", yes ? "⊆" : ".");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n%d non-trivial containments found.\n", contained_pairs);
+  std::printf("\nhighlights:\n");
+  std::printf(
+      "  subclass_members ⊆ people        (rho_3: membership propagates)\n");
+  std::printf(
+      "  mandatory_named_people ⊆ people_with_names  (rho_5/rho_10: the\n"
+      "      mandatory name must exist for every member)\n");
+
+  // Verify the second highlight explicitly and show it is beyond the
+  // reach of the classical test.
+  Result<ContainmentResult> deep =
+      CheckContainment(world, queries[4], queries[0]);
+  Result<ContainmentResult> classical =
+      CheckClassicalContainment(world, queries[4], queries[0]);
+  std::printf("\n  checked: paper method %s, classical %s\n",
+              deep.ok() && deep->contained ? "CONTAINED" : "no",
+              classical.ok() && classical->contained ? "CONTAINED" : "no");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Query optimization with Sigma_FL-containment: minimize a redundant
+// meta-query, then show that the slimmer query computes the same answers
+// on a knowledge base with measurably less join work.
+//
+//   build/examples/query_optimizer
+
+#include <cstdio>
+
+#include "containment/minimize.h"
+#include "datalog/evaluator.h"
+#include "flogic/parser.h"
+#include "flogic/printer.h"
+#include "kb/knowledge_base.h"
+#include "term/world.h"
+
+int main() {
+  using namespace floq;
+  World world;
+
+  // A query written against the ontology with "defensive" atoms a naive
+  // client might add: the membership in the superclass and the typing of
+  // the value are both implied by Sigma_FL.
+  ConjunctiveQuery query = *flogic::ParseQuery(
+      world,
+      "q(S, V) :- S : grad_student, grad_student :: student, "
+      "S : student, student[thesis *=> document], "
+      "S[thesis -> V], V : document.");
+
+  std::printf("original (%d atoms):\n  %s\n\n", query.size(),
+              flogic::QueryToSurface(query, world).c_str());
+
+  MinimizeStats stats;
+  Result<ConjunctiveQuery> minimal = MinimizeQuery(world, query, {}, &stats);
+  if (!minimal.ok()) {
+    std::printf("error: %s\n", minimal.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("minimized (%d atoms, %d removed, %d containment checks):\n"
+              "  %s\n\n",
+              minimal->size(), stats.atoms_removed, stats.containment_checks,
+              flogic::QueryToSurface(*minimal, world).c_str());
+
+  // Build a knowledge base and compare evaluations.
+  KnowledgeBase kb(world);
+  Status loaded = kb.Load(R"(
+    grad_student :: student.
+    student :: person.
+    student[thesis *=> document].
+    ann : grad_student.
+    bob : grad_student.
+    cid : student.
+    ann[thesis -> t1]. t1 : document.
+    bob[thesis -> t2]. t2 : document.
+    cid[thesis -> t3]. t3 : document.
+  )");
+  if (!loaded.ok()) {
+    std::printf("load error: %s\n", loaded.ToString().c_str());
+    return 1;
+  }
+  Result<ConsistencyReport> report = kb.Saturate();
+  if (!report.ok()) return 1;
+
+  MatchStats original_stats, minimal_stats;
+  auto original_answers =
+      EvaluateQuery(kb.database(), query, &original_stats);
+  auto minimal_answers =
+      EvaluateQuery(kb.database(), *minimal, &minimal_stats);
+
+  std::printf("answers: original %zu, minimized %zu (%s)\n",
+              original_answers.size(), minimal_answers.size(),
+              original_answers == minimal_answers ? "identical"
+                                                  : "DIFFERENT!");
+  for (const auto& tuple : minimal_answers) {
+    std::printf("  (%s, %s)\n", world.NameOf(tuple[0]).c_str(),
+                world.NameOf(tuple[1]).c_str());
+  }
+  std::printf("join search nodes: original %llu, minimized %llu\n",
+              (unsigned long long)original_stats.nodes_visited,
+              (unsigned long long)minimal_stats.nodes_visited);
+  return 0;
+}

@@ -1,0 +1,474 @@
+#include "chase/chase.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "chase/term_union_find.h"
+#include "datalog/evaluator.h"
+#include "datalog/match.h"
+#include "util/strings.h"
+
+namespace floq {
+
+const char* ChaseOutcomeName(ChaseOutcome outcome) {
+  switch (outcome) {
+    case ChaseOutcome::kCompleted: return "COMPLETED";
+    case ChaseOutcome::kLevelCapped: return "LEVEL_CAPPED";
+    case ChaseOutcome::kBudgetExceeded: return "BUDGET_EXCEEDED";
+    case ChaseOutcome::kFailed: return "FAILED";
+  }
+  return "?";
+}
+
+namespace {
+
+// A TGD application found during a collection pass: the instantiated head,
+// the conjuncts the rule body mapped onto, and the level the new conjunct
+// would get (Definition 3(3)).
+struct PendingTgd {
+  RuleId id;
+  Atom head;
+  std::vector<uint32_t> parents;
+  int level;
+};
+
+// A rho_5 application: mandatory(attr, object) with no data(object, attr, ·)
+// conjunct present.
+struct PendingExistential {
+  Term object;
+  Term attr;
+  uint32_t parent;
+  int level;
+};
+
+}  // namespace
+
+class ChaseEngine {
+ public:
+  ChaseEngine(World& world, const ChaseOptions& options)
+      : world_(world), options_(options), sigma_(MakeSigmaFL(world)) {}
+
+  ChaseResult Run(const ConjunctiveQuery& query) {
+    // Initial conjuncts: body(q) at level 0.
+    for (const Atom& atom : query.body()) {
+      if (!InsertNode(atom, 0, kRho0, {})) return Finish();
+    }
+    result_.head_ = query.head();
+
+    if (!EgdFixpoint()) return Finish();
+
+    // Phase A — the preliminary chase with Sigma_FL^-: saturate the ten
+    // Datalog TGDs (rho_4 interleaved); everything stays at level 0.
+    for (;;) {
+      DeltaWindow window = TakeDelta();
+      std::vector<PendingTgd> pending =
+          CollectTgds(window, /*force_level_zero=*/true);
+      if (pending.empty()) break;
+      for (const PendingTgd& p : pending) {
+        if (!ApplyTgd(p)) return Finish();
+      }
+      if (!EgdFixpoint()) return Finish();
+      ++result_.stats_.rounds;
+    }
+
+    // Phase B — the cyclic phase: rho_5 joins in and levels grow.
+    full_recheck_ = true;  // mandatory conjuncts of level 0 need a rho_5 pass
+    delta_.clear();
+    bool saw_beyond_cap = false;
+    for (;;) {
+      DeltaWindow window = TakeDelta();
+      std::vector<PendingTgd> tgds =
+          CollectTgds(window, /*force_level_zero=*/false);
+      std::vector<PendingExistential> exists = CollectExistentials(window);
+
+      std::vector<PendingTgd> tgds_now;
+      std::vector<PendingExistential> exists_now;
+      for (PendingTgd& p : tgds) {
+        if (p.level <= options_.max_level) {
+          tgds_now.push_back(std::move(p));
+        } else {
+          saw_beyond_cap = true;
+        }
+      }
+      for (PendingExistential& p : exists) {
+        if (p.level <= options_.max_level) {
+          exists_now.push_back(std::move(p));
+        } else {
+          saw_beyond_cap = true;
+        }
+      }
+
+      if (tgds_now.empty() && exists_now.empty()) {
+        result_.outcome_ = saw_beyond_cap ? ChaseOutcome::kLevelCapped
+                                          : ChaseOutcome::kCompleted;
+        return Finish();
+      }
+
+      for (const PendingTgd& p : tgds_now) {
+        if (!ApplyTgd(p)) return Finish();
+      }
+      for (const PendingExistential& p : exists_now) {
+        if (!ApplyExistential(p)) return Finish();
+      }
+      if (!EgdFixpoint()) return Finish();
+      ++result_.stats_.rounds;
+      // Beyond-cap instances remain applicable; they will be re-collected
+      // only while their body atoms stay in the delta window, so remember
+      // that we saw them.
+    }
+  }
+
+ private:
+  FactIndex& index() { return result_.conjuncts_; }
+
+  // ---- node insertion -------------------------------------------------
+
+  // Returns false if the atom budget is exhausted (outcome set).
+  bool InsertNode(const Atom& atom, int level, RuleId rule,
+                  std::vector<uint32_t> parents) {
+    auto [id, inserted] = index().Insert(atom);
+    if (!inserted) return true;
+    FLOQ_CHECK_EQ(id, result_.meta_.size());
+    result_.meta_.push_back(ChaseNodeMeta{level, rule, std::move(parents)});
+    result_.max_level_ = std::max(result_.max_level_, level);
+    delta_.push_back(atom);
+    if (rule != kRho0) ++result_.stats_.tgd_applications;
+    if (index().size() > options_.max_atoms) {
+      result_.outcome_ = ChaseOutcome::kBudgetExceeded;
+      return false;
+    }
+    return true;
+  }
+
+  bool ApplyTgd(const PendingTgd& p) {
+    if (index().Contains(p.head)) {
+      // Another application in this batch got there first: by
+      // Definition 3(4) this is a cross-arc situation.
+      RecordCrossArcs(p.parents, index().IdOf(p.head), p.id);
+      return true;
+    }
+    return InsertNode(p.head, p.level, p.id, p.parents);
+  }
+
+  bool ApplyExistential(const PendingExistential& p) {
+    if (options_.restricted_rho5) {
+      // Re-check the restriction against the current instance: an earlier
+      // application in this batch may have supplied the data conjunct.
+      if (uint32_t blocker = FindDataFor(p.object, p.attr);
+          blocker != UINT32_MAX) {
+        RecordCrossArcs({p.parent}, blocker, kRho5);
+        return true;
+      }
+    }
+    rho5_fired_.insert({p.object, p.attr});
+    Term fresh = world_.MakeFreshNull();
+    ++result_.stats_.fresh_nulls;
+    return InsertNode(Atom::Data(p.object, p.attr, fresh), p.level, kRho5,
+                      {p.parent});
+  }
+
+  // Id of some data(object, attr, ·) conjunct, or UINT32_MAX.
+  uint32_t FindDataFor(Term object, Term attr) const {
+    const FactIndex& idx = result_.conjuncts_;
+    const std::vector<uint32_t>& by_object =
+        idx.WithArgument(pfl::kData, 0, object);
+    const std::vector<uint32_t>& by_attr =
+        idx.WithArgument(pfl::kData, 1, attr);
+    const std::vector<uint32_t>& scan =
+        by_object.size() <= by_attr.size() ? by_object : by_attr;
+    for (uint32_t id : scan) {
+      const Atom& atom = idx.at(id);
+      if (atom.arg(0) == object && atom.arg(1) == attr) return id;
+    }
+    return UINT32_MAX;
+  }
+
+  void RecordCrossArcs(const std::vector<uint32_t>& from, uint32_t to,
+                       RuleId rule) {
+    if (!options_.record_cross_arcs) return;
+    for (uint32_t f : from) {
+      uint64_t key = (uint64_t(f) << 32) | to;
+      if (cross_seen_.insert({key, rule}).second) {
+        result_.cross_arcs_.push_back(ChaseArc{f, to, rule, /*cross=*/true});
+      }
+    }
+  }
+
+  // ---- TGD collection --------------------------------------------------
+
+  // The set of conjuncts added since the previous collection pass, or a
+  // request to rescan everything (initially and after EGD rebuilds).
+  struct DeltaWindow {
+    bool full = false;
+    std::vector<Atom> atoms;
+  };
+
+  DeltaWindow TakeDelta() {
+    DeltaWindow window;
+    window.full = full_recheck_ || !options_.use_delta_windows;
+    if (!window.full) window.atoms = std::move(delta_);
+    delta_.clear();
+    full_recheck_ = false;
+    return window;
+  }
+
+  // Finds every applicable TGD instance (body matches, head not yet
+  // present). In delta mode, only instances using at least one conjunct
+  // added since the previous collection are searched — applicability of
+  // TGDs is monotone, so older instances were found earlier.
+  std::vector<PendingTgd> CollectTgds(const DeltaWindow& window,
+                                      bool force_level_zero) {
+    std::vector<PendingTgd> pending;
+    std::unordered_set<Atom, AtomHash> pending_heads;
+
+    auto consider = [&](const SigmaTgd& tgd, const Substitution& match) {
+      Atom head = match.Apply(tgd.rule.head);
+      std::vector<uint32_t> parents;
+      parents.reserve(tgd.rule.body.size());
+      int level = 0;
+      for (const Atom& body_atom : tgd.rule.body) {
+        Atom ground = match.Apply(body_atom);
+        uint32_t id = index().IdOf(ground);
+        FLOQ_CHECK_NE(id, UINT32_MAX);
+        parents.push_back(id);
+        level = std::max(level, result_.meta_[id].level);
+      }
+      if (index().Contains(head)) {
+        RecordCrossArcs(parents, index().IdOf(head), tgd.id);
+        return;
+      }
+      if (!pending_heads.insert(head).second) return;
+      pending.push_back(PendingTgd{tgd.id, head,
+                                   std::move(parents),
+                                   force_level_zero ? 0 : level + 1});
+    };
+
+    for (const SigmaTgd& tgd : sigma_.tgds) {
+      if (window.full) {
+        MatchConjunction(tgd.rule.body, index(), Substitution(),
+                         [&](const Substitution& match) {
+                           consider(tgd, match);
+                           return true;
+                         });
+        continue;
+      }
+      for (size_t pivot = 0; pivot < tgd.rule.body.size(); ++pivot) {
+        std::vector<Atom> rest;
+        for (size_t i = 0; i < tgd.rule.body.size(); ++i) {
+          if (i != pivot) rest.push_back(tgd.rule.body[i]);
+        }
+        for (const Atom& fact : window.atoms) {
+          Substitution subst;
+          if (!TryUnifyAtom(tgd.rule.body[pivot], fact, subst)) continue;
+          MatchConjunction(rest, index(), subst,
+                           [&](const Substitution& match) {
+                             consider(tgd, match);
+                             return true;
+                           });
+        }
+      }
+    }
+    return pending;
+  }
+
+  // Finds every applicable rho_5 instance: a mandatory(A, O) conjunct with
+  // no data(O, A, ·) conjunct. Blocking is permanent (data conjuncts are
+  // only rewritten, never removed), so delta mode only inspects new
+  // mandatory conjuncts; rebuilds force a full recheck.
+  std::vector<PendingExistential> CollectExistentials(
+      const DeltaWindow& window) {
+    std::vector<PendingExistential> pending;
+    std::set<std::pair<Term, Term>> seen;
+
+    auto consider = [&](uint32_t id) {
+      const Atom& atom = index().at(id);
+      Term attr = atom.arg(0);
+      Term object = atom.arg(1);
+      if (!seen.insert({object, attr}).second) return;
+      if (options_.restricted_rho5) {
+        uint32_t blocker = FindDataFor(object, attr);
+        if (blocker != UINT32_MAX) {
+          RecordCrossArcs({id}, blocker, kRho5);
+          return;
+        }
+      } else if (rho5_fired_.count({object, attr}) > 0) {
+        return;  // oblivious: fire once per (object, attribute) pair
+      }
+      pending.push_back(PendingExistential{object, attr, id,
+                                           result_.meta_[id].level + 1});
+    };
+
+    if (window.full) {
+      for (uint32_t id : index().WithPredicate(pfl::kMandatory)) consider(id);
+    } else {
+      for (const Atom& atom : window.atoms) {
+        if (atom.predicate() != pfl::kMandatory) continue;
+        uint32_t id = index().IdOf(atom);
+        if (id != UINT32_MAX) consider(id);
+      }
+    }
+    return pending;
+  }
+
+  // ---- EGD (rho_4) ------------------------------------------------------
+
+  // Applies rho_4 to exhaustion (chase step (a) of Definition 2). Instead
+  // of enumerating the quadratic set of homomorphisms of body(rho_4), we
+  // exploit its shape: for each funct(A, O) conjunct, all values of
+  // data(O, A, ·) form one equivalence class.
+  bool EgdFixpoint() {
+    for (;;) {
+      bool merged_any = false;
+      for (uint32_t fid : index().WithPredicate(pfl::kFunct)) {
+        const Atom& funct = index().at(fid);
+        Term attr = funct.arg(0);
+        Term object = funct.arg(1);
+        const std::vector<uint32_t>& by_object =
+            index().WithArgument(pfl::kData, 0, object);
+        const std::vector<uint32_t>& by_attr =
+            index().WithArgument(pfl::kData, 1, attr);
+        const std::vector<uint32_t>& scan =
+            by_object.size() <= by_attr.size() ? by_object : by_attr;
+        Term first;
+        for (uint32_t id : scan) {
+          const Atom& atom = index().at(id);
+          if (atom.arg(0) != object || atom.arg(1) != attr) continue;
+          if (!first.valid()) {
+            first = atom.arg(2);
+            continue;
+          }
+          uint64_t before = uf_.merge_count();
+          Status status = uf_.Merge(first, atom.arg(2), world_);
+          if (!status.ok()) {
+            result_.outcome_ = ChaseOutcome::kFailed;
+            return false;
+          }
+          merged_any |= uf_.merge_count() != before;
+        }
+      }
+      if (!merged_any) return true;
+      result_.stats_.egd_merges = uf_.merge_count();
+      Rebuild();
+    }
+  }
+
+  // Rewrites every conjunct, the head, and the graph metadata through the
+  // union-find, collapsing conjuncts that become equal.
+  void Rebuild() {
+    ++result_.stats_.rebuilds;
+    FactIndex old_index = std::move(result_.conjuncts_);
+    std::vector<ChaseNodeMeta> old_meta = std::move(result_.meta_);
+    result_.conjuncts_ = FactIndex();
+    result_.meta_.clear();
+
+    std::vector<uint32_t> remap(old_index.size());
+    for (uint32_t i = 0; i < old_index.size(); ++i) {
+      Atom atom = Canonicalize(old_index.at(i));
+      auto [id, inserted] = result_.conjuncts_.Insert(atom);
+      remap[i] = id;
+      ChaseNodeMeta meta = std::move(old_meta[i]);
+      for (uint32_t& parent : meta.parents) parent = remap[parent];
+      if (inserted) {
+        result_.meta_.push_back(std::move(meta));
+      } else {
+        // Two conjuncts collapsed; the earlier generation wins, the later
+        // one's derivation becomes cross-arcs.
+        result_.meta_[id].level = std::min(result_.meta_[id].level, meta.level);
+        RecordCrossArcs(meta.parents, id, meta.rule);
+      }
+    }
+
+    for (ChaseArc& arc : result_.cross_arcs_) {
+      arc.from = remap[arc.from];
+      arc.to = remap[arc.to];
+    }
+    for (Term& t : result_.head_) t = uf_.Find(t);
+    std::set<std::pair<Term, Term>> fired;
+    for (const auto& [object, attr] : rho5_fired_) {
+      fired.insert({uf_.Find(object), uf_.Find(attr)});
+    }
+    rho5_fired_ = std::move(fired);
+
+    result_.max_level_ = 0;
+    for (const ChaseNodeMeta& meta : result_.meta_) {
+      result_.max_level_ = std::max(result_.max_level_, meta.level);
+    }
+
+    delta_.clear();
+    full_recheck_ = true;
+  }
+
+  Atom Canonicalize(const Atom& atom) {
+    Atom out = atom;
+    for (int i = 0; i < atom.arity(); ++i) out.set_arg(i, uf_.Find(atom.arg(i)));
+    return out;
+  }
+
+  ChaseResult Finish() {
+    result_.stats_.egd_merges = uf_.merge_count();
+    return std::move(result_);
+  }
+
+  World& world_;
+  ChaseOptions options_;
+  SigmaFL sigma_;
+  ChaseResult result_;
+  TermUnionFind uf_;
+  std::vector<Atom> delta_;
+  bool full_recheck_ = true;
+  std::set<std::pair<uint64_t, RuleId>> cross_seen_;
+  // (object, attribute) pairs rho_5 has fired for (oblivious mode).
+  std::set<std::pair<Term, Term>> rho5_fired_;
+};
+
+uint32_t ChaseResult::CountUpToLevel(int level) const {
+  uint32_t count = 0;
+  for (const ChaseNodeMeta& meta : meta_) {
+    if (meta.level <= level) ++count;
+  }
+  return count;
+}
+
+std::vector<ChaseArc> ChaseResult::Arcs() const {
+  std::vector<ChaseArc> arcs;
+  for (uint32_t id = 0; id < meta_.size(); ++id) {
+    for (uint32_t parent : meta_[id].parents) {
+      arcs.push_back(ChaseArc{parent, id, meta_[id].rule, /*cross=*/false});
+    }
+  }
+  arcs.insert(arcs.end(), cross_arcs_.begin(), cross_arcs_.end());
+  return arcs;
+}
+
+std::string ChaseResult::DebugString(const World& world) const {
+  std::string out = StrCat("chase: ", ChaseOutcomeName(outcome_), ", ",
+                           size(), " conjuncts, max level ", max_level_, "\n");
+  for (uint32_t id = 0; id < size(); ++id) {
+    const ChaseNodeMeta& m = meta_[id];
+    out += StrCat("  [", id, "] L", m.level, " ",
+                  conjuncts_.at(id).ToString(world));
+    if (m.rule != kRho0) {
+      out += StrCat("  (rho_", int(m.rule), " from");
+      for (uint32_t parent : m.parents) out += StrCat(" ", parent);
+      out += ")";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+ChaseResult ChaseQuery(World& world, const ConjunctiveQuery& query,
+                       const ChaseOptions& options) {
+  return ChaseEngine(world, options).Run(query);
+}
+
+ChaseResult ChaseLevelZero(World& world, const ConjunctiveQuery& query,
+                           const ChaseOptions& options) {
+  ChaseOptions level_zero = options;
+  level_zero.max_level = 0;
+  return ChaseEngine(world, level_zero).Run(query);
+}
+
+}  // namespace floq

@@ -1,0 +1,148 @@
+#ifndef FLOQ_CHASE_CHASE_H_
+#define FLOQ_CHASE_CHASE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "chase/sigma_fl.h"
+#include "datalog/fact_index.h"
+#include "query/conjunctive_query.h"
+#include "term/world.h"
+
+// The chase of a conjunctive meta-query with respect to Sigma_FL
+// (Definition 2 of the paper), organized as in Section 4: a terminating
+// preliminary phase with Sigma_FL^- = Sigma_FL - {rho_5} whose conjuncts
+// all sit at level 0, followed by the (possibly infinite) cyclic phase in
+// which rho_5 invents fresh nulls and levels grow. The engine materializes
+// the chase breadth-first, level by level, up to a caller-supplied level
+// cap — Theorem 12 shows the cap |q2| * 2|q1| suffices for containment.
+
+namespace floq {
+
+enum class ChaseOutcome {
+  /// Fixpoint reached: the chase is finite and fully materialized.
+  kCompleted,
+  /// All conjuncts up to the level cap are materialized; deeper conjuncts
+  /// exist but are not needed.
+  kLevelCapped,
+  /// The atom budget was exhausted before the level cap.
+  kBudgetExceeded,
+  /// rho_4 tried to equate two distinct constants: the chase fails, i.e.
+  /// the query has no answer on any database satisfying Sigma_FL.
+  kFailed,
+};
+
+const char* ChaseOutcomeName(ChaseOutcome outcome);
+
+struct ChaseOptions {
+  /// Materialize conjuncts up to this level of the chase graph.
+  int max_level = std::numeric_limits<int>::max();
+  /// Hard cap on materialized conjuncts.
+  uint64_t max_atoms = 1'000'000;
+  /// Record cross-arcs (Definition 3(4)); costs extra bookkeeping.
+  bool record_cross_arcs = false;
+  /// Semi-naive delta windows for rule collection (the default). Disabling
+  /// rescans the whole instance every round — kept for the ablation
+  /// benchmark bench_ablation.
+  bool use_delta_windows = true;
+  /// The paper's chase is *restricted*: rho_5 fires only when no
+  /// data(O, A, ·) conjunct exists (Definition 2(2)(ii)). Setting this to
+  /// false gives the *oblivious* chase of the later Datalog± literature:
+  /// rho_5 fires exactly once per mandatory(A, O) fact regardless of
+  /// existing values. The oblivious chase is a superset of the restricted
+  /// one and remains sound for containment; it is exposed for study and
+  /// comparison, not used by CheckContainment.
+  bool restricted_rho5 = true;
+};
+
+/// Per-conjunct provenance: generating rule and the conjuncts its body
+/// mapped onto (the sources of the chase-graph arcs into this node).
+struct ChaseNodeMeta {
+  int level = 0;
+  RuleId rule = kRho0;  // kRho0 = initial conjunct from body(q)
+  std::vector<uint32_t> parents;
+};
+
+/// An arc of the chase graph G(q) (Definition 3).
+struct ChaseArc {
+  uint32_t from = 0;
+  uint32_t to = 0;
+  RuleId rule = kRho0;
+  bool cross = false;  // Definition 3(4) cross-arc
+};
+
+struct ChaseStats {
+  uint64_t rounds = 0;
+  uint64_t tgd_applications = 0;
+  uint64_t fresh_nulls = 0;
+  uint64_t egd_merges = 0;
+  uint64_t rebuilds = 0;
+};
+
+/// The materialized (prefix of the) chase, with the chase graph.
+class ChaseResult {
+ public:
+  ChaseOutcome outcome() const { return outcome_; }
+  bool failed() const { return outcome_ == ChaseOutcome::kFailed; }
+
+  /// All materialized conjuncts with id-addressed metadata. Conjunct ids
+  /// are dense [0, size()).
+  const FactIndex& conjuncts() const { return conjuncts_; }
+  uint32_t size() const { return conjuncts_.size(); }
+  const Atom& conjunct(uint32_t id) const { return conjuncts_.at(id); }
+  const ChaseNodeMeta& meta(uint32_t id) const { return meta_[id]; }
+  int LevelOf(uint32_t id) const { return meta_[id].level; }
+
+  /// The head of the query as rewritten by the chase (rho_4 can rename
+  /// head terms; Example 1 of the paper).
+  const std::vector<Term>& head() const { return head_; }
+
+  /// Highest level among materialized conjuncts.
+  int max_level() const { return max_level_; }
+
+  /// Number of conjuncts with level <= `level`.
+  uint32_t CountUpToLevel(int level) const;
+
+  /// All arcs of the chase graph: generation arcs from the per-node
+  /// provenance plus recorded cross-arcs.
+  std::vector<ChaseArc> Arcs() const;
+
+  /// Primary arc test (Definition 3(5)): from level k to level k+1.
+  bool IsPrimary(const ChaseArc& arc) const {
+    return meta_[arc.to].level == meta_[arc.from].level + 1;
+  }
+
+  const ChaseStats& stats() const { return stats_; }
+
+  /// Multi-line dump: one conjunct per line with level and provenance.
+  std::string DebugString(const World& world) const;
+
+ private:
+  friend class ChaseEngine;
+  friend class GenericChaseEngine;
+
+  ChaseOutcome outcome_ = ChaseOutcome::kCompleted;
+  FactIndex conjuncts_;
+  std::vector<ChaseNodeMeta> meta_;
+  std::vector<ChaseArc> cross_arcs_;
+  std::vector<Term> head_;
+  int max_level_ = 0;
+  ChaseStats stats_;
+};
+
+/// Chases `query` w.r.t. Sigma_FL. All terms must come from `world` (fresh
+/// nulls are drawn from it). The body of the query is taken as the initial
+/// database; its variables are treated as values throughout.
+ChaseResult ChaseQuery(World& world, const ConjunctiveQuery& query,
+                       const ChaseOptions& options = {});
+
+/// The preliminary chase only (Sigma_FL^-): terminating, everything at
+/// level 0. Equivalent to ChaseQuery with max_level = 0.
+ChaseResult ChaseLevelZero(World& world, const ConjunctiveQuery& query,
+                           const ChaseOptions& options = {});
+
+}  // namespace floq
+
+#endif  // FLOQ_CHASE_CHASE_H_

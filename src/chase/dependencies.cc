@@ -1,0 +1,285 @@
+#include "chase/dependencies.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "query/parser.h"
+#include "term/substitution.h"
+#include "util/strings.h"
+
+namespace floq {
+
+std::vector<Term> Tgd::ExistentialVariables() const {
+  std::unordered_set<uint32_t> body_vars;
+  for (const Atom& atom : body) {
+    for (Term t : atom) {
+      if (t.IsVariable()) body_vars.insert(t.raw());
+    }
+  }
+  std::vector<Term> existential;
+  std::unordered_set<uint32_t> seen;
+  for (Term t : head) {
+    if (t.IsVariable() && body_vars.count(t.raw()) == 0 &&
+        seen.insert(t.raw()).second) {
+      existential.push_back(t);
+    }
+  }
+  return existential;
+}
+
+namespace {
+
+// Splits a dependency program into statements at '.' terminators,
+// respecting single-quoted strings and the decimal-number ambiguity
+// (digit '.' digit stays inside a statement).
+std::vector<std::string> SplitStatements(std::string_view text) {
+  std::vector<std::string> statements;
+  std::string current;
+  bool in_quote = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '%' && !in_quote) {
+      while (i < text.size() && text[i] != '\n') ++i;
+      current += ' ';
+      continue;
+    }
+    if (c == '\'') in_quote = !in_quote;
+    if (c == '.' && !in_quote) {
+      bool digit_before = !current.empty() &&
+                          std::isdigit(static_cast<unsigned char>(
+                              current.back()));
+      bool digit_after = i + 1 < text.size() &&
+                         std::isdigit(static_cast<unsigned char>(text[i + 1]));
+      if (!(digit_before && digit_after)) {
+        if (!StripWhitespace(current).empty()) {
+          statements.push_back(current);
+        }
+        current.clear();
+        continue;
+      }
+    }
+    current += c;
+  }
+  if (!StripWhitespace(current).empty()) statements.push_back(current);
+  return statements;
+}
+
+// Recognizes "X = Y" heads. Returns true and the two identifiers if the
+// text before ":-" is exactly that shape.
+bool ParseEqualityHead(std::string_view head_text, std::string& left,
+                       std::string& right) {
+  size_t eq = head_text.find('=');
+  if (eq == std::string_view::npos) return false;
+  std::string_view lhs = StripWhitespace(head_text.substr(0, eq));
+  std::string_view rhs = StripWhitespace(head_text.substr(eq + 1));
+  auto is_identifier = [](std::string_view word) {
+    if (word.empty()) return false;
+    for (char c : word) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!is_identifier(lhs) || !is_identifier(rhs)) return false;
+  left = std::string(lhs);
+  right = std::string(rhs);
+  return true;
+}
+
+Term TermFromIdentifier(World& world, const std::string& name) {
+  char first = name[0];
+  if (std::isupper(static_cast<unsigned char>(first)) || first == '_') {
+    return world.MakeVariable(name);
+  }
+  return world.MakeConstant(name);
+}
+
+}  // namespace
+
+namespace {
+
+// Dependency variables must never coincide with variables of chased
+// queries (which act as values in the chase); rename them to reserved
+// variables no parser can produce.
+Substitution ReserveVariables(World& world, const std::vector<Atom>& atoms) {
+  Substitution renaming;
+  for (const Atom& atom : atoms) {
+    for (Term t : atom) {
+      if (t.IsVariable() && !renaming.Binds(t)) {
+        renaming.Bind(t, world.MakeReservedVariable());
+      }
+    }
+  }
+  return renaming;
+}
+
+}  // namespace
+
+Result<DependencySet> ParseDependencies(World& world, std::string_view text) {
+  DependencySet dependencies;
+  int counter = 0;
+  for (const std::string& statement : SplitStatements(text)) {
+    ++counter;
+    size_t implies = statement.find(":-");
+    if (implies == std::string::npos) {
+      return InvalidArgumentError(
+          StrCat("dependency ", counter, " has no ':-': ",
+                 std::string(StripWhitespace(statement))));
+    }
+    std::string_view head_text =
+        StripWhitespace(std::string_view(statement).substr(0, implies));
+    std::string body_text = statement.substr(implies + 2);
+
+    std::string left_name, right_name;
+    if (ParseEqualityHead(head_text, left_name, right_name)) {
+      Result<std::vector<Atom>> body = ParseAtoms(world, body_text);
+      if (!body.ok()) return body.status();
+      Egd egd;
+      egd.body = std::move(body).value();
+      egd.left = TermFromIdentifier(world, left_name);
+      egd.right = TermFromIdentifier(world, right_name);
+      egd.name = StrCat("egd", dependencies.egds.size() + 1);
+      // Equated variables must occur in the body.
+      for (Term side : {egd.left, egd.right}) {
+        if (!side.IsVariable()) continue;
+        bool found = false;
+        for (const Atom& atom : egd.body) {
+          for (Term t : atom) found |= t == side;
+        }
+        if (!found) {
+          return InvalidArgumentError(
+              StrCat("EGD ", counter, ": equated variable ",
+                     world.NameOf(side), " does not occur in the body"));
+        }
+      }
+      Substitution reserve = ReserveVariables(world, egd.body);
+      egd.body = reserve.Apply(egd.body);
+      egd.left = reserve.Apply(egd.left);
+      egd.right = reserve.Apply(egd.right);
+      dependencies.egds.push_back(std::move(egd));
+      continue;
+    }
+
+    Result<ConjunctiveQuery> rule =
+        ParseQueryAllowUnsafeHead(world, statement + ".");
+    if (!rule.ok()) return rule.status();
+    PredicateId pred = world.predicates().Intern(rule->name(),
+                                                 int(rule->head().size()));
+    if (pred == kInvalidPredicate) {
+      return InvalidArgumentError(
+          StrCat("dependency ", counter, ": head predicate ", rule->name(),
+                 "/", rule->head().size(), " conflicts with another arity"));
+    }
+    Tgd tgd;
+    tgd.head = Atom(pred, rule->head());
+    tgd.body = rule->body();
+    if (tgd.body.empty()) {
+      return InvalidArgumentError(
+          StrCat("dependency ", counter, " has an empty body"));
+    }
+    tgd.name = StrCat("tgd", dependencies.tgds.size() + 1);
+    {
+      std::vector<Atom> all = tgd.body;
+      all.push_back(tgd.head);
+      Substitution reserve = ReserveVariables(world, all);
+      tgd.body = reserve.Apply(tgd.body);
+      tgd.head = reserve.Apply(tgd.head);
+    }
+    dependencies.tgds.push_back(std::move(tgd));
+  }
+  return dependencies;
+}
+
+DependencySet MakeSigmaFLDependencies(World& world) {
+  // Written exactly as Section 2 of the paper lists Sigma_FL.
+  Result<DependencySet> parsed = ParseDependencies(world, R"(
+    member(V, T) :- type(O, A, T), data(O, A, V).
+    sub(C1, C2) :- sub(C1, C3), sub(C3, C2).
+    member(O, C1) :- member(O, C), sub(C, C1).
+    V = W :- data(O, A, V), data(O, A, W), funct(A, O).
+    data(O, A, V) :- mandatory(A, O).
+    type(O, A, T) :- member(O, C), type(C, A, T).
+    type(C, A, T) :- sub(C, C1), type(C1, A, T).
+    type(C, A, T) :- type(C, A, T1), sub(T1, T).
+    mandatory(A, C) :- sub(C, C1), mandatory(A, C1).
+    mandatory(A, O) :- member(O, C), mandatory(A, C).
+    funct(A, C) :- sub(C, C1), funct(A, C1).
+    funct(A, O) :- member(O, C), funct(A, C).
+  )");
+  FLOQ_CHECK(parsed.ok()) << parsed.status().ToString();
+  return std::move(parsed).value();
+}
+
+bool IsWeaklyAcyclic(const DependencySet& dependencies, const World& world) {
+  (void)world;
+  // Nodes: (predicate, position) pairs packed into one integer.
+  auto position = [](PredicateId pred, int index) {
+    return (uint64_t(pred) << 8) | uint64_t(index);
+  };
+
+  // normal edges and special edges.
+  std::map<uint64_t, std::set<uint64_t>> normal;
+  std::map<uint64_t, std::set<uint64_t>> special;
+  std::set<uint64_t> nodes;
+
+  for (const Tgd& tgd : dependencies.tgds) {
+    std::vector<Term> existential = tgd.ExistentialVariables();
+    auto is_existential = [&](Term t) {
+      for (Term e : existential) {
+        if (e == t) return true;
+      }
+      return false;
+    };
+    for (const Atom& body_atom : tgd.body) {
+      for (int i = 0; i < body_atom.arity(); ++i) {
+        Term x = body_atom.arg(i);
+        if (!x.IsVariable()) continue;
+        uint64_t from = position(body_atom.predicate(), i);
+        nodes.insert(from);
+        for (int j = 0; j < tgd.head.arity(); ++j) {
+          Term h = tgd.head.arg(j);
+          uint64_t to = position(tgd.head.predicate(), j);
+          nodes.insert(to);
+          if (h == x) {
+            normal[from].insert(to);  // x propagates
+          } else if (h.IsVariable() && is_existential(h)) {
+            special[from].insert(to);  // x feeds an invented value
+          }
+        }
+      }
+    }
+  }
+
+  // Reachability over (normal ∪ special); weak acyclicity fails iff some
+  // special edge (u, v) has a path v ->* u.
+  auto reaches = [&](uint64_t from, uint64_t to) {
+    std::set<uint64_t> visited;
+    std::vector<uint64_t> stack = {from};
+    while (!stack.empty()) {
+      uint64_t node = stack.back();
+      stack.pop_back();
+      if (node == to) return true;
+      if (!visited.insert(node).second) continue;
+      auto push_all = [&](const std::map<uint64_t, std::set<uint64_t>>& edges) {
+        auto it = edges.find(node);
+        if (it == edges.end()) return;
+        for (uint64_t next : it->second) stack.push_back(next);
+      };
+      push_all(normal);
+      push_all(special);
+    }
+    return false;
+  };
+
+  for (const auto& [from, targets] : special) {
+    for (uint64_t to : targets) {
+      if (reaches(to, from) || to == from) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace floq

@@ -1,0 +1,75 @@
+#ifndef FLOQ_CHASE_DEPENDENCIES_H_
+#define FLOQ_CHASE_DEPENDENCIES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "term/atom.h"
+#include "term/world.h"
+#include "util/status.h"
+
+// User-supplied dependency sets: tuple-generating dependencies (possibly
+// existential) and equality-generating dependencies, over any predicates.
+// This generalizes Sigma_FL in the direction the paper's conclusion calls
+// out ("finding a general class of queries ... for which our proof
+// techniques still apply"): the generic chase (generic_chase.h) runs any
+// such set, and weak acyclicity (Fagin et al.) certifies termination,
+// making the Theorem-4 containment test complete for that class.
+//
+// Surface syntax (ParseDependencies): one dependency per statement,
+// written rule-style like the paper writes Sigma_FL:
+//
+//   member(V, T) :- type(O, A, T), data(O, A, V).     % plain TGD
+//   data(O, A, V) :- mandatory(A, O).                  % existential TGD
+//                                                      %   (V not in body)
+//   V = W :- data(O, A, V), data(O, A, W), funct(A, O).% EGD
+
+namespace floq {
+
+/// A single-head TGD. Head variables missing from the body are
+/// existentially quantified: the chase invents a fresh null per variable
+/// per application.
+struct Tgd {
+  Atom head;
+  std::vector<Atom> body;
+  std::string name;  // for diagnostics; defaults to "tgd<k>"
+
+  /// Head variables that do not occur in the body.
+  std::vector<Term> ExistentialVariables() const;
+};
+
+/// An EGD: body matches force left = right.
+struct Egd {
+  std::vector<Atom> body;
+  Term left;
+  Term right;
+  std::string name;
+};
+
+struct DependencySet {
+  std::vector<Tgd> tgds;
+  std::vector<Egd> egds;
+
+  bool empty() const { return tgds.empty() && egds.empty(); }
+  size_t size() const { return tgds.size() + egds.size(); }
+};
+
+/// Parses a dependency program (syntax above). Every EGD's equated sides
+/// must be variables occurring in its body.
+Result<DependencySet> ParseDependencies(World& world, std::string_view text);
+
+/// Sigma_FL expressed as a user dependency set (for cross-checking the
+/// generic chase against the specialized engine).
+DependencySet MakeSigmaFLDependencies(World& world);
+
+/// Weak acyclicity (Fagin, Kolaitis, Miller, Popa 2003): the chase of any
+/// instance under a weakly acyclic TGD set terminates. Builds the
+/// (predicate, position) dependency graph; returns false iff some cycle
+/// passes through a "special" (existential) edge. EGDs do not affect the
+/// test.
+bool IsWeaklyAcyclic(const DependencySet& dependencies, const World& world);
+
+}  // namespace floq
+
+#endif  // FLOQ_CHASE_DEPENDENCIES_H_

@@ -1,0 +1,77 @@
+#include "chase/graph_dot.h"
+
+#include <map>
+
+#include "util/strings.h"
+
+namespace floq {
+
+namespace {
+
+// DOT string literals need quote escaping; conjunct text is alnum + ()_,#
+// so only quotes and backslashes matter.
+std::string EscapeDot(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ChaseGraphToDot(const ChaseResult& chase, const World& world,
+                            const DotOptions& options) {
+  std::string out = "digraph chase {\n";
+  out += StrCat("  label=\"", EscapeDot(options.title), "\";\n");
+  out += "  labelloc=t;\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+
+  // Nodes grouped by level into same-rank clusters.
+  std::map<int, std::vector<uint32_t>> by_level;
+  for (uint32_t id = 0; id < chase.size(); ++id) {
+    if (chase.LevelOf(id) <= options.max_level) {
+      by_level[chase.LevelOf(id)].push_back(id);
+    }
+  }
+  for (const auto& [level, ids] : by_level) {
+    out += StrCat("  { rank=same; \"L", level, "\" [shape=plaintext];");
+    for (uint32_t id : ids) {
+      out += StrCat(" n", id, ";");
+    }
+    out += " }\n";
+    for (uint32_t id : ids) {
+      out += StrCat("  n", id, " [label=\"",
+                    EscapeDot(chase.conjunct(id).ToString(world)), "\"];\n");
+    }
+  }
+
+  // Invisible spine that orders the level labels.
+  int previous_level = -1;
+  for (const auto& [level, ids] : by_level) {
+    if (previous_level >= 0) {
+      out += StrCat("  \"L", previous_level, "\" -> \"L", level,
+                    "\" [style=invis];\n");
+    }
+    previous_level = level;
+  }
+
+  for (const ChaseArc& arc : chase.Arcs()) {
+    if (chase.LevelOf(arc.from) > options.max_level ||
+        chase.LevelOf(arc.to) > options.max_level) {
+      continue;
+    }
+    std::string attrs = StrCat("label=\"r", int(arc.rule), "\", fontsize=8");
+    if (arc.cross) {
+      attrs += ", style=dashed, color=gray40";
+    } else if (chase.IsPrimary(arc)) {
+      attrs += ", penwidth=2.0";
+    }
+    out += StrCat("  n", arc.from, " -> n", arc.to, " [", attrs, "];\n");
+  }
+
+  out += "}\n";
+  return out;
+}
+
+}  // namespace floq

@@ -1,0 +1,28 @@
+#ifndef FLOQ_CHASE_GRAPH_DOT_H_
+#define FLOQ_CHASE_GRAPH_DOT_H_
+
+#include <string>
+
+#include "chase/chase.h"
+#include "term/world.h"
+
+// Graphviz export of the chase graph G(q) (Definition 3), in the layout
+// style of the paper's Figure 1: conjuncts ranked by level, arcs labeled
+// with the generating rule, cross-arcs dashed, primary arcs bold.
+
+namespace floq {
+
+struct DotOptions {
+  /// Only levels <= this are drawn (the chase may be a long chain).
+  int max_level = 12;
+  /// Title rendered above the graph.
+  std::string title = "chase graph";
+};
+
+/// Renders the chase graph as a DOT digraph. Feed to `dot -Tsvg`.
+std::string ChaseGraphToDot(const ChaseResult& chase, const World& world,
+                            const DotOptions& options = {});
+
+}  // namespace floq
+
+#endif  // FLOQ_CHASE_GRAPH_DOT_H_

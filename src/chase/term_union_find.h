@@ -1,0 +1,64 @@
+#ifndef FLOQ_CHASE_TERM_UNION_FIND_H_
+#define FLOQ_CHASE_TERM_UNION_FIND_H_
+
+#include <unordered_map>
+
+#include "term/term.h"
+#include "term/world.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+// Union-find over terms for EGD application (rule rho_4). The
+// representative of a class is always its chase-order minimum (constants
+// before nulls before variables), implementing Definition 2(1)(b); merging
+// two distinct constants fails the chase (Definition 2(1)(a)).
+
+namespace floq {
+
+class TermUnionFind {
+ public:
+  TermUnionFind() = default;
+
+  /// Representative of `t`'s class (with path compression).
+  Term Find(Term t) {
+    auto it = parent_.find(t);
+    if (it == parent_.end()) return t;
+    Term root = Find(it->second);
+    it->second = root;
+    return root;
+  }
+
+  /// Merges the classes of `a` and `b`; the chase-order-smaller
+  /// representative wins. Fails iff both classes are rooted at distinct
+  /// constants (the chase construction fails, Definition 2(1)(a)).
+  Status Merge(Term a, Term b, const World& world) {
+    Term ra = Find(a);
+    Term rb = Find(b);
+    if (ra == rb) return Status::Ok();
+    if (ra.IsConstant() && rb.IsConstant()) {
+      return FailedPreconditionError(
+          StrCat("chase failure: cannot equate distinct constants ",
+                 world.NameOf(ra), " and ", world.NameOf(rb)));
+    }
+    if (world.PrecedesInChaseOrder(ra, rb)) {
+      parent_[rb] = ra;
+    } else {
+      parent_[ra] = rb;
+    }
+    ++merge_count_;
+    return Status::Ok();
+  }
+
+  /// Number of successful merges performed.
+  uint64_t merge_count() const { return merge_count_; }
+
+  bool empty() const { return parent_.empty(); }
+
+ private:
+  std::unordered_map<Term, Term, TermHash> parent_;
+  uint64_t merge_count_ = 0;
+};
+
+}  // namespace floq
+
+#endif  // FLOQ_CHASE_TERM_UNION_FIND_H_

@@ -1,0 +1,53 @@
+#ifndef FLOQ_CONTAINMENT_CLASSIFIER_H_
+#define FLOQ_CONTAINMENT_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "containment/containment.h"
+#include "query/conjunctive_query.h"
+#include "term/world.h"
+#include "util/status.h"
+
+// Query classification under Sigma_FL — the knowledge-representation
+// application the paper cites ("in knowledge representation it has been
+// widely used ... for object classification, schema integration, service
+// discovery", §1). Given a set of queries (views, service descriptions),
+// the classifier computes the full containment preorder, collapses it into
+// equivalence classes, and exposes the Hasse diagram of the induced
+// partial order (most-specific to most-general).
+
+namespace floq {
+
+struct QueryTaxonomy {
+  /// One entry per input query: the equivalence class it landed in.
+  std::vector<int> class_of;
+
+  /// The classes, each a non-empty list of input indexes; classes are
+  /// numbered in input order of their first member.
+  std::vector<std::vector<size_t>> classes;
+
+  /// Hasse edges over classes: (sub, super) with sub ⊂ super and no class
+  /// strictly between.
+  std::vector<std::pair<int, int>> hasse_edges;
+
+  /// Transitively closed strict containment between classes.
+  std::vector<std::vector<bool>> contains;  // contains[sub][super]
+
+  /// Number of pairwise containment checks performed.
+  int checks = 0;
+};
+
+/// Classifies `queries` (all must have equal arity) under Sigma_FL.
+Result<QueryTaxonomy> ClassifyQueries(
+    World& world, const std::vector<ConjunctiveQuery>& queries,
+    const ContainmentOptions& options = {});
+
+/// Renders the taxonomy as an indented forest, most general classes first.
+std::string TaxonomyToString(const QueryTaxonomy& taxonomy,
+                             const std::vector<ConjunctiveQuery>& queries,
+                             const World& world);
+
+}  // namespace floq
+
+#endif  // FLOQ_CONTAINMENT_CLASSIFIER_H_

@@ -1,0 +1,219 @@
+#include "containment/containment.h"
+
+#include "util/strings.h"
+
+namespace floq {
+
+namespace {
+
+Status ValidatePair(const World& world, const ConjunctiveQuery& q1,
+                    const ConjunctiveQuery& q2) {
+  FLOQ_RETURN_IF_ERROR(q1.Validate(world));
+  FLOQ_RETURN_IF_ERROR(q2.Validate(world));
+  if (q1.arity() != q2.arity()) {
+    return InvalidArgumentError(
+        StrCat("containment requires equal arities; got ", q1.arity(),
+               " and ", q2.arity()));
+  }
+  return Status::Ok();
+}
+
+// The level cap of Theorem 12: |q2| * delta with delta = 2|q1|.
+int PaperLevelBound(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  return q2.size() * 2 * q1.size();
+}
+
+}  // namespace
+
+Result<ContainmentResult> CheckContainment(World& world,
+                                           const ConjunctiveQuery& q1,
+                                           const ConjunctiveQuery& q2,
+                                           const ContainmentOptions& options) {
+  if (options.depth == ChaseDepth::kNone) {
+    return CheckClassicalContainment(world, q1, q2);
+  }
+  FLOQ_RETURN_IF_ERROR(ValidatePair(world, q1, q2));
+
+  int level_bound = 0;
+  if (options.depth == ChaseDepth::kPaperBound) {
+    level_bound = options.level_override >= 0 ? options.level_override
+                                              : PaperLevelBound(q1, q2);
+  }
+
+  ChaseOptions chase_options;
+  chase_options.max_level = level_bound;
+  chase_options.max_atoms = options.max_chase_atoms;
+  ContainmentResult result;
+  result.level_bound = level_bound;
+  result.chase = ChaseQuery(world, q1, chase_options);
+
+  if (result.chase.failed()) {
+    // q1 has no answers on any database satisfying Sigma_FL, so it is
+    // contained in every query of the same arity.
+    result.contained = true;
+    result.q1_unsatisfiable = true;
+    return result;
+  }
+  if (result.chase.outcome() == ChaseOutcome::kBudgetExceeded) {
+    return ResourceExhaustedError(
+        StrCat("chase of q1 exceeded max_chase_atoms=",
+               options.max_chase_atoms, " before level ", level_bound));
+  }
+
+  // q2's variables must be disjoint from the values of chase(q1) (which
+  // include q1's variables): rename apart, search, then express the
+  // witness in terms of q2's original variables.
+  Substitution renaming;
+  ConjunctiveQuery q2_fresh = q2.RenameApart(world, &renaming);
+  std::optional<Substitution> hom =
+      FindQueryHomomorphism(q2_fresh, result.chase.conjuncts(),
+                            result.chase.head(), &result.hom_stats);
+  if (hom.has_value()) {
+    result.witness = renaming.ComposeWith(*hom);
+  }
+  result.contained = result.witness.has_value();
+  return result;
+}
+
+Result<ContainmentResult> CheckClassicalContainment(
+    World& world, const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  FLOQ_RETURN_IF_ERROR(ValidatePair(world, q1, q2));
+
+  // The target is body(q1) itself, with q1's variables as values.
+  FactIndex target;
+  for (const Atom& atom : q1.body()) target.Insert(atom);
+
+  ContainmentResult result;
+  result.level_bound = -1;
+  Substitution renaming;
+  ConjunctiveQuery q2_fresh = q2.RenameApart(world, &renaming);
+  std::optional<Substitution> hom =
+      FindQueryHomomorphism(q2_fresh, target, q1.head(), &result.hom_stats);
+  if (hom.has_value()) {
+    result.witness = renaming.ComposeWith(*hom);
+  }
+  result.contained = result.witness.has_value();
+  return result;
+}
+
+Result<bool> CheckEquivalence(World& world, const ConjunctiveQuery& q1,
+                              const ConjunctiveQuery& q2,
+                              const ContainmentOptions& options) {
+  Result<ContainmentResult> forward = CheckContainment(world, q1, q2, options);
+  if (!forward.ok()) return forward.status();
+  if (!forward->contained) return false;
+  Result<ContainmentResult> backward = CheckContainment(world, q2, q1, options);
+  if (!backward.ok()) return backward.status();
+  return backward->contained;
+}
+
+Result<std::optional<size_t>> CheckUcqContainment(
+    World& world, const ConjunctiveQuery& q,
+    std::span<const ConjunctiveQuery> disjuncts,
+    const ContainmentOptions& options) {
+  FLOQ_RETURN_IF_ERROR(q.Validate(world));
+
+  // One chase serves all disjuncts; its depth must cover the largest
+  // per-disjunct bound.
+  int level_bound = 0;
+  for (const ConjunctiveQuery& disjunct : disjuncts) {
+    FLOQ_RETURN_IF_ERROR(disjunct.Validate(world));
+    if (disjunct.arity() != q.arity()) {
+      return InvalidArgumentError("UCQ disjunct arity mismatch");
+    }
+    level_bound = std::max(level_bound, disjunct.size() * 2 * q.size());
+  }
+  if (options.level_override >= 0) level_bound = options.level_override;
+  if (options.depth == ChaseDepth::kLevelZero) level_bound = 0;
+
+  ChaseOptions chase_options;
+  chase_options.max_level = level_bound;
+  chase_options.max_atoms = options.max_chase_atoms;
+  ChaseResult chase = ChaseQuery(world, q, chase_options);
+
+  if (chase.failed()) {
+    // Unsatisfiable q is contained in any nonempty union.
+    if (disjuncts.empty()) return std::optional<size_t>();
+    return std::optional<size_t>(0);
+  }
+  if (chase.outcome() == ChaseOutcome::kBudgetExceeded) {
+    return ResourceExhaustedError("chase exceeded max_chase_atoms");
+  }
+
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    ConjunctiveQuery fresh = disjuncts[i].RenameApart(world);
+    if (FindQueryHomomorphism(fresh, chase.conjuncts(), chase.head())
+            .has_value()) {
+      return std::optional<size_t>(i);
+    }
+  }
+  return std::optional<size_t>();
+}
+
+Result<ContainmentResult> CheckContainmentUnderDependencies(
+    World& world, const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+    const DependencySet& dependencies, const ContainmentOptions& options) {
+  FLOQ_RETURN_IF_ERROR(ValidatePair(world, q1, q2));
+
+  const bool weakly_acyclic = IsWeaklyAcyclic(dependencies, world);
+  ChaseOptions chase_options;
+  chase_options.max_atoms = options.max_chase_atoms;
+  int level_bound = -1;
+  if (weakly_acyclic) {
+    // The chase terminates; no level cap needed.
+  } else if (options.level_override >= 0) {
+    level_bound = options.level_override;
+    chase_options.max_level = level_bound;
+  } else {
+    return FailedPreconditionError(
+        "dependency set is not weakly acyclic: the chase may not "
+        "terminate; set ContainmentOptions::level_override for a sound "
+        "(but possibly inconclusive) bounded check");
+  }
+
+  ContainmentResult result;
+  result.level_bound = level_bound;
+  result.chase = GenericChase(world, q1, dependencies, chase_options);
+
+  if (result.chase.failed()) {
+    result.contained = true;
+    result.q1_unsatisfiable = true;
+    return result;
+  }
+  if (result.chase.outcome() == ChaseOutcome::kBudgetExceeded) {
+    return ResourceExhaustedError(
+        StrCat("generic chase of q1 exceeded max_chase_atoms=",
+               options.max_chase_atoms));
+  }
+
+  Substitution renaming;
+  ConjunctiveQuery q2_fresh = q2.RenameApart(world, &renaming);
+  std::optional<Substitution> hom =
+      FindQueryHomomorphism(q2_fresh, result.chase.conjuncts(),
+                            result.chase.head(), &result.hom_stats);
+  if (hom.has_value()) {
+    result.witness = renaming.ComposeWith(*hom);
+  }
+  result.contained = result.witness.has_value();
+  // On a truncated chase of a non-weakly-acyclic set, "no homomorphism"
+  // does not refute containment.
+  result.conclusive =
+      result.contained || weakly_acyclic ||
+      result.chase.outcome() == ChaseOutcome::kCompleted;
+  return result;
+}
+
+Result<std::optional<size_t>> CheckUnionContainment(
+    World& world, std::span<const ConjunctiveQuery> lhs,
+    std::span<const ConjunctiveQuery> rhs,
+    const ContainmentOptions& options) {
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    Result<std::optional<size_t>> hit =
+        CheckUcqContainment(world, lhs[i], rhs, options);
+    if (!hit.ok()) return hit.status();
+    if (!hit->has_value()) return std::optional<size_t>(i);
+  }
+  return std::optional<size_t>();
+}
+
+}  // namespace floq

@@ -1,0 +1,119 @@
+#include "containment/minimize.h"
+
+namespace floq {
+
+Result<ConjunctiveQuery> MinimizeQuery(World& world,
+                                       const ConjunctiveQuery& query,
+                                       const ContainmentOptions& options,
+                                       MinimizeStats* stats) {
+  FLOQ_RETURN_IF_ERROR(query.Validate(world));
+  ConjunctiveQuery current = query;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < current.body().size(); ++i) {
+      std::vector<Atom> smaller_body = current.body();
+      smaller_body.erase(smaller_body.begin() + i);
+      ConjunctiveQuery candidate(current.name(), current.head(),
+                                 std::move(smaller_body));
+      // Dropping an atom must keep the head safe.
+      if (!candidate.Validate(world).ok()) continue;
+
+      // candidate has fewer atoms, so current ⊆ candidate holds trivially;
+      // equivalence needs candidate ⊆ current.
+      if (stats != nullptr) ++stats->containment_checks;
+      Result<ContainmentResult> check =
+          CheckContainment(world, candidate, current, options);
+      if (!check.ok()) return check.status();
+      if (check->contained) {
+        current = std::move(candidate);
+        if (stats != nullptr) ++stats->atoms_removed;
+        changed = true;
+        break;  // restart the scan over the shrunken body
+      }
+    }
+  }
+  return current;
+}
+
+namespace {
+
+// One folding pass: tries to substitute a non-head variable by another
+// body term; adopts the first equivalence-preserving fold. Returns true
+// if a fold happened.
+Result<bool> TryFoldOneVariable(World& world, ConjunctiveQuery& current,
+                                const ContainmentOptions& options,
+                                CoreStats* stats) {
+  std::vector<Term> head_vars;
+  for (Term t : current.head()) {
+    if (t.IsVariable()) head_vars.push_back(t);
+  }
+  auto is_head_var = [&](Term t) {
+    for (Term h : head_vars) {
+      if (h == t) return true;
+    }
+    return false;
+  };
+
+  std::vector<Term> terms = current.BodyTerms();
+  for (Term from : terms) {
+    if (!from.IsVariable() || is_head_var(from)) continue;
+    for (Term to : terms) {
+      if (from == to) continue;
+      Substitution fold;
+      fold.Bind(from, to);
+      ConjunctiveQuery candidate = current.Substitute(fold);
+      // Folding instantiates the body, so candidate ⊆ current always
+      // holds; equivalence needs current ⊆ candidate.
+      if (stats != nullptr) ++stats->containment_checks;
+      Result<ContainmentResult> check =
+          CheckContainment(world, current, candidate, options);
+      if (!check.ok()) return check.status();
+      if (check->contained) {
+        current = std::move(candidate);
+        if (stats != nullptr) ++stats->variables_folded;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<ConjunctiveQuery> ComputeCore(World& world,
+                                     const ConjunctiveQuery& query,
+                                     const ContainmentOptions& options,
+                                     CoreStats* stats) {
+  FLOQ_RETURN_IF_ERROR(query.Validate(world));
+  ConjunctiveQuery current = query;
+
+  for (;;) {
+    MinimizeStats minimize_stats;
+    Result<ConjunctiveQuery> minimized =
+        MinimizeQuery(world, current, options, &minimize_stats);
+    if (!minimized.ok()) return minimized.status();
+    current = std::move(minimized).value();
+    if (stats != nullptr) {
+      stats->atoms_removed += minimize_stats.atoms_removed;
+      stats->containment_checks += minimize_stats.containment_checks;
+    }
+
+    Result<bool> folded = TryFoldOneVariable(world, current, options, stats);
+    if (!folded.ok()) return folded.status();
+    if (!*folded) return current;
+    // A fold may create duplicate atoms (removed by the dedup below) and
+    // enable further removals; loop.
+    std::vector<Atom> dedup;
+    for (const Atom& atom : current.body()) {
+      bool seen = false;
+      for (const Atom& kept : dedup) seen |= kept == atom;
+      if (!seen) dedup.push_back(atom);
+    }
+    current = ConjunctiveQuery(current.name(), current.head(),
+                               std::move(dedup));
+  }
+}
+
+}  // namespace floq

@@ -1,0 +1,50 @@
+#ifndef FLOQ_CONTAINMENT_MINIMIZE_H_
+#define FLOQ_CONTAINMENT_MINIMIZE_H_
+
+#include "containment/containment.h"
+#include "query/conjunctive_query.h"
+#include "term/world.h"
+#include "util/status.h"
+
+// Query minimization under Sigma_FL: repeatedly drop body atoms whose
+// removal keeps the query equivalent. This is the optimization application
+// the paper motivates in the introduction — redundancy that is invisible
+// to classical minimization can become removable under the F-logic Lite
+// constraints (e.g. member(O, C) is redundant next to member(O, D),
+// sub(D, C)).
+
+namespace floq {
+
+struct MinimizeStats {
+  int atoms_removed = 0;
+  int containment_checks = 0;
+};
+
+/// Returns an equivalent (under Sigma_FL) subquery of `query` from which
+/// no further atom can be dropped. Head terms are never changed. The
+/// result is a minimal *subquery*; like classical cores it is unique up to
+/// isomorphism for the subquery ordering explored.
+Result<ConjunctiveQuery> MinimizeQuery(World& world,
+                                       const ConjunctiveQuery& query,
+                                       const ContainmentOptions& options = {},
+                                       MinimizeStats* stats = nullptr);
+
+struct CoreStats {
+  int atoms_removed = 0;
+  int variables_folded = 0;
+  int containment_checks = 0;
+};
+
+/// A Sigma_FL-core of `query`: alternates atom removal (MinimizeQuery)
+/// with variable folding — identifying a non-head variable with another
+/// term when the identified query stays equivalent under Sigma_FL. The
+/// result has no removable atom and no foldable variable; it is the
+/// analogue of the classical core, relative to the constraints.
+Result<ConjunctiveQuery> ComputeCore(World& world,
+                                     const ConjunctiveQuery& query,
+                                     const ContainmentOptions& options = {},
+                                     CoreStats* stats = nullptr);
+
+}  // namespace floq
+
+#endif  // FLOQ_CONTAINMENT_MINIMIZE_H_

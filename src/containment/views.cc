@@ -1,0 +1,79 @@
+#include "containment/views.h"
+
+#include "util/strings.h"
+
+namespace floq {
+
+const char* ViewUsabilityName(ViewUsability usability) {
+  switch (usability) {
+    case ViewUsability::kExact: return "EXACT";
+    case ViewUsability::kSound: return "SOUND";
+    case ViewUsability::kComplete: return "COMPLETE";
+    case ViewUsability::kIrrelevant: return "IRRELEVANT";
+  }
+  return "?";
+}
+
+Result<ViewAnalysis> AnalyzeViews(World& world, const ConjunctiveQuery& query,
+                                  const std::vector<ConjunctiveQuery>& views,
+                                  const ContainmentOptions& options) {
+  FLOQ_RETURN_IF_ERROR(query.Validate(world));
+  ViewAnalysis analysis;
+  analysis.usability.reserve(views.size());
+
+  for (size_t i = 0; i < views.size(); ++i) {
+    const ConjunctiveQuery& view = views[i];
+    if (view.arity() != query.arity() || !view.Validate(world).ok()) {
+      analysis.usability.push_back(ViewUsability::kIrrelevant);
+      continue;
+    }
+
+    Result<ContainmentResult> sound =
+        CheckContainment(world, view, query, options);
+    if (!sound.ok()) return sound.status();
+    ++analysis.containment_checks;
+    Result<ContainmentResult> complete =
+        CheckContainment(world, query, view, options);
+    if (!complete.ok()) return complete.status();
+    ++analysis.containment_checks;
+
+    ViewUsability usability = ViewUsability::kIrrelevant;
+    if (sound->contained && complete->contained) {
+      usability = ViewUsability::kExact;
+    } else if (sound->contained) {
+      usability = ViewUsability::kSound;
+    } else if (complete->contained) {
+      usability = ViewUsability::kComplete;
+    }
+    analysis.usability.push_back(usability);
+
+    if (usability == ViewUsability::kExact) {
+      if (!analysis.exact_view.has_value()) analysis.exact_view = i;
+      analysis.complete_views.push_back(i);
+      analysis.sound_views.push_back(i);
+    } else if (usability == ViewUsability::kSound) {
+      analysis.sound_views.push_back(i);
+    } else if (usability == ViewUsability::kComplete) {
+      analysis.complete_views.push_back(i);
+    }
+  }
+  return analysis;
+}
+
+std::string ViewAnalysisToString(const ViewAnalysis& analysis,
+                                 const ConjunctiveQuery& query,
+                                 const std::vector<ConjunctiveQuery>& views,
+                                 const World& world) {
+  std::string out = StrCat("query: ", query.ToString(world), "\n");
+  for (size_t i = 0; i < views.size() && i < analysis.usability.size(); ++i) {
+    out += StrCat("  [", ViewUsabilityName(analysis.usability[i]), "] ",
+                  views[i].ToString(world), "\n");
+  }
+  if (analysis.exact_view.has_value()) {
+    out += StrCat("exact rewriting available: view #", *analysis.exact_view,
+                  "\n");
+  }
+  return out;
+}
+
+}  // namespace floq

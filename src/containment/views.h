@@ -1,0 +1,68 @@
+#ifndef FLOQ_CONTAINMENT_VIEWS_H_
+#define FLOQ_CONTAINMENT_VIEWS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "containment/containment.h"
+#include "query/conjunctive_query.h"
+#include "term/world.h"
+#include "util/status.h"
+
+// Answering queries using views — the classic application of query
+// containment the paper's §1 cites ("query containment is key to query
+// optimization and schema integration"). Given materialized views (CQs
+// over P_FL) and a query, containment under Sigma_FL classifies each view
+// by usability:
+//
+//   * SOUND     — V ⊆ Q: every view tuple is an answer; the view can feed
+//                 Q's answer set without false positives.
+//   * COMPLETE  — Q ⊆ V: the view misses no answer; Q can be evaluated
+//                 over the view's output alone (with a residual filter).
+//   * EXACT     — both: V ≡ Q; the view *is* the query.
+//   * IRRELEVANT otherwise (for this analysis; partial rewritings over
+//                 view joins are out of scope).
+//
+// The constraints matter here exactly as for containment: a view over a
+// superclass is complete for a query over a subclass because of rho_3,
+// invisible classically.
+
+namespace floq {
+
+enum class ViewUsability {
+  kExact,
+  kSound,
+  kComplete,
+  kIrrelevant,
+};
+
+const char* ViewUsabilityName(ViewUsability usability);
+
+struct ViewAnalysis {
+  /// Usability verdict per view, aligned with the input vector.
+  std::vector<ViewUsability> usability;
+  /// Index of the first EXACT view, if any.
+  std::optional<size_t> exact_view;
+  /// Indexes of COMPLETE (or EXACT) views: candidates to answer Q from.
+  std::vector<size_t> complete_views;
+  /// Indexes of SOUND (or EXACT) views: safe contributors to Q's answers.
+  std::vector<size_t> sound_views;
+  int containment_checks = 0;
+};
+
+/// Classifies every view against the query under Sigma_FL. All queries
+/// must share the query's arity (others are reported kIrrelevant).
+Result<ViewAnalysis> AnalyzeViews(World& world, const ConjunctiveQuery& query,
+                                  const std::vector<ConjunctiveQuery>& views,
+                                  const ContainmentOptions& options = {});
+
+/// Renders the analysis as a table.
+std::string ViewAnalysisToString(const ViewAnalysis& analysis,
+                                 const ConjunctiveQuery& query,
+                                 const std::vector<ConjunctiveQuery>& views,
+                                 const World& world);
+
+}  // namespace floq
+
+#endif  // FLOQ_CONTAINMENT_VIEWS_H_

@@ -1,0 +1,40 @@
+#include "datalog/fact_index.h"
+
+namespace floq {
+
+namespace {
+const std::vector<uint32_t> kEmptyIds;
+}  // namespace
+
+std::pair<uint32_t, bool> FactIndex::Insert(const Atom& atom) {
+  auto [it, inserted] = ids_.emplace(atom, uint32_t(atoms_.size()));
+  if (!inserted) return {it->second, false};
+  uint32_t id = it->second;
+  atoms_.push_back(atom);
+  by_predicate_[atom.predicate()].push_back(id);
+  for (int i = 0; i < atom.arity(); ++i) {
+    by_argument_[PositionKey(atom.predicate(), i, atom.arg(i))].push_back(id);
+  }
+  return {id, true};
+}
+
+const std::vector<uint32_t>& FactIndex::WithPredicate(PredicateId pred) const {
+  auto it = by_predicate_.find(pred);
+  return it == by_predicate_.end() ? kEmptyIds : it->second;
+}
+
+const std::vector<uint32_t>& FactIndex::WithArgument(PredicateId pred,
+                                                     int position,
+                                                     Term value) const {
+  auto it = by_argument_.find(PositionKey(pred, position, value));
+  return it == by_argument_.end() ? kEmptyIds : it->second;
+}
+
+void FactIndex::Clear() {
+  atoms_.clear();
+  ids_.clear();
+  by_predicate_.clear();
+  by_argument_.clear();
+}
+
+}  // namespace floq

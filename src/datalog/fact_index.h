@@ -1,0 +1,69 @@
+#ifndef FLOQ_DATALOG_FACT_INDEX_H_
+#define FLOQ_DATALOG_FACT_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "term/atom.h"
+
+// An append-only, duplicate-free collection of atoms with hash indexes by
+// predicate and by (predicate, argument position, term). This is the
+// storage shared by the Datalog engine (ground facts), the chase (conjuncts
+// of chase_Sigma(q), where query variables are treated as values), and the
+// homomorphism search (candidate lookup).
+
+namespace floq {
+
+class FactIndex {
+ public:
+  FactIndex() = default;
+
+  FactIndex(const FactIndex&) = delete;
+  FactIndex& operator=(const FactIndex&) = delete;
+  FactIndex(FactIndex&&) = default;
+  FactIndex& operator=(FactIndex&&) = default;
+
+  /// Appends `atom` unless already present. Returns the atom's id and
+  /// whether it was newly inserted.
+  std::pair<uint32_t, bool> Insert(const Atom& atom);
+
+  bool Contains(const Atom& atom) const { return ids_.count(atom) > 0; }
+
+  /// Id lookup; returns UINT32_MAX if absent.
+  uint32_t IdOf(const Atom& atom) const {
+    auto it = ids_.find(atom);
+    return it == ids_.end() ? UINT32_MAX : it->second;
+  }
+
+  const Atom& at(uint32_t id) const { return atoms_[id]; }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  uint32_t size() const { return uint32_t(atoms_.size()); }
+  bool empty() const { return atoms_.empty(); }
+
+  /// Ids of all atoms with the given predicate.
+  const std::vector<uint32_t>& WithPredicate(PredicateId pred) const;
+
+  /// Ids of all atoms with `pred` whose argument `position` equals `value`.
+  const std::vector<uint32_t>& WithArgument(PredicateId pred, int position,
+                                            Term value) const;
+
+  /// Removes everything.
+  void Clear();
+
+ private:
+  static uint64_t PositionKey(PredicateId pred, int position, Term value) {
+    return (uint64_t(pred) << 34) | (uint64_t(position) << 32) |
+           uint64_t(value.raw());
+  }
+
+  std::vector<Atom> atoms_;
+  std::unordered_map<Atom, uint32_t, AtomHash> ids_;
+  std::unordered_map<PredicateId, std::vector<uint32_t>> by_predicate_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> by_argument_;
+};
+
+}  // namespace floq
+
+#endif  // FLOQ_DATALOG_FACT_INDEX_H_

@@ -1,0 +1,154 @@
+#include "datalog/match.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace floq {
+
+namespace {
+
+// Per-call state for the backtracking search.
+class Matcher {
+ public:
+  Matcher(std::span<const Atom> pattern, const FactIndex& index,
+          const Substitution& initial,
+          const std::function<bool(const Substitution&)>& on_match,
+          MatchStats* stats, const MatchOptions& options)
+      : pattern_(pattern),
+        index_(index),
+        subst_(initial),
+        on_match_(on_match),
+        stats_(stats),
+        options_(options) {
+    remaining_.reserve(pattern.size());
+    for (uint32_t i = 0; i < pattern.size(); ++i) remaining_.push_back(i);
+  }
+
+  /// Returns false iff enumeration was stopped early by the callback.
+  bool Run() { return Recurse(); }
+
+ private:
+  // Candidate fact ids for pattern atom `p` under the current bindings:
+  // the smallest index list over the bound argument positions, or the
+  // whole predicate bucket if no argument is bound.
+  const std::vector<uint32_t>& Candidates(const Atom& p) const {
+    const std::vector<uint32_t>* best = &index_.WithPredicate(p.predicate());
+    for (int i = 0; i < p.arity(); ++i) {
+      Term arg = p.arg(i);
+      // Unbound pattern variables constrain nothing; anything else (a
+      // constant, a value variable, or a bound pattern variable's image)
+      // pins the argument and its index applies.
+      if (arg.IsVariable() && !subst_.Binds(arg)) continue;
+      const std::vector<uint32_t>& ids =
+          index_.WithArgument(p.predicate(), i, subst_.Apply(arg));
+      if (ids.size() < best->size()) best = &ids;
+    }
+    return *best;
+  }
+
+  bool Recurse() {
+    if (stats_ != nullptr) ++stats_->nodes_visited;
+    if (remaining_.empty()) {
+      if (stats_ != nullptr) ++stats_->matches_found;
+      return on_match_(subst_);
+    }
+
+    // Most-constrained-first: pick the remaining atom with the fewest
+    // candidates (or just the first one in the ablation configuration).
+    size_t best_slot = 0;
+    const std::vector<uint32_t>* best_candidates = nullptr;
+    if (options_.most_constrained_first) {
+      for (size_t slot = 0; slot < remaining_.size(); ++slot) {
+        const std::vector<uint32_t>& ids =
+            Candidates(pattern_[remaining_[slot]]);
+        if (best_candidates == nullptr ||
+            ids.size() < best_candidates->size()) {
+          best_candidates = &ids;
+          best_slot = slot;
+          if (ids.empty()) return true;  // dead end, enumerate siblings
+        }
+      }
+    } else {
+      best_candidates = &Candidates(pattern_[remaining_[0]]);
+    }
+
+    uint32_t atom_index = remaining_[best_slot];
+    remaining_.erase(remaining_.begin() + best_slot);
+    const Atom& p = pattern_[atom_index];
+
+    bool keep_going = true;
+    // Iterate over a copy: candidate lists are stable (FactIndex is not
+    // mutated during matching), but be defensive about re-entrancy.
+    for (uint32_t fact_id : *best_candidates) {
+      const Atom& fact = index_.at(fact_id);
+      std::vector<Term> bound_here;
+      if (TryUnify(p, fact, bound_here)) {
+        keep_going = Recurse();
+      }
+      for (Term var : bound_here) subst_.Erase(var);
+      if (!keep_going) break;
+    }
+
+    remaining_.insert(remaining_.begin() + best_slot, atom_index);
+    return keep_going;
+  }
+
+  // Attempts to extend subst_ so that it maps `p` onto `fact`. Newly bound
+  // variables are appended to `bound_here` for undo.
+  //
+  // Only variables occurring *syntactically* in the pattern are bindable.
+  // The image of a binding may itself be a variable (chase conjuncts carry
+  // the chased query's variables as values); such images are compared, not
+  // rebound. Callers must therefore keep pattern variables disjoint from
+  // the target's value variables (rename apart).
+  bool TryUnify(const Atom& p, const Atom& fact,
+                std::vector<Term>& bound_here) {
+    for (int i = 0; i < p.arity(); ++i) {
+      Term arg = p.arg(i);
+      if (arg.IsVariable() && !subst_.Binds(arg)) {
+        subst_.Bind(arg, fact.arg(i));
+        bound_here.push_back(arg);
+      } else if (subst_.Apply(arg) != fact.arg(i)) {
+        for (Term var : bound_here) subst_.Erase(var);
+        bound_here.clear();
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::span<const Atom> pattern_;
+  const FactIndex& index_;
+  Substitution subst_;
+  const std::function<bool(const Substitution&)>& on_match_;
+  MatchStats* stats_;
+  MatchOptions options_;
+  std::vector<uint32_t> remaining_;
+};
+
+}  // namespace
+
+bool MatchConjunction(
+    std::span<const Atom> pattern, const FactIndex& index,
+    const Substitution& initial,
+    const std::function<bool(const Substitution&)>& on_match,
+    MatchStats* stats, const MatchOptions& options) {
+  return Matcher(pattern, index, initial, on_match, stats, options).Run();
+}
+
+bool FindFirstMatch(std::span<const Atom> pattern, const FactIndex& index,
+                    const Substitution& initial, Substitution* out,
+                    MatchStats* stats) {
+  bool found = false;
+  MatchConjunction(
+      pattern, index, initial,
+      [&](const Substitution& match) {
+        found = true;
+        if (out != nullptr) *out = match;
+        return false;  // stop at the first match
+      },
+      stats);
+  return found;
+}
+
+}  // namespace floq

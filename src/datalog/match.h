@@ -1,0 +1,56 @@
+#ifndef FLOQ_DATALOG_MATCH_H_
+#define FLOQ_DATALOG_MATCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "datalog/fact_index.h"
+#include "term/atom.h"
+#include "term/substitution.h"
+
+// Conjunction matching: enumerate the homomorphisms (Definition 1 of the
+// paper) from a conjunction of pattern atoms into a FactIndex. Pattern
+// variables may map to any term occurring in the index; pattern constants
+// and nulls map to themselves. This single primitive powers
+//   * Datalog rule bodies and conjunctive-query evaluation,
+//   * chase rule applicability (bodies of Sigma_FL rules),
+//   * the containment homomorphism body(q2) -> chase(q1).
+
+namespace floq {
+
+struct MatchStats {
+  uint64_t nodes_visited = 0;   // backtracking nodes expanded
+  uint64_t matches_found = 0;
+};
+
+struct MatchOptions {
+  /// Dynamic most-constrained-first atom ordering (the default). Disabling
+  /// it matches atoms left to right — kept for the ablation benchmark
+  /// bench_ablation, not for production use.
+  bool most_constrained_first = true;
+};
+
+/// Enumerates all substitutions extending `initial` that map every atom of
+/// `pattern` to some atom in `index`. Invokes `on_match` for each complete
+/// substitution; enumeration stops early if `on_match` returns false.
+/// Returns false iff the enumeration was stopped early.
+///
+/// Atom order is chosen dynamically (fewest candidates first), so callers
+/// need not pre-order the pattern. `stats`, when non-null, accumulates
+/// search effort for benchmarks.
+bool MatchConjunction(
+    std::span<const Atom> pattern, const FactIndex& index,
+    const Substitution& initial,
+    const std::function<bool(const Substitution&)>& on_match,
+    MatchStats* stats = nullptr, const MatchOptions& options = {});
+
+/// Convenience: true iff at least one match exists; if so and `out` is
+/// non-null, stores the first match found.
+bool FindFirstMatch(std::span<const Atom> pattern, const FactIndex& index,
+                    const Substitution& initial, Substitution* out = nullptr,
+                    MatchStats* stats = nullptr);
+
+}  // namespace floq
+
+#endif  // FLOQ_DATALOG_MATCH_H_

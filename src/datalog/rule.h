@@ -1,0 +1,32 @@
+#ifndef FLOQ_DATALOG_RULE_H_
+#define FLOQ_DATALOG_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "term/atom.h"
+#include "term/world.h"
+
+// Positive Datalog rules: head :- body. Variables in the head must occur
+// in the body (range restriction). F-logic Lite's ten Datalog rules
+// (rho_1..rho_3, rho_6..rho_12) are rules of this form; the chase adds the
+// EGD rho_4 and the existential rho_5 on top (see src/chase/sigma_fl.h).
+
+namespace floq {
+
+struct Rule {
+  Atom head;
+  std::vector<Atom> body;
+
+  std::string ToString(const World& world) const {
+    std::string out = head.ToString(world);
+    out += " :- ";
+    out += AtomsToString(body, world);
+    out += '.';
+    return out;
+  }
+};
+
+}  // namespace floq
+
+#endif  // FLOQ_DATALOG_RULE_H_

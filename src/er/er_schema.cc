@@ -1,0 +1,363 @@
+#include "er/er_schema.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+
+namespace floq::er {
+
+// ---- validation -------------------------------------------------------------
+
+Status ErSchema::Validate() const {
+  std::set<std::string> names;
+  std::set<std::string> entity_names;
+  for (const Entity& entity : entities) {
+    if (!names.insert(entity.name).second) {
+      return InvalidArgumentError("duplicate name: " + entity.name);
+    }
+    entity_names.insert(entity.name);
+    std::set<std::string> attribute_names;
+    for (const Attribute& attribute : entity.attributes) {
+      if (!attribute_names.insert(attribute.name).second) {
+        return InvalidArgumentError(StrCat("duplicate attribute ",
+                                           attribute.name, " in entity ",
+                                           entity.name));
+      }
+    }
+  }
+  for (const Relationship& relationship : relationships) {
+    if (!names.insert(relationship.name).second) {
+      return InvalidArgumentError("duplicate name: " + relationship.name);
+    }
+    if (relationship.roles.size() < 2) {
+      return InvalidArgumentError(StrCat("relationship ", relationship.name,
+                                         " needs at least 2 roles"));
+    }
+    std::set<std::string> role_names;
+    for (const Role& role : relationship.roles) {
+      if (!role_names.insert(role.name).second) {
+        return InvalidArgumentError(StrCat("duplicate role ", role.name,
+                                           " in ", relationship.name));
+      }
+      if (entity_names.count(role.entity) == 0) {
+        return InvalidArgumentError(StrCat("role ", role.name, " of ",
+                                           relationship.name,
+                                           " refers to unknown entity ",
+                                           role.entity));
+      }
+    }
+  }
+
+  // ISA targets exist and form no cycle.
+  std::map<std::string, std::vector<std::string>> isa;
+  for (const Entity& entity : entities) {
+    for (const std::string& super : entity.supertypes) {
+      if (entity_names.count(super) == 0) {
+        return InvalidArgumentError(StrCat("entity ", entity.name,
+                                           " isa unknown entity ", super));
+      }
+      isa[entity.name].push_back(super);
+    }
+  }
+  // DFS cycle check.
+  std::map<std::string, int> state;  // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::string> stack;
+  for (const Entity& entity : entities) stack.push_back(entity.name);
+  // Iterative DFS with explicit coloring.
+  std::vector<std::pair<std::string, size_t>> dfs;
+  for (const std::string& start : stack) {
+    if (state[start] != 0) continue;
+    dfs.push_back({start, 0});
+    state[start] = 1;
+    while (!dfs.empty()) {
+      auto& [node, next] = dfs.back();
+      const std::vector<std::string>& supers = isa[node];
+      if (next < supers.size()) {
+        const std::string& super = supers[next++];
+        if (state[super] == 1) {
+          return InvalidArgumentError("ISA cycle through " + super);
+        }
+        if (state[super] == 0) {
+          state[super] = 1;
+          dfs.push_back({super, 0});
+        }
+      } else {
+        state[node] = 2;
+        dfs.pop_back();
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// ---- compilation --------------------------------------------------------------
+
+namespace {
+
+void CompileAttributes(World& world, Term owner,
+                       const std::vector<Attribute>& attributes,
+                       std::vector<Atom>& facts) {
+  for (const Attribute& attribute : attributes) {
+    Term a = world.MakeConstant(attribute.name);
+    Term t = world.MakeConstant(attribute.type);
+    facts.push_back(Atom::Type(owner, a, t));
+    if (attribute.mandatory) facts.push_back(Atom::Mandatory(a, owner));
+    if (attribute.functional) facts.push_back(Atom::Funct(a, owner));
+  }
+}
+
+}  // namespace
+
+std::vector<Atom> ErSchema::ToFacts(World& world) const {
+  std::vector<Atom> facts;
+  for (const Entity& entity : entities) {
+    Term e = world.MakeConstant(entity.name);
+    for (const std::string& super : entity.supertypes) {
+      facts.push_back(Atom::Sub(e, world.MakeConstant(super)));
+    }
+    CompileAttributes(world, e, entity.attributes, facts);
+  }
+  for (const Relationship& relationship : relationships) {
+    Term r = world.MakeConstant(relationship.name);
+    CompileAttributes(world, r, relationship.attributes, facts);
+    for (const Role& role : relationship.roles) {
+      Term role_attr = world.MakeConstant(role.name);
+      Term entity = world.MakeConstant(role.entity);
+      // Each relationship tuple has exactly one filler per role.
+      facts.push_back(Atom::Type(r, role_attr, entity));
+      facts.push_back(Atom::Mandatory(role_attr, r));
+      facts.push_back(Atom::Funct(role_attr, r));
+      // Inverse attribute on the participating entity.
+      Term inverse =
+          world.MakeConstant(InverseAttributeName(relationship, role));
+      facts.push_back(Atom::Type(entity, inverse, r));
+      if (role.total_participation) {
+        facts.push_back(Atom::Mandatory(inverse, entity));
+      }
+      if (role.unique_participation) {
+        facts.push_back(Atom::Funct(inverse, entity));
+      }
+    }
+  }
+  return facts;
+}
+
+// ---- parser ---------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<ErSchema> Run() {
+    ErSchema schema;
+    Skip();
+    while (!AtEnd()) {
+      Result<std::string> keyword = Word("'entity' or 'relationship'");
+      if (!keyword.ok()) return keyword.status();
+      if (*keyword == "entity") {
+        Result<Entity> entity = ParseEntity();
+        if (!entity.ok()) return entity.status();
+        schema.entities.push_back(std::move(entity).value());
+      } else if (*keyword == "relationship") {
+        Result<Relationship> relationship = ParseRelationship();
+        if (!relationship.ok()) return relationship.status();
+        schema.relationships.push_back(std::move(relationship).value());
+      } else {
+        return Error("expected 'entity' or 'relationship', got '" + *keyword +
+                     "'");
+      }
+      Skip();
+    }
+    Status valid = schema.Validate();
+    if (!valid.ok()) return valid;
+    return schema;
+  }
+
+ private:
+  Result<Entity> ParseEntity() {
+    Entity entity;
+    Result<std::string> name = Word("entity name");
+    if (!name.ok()) return name.status();
+    entity.name = *name;
+    Skip();
+    if (Peek("isa")) {
+      (void)Word("isa");
+      for (;;) {
+        Result<std::string> super = Word("supertype name");
+        if (!super.ok()) return super.status();
+        entity.supertypes.push_back(*super);
+        Skip();
+        if (!Consume(',')) break;
+      }
+    }
+    if (!Consume('{')) return Error("expected '{' in entity " + entity.name);
+    Skip();
+    while (!Consume('}')) {
+      Result<std::string> keyword = Word("'attribute'");
+      if (!keyword.ok()) return keyword.status();
+      if (*keyword != "attribute") {
+        return Error("expected 'attribute' in entity " + entity.name);
+      }
+      Result<Attribute> attribute = ParseAttribute();
+      if (!attribute.ok()) return attribute.status();
+      entity.attributes.push_back(std::move(attribute).value());
+      Skip();
+    }
+    return entity;
+  }
+
+  Result<Relationship> ParseRelationship() {
+    Relationship relationship;
+    Result<std::string> name = Word("relationship name");
+    if (!name.ok()) return name.status();
+    relationship.name = *name;
+    Skip();
+    if (!Consume('{')) {
+      return Error("expected '{' in relationship " + relationship.name);
+    }
+    Skip();
+    while (!Consume('}')) {
+      Result<std::string> keyword = Word("'role' or 'attribute'");
+      if (!keyword.ok()) return keyword.status();
+      if (*keyword == "role") {
+        Result<Role> role = ParseRole();
+        if (!role.ok()) return role.status();
+        relationship.roles.push_back(std::move(role).value());
+      } else if (*keyword == "attribute") {
+        Result<Attribute> attribute = ParseAttribute();
+        if (!attribute.ok()) return attribute.status();
+        relationship.attributes.push_back(std::move(attribute).value());
+      } else {
+        return Error("expected 'role' or 'attribute' in relationship " +
+                     relationship.name);
+      }
+      Skip();
+    }
+    return relationship;
+  }
+
+  Result<Attribute> ParseAttribute() {
+    Attribute attribute;
+    Result<std::string> name = Word("attribute name");
+    if (!name.ok()) return name.status();
+    attribute.name = *name;
+    Skip();
+    if (!Consume(':')) return Error("expected ':' after attribute name");
+    Result<std::string> type = Word("attribute type");
+    if (!type.ok()) return type.status();
+    attribute.type = *type;
+    Skip();
+    while (!Consume(';')) {
+      Result<std::string> modifier = Word("attribute modifier or ';'");
+      if (!modifier.ok()) return modifier.status();
+      if (*modifier == "optional") {
+        attribute.mandatory = false;
+      } else if (*modifier == "multi") {
+        attribute.functional = false;
+      } else {
+        return Error("unknown attribute modifier '" + *modifier + "'");
+      }
+      Skip();
+    }
+    return attribute;
+  }
+
+  Result<Role> ParseRole() {
+    Role role;
+    Result<std::string> name = Word("role name");
+    if (!name.ok()) return name.status();
+    role.name = *name;
+    Skip();
+    if (!Consume(':')) return Error("expected ':' after role name");
+    Result<std::string> entity = Word("role entity");
+    if (!entity.ok()) return entity.status();
+    role.entity = *entity;
+    Skip();
+    while (!Consume(';')) {
+      Result<std::string> modifier = Word("role modifier or ';'");
+      if (!modifier.ok()) return modifier.status();
+      if (*modifier == "mandatory") {
+        role.total_participation = true;
+      } else if (*modifier == "unique") {
+        role.unique_participation = true;
+      } else {
+        return Error("unknown role modifier '" + *modifier + "'");
+      }
+      Skip();
+    }
+    return role;
+  }
+
+  // ---- lexing helpers ----
+
+  void Skip() {
+    for (;;) {
+      while (!AtEnd() && std::isspace(static_cast<unsigned char>(Cur()))) {
+        Advance();
+      }
+      if (!AtEnd() && Cur() == '%') {
+        while (!AtEnd() && Cur() != '\n') Advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Result<std::string> Word(const char* what) {
+    Skip();
+    if (AtEnd() || (!std::isalpha(static_cast<unsigned char>(Cur())) &&
+                    Cur() != '_')) {
+      return Error(StrCat("expected ", what));
+    }
+    std::string word;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Cur())) ||
+                        Cur() == '_')) {
+      word += Advance();
+    }
+    return word;
+  }
+
+  bool Peek(std::string_view word) {
+    Skip();
+    if (text_.substr(pos_, word.size()) != word) return false;
+    size_t after = pos_ + word.size();
+    return after >= text_.size() ||
+           !(std::isalnum(static_cast<unsigned char>(text_[after])) ||
+             text_[after] == '_');
+  }
+
+  bool Consume(char c) {
+    Skip();
+    if (AtEnd() || Cur() != c) return false;
+    Advance();
+    return true;
+  }
+
+  Status Error(std::string message) const {
+    int line = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    return InvalidArgumentError(
+        StrCat("ER parse error near line ", line, ": ", message));
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Cur() const { return text_[pos_]; }
+  char Advance() { return text_[pos_++]; }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ErSchema> ParseErSchema(std::string_view text) {
+  return Parser(text).Run();
+}
+
+}  // namespace floq::er

@@ -1,0 +1,103 @@
+#ifndef FLOQ_ER_ER_SCHEMA_H_
+#define FLOQ_ER_ER_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "term/atom.h"
+#include "term/world.h"
+#include "util/status.h"
+
+// Entity-Relationship schemas compiled into F-logic Lite. The paper (§1)
+// motivates exactly this pipeline: "in practice, constraints typically
+// come from design tools that follow certain methodology, such as the
+// Entity-Relationship Model", citing the companion work on containment
+// under E-R constraints. This module provides an E-R DSL and its
+// compilation into the P_FL encoding, so that E-R-designed schemas get
+// Sigma_FL containment reasoning for free.
+//
+// DSL example:
+//
+//   entity person {
+//     attribute name : string;              % mandatory, single-valued
+//     attribute age : number optional;      % {0:1}
+//     attribute hobby : string multi;       % {1:*}
+//     attribute nick : string optional multi;  % no constraint
+//   }
+//   entity student isa person {
+//     attribute major : string;
+//   }
+//   relationship enrolled {
+//     role who : student mandatory;         % every student is enrolled
+//     role what : course unique;            % ... in at most one course
+//     attribute grade : number optional;
+//   }
+//
+// Compilation (the standard reified encoding):
+//   * entity E isa F                  -> sub(E, F)
+//   * attribute a : T on E           -> type(E, a, T)
+//       default (exactly one)         -> mandatory(a, E), funct(a, E)
+//       optional drops mandatory; multi drops funct
+//   * relationship R with role r : E -> R is a class whose instances are
+//     the relationship tuples:
+//       type(R, r, E), mandatory(r, R), funct(r, R)
+//     and an inverse attribute r_of_R on E typed by R:
+//       type(E, r_of_R, R)
+//       role ... mandatory -> mandatory(r_of_R, E)   (total participation)
+//       role ... unique    -> funct(r_of_R, E)       (at most one tuple)
+
+namespace floq::er {
+
+struct Attribute {
+  std::string name;
+  std::string type;
+  bool mandatory = true;   // lower bound 1 (default; `optional` clears)
+  bool functional = true;  // upper bound 1 (default; `multi` clears)
+};
+
+struct Entity {
+  std::string name;
+  std::vector<std::string> supertypes;
+  std::vector<Attribute> attributes;
+};
+
+struct Role {
+  std::string name;
+  std::string entity;
+  bool total_participation = false;   // `mandatory`
+  bool unique_participation = false;  // `unique`
+};
+
+struct Relationship {
+  std::string name;
+  std::vector<Role> roles;
+  std::vector<Attribute> attributes;
+};
+
+class ErSchema {
+ public:
+  std::vector<Entity> entities;
+  std::vector<Relationship> relationships;
+
+  /// Structural validation: unique names, roles refer to declared
+  /// entities, ISA targets declared, relationships have >= 2 roles, no
+  /// ISA cycles.
+  Status Validate() const;
+
+  /// Compiles the schema into P_FL facts (ground, schema-level).
+  std::vector<Atom> ToFacts(World& world) const;
+
+  /// The name of the inverse attribute placed on the role's entity.
+  static std::string InverseAttributeName(const Relationship& relationship,
+                                          const Role& role) {
+    return role.name + "_of_" + relationship.name;
+  }
+};
+
+/// Parses the DSL sketched above. '%' comments to end of line.
+Result<ErSchema> ParseErSchema(std::string_view text);
+
+}  // namespace floq::er
+
+#endif  // FLOQ_ER_ER_SCHEMA_H_

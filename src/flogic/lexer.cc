@@ -1,0 +1,226 @@
+#include "flogic/lexer.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace floq::flogic {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kVariable: return "variable";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kString: return "string";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kColonColon: return "'::'";
+    case TokenKind::kImplies: return "':-'";
+    case TokenKind::kQuery: return "'?-'";
+    case TokenKind::kArrow: return "'->'";
+    case TokenKind::kSignature: return "'*=>'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    for (;;) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) {
+        tokens.push_back(Make(TokenKind::kEnd, ""));
+        return tokens;
+      }
+      Result<Token> token = Next();
+      if (!token.ok()) return token.status();
+      tokens.push_back(std::move(token).value());
+    }
+  }
+
+ private:
+  Result<Token> Next() {
+    start_line_ = line_;
+    start_column_ = column_;
+    char c = Peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return LexWord();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) return LexNumber();
+    switch (c) {
+      case '\'':
+        return LexString();
+      case ':':
+        Advance();
+        if (!AtEnd() && Peek() == ':') {
+          Advance();
+          return Make(TokenKind::kColonColon, "::");
+        }
+        if (!AtEnd() && Peek() == '-') {
+          Advance();
+          return Make(TokenKind::kImplies, ":-");
+        }
+        return Make(TokenKind::kColon, ":");
+      case '?':
+        Advance();
+        if (!AtEnd() && Peek() == '-') {
+          Advance();
+          return Make(TokenKind::kQuery, "?-");
+        }
+        return Error("stray '?'");
+      case '-':
+        Advance();
+        if (!AtEnd() && Peek() == '>') {
+          Advance();
+          return Make(TokenKind::kArrow, "->");
+        }
+        if (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          Result<Token> number = LexNumber();
+          if (!number.ok()) return number;
+          Token token = std::move(number).value();
+          token.text.insert(token.text.begin(), '-');
+          return token;
+        }
+        return Error("stray '-'");
+      case '*':
+        Advance();
+        if (!AtEnd() && Peek() == '=' && pos_ + 1 < text_.size() &&
+            text_[pos_ + 1] == '>') {
+          Advance();
+          Advance();
+          return Make(TokenKind::kSignature, "*=>");
+        }
+        return Make(TokenKind::kStar, "*");
+      case '[':
+        Advance();
+        return Make(TokenKind::kLBracket, "[");
+      case ']':
+        Advance();
+        return Make(TokenKind::kRBracket, "]");
+      case '{':
+        Advance();
+        return Make(TokenKind::kLBrace, "{");
+      case '}':
+        Advance();
+        return Make(TokenKind::kRBrace, "}");
+      case '(':
+        Advance();
+        return Make(TokenKind::kLParen, "(");
+      case ')':
+        Advance();
+        return Make(TokenKind::kRParen, ")");
+      case ',':
+        Advance();
+        return Make(TokenKind::kComma, ",");
+      case '.':
+        Advance();
+        return Make(TokenKind::kDot, ".");
+      default:
+        return Error(StrCat("unexpected character '", c, "'"));
+    }
+  }
+
+  Result<Token> LexWord() {
+    std::string word;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      word += Advance();
+    }
+    char first = word[0];
+    bool is_variable =
+        std::isupper(static_cast<unsigned char>(first)) || first == '_';
+    return Make(is_variable ? TokenKind::kVariable : TokenKind::kIdentifier,
+                std::move(word));
+  }
+
+  Result<Token> LexNumber() {
+    std::string digits;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      digits += Advance();
+    }
+    // A decimal point is part of the number only if followed by a digit;
+    // otherwise it is the statement terminator.
+    if (!AtEnd() && Peek() == '.' && pos_ + 1 < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      digits += Advance();
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        digits += Advance();
+      }
+    }
+    return Make(TokenKind::kNumber, std::move(digits));
+  }
+
+  Result<Token> LexString() {
+    Advance();  // opening quote
+    std::string value;
+    while (!AtEnd() && Peek() != '\'') value += Advance();
+    if (AtEnd()) return Error("unterminated string literal");
+    Advance();  // closing quote
+    return Make(TokenKind::kString, std::move(value));
+  }
+
+  void SkipWhitespaceAndComments() {
+    for (;;) {
+      while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+      if (!AtEnd() && Peek() == '%') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token Make(TokenKind kind, std::string text) const {
+    return Token{kind, std::move(text), start_line_, start_column_};
+  }
+
+  Status Error(std::string message) const {
+    return InvalidArgumentError(StrCat("lex error at ", line_, ":", column_,
+                                       ": ", message));
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  char Advance() {
+    char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  int start_line_ = 1;
+  int start_column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  return Lexer(text).Run();
+}
+
+}  // namespace floq::flogic

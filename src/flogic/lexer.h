@@ -1,0 +1,61 @@
+#ifndef FLOQ_FLOGIC_LEXER_H_
+#define FLOQ_FLOGIC_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+// Tokenizer for the F-logic Lite surface syntax of the paper:
+//
+//   john : student.                      % class membership
+//   freshman :: student.                 % subclass
+//   john[age -> 33].                     % attribute value
+//   person[age {0:1} *=> number].        % functional signature
+//   q(A, B) :- T1[A *=> T2], T2 :: T3.   % meta-query
+//   ?- student[Att *=> string].          % goal
+//
+// '%' starts a comment to end of line.
+
+namespace floq::flogic {
+
+enum class TokenKind {
+  kIdentifier,   // lower-case-initial: constants, predicate names
+  kVariable,     // upper-case or '_'-initial: variables ('_' = anonymous)
+  kNumber,       // integer or decimal literal (treated as a constant)
+  kString,       // 'single-quoted'
+  kColon,        // :
+  kColonColon,   // ::
+  kImplies,      // :-
+  kQuery,        // ?-
+  kArrow,        // ->
+  kSignature,    // *=>
+  kStar,         // *   (only inside cardinality bounds)
+  kLBracket,     // [
+  kRBracket,     // ]
+  kLBrace,       // {
+  kRBrace,       // }
+  kLParen,       // (
+  kRParen,       // )
+  kComma,        // ,
+  kDot,          // .
+  kEnd,          // end of input
+};
+
+/// Returns a printable name for diagnostics, e.g. "'::'".
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // original spelling (unquoted for strings)
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes the whole input. A trailing kEnd token is always appended.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace floq::flogic
+
+#endif  // FLOQ_FLOGIC_LEXER_H_

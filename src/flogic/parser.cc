@@ -1,0 +1,381 @@
+#include "flogic/parser.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "flogic/lexer.h"
+#include "util/strings.h"
+
+// Shim: propagate errors from Status-returning helpers inside
+// Result-returning functions (FLOQ_RETURN_IF_ERROR already covers the
+// Status-in-Status case; Result converts implicitly from Status).
+#define FLOQ_RETURN_IF_ERROR_R(expr)              \
+  do {                                            \
+    ::floq::Status floq_status_ = (expr);         \
+    if (!floq_status_.ok()) return floq_status_;  \
+  } while (false)
+
+namespace floq::flogic {
+
+namespace {
+
+// Cardinality bounds of a signature expression. F-logic Lite allows only
+// {0:1} (functional), {1:*} (mandatory), {1:1} (both), {0:*} (vacuous).
+struct Cardinality {
+  bool mandatory = false;
+  bool functional = false;
+};
+
+class Parser {
+ public:
+  Parser(World& world, std::vector<Token> tokens)
+      : world_(world), tokens_(std::move(tokens)) {}
+
+  Result<Program> ParseWholeProgram() {
+    Program program;
+    while (!Check(TokenKind::kEnd)) {
+      FLOQ_RETURN_IF_ERROR_R(ParseStatement(program));
+    }
+    return program;
+  }
+
+  Result<ConjunctiveQuery> ParseSingleQuery() {
+    Result<ConjunctiveQuery> rule = ParseRule();
+    if (!rule.ok()) return rule;
+    if (!Check(TokenKind::kEnd)) return Error("trailing input after rule");
+    return rule;
+  }
+
+  Result<std::vector<Atom>> ParseBareFormula() {
+    std::vector<Atom> atoms;
+    FLOQ_RETURN_IF_ERROR_R(ParseFormulaInto(atoms));
+    ConsumeIf(TokenKind::kDot);
+    if (!Check(TokenKind::kEnd)) return Error("trailing input after formula");
+    return atoms;
+  }
+
+ private:
+  Status ParseStatement(Program& program) {
+    if (ConsumeIf(TokenKind::kQuery)) {
+      std::vector<Atom> body;
+      FLOQ_RETURN_IF_ERROR(ParseFormulaInto(body));
+      FLOQ_RETURN_IF_ERROR(Expect(TokenKind::kDot));
+      program.goals.push_back(MakeGoal(std::move(body)));
+      return Status::Ok();
+    }
+
+    // A statement that begins like a rule head (identifier '(' ... ')' ':-')
+    // is a rule; otherwise it is a fact (a ground formula).
+    if (LooksLikeRule()) {
+      Result<ConjunctiveQuery> rule = ParseRule();
+      if (!rule.ok()) return rule.status();
+      program.rules.push_back(std::move(rule).value());
+      return Status::Ok();
+    }
+
+    std::vector<Atom> atoms;
+    FLOQ_RETURN_IF_ERROR(ParseFormulaInto(atoms));
+    FLOQ_RETURN_IF_ERROR(Expect(TokenKind::kDot));
+    for (const Atom& atom : atoms) {
+      if (!atom.IsGround()) {
+        return InvalidArgumentError(
+            StrCat("fact must be ground: ", atom.ToString(world_)));
+      }
+      program.facts.push_back(atom);
+    }
+    return Status::Ok();
+  }
+
+  // Lookahead: IDENT '(' term* ')' ':-' marks a rule. We scan forward past
+  // one balanced parenthesis group.
+  bool LooksLikeRule() const {
+    size_t i = pos_;
+    if (tokens_[i].kind != TokenKind::kIdentifier) return false;
+    ++i;
+    if (tokens_[i].kind == TokenKind::kImplies) return true;  // q :- body
+    if (tokens_[i].kind != TokenKind::kLParen) return false;
+    int depth = 0;
+    for (; tokens_[i].kind != TokenKind::kEnd; ++i) {
+      if (tokens_[i].kind == TokenKind::kLParen) ++depth;
+      if (tokens_[i].kind == TokenKind::kRParen) {
+        --depth;
+        if (depth == 0) {
+          ++i;
+          break;
+        }
+      }
+    }
+    return tokens_[i].kind == TokenKind::kImplies;
+  }
+
+  Result<ConjunctiveQuery> ParseRule() {
+    if (!Check(TokenKind::kIdentifier)) {
+      return Error("expected rule name");
+    }
+    std::string name = Advance().text;
+    std::vector<Term> head;
+    if (ConsumeIf(TokenKind::kLParen)) {
+      if (!ConsumeIf(TokenKind::kRParen)) {
+        for (;;) {
+          Result<Term> term = ParseTerm();
+          if (!term.ok()) return term.status();
+          head.push_back(term.value());
+          if (ConsumeIf(TokenKind::kRParen)) break;
+          FLOQ_RETURN_IF_ERROR_R(Expect(TokenKind::kComma));
+        }
+      }
+    }
+    FLOQ_RETURN_IF_ERROR_R(Expect(TokenKind::kImplies));
+    std::vector<Atom> body;
+    FLOQ_RETURN_IF_ERROR_R(ParseFormulaInto(body));
+    if (!ConsumeIf(TokenKind::kDot) && !Check(TokenKind::kEnd)) {
+      return Error("expected '.' at end of rule");
+    }
+    ConjunctiveQuery query(std::move(name), std::move(head), std::move(body));
+    Status valid = query.Validate(world_);
+    if (!valid.ok()) return valid;
+    return query;
+  }
+
+  Status ParseFormulaInto(std::vector<Atom>& atoms) {
+    for (;;) {
+      FLOQ_RETURN_IF_ERROR(ParseConjunctInto(atoms));
+      if (!ConsumeIf(TokenKind::kComma)) return Status::Ok();
+    }
+  }
+
+  // One conjunct: either a low-level predicate atom p(t1,...,tn) or an
+  // F-logic molecule (isa, subclass, or bracketed attribute expressions).
+  Status ParseConjunctInto(std::vector<Atom>& atoms) {
+    // Predicate-atom lookahead: identifier followed by '('.
+    if (Check(TokenKind::kIdentifier) &&
+        PeekAhead(1).kind == TokenKind::kLParen) {
+      return ParsePredicateAtomInto(atoms);
+    }
+
+    Result<Term> subject = ParseTerm();
+    if (!subject.ok()) return subject.status();
+
+    if (ConsumeIf(TokenKind::kColonColon)) {
+      Result<Term> super = ParseTerm();
+      if (!super.ok()) return super.status();
+      atoms.push_back(Atom::Sub(subject.value(), super.value()));
+      return Status::Ok();
+    }
+    if (ConsumeIf(TokenKind::kColon)) {
+      Result<Term> cls = ParseTerm();
+      if (!cls.ok()) return cls.status();
+      atoms.push_back(Atom::Member(subject.value(), cls.value()));
+      return Status::Ok();
+    }
+    if (ConsumeIf(TokenKind::kLBracket)) {
+      for (;;) {
+        FLOQ_RETURN_IF_ERROR(ParseAttributeSpecInto(subject.value(), atoms));
+        if (ConsumeIf(TokenKind::kRBracket)) return Status::Ok();
+        FLOQ_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+      }
+    }
+    return Error(
+        "expected ':', '::' or '[' after molecule subject (or a predicate "
+        "atom)");
+  }
+
+  // attribute ('->' value | cardinality? '*=>' type)
+  Status ParseAttributeSpecInto(Term subject, std::vector<Atom>& atoms) {
+    Result<Term> attribute = ParseTerm();
+    if (!attribute.ok()) return attribute.status();
+
+    if (ConsumeIf(TokenKind::kArrow)) {
+      Result<Term> value = ParseTerm();
+      if (!value.ok()) return value.status();
+      atoms.push_back(Atom::Data(subject, attribute.value(), value.value()));
+      return Status::Ok();
+    }
+
+    Cardinality card;
+    bool has_card = false;
+    if (Check(TokenKind::kLBrace)) {
+      Result<Cardinality> parsed = ParseCardinality();
+      if (!parsed.ok()) return parsed.status();
+      card = parsed.value();
+      has_card = true;
+    }
+    FLOQ_RETURN_IF_ERROR(Expect(TokenKind::kSignature));
+
+    // '_' as the type of a constrained signature contributes no type atom
+    // (the paper's encoding: O[A {1:*} *=> _] is exactly mandatory(A, O)).
+    bool anonymous_type =
+        Check(TokenKind::kVariable) && PeekToken().text == "_" && has_card;
+    Term type_term;
+    if (anonymous_type) {
+      Advance();
+    } else {
+      Result<Term> type = ParseTerm();
+      if (!type.ok()) return type.status();
+      type_term = type.value();
+    }
+
+    if (card.mandatory) {
+      atoms.push_back(Atom::Mandatory(attribute.value(), subject));
+    }
+    if (card.functional) {
+      atoms.push_back(Atom::Funct(attribute.value(), subject));
+    }
+    if (!anonymous_type) {
+      atoms.push_back(Atom::Type(subject, attribute.value(), type_term));
+    }
+    return Status::Ok();
+  }
+
+  Result<Cardinality> ParseCardinality() {
+    FLOQ_RETURN_IF_ERROR_R(Expect(TokenKind::kLBrace));
+    Result<std::string> low = ParseBound();
+    if (!low.ok()) return low.status();
+    if (!ConsumeIf(TokenKind::kColon) && !ConsumeIf(TokenKind::kComma)) {
+      return Error("expected ':' or ',' between cardinality bounds");
+    }
+    Result<std::string> high = ParseBound();
+    if (!high.ok()) return high.status();
+    FLOQ_RETURN_IF_ERROR_R(Expect(TokenKind::kRBrace));
+
+    Cardinality card;
+    const std::string& lo = *low;
+    const std::string& hi = *high;
+    if (lo == "0" && hi == "1") {
+      card.functional = true;
+    } else if (lo == "1" && hi == "*") {
+      card.mandatory = true;
+    } else if (lo == "1" && hi == "1") {
+      card.mandatory = true;
+      card.functional = true;
+    } else if (lo == "0" && hi == "*") {
+      // No constraint.
+    } else {
+      return Error(StrCat("F-logic Lite supports only the cardinalities "
+                          "{0:1}, {1:*}, {1:1}, {0:*}; got {",
+                          lo, ":", hi, "}"));
+    }
+    return card;
+  }
+
+  Result<std::string> ParseBound() {
+    if (Check(TokenKind::kNumber)) return Advance().text;
+    if (ConsumeIf(TokenKind::kStar)) return std::string("*");
+    return Error("expected a number or '*' as cardinality bound");
+  }
+
+  Status ParsePredicateAtomInto(std::vector<Atom>& atoms) {
+    std::string name = Advance().text;  // identifier
+    FLOQ_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    std::vector<Term> args;
+    if (!ConsumeIf(TokenKind::kRParen)) {
+      for (;;) {
+        Result<Term> term = ParseTerm();
+        if (!term.ok()) return term.status();
+        args.push_back(term.value());
+        if (ConsumeIf(TokenKind::kRParen)) break;
+        FLOQ_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+      }
+    }
+    PredicateId pred = world_.predicates().Intern(name, int(args.size()));
+    if (pred == kInvalidPredicate) {
+      return Error(StrCat("predicate ", name, "/", args.size(),
+                          " conflicts with an existing arity or exceeds the "
+                          "maximum arity"));
+    }
+    atoms.push_back(Atom(pred, args));
+    return Status::Ok();
+  }
+
+  Result<Term> ParseTerm() {
+    const Token& token = PeekToken();
+    switch (token.kind) {
+      case TokenKind::kIdentifier:
+        return world_.MakeConstant(Advance().text);
+      case TokenKind::kNumber:
+      case TokenKind::kString:
+        return world_.MakeConstant(Advance().text);
+      case TokenKind::kVariable: {
+        std::string name = Advance().text;
+        if (name == "_") return world_.MakeFreshVariable();
+        return world_.MakeVariable(name);
+      }
+      default:
+        return Error(StrCat("expected a term, got ",
+                            TokenKindName(token.kind)));
+    }
+  }
+
+  ConjunctiveQuery MakeGoal(std::vector<Atom> body) {
+    // The goal's answer tuple is the named variables of the body, in first
+    // occurrence order. Anonymous '_' variables were already freshened and
+    // are excluded by their generated "_G" prefix.
+    std::vector<Term> head;
+    std::unordered_set<uint32_t> seen;
+    for (const Atom& atom : body) {
+      for (Term t : atom) {
+        if (!t.IsVariable()) continue;
+        if (StartsWith(world_.NameOf(t), "_G")) continue;
+        if (seen.insert(t.raw()).second) head.push_back(t);
+      }
+    }
+    return ConjunctiveQuery("goal", std::move(head), std::move(body));
+  }
+
+  const Token& PeekToken() const { return tokens_[pos_]; }
+  const Token& PeekAhead(size_t n) const {
+    size_t i = pos_ + n;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool Check(TokenKind kind) const { return PeekToken().kind == kind; }
+
+  const Token& Advance() {
+    const Token& token = tokens_[pos_];
+    if (token.kind != TokenKind::kEnd) ++pos_;
+    return token;
+  }
+
+  bool ConsumeIf(TokenKind kind) {
+    if (!Check(kind)) return false;
+    Advance();
+    return true;
+  }
+
+  Status Expect(TokenKind kind) {
+    if (ConsumeIf(kind)) return Status::Ok();
+    return Error(StrCat("expected ", TokenKindName(kind), ", got ",
+                        TokenKindName(PeekToken().kind)));
+  }
+
+  Status Error(std::string message) const {
+    const Token& token = PeekToken();
+    return InvalidArgumentError(StrCat("parse error at ", token.line, ":",
+                                       token.column, ": ", message));
+  }
+
+  World& world_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ConjunctiveQuery> ParseQuery(World& world, std::string_view text) {
+  Result<std::vector<Token>> tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  return Parser(world, std::move(tokens).value()).ParseSingleQuery();
+}
+
+Result<Program> ParseProgram(World& world, std::string_view text) {
+  Result<std::vector<Token>> tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  return Parser(world, std::move(tokens).value()).ParseWholeProgram();
+}
+
+Result<std::vector<Atom>> ParseFormula(World& world, std::string_view text) {
+  Result<std::vector<Token>> tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  return Parser(world, std::move(tokens).value()).ParseBareFormula();
+}
+
+}  // namespace floq::flogic

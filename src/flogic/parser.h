@@ -1,0 +1,52 @@
+#ifndef FLOQ_FLOGIC_PARSER_H_
+#define FLOQ_FLOGIC_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "query/conjunctive_query.h"
+#include "term/atom.h"
+#include "term/world.h"
+#include "util/status.h"
+
+// Parser for F-logic Lite surface programs and queries, encoding them into
+// the low-level predicates P_FL exactly as Section 2 of the paper:
+//
+//   o : c                    =>  member(o, c)
+//   c :: d                   =>  sub(c, d)
+//   o[a -> v]                =>  data(o, a, v)
+//   o[a *=> t]               =>  type(o, a, t)
+//   o[a {1:*} *=> t]         =>  mandatory(a, o)  (+ type(o, a, t) if t ≠ _)
+//   o[a {0:1} *=> t]         =>  funct(a, o)      (+ type(o, a, t) if t ≠ _)
+//   o[a {1:1} *=> t]         =>  mandatory + funct (+ type if t ≠ _)
+//
+// Following the paper's examples, both ':' and ',' separate cardinality
+// bounds ({1:*} and {1,*} are the same constraint). F-logic Lite admits
+// only the bounds {0:1}, {1:*}, {1:1} and the vacuous {0:*}; anything else
+// is rejected. Molecules may carry several attribute expressions:
+// john[age -> 33, name -> 'J'] expands to two data atoms. Rule bodies may
+// mix molecules with low-level atoms such as member(X, C).
+
+namespace floq::flogic {
+
+/// A parsed F-logic program: ground facts, named rules (conjunctive
+/// queries), and goals (?- bodies; their head collects the named variables
+/// of the body in order of first appearance).
+struct Program {
+  std::vector<Atom> facts;
+  std::vector<ConjunctiveQuery> rules;
+  std::vector<ConjunctiveQuery> goals;
+};
+
+/// Parses a single rule "q(X) :- body." in surface syntax.
+Result<ConjunctiveQuery> ParseQuery(World& world, std::string_view text);
+
+/// Parses a whole program (facts, rules, goals).
+Result<Program> ParseProgram(World& world, std::string_view text);
+
+/// Parses a conjunction of molecules/atoms (no head, no trailing '.').
+Result<std::vector<Atom>> ParseFormula(World& world, std::string_view text);
+
+}  // namespace floq::flogic
+
+#endif  // FLOQ_FLOGIC_PARSER_H_

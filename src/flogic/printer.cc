@@ -1,0 +1,50 @@
+#include "flogic/printer.h"
+
+#include "util/strings.h"
+
+namespace floq::flogic {
+
+std::string AtomToSurface(const Atom& atom, const World& world) {
+  auto name = [&](int i) { return world.NameOf(atom.arg(i)); };
+  switch (atom.predicate()) {
+    case pfl::kMember:
+      return StrCat(name(0), " : ", name(1));
+    case pfl::kSub:
+      return StrCat(name(0), " :: ", name(1));
+    case pfl::kData:
+      return StrCat(name(0), "[", name(1), " -> ", name(2), "]");
+    case pfl::kType:
+      return StrCat(name(0), "[", name(1), " *=> ", name(2), "]");
+    case pfl::kMandatory:
+      return StrCat(name(1), "[", name(0), " {1:*} *=> _]");
+    case pfl::kFunct:
+      return StrCat(name(1), "[", name(0), " {0:1} *=> _]");
+    default:
+      return atom.ToString(world);
+  }
+}
+
+std::string FormulaToSurface(const std::vector<Atom>& atoms,
+                             const World& world) {
+  std::string out;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += AtomToSurface(atoms[i], world);
+  }
+  return out;
+}
+
+std::string QueryToSurface(const ConjunctiveQuery& query, const World& world) {
+  std::string out = query.name();
+  out += '(';
+  for (int i = 0; i < query.arity(); ++i) {
+    if (i > 0) out += ", ";
+    out += world.NameOf(query.head()[i]);
+  }
+  out += ") :- ";
+  out += FormulaToSurface(query.body(), world);
+  out += '.';
+  return out;
+}
+
+}  // namespace floq::flogic

@@ -1,0 +1,29 @@
+#ifndef FLOQ_FLOGIC_PRINTER_H_
+#define FLOQ_FLOGIC_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "query/conjunctive_query.h"
+#include "term/atom.h"
+#include "term/world.h"
+
+// Decoding of P_FL atoms back into F-logic surface syntax, used by the
+// examples and by parser round-trip tests. Non-P_FL atoms render in
+// predicate notation.
+
+namespace floq::flogic {
+
+/// "member(john, student)" -> "john : student", etc.
+std::string AtomToSurface(const Atom& atom, const World& world);
+
+/// Conjunction rendering: "a : b, c[d -> e]".
+std::string FormulaToSurface(const std::vector<Atom>& atoms,
+                             const World& world);
+
+/// "q(A, B) :- T1[A *=> T2], T2 :: T3."
+std::string QueryToSurface(const ConjunctiveQuery& query, const World& world);
+
+}  // namespace floq::flogic
+
+#endif  // FLOQ_FLOGIC_PRINTER_H_

@@ -1,0 +1,180 @@
+#include "gen/generators.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace floq::gen {
+
+ConjunctiveQuery MakeAttributeChainQuery(World& world, int hops,
+                                         bool with_subclass_hops,
+                                         const std::string& name) {
+  FLOQ_CHECK_GE(hops, 1);
+  std::vector<Atom> body;
+  std::vector<Term> attrs;
+  int class_counter = 1;
+  Term current = world.MakeVariable(StrCat(name, "_T", class_counter++));
+  for (int i = 1; i <= hops; ++i) {
+    Term attr = world.MakeVariable(StrCat(name, "_A", i));
+    Term range = world.MakeVariable(StrCat(name, "_T", class_counter++));
+    body.push_back(Atom::Type(current, attr, range));
+    attrs.push_back(attr);
+    if (with_subclass_hops && i < hops) {
+      Term super = world.MakeVariable(StrCat(name, "_T", class_counter++));
+      body.push_back(Atom::Sub(range, super));
+      current = super;
+    } else {
+      current = range;
+    }
+  }
+  std::vector<Term> head = {attrs.front(), attrs.back()};
+  return ConjunctiveQuery(name, std::move(head), std::move(body));
+}
+
+ConjunctiveQuery MakeMandatoryCycleQuery(World& world, int k,
+                                         const std::string& name) {
+  FLOQ_CHECK_GE(k, 1);
+  std::vector<Atom> body;
+  for (int i = 1; i <= k; ++i) {
+    Term attr = world.MakeConstant(StrCat(name, "_a", i));
+    Term cls = world.MakeConstant(StrCat(name, "_t", i));
+    Term next = world.MakeConstant(StrCat(name, "_t", i == k ? 1 : i + 1));
+    body.push_back(Atom::Mandatory(attr, cls));
+    body.push_back(Atom::Type(cls, attr, next));
+  }
+  return ConjunctiveQuery(name, {}, std::move(body));
+}
+
+ConjunctiveQuery MakeDataChainProbe(World& world, int length,
+                                    const std::string& name) {
+  FLOQ_CHECK_GE(length, 1);
+  std::vector<Atom> body;
+  Term attr = world.MakeVariable(StrCat(name, "_X"));
+  Term current = world.MakeVariable(StrCat(name, "_O1"));
+  for (int i = 1; i <= length; ++i) {
+    Term next = world.MakeVariable(StrCat(name, "_O", i + 1));
+    body.push_back(Atom::Data(current, attr, next));
+    current = next;
+  }
+  return ConjunctiveQuery(name, {}, std::move(body));
+}
+
+ConjunctiveQuery MakeFunctFanQuery(World& world, int fan,
+                                   const std::string& name) {
+  FLOQ_CHECK_GE(fan, 1);
+  Term attr = world.MakeConstant(StrCat(name, "_a"));
+  Term object = world.MakeConstant(StrCat(name, "_o"));
+  std::vector<Atom> body = {Atom::Funct(attr, object)};
+  std::vector<Term> head;
+  for (int i = 1; i <= fan; ++i) {
+    Term value = world.MakeVariable(StrCat(name, "_V", i));
+    body.push_back(Atom::Data(object, attr, value));
+    if (head.empty()) head.push_back(value);
+  }
+  return ConjunctiveQuery(name, std::move(head), std::move(body));
+}
+
+ConjunctiveQuery MakeRandomQuery(World& world, const RandomQuerySpec& spec,
+                                 const std::string& name) {
+  FLOQ_CHECK_GE(spec.atoms, 1);
+  FLOQ_CHECK_GE(spec.variable_pool, 1);
+  Rng rng(spec.seed);
+
+  std::vector<Term> variables;
+  for (int i = 0; i < spec.variable_pool; ++i) {
+    variables.push_back(world.MakeVariable(StrCat(name, "_V", i)));
+  }
+  std::vector<Term> constants;
+  for (int i = 0; i < spec.constant_pool; ++i) {
+    constants.push_back(world.MakeConstant(StrCat("c", i)));
+  }
+
+  auto pick_term = [&]() {
+    if (!constants.empty() && rng.Chance(spec.constant_probability)) {
+      return constants[rng.Below(constants.size())];
+    }
+    return variables[rng.Below(variables.size())];
+  };
+
+  // Predicate menu; constraint predicates only when requested.
+  std::vector<PredicateId> menu = {pfl::kMember, pfl::kSub, pfl::kData,
+                                   pfl::kType};
+  if (spec.with_constraints) {
+    menu.push_back(pfl::kMandatory);
+    menu.push_back(pfl::kFunct);
+  }
+
+  std::vector<Atom> body;
+  std::unordered_set<uint32_t> used_variable_raws;
+  for (int i = 0; i < spec.atoms; ++i) {
+    PredicateId pred = menu[rng.Below(menu.size())];
+    int arity = world.predicates().ArityOf(pred);
+    std::vector<Term> args;
+    for (int j = 0; j < arity; ++j) {
+      Term t = pick_term();
+      if (t.IsVariable()) used_variable_raws.insert(t.raw());
+      args.push_back(t);
+    }
+    body.push_back(Atom(pred, args));
+  }
+
+  // Head: safe variables only.
+  std::vector<Term> used_variables;
+  for (Term v : variables) {
+    if (used_variable_raws.count(v.raw()) > 0) used_variables.push_back(v);
+  }
+  std::vector<Term> head;
+  for (int i = 0; i < spec.arity && !used_variables.empty(); ++i) {
+    head.push_back(used_variables[rng.Below(used_variables.size())]);
+  }
+  return ConjunctiveQuery(name, std::move(head), std::move(body));
+}
+
+std::vector<Atom> MakeRandomKbFacts(World& world, const RandomKbSpec& spec) {
+  Rng rng(spec.seed);
+
+  std::vector<Term> classes;
+  for (int i = 0; i < spec.classes; ++i) {
+    classes.push_back(world.MakeConstant(StrCat("class", i)));
+  }
+  std::vector<Term> objects;
+  for (int i = 0; i < spec.objects; ++i) {
+    objects.push_back(world.MakeConstant(StrCat("obj", i)));
+  }
+  std::vector<Term> attributes;
+  for (int i = 0; i < spec.attributes; ++i) {
+    attributes.push_back(world.MakeConstant(StrCat("attr", i)));
+  }
+
+  auto pick = [&rng](const std::vector<Term>& pool) {
+    return pool[rng.Below(pool.size())];
+  };
+
+  std::vector<Atom> facts;
+  for (int i = 0; i < spec.sub_facts && spec.classes >= 2; ++i) {
+    // Acyclic subclass edges: from a lower index to a strictly higher one.
+    uint64_t lo = rng.Below(uint64_t(spec.classes - 1));
+    uint64_t hi = lo + 1 + rng.Below(uint64_t(spec.classes) - lo - 1);
+    facts.push_back(Atom::Sub(classes[lo], classes[hi]));
+  }
+  for (int i = 0; i < spec.member_facts; ++i) {
+    facts.push_back(Atom::Member(pick(objects), pick(classes)));
+  }
+  for (int i = 0; i < spec.data_facts; ++i) {
+    facts.push_back(Atom::Data(pick(objects), pick(attributes), pick(objects)));
+  }
+  for (int i = 0; i < spec.type_facts; ++i) {
+    facts.push_back(Atom::Type(pick(classes), pick(attributes), pick(classes)));
+  }
+  for (int i = 0; i < spec.mandatory_facts; ++i) {
+    facts.push_back(Atom::Mandatory(pick(attributes), pick(classes)));
+  }
+  for (int i = 0; i < spec.funct_facts; ++i) {
+    facts.push_back(Atom::Funct(pick(attributes), pick(classes)));
+  }
+  return facts;
+}
+
+}  // namespace floq::gen

@@ -1,0 +1,99 @@
+#ifndef FLOQ_GEN_GENERATORS_H_
+#define FLOQ_GEN_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/conjunctive_query.h"
+#include "term/atom.h"
+#include "term/world.h"
+
+// Deterministic workload generators for the benchmarks and property tests.
+// Every generator is a pure function of (World, spec): identical seeds
+// produce identical workloads, so benchmark tables are reproducible.
+
+namespace floq::gen {
+
+// ---- structured families from the paper ------------------------------------
+
+/// The §2 "joinable attributes" family generalized to a chain of n hops:
+///
+///   q(A1, An) :- type(T1, A1, T2), sub(T2, T3), type(T3, A2, T4),
+///                sub(T4, T5), ..., type(T_{2n-1}, An, T_2n).
+///
+/// with_subclass_hops=false omits the sub() atoms, giving the paper's qq
+/// shape. Containment of the long form in the short form exercises rho_8.
+ConjunctiveQuery MakeAttributeChainQuery(World& world, int hops,
+                                         bool with_subclass_hops,
+                                         const std::string& name = "q");
+
+/// The §4 cycle of k mandatory attributes over constants:
+///
+///   q() :- mandatory(a1, t1), type(t1, a1, t2),
+///          mandatory(a2, t2), type(t2, a2, t3), ...,
+///          mandatory(ak, tk), type(tk, ak, t1).
+///
+/// Its chase is infinite; the chain invents one null every few levels.
+ConjunctiveQuery MakeMandatoryCycleQuery(World& world, int k,
+                                         const std::string& name = "q");
+
+/// A probe query asking for a data-chain of `length` hops along one
+/// attribute variable: q() :- data(O1, X, O2), ..., data(On, X, On+1).
+/// Containment of a mandatory cycle in this probe requires materializing
+/// ~3·length levels of the chase.
+ConjunctiveQuery MakeDataChainProbe(World& world, int length,
+                                    const std::string& name = "probe");
+
+/// m parallel values of one functional attribute:
+/// q(V1) :- funct(a, o), data(o, a, V1), ..., data(o, a, Vm).
+/// The chase must merge all m values into one (rho_4 stress test).
+ConjunctiveQuery MakeFunctFanQuery(World& world, int fan,
+                                   const std::string& name = "q");
+
+// ---- random meta-queries -----------------------------------------------------
+
+struct RandomQuerySpec {
+  uint64_t seed = 1;
+  int atoms = 4;
+  /// Size of the variable pool; smaller pools make denser joins.
+  int variable_pool = 4;
+  /// Size of the constant pool shared across queries of one experiment.
+  int constant_pool = 3;
+  /// Probability that an argument position is a constant.
+  double constant_probability = 0.25;
+  /// Head arity (head terms are drawn from the body's variables; if the
+  /// body has no variables the head shrinks).
+  int arity = 1;
+  /// Include mandatory/funct atoms (they trigger rho_4/rho_5 machinery).
+  bool with_constraints = true;
+};
+
+/// A random conjunctive meta-query over P_FL. Always safe (head variables
+/// occur in the body) and valid.
+ConjunctiveQuery MakeRandomQuery(World& world, const RandomQuerySpec& spec,
+                                 const std::string& name = "q");
+
+// ---- random databases ----------------------------------------------------------
+
+struct RandomKbSpec {
+  uint64_t seed = 1;
+  int classes = 6;
+  int objects = 12;
+  int attributes = 4;
+  int sub_facts = 6;
+  int member_facts = 12;
+  int data_facts = 20;
+  int type_facts = 6;
+  int mandatory_facts = 2;
+  int funct_facts = 2;
+};
+
+/// Ground facts for a random F-logic Lite database. The result is not
+/// saturated and may violate rho_4/rho_5; feed it to a KnowledgeBase and
+/// Saturate (with completion rounds) to obtain a legal instance.
+std::vector<Atom> MakeRandomKbFacts(World& world, const RandomKbSpec& spec);
+
+}  // namespace floq::gen
+
+#endif  // FLOQ_GEN_GENERATORS_H_

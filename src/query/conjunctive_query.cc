@@ -1,0 +1,102 @@
+#include "query/conjunctive_query.h"
+
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace floq {
+
+namespace {
+
+void CollectDistinct(Term t, std::vector<Term>& out,
+                     std::unordered_set<uint32_t>& seen) {
+  if (seen.insert(t.raw()).second) out.push_back(t);
+}
+
+}  // namespace
+
+std::vector<Term> ConjunctiveQuery::Variables() const {
+  std::vector<Term> out;
+  std::unordered_set<uint32_t> seen;
+  for (Term t : head_terms_) {
+    if (t.IsVariable()) CollectDistinct(t, out, seen);
+  }
+  for (const Atom& atom : body_) {
+    for (Term t : atom) {
+      if (t.IsVariable()) CollectDistinct(t, out, seen);
+    }
+  }
+  return out;
+}
+
+std::vector<Term> ConjunctiveQuery::BodyTerms() const {
+  std::vector<Term> out;
+  std::unordered_set<uint32_t> seen;
+  for (const Atom& atom : body_) {
+    for (Term t : atom) CollectDistinct(t, out, seen);
+  }
+  return out;
+}
+
+Status ConjunctiveQuery::Validate(const World& world) const {
+  std::unordered_set<uint32_t> body_vars;
+  for (const Atom& atom : body_) {
+    if (atom.predicate() == kInvalidPredicate) {
+      return InvalidArgumentError("body atom with invalid predicate");
+    }
+    int expected = world.predicates().ArityOf(atom.predicate());
+    if (atom.arity() != expected) {
+      return InvalidArgumentError(
+          StrCat("predicate ", world.predicates().NameOf(atom.predicate()),
+                 " expects arity ", expected, ", got ", atom.arity()));
+    }
+    for (Term t : atom) {
+      if (t.IsVariable()) body_vars.insert(t.raw());
+    }
+  }
+  for (Term t : head_terms_) {
+    if (t.IsVariable() && body_vars.count(t.raw()) == 0) {
+      return InvalidArgumentError(
+          StrCat("unsafe head variable ", world.NameOf(t),
+                 " does not occur in the body"));
+    }
+  }
+  return Status::Ok();
+}
+
+ConjunctiveQuery ConjunctiveQuery::Substitute(const Substitution& subst) const {
+  return ConjunctiveQuery(name_, subst.ApplyToTerms(head_terms_),
+                          subst.Apply(body_));
+}
+
+ConjunctiveQuery ConjunctiveQuery::RenameApart(World& world,
+                                               Substitution* renaming) const {
+  Substitution fresh;
+  for (Term var : Variables()) fresh.Bind(var, world.MakeFreshVariable());
+  if (renaming != nullptr) *renaming = fresh;
+  return Substitute(fresh);
+}
+
+std::vector<Atom> ConjunctiveQuery::Freeze(
+    World& world, std::vector<Term>* frozen_head) const {
+  Substitution freeze;
+  for (Term var : Variables()) freeze.Bind(var, world.MakeFreshNull());
+  if (frozen_head != nullptr) *frozen_head = freeze.ApplyToTerms(head_terms_);
+  return freeze.Apply(body_);
+}
+
+std::string ConjunctiveQuery::ToString(const World& world) const {
+  std::string out = name_;
+  out += '(';
+  for (size_t i = 0; i < head_terms_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += world.NameOf(head_terms_[i]);
+  }
+  out += ')';
+  out += " :- ";
+  out += AtomsToString(body_, world);
+  out += '.';
+  return out;
+}
+
+}  // namespace floq

@@ -1,0 +1,81 @@
+#ifndef FLOQ_QUERY_CONJUNCTIVE_QUERY_H_
+#define FLOQ_QUERY_CONJUNCTIVE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "term/atom.h"
+#include "term/substitution.h"
+#include "term/world.h"
+#include "util/status.h"
+
+// Conjunctive meta-queries over P_FL (and, for the substrate, over any
+// registered predicates): q(t1,...,tn) :- a1, ..., am. The paper writes
+// |q| for the number of body atoms; size() returns exactly that.
+
+namespace floq {
+
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+
+  ConjunctiveQuery(std::string name, std::vector<Term> head_terms,
+                   std::vector<Atom> body)
+      : name_(std::move(name)),
+        head_terms_(std::move(head_terms)),
+        body_(std::move(body)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Term>& head() const { return head_terms_; }
+  const std::vector<Atom>& body() const { return body_; }
+  std::vector<Atom>& mutable_body() { return body_; }
+  std::vector<Term>& mutable_head() { return head_terms_; }
+
+  /// Arity of the answer relation.
+  int arity() const { return int(head_terms_.size()); }
+
+  /// |q| — the number of body atoms.
+  int size() const { return int(body_.size()); }
+
+  /// All distinct variables, in first-occurrence order (head first).
+  std::vector<Term> Variables() const;
+
+  /// All distinct terms occurring in the body, in first-occurrence order.
+  std::vector<Term> BodyTerms() const;
+
+  /// Checks the safety condition: every head variable occurs in the body,
+  /// and every body atom's predicate arity matches.
+  Status Validate(const World& world) const;
+
+  /// Applies a substitution to head and body.
+  ConjunctiveQuery Substitute(const Substitution& subst) const;
+
+  /// Returns a copy whose variables are replaced by fresh ones from
+  /// `world`, so that it shares no variable with any other query. The
+  /// renaming used is appended to `renaming` if non-null.
+  ConjunctiveQuery RenameApart(World& world,
+                               Substitution* renaming = nullptr) const;
+
+  /// Freezes the query: every variable is replaced by a distinct fresh
+  /// null. The frozen body is the canonical database of the query, and the
+  /// frozen head is its canonical answer tuple. Outputs via `frozen_head`
+  /// if non-null.
+  std::vector<Atom> Freeze(World& world,
+                           std::vector<Term>* frozen_head = nullptr) const;
+
+  /// Renders "q(X, Y) :- member(X, C), data(X, A, Y)."
+  std::string ToString(const World& world) const;
+
+  friend bool operator==(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+    return a.head_terms_ == b.head_terms_ && a.body_ == b.body_;
+  }
+
+ private:
+  std::string name_ = "q";
+  std::vector<Term> head_terms_;
+  std::vector<Atom> body_;
+};
+
+}  // namespace floq
+
+#endif  // FLOQ_QUERY_CONJUNCTIVE_QUERY_H_

@@ -1,0 +1,269 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "util/strings.h"
+
+namespace floq {
+
+namespace {
+
+// A minimal recursive-descent parser over the predicate notation. The
+// F-logic surface syntax (molecules, signatures) lives in src/flogic; this
+// parser handles only prenex predicate atoms.
+class Parser {
+ public:
+  Parser(World& world, std::string_view text, bool check_safety = true)
+      : world_(world), text_(text), check_safety_(check_safety) {}
+
+  Result<std::vector<ConjunctiveQuery>> ParseProgram() {
+    std::vector<ConjunctiveQuery> queries;
+    SkipWhitespace();
+    while (!AtEnd()) {
+      Result<ConjunctiveQuery> query = ParseRule();
+      if (!query.ok()) return query.status();
+      queries.push_back(std::move(query).value());
+      SkipWhitespace();
+    }
+    return queries;
+  }
+
+  Result<ConjunctiveQuery> ParseSingleRule() {
+    Result<ConjunctiveQuery> query = ParseRule();
+    if (!query.ok()) return query;
+    SkipWhitespace();
+    if (!AtEnd()) return Error("trailing input after rule");
+    return query;
+  }
+
+  Result<std::vector<Atom>> ParseAtomList() {
+    std::vector<Atom> atoms;
+    SkipWhitespace();
+    if (AtEnd()) return atoms;
+    for (;;) {
+      Result<Atom> atom = ParseAtom();
+      if (!atom.ok()) return atom.status();
+      atoms.push_back(std::move(atom).value());
+      SkipWhitespace();
+      if (!Consume(',')) break;
+    }
+    Consume('.');
+    SkipWhitespace();
+    if (!AtEnd()) return Error("trailing input after atom list");
+    return atoms;
+  }
+
+ private:
+  Result<ConjunctiveQuery> ParseRule() {
+    SkipWhitespace();
+    Result<std::string> name = ParseIdentifier("rule head name");
+    if (!name.ok()) return name.status();
+
+    std::vector<Term> head_terms;
+    SkipWhitespace();
+    if (Consume('(')) {
+      SkipWhitespace();
+      if (!Consume(')')) {
+        for (;;) {
+          Result<Term> term = ParseTerm();
+          if (!term.ok()) return term.status();
+          head_terms.push_back(term.value());
+          SkipWhitespace();
+          if (Consume(')')) break;
+          if (!Consume(',')) return Error("expected ',' or ')' in head");
+        }
+      }
+    }
+
+    SkipWhitespace();
+    if (!ConsumeSequence(":-")) return Error("expected ':-' after rule head");
+
+    std::vector<Atom> body;
+    for (;;) {
+      Result<Atom> atom = ParseAtom();
+      if (!atom.ok()) return atom.status();
+      body.push_back(std::move(atom).value());
+      SkipWhitespace();
+      if (!Consume(',')) break;
+    }
+    SkipWhitespace();
+    if (!Consume('.') && !AtEnd()) {
+      return Error("expected '.' at end of rule");
+    }
+
+    ConjunctiveQuery query(*std::move(name), std::move(head_terms),
+                           std::move(body));
+    if (check_safety_) {
+      Status valid = query.Validate(world_);
+      if (!valid.ok()) return valid;
+    }
+    return query;
+  }
+
+  Result<Atom> ParseAtom() {
+    SkipWhitespace();
+    Result<std::string> name = ParseIdentifier("predicate name");
+    if (!name.ok()) return name.status();
+    SkipWhitespace();
+    if (!Consume('(')) return Error("expected '(' after predicate name");
+
+    std::vector<Term> args;
+    SkipWhitespace();
+    if (!Consume(')')) {
+      for (;;) {
+        Result<Term> term = ParseTerm();
+        if (!term.ok()) return term.status();
+        args.push_back(term.value());
+        SkipWhitespace();
+        if (Consume(')')) break;
+        if (!Consume(',')) return Error("expected ',' or ')' in atom");
+      }
+    }
+
+    PredicateId pred = world_.predicates().Intern(*name, int(args.size()));
+    if (pred == kInvalidPredicate) {
+      return Error(StrCat("predicate ", *name, "/", args.size(),
+                          " conflicts with an existing arity or exceeds the "
+                          "maximum arity"));
+    }
+    return Atom(pred, args);
+  }
+
+  Result<Term> ParseTerm() {
+    SkipWhitespace();
+    if (AtEnd()) return Error("expected a term");
+    char c = Peek();
+    if (c == '\'') return ParseQuotedConstant();
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      return ParseNumberConstant();
+    }
+    Result<std::string> word = ParseIdentifier("term");
+    if (!word.ok()) return word.status();
+    const std::string& name = *word;
+    if (name == "_") return world_.MakeFreshVariable();
+    char first = name[0];
+    if (std::isupper(static_cast<unsigned char>(first)) || first == '_') {
+      return world_.MakeVariable(name);
+    }
+    return world_.MakeConstant(name);
+  }
+
+  Result<Term> ParseQuotedConstant() {
+    FLOQ_CHECK(Consume('\''));
+    std::string value;
+    while (!AtEnd() && Peek() != '\'') {
+      value += Advance();
+    }
+    if (!Consume('\'')) return Error("unterminated quoted constant");
+    return world_.MakeConstant(value);
+  }
+
+  Result<Term> ParseNumberConstant() {
+    std::string value;
+    if (Peek() == '-') value += Advance();
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Error("expected digits in numeric constant");
+    }
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      value += Advance();
+    }
+    // A '.' continues the number only when a digit follows; otherwise it
+    // terminates the rule.
+    if (!AtEnd() && Peek() == '.' && pos_ + 1 < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      value += Advance();
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        value += Advance();
+      }
+    }
+    return world_.MakeConstant(value);
+  }
+
+  Result<std::string> ParseIdentifier(const char* what) {
+    SkipWhitespace();
+    if (AtEnd()) return Error(StrCat("expected ", what, ", got end of input"));
+    char c = Peek();
+    if (!std::isalpha(static_cast<unsigned char>(c)) && c != '_') {
+      return Error(StrCat("expected ", what, ", got '", c, "'"));
+    }
+    std::string name;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      name += Advance();
+    }
+    return name;
+  }
+
+  void SkipWhitespace() {
+    for (;;) {
+      while (!AtEnd() &&
+             std::isspace(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+      if (!AtEnd() && Peek() == '%') {
+        while (!AtEnd() && Peek() != '\n') ++pos_;
+        continue;
+      }
+      return;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  char Advance() { return text_[pos_++]; }
+
+  bool Consume(char c) {
+    if (AtEnd() || Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeSequence(std::string_view seq) {
+    if (text_.substr(pos_, seq.size()) != seq) return false;
+    pos_ += seq.size();
+    return true;
+  }
+
+  Status Error(std::string message) const {
+    // Report 1-based line/column of the current position.
+    int line = 1, column = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    return InvalidArgumentError(
+        StrCat("parse error at ", line, ":", column, ": ", message));
+  }
+
+  World& world_;
+  std::string_view text_;
+  size_t pos_ = 0;
+  bool check_safety_ = true;
+};
+
+}  // namespace
+
+Result<ConjunctiveQuery> ParseQuery(World& world, std::string_view text) {
+  return Parser(world, text).ParseSingleRule();
+}
+
+Result<ConjunctiveQuery> ParseQueryAllowUnsafeHead(World& world,
+                                                   std::string_view text) {
+  return Parser(world, text, /*check_safety=*/false).ParseSingleRule();
+}
+
+Result<std::vector<ConjunctiveQuery>> ParseQueries(World& world,
+                                                   std::string_view text) {
+  return Parser(world, text).ParseProgram();
+}
+
+Result<std::vector<Atom>> ParseAtoms(World& world, std::string_view text) {
+  return Parser(world, text).ParseAtomList();
+}
+
+}  // namespace floq

@@ -1,0 +1,47 @@
+#ifndef FLOQ_QUERY_PARSER_H_
+#define FLOQ_QUERY_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "query/conjunctive_query.h"
+#include "term/world.h"
+#include "util/status.h"
+
+// Parser for the low-level (predicate) notation of the paper:
+//
+//   q(A, B) :- type(T1, A, T2), sub(T2, T3), type(T3, B, _).
+//
+// Lexical conventions follow the paper and Prolog/Datalog practice:
+//   * variables start with an upper-case letter or '_';
+//   * a bare '_' is an anonymous variable, fresh at each occurrence;
+//   * constants are lower-case identifiers, numbers, or 'quoted strings';
+//   * '%' starts a comment that runs to end of line.
+//
+// The six P_FL predicates are always available; other predicates are
+// registered on first use with the arity at which they first appear.
+
+namespace floq {
+
+/// Parses a single rule "head :- body." (the final '.' is optional when the
+/// input ends). Returns the query or a parse error with position info.
+Result<ConjunctiveQuery> ParseQuery(World& world, std::string_view text);
+
+/// Like ParseQuery but skips the head-safety check: head variables may be
+/// absent from the body. Used for existential TGD heads (chase
+/// dependencies), where such variables denote invented values.
+Result<ConjunctiveQuery> ParseQueryAllowUnsafeHead(World& world,
+                                                   std::string_view text);
+
+/// Parses a sequence of rules. Queries may share variables only by name
+/// coincidence; callers that need disjoint variables should RenameApart.
+Result<std::vector<ConjunctiveQuery>> ParseQueries(World& world,
+                                                   std::string_view text);
+
+/// Parses a comma-separated list of atoms (a rule body without a head),
+/// e.g. "member(X, C), sub(C, D)". Used for ground fact lists as well.
+Result<std::vector<Atom>> ParseAtoms(World& world, std::string_view text);
+
+}  // namespace floq
+
+#endif  // FLOQ_QUERY_PARSER_H_

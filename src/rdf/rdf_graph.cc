@@ -1,0 +1,138 @@
+#include "rdf/rdf_graph.h"
+
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace floq::rdf {
+
+Status RdfGraph::LoadText(std::string_view text) {
+  for (std::string_view raw_line : Split(text, '\n')) {
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    // Whitespace-separated terms; single- or double-quoted literals may
+    // contain spaces (quotes are stripped).
+    std::vector<std::string> parts;
+    std::string current;
+    char quote = 0;
+    bool in_term = false;
+    for (char c : line) {
+      if (quote != 0) {
+        if (c == quote) {
+          quote = 0;
+        } else {
+          current += c;
+        }
+        continue;
+      }
+      if (c == '\'' || c == '"') {
+        quote = c;
+        in_term = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t') {
+        if (in_term) {
+          parts.push_back(current);
+          current.clear();
+          in_term = false;
+        }
+        continue;
+      }
+      current += c;
+      in_term = true;
+    }
+    if (quote != 0) {
+      return InvalidArgumentError(
+          StrCat("unterminated quote in triple line: '", std::string(line),
+                 "'"));
+    }
+    if (in_term) parts.push_back(current);
+    // Tolerate a trailing N-Triples '.'.
+    if (!parts.empty() && parts.back() == ".") parts.pop_back();
+    if (parts.size() != 3) {
+      return InvalidArgumentError(
+          StrCat("triple line must have 3 terms: '", std::string(line), "'"));
+    }
+    Add(parts[0], parts[1], parts[2]);
+  }
+  return Status::Ok();
+}
+
+std::vector<Atom> RdfGraph::ToFacts(World& world) const {
+  // First pass: collect schema triples (domains, ranges, property flags).
+  std::unordered_map<std::string, std::vector<std::string>> domains;
+  std::unordered_map<std::string, std::vector<std::string>> ranges;
+  std::unordered_map<std::string, bool> functional;
+  std::unordered_map<std::string, bool> mandatory;
+
+  for (const Triple& triple : triples_) {
+    if (triple.predicate == kRdfsDomain) {
+      domains[triple.subject].push_back(triple.object);
+    } else if (triple.predicate == kRdfsRange) {
+      ranges[triple.subject].push_back(triple.object);
+    } else if (triple.predicate == kRdfType) {
+      if (triple.object == kOwlFunctionalProperty) {
+        functional[triple.subject] = true;
+      } else if (triple.object == kFloqMandatoryProperty) {
+        mandatory[triple.subject] = true;
+      }
+    }
+  }
+
+  std::vector<Atom> facts;
+  auto constant = [&world](const std::string& name) {
+    return world.MakeConstant(name);
+  };
+
+  // Schema-level facts derived from the collected declarations.
+  for (const auto& [property, domain_list] : domains) {
+    Term p = constant(property);
+    for (const std::string& domain : domain_list) {
+      Term d = constant(domain);
+      auto range_it = ranges.find(property);
+      if (range_it != ranges.end()) {
+        for (const std::string& range : range_it->second) {
+          facts.push_back(Atom::Type(d, p, constant(range)));
+        }
+      }
+      if (functional.count(property) > 0) {
+        facts.push_back(Atom::Funct(p, d));
+      }
+      if (mandatory.count(property) > 0) {
+        facts.push_back(Atom::Mandatory(p, d));
+      }
+    }
+  }
+
+  // Instance-level facts.
+  for (const Triple& triple : triples_) {
+    if (triple.predicate == kRdfsDomain || triple.predicate == kRdfsRange) {
+      continue;  // consumed above
+    }
+    if (triple.predicate == kRdfType) {
+      if (triple.object == kOwlFunctionalProperty ||
+          triple.object == kFloqMandatoryProperty) {
+        continue;  // consumed above
+      }
+      facts.push_back(
+          Atom::Member(constant(triple.subject), constant(triple.object)));
+    } else if (triple.predicate == kRdfsSubClassOf) {
+      facts.push_back(
+          Atom::Sub(constant(triple.subject), constant(triple.object)));
+    } else {
+      facts.push_back(Atom::Data(constant(triple.subject),
+                                 constant(triple.predicate),
+                                 constant(triple.object)));
+    }
+  }
+  return facts;
+}
+
+Status RdfGraph::Populate(KnowledgeBase& kb) const {
+  for (const Atom& fact : ToFacts(kb.world())) {
+    FLOQ_RETURN_IF_ERROR(kb.AddFact(fact));
+  }
+  return Status::Ok();
+}
+
+}  // namespace floq::rdf

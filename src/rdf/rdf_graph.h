@@ -1,0 +1,83 @@
+#ifndef FLOQ_RDF_RDF_GRAPH_H_
+#define FLOQ_RDF_RDF_GRAPH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "term/atom.h"
+#include "term/world.h"
+#include "util/status.h"
+
+// RDF(S) bridge. The paper observes (§1) that "RDF has many of the
+// meta-data features of F-logic and SPARQL can query them. Thus, our
+// results apply to SPARQL as well." This module makes that observation
+// executable: RDF(S) graphs map onto the P_FL encoding, and SPARQL basic
+// graph patterns map onto conjunctive meta-queries, so the containment
+// checker decides BGP containment under RDFS-style schema semantics.
+//
+// Vocabulary mapping (documented in DESIGN.md):
+//   (s, rdf:type, c)              ->  member(s, c)
+//   (c1, rdfs:subClassOf, c2)     ->  sub(c1, c2)
+//   (p, rdfs:domain, d) together
+//     with (p, rdfs:range, r)     ->  type(d, p, r)
+//   (p, rdf:type,
+//      owl:FunctionalProperty)    ->  funct(p, d)      for each domain d
+//   (p, rdf:type,
+//      floq:MandatoryProperty)    ->  mandatory(p, d)  for each domain d
+//   any other (s, p, o)           ->  data(s, p, o)
+
+namespace floq::rdf {
+
+// Vocabulary IRIs (kept in compact form; full IRIs work the same way
+// since terms are opaque strings).
+inline constexpr std::string_view kRdfType = "rdf:type";
+inline constexpr std::string_view kRdfsSubClassOf = "rdfs:subClassOf";
+inline constexpr std::string_view kRdfsDomain = "rdfs:domain";
+inline constexpr std::string_view kRdfsRange = "rdfs:range";
+inline constexpr std::string_view kOwlFunctionalProperty =
+    "owl:FunctionalProperty";
+inline constexpr std::string_view kFloqMandatoryProperty =
+    "floq:MandatoryProperty";
+
+struct Triple {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+};
+
+/// An RDF graph: a bag of triples plus the translation to P_FL.
+class RdfGraph {
+ public:
+  RdfGraph() = default;
+
+  void Add(std::string_view subject, std::string_view predicate,
+           std::string_view object) {
+    triples_.push_back(
+        Triple{std::string(subject), std::string(predicate),
+               std::string(object)});
+  }
+
+  /// Parses a whitespace-separated line-oriented triple format:
+  /// "s p o" per line, '#' comments. (A pragmatic stand-in for N-Triples.)
+  Status LoadText(std::string_view text);
+
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  /// Translates the graph into P_FL facts in `world` per the vocabulary
+  /// mapping above. Domain-dependent constraints (funct/mandatory/range)
+  /// require an rdfs:domain triple for the property; properties lacking
+  /// one contribute nothing for those constraints.
+  std::vector<Atom> ToFacts(World& world) const;
+
+  /// Convenience: loads the graph into a knowledge base.
+  Status Populate(KnowledgeBase& kb) const;
+
+ private:
+  std::vector<Triple> triples_;
+};
+
+}  // namespace floq::rdf
+
+#endif  // FLOQ_RDF_RDF_GRAPH_H_

@@ -1,0 +1,203 @@
+#include "rdf/sparql.h"
+
+#include <cctype>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/rdf_graph.h"
+#include "util/strings.h"
+
+namespace floq::rdf {
+
+namespace {
+
+// Whitespace-and-punctuation tokenizer: '{', '}', '.' are their own
+// tokens; '#' comments to end of line.
+std::vector<std::string> TokenizeSparql(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '#') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      flush();
+    } else if (c == '{' || c == '}') {
+      flush();
+      tokens.push_back(std::string(1, c));
+    } else if (c == '.' &&
+               (i + 1 == text.size() ||
+                std::isspace(static_cast<unsigned char>(text[i + 1])) ||
+                text[i + 1] == '}')) {
+      // A '.' token only when it ends a pattern (IRIs may contain dots).
+      flush();
+      tokens.push_back(".");
+    } else {
+      current += c;
+    }
+  }
+  flush();
+  return tokens;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Pattern {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+};
+
+// Converts a SPARQL term to a floq term: '?x' is a variable, anything
+// else a constant.
+Term ToTerm(World& world, const std::string& token) {
+  if (!token.empty() && token[0] == '?') {
+    return world.MakeVariable("Sparql_" + token.substr(1));
+  }
+  return world.MakeConstant(token);
+}
+
+// Translates one triple pattern into P_FL atoms (see header).
+Status TranslatePattern(World& world, const Pattern& pattern,
+                        std::vector<Atom>& atoms) {
+  Term s = ToTerm(world, pattern.subject);
+  Term o = ToTerm(world, pattern.object);
+
+  if (pattern.predicate == kRdfType) {
+    if (pattern.object == kOwlFunctionalProperty) {
+      atoms.push_back(Atom::Funct(s, world.MakeFreshVariable()));
+    } else if (pattern.object == kFloqMandatoryProperty) {
+      atoms.push_back(Atom::Mandatory(s, world.MakeFreshVariable()));
+    } else {
+      atoms.push_back(Atom::Member(s, o));
+    }
+    return Status::Ok();
+  }
+  if (pattern.predicate == kRdfsSubClassOf) {
+    atoms.push_back(Atom::Sub(s, o));
+    return Status::Ok();
+  }
+  if (pattern.predicate == kRdfsDomain) {
+    // "property s has domain o": class o carries attribute s (some type).
+    atoms.push_back(Atom::Type(o, s, world.MakeFreshVariable()));
+    return Status::Ok();
+  }
+  if (pattern.predicate == kRdfsRange) {
+    // "property s has range o": some class types attribute s as o.
+    atoms.push_back(Atom::Type(world.MakeFreshVariable(), s, o));
+    return Status::Ok();
+  }
+  atoms.push_back(Atom::Data(s, ToTerm(world, pattern.predicate), o));
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<ConjunctiveQuery> ParseSparql(World& world, std::string_view text) {
+  std::vector<std::string> tokens = TokenizeSparql(text);
+  size_t pos = 0;
+  auto error = [&](std::string message) {
+    return InvalidArgumentError(StrCat("SPARQL parse error: ", message));
+  };
+
+  if (pos >= tokens.size() || !EqualsIgnoreCase(tokens[pos], "SELECT")) {
+    return error("expected SELECT");
+  }
+  ++pos;
+
+  bool select_all = false;
+  std::vector<std::string> selected;
+  while (pos < tokens.size() && !EqualsIgnoreCase(tokens[pos], "WHERE")) {
+    if (tokens[pos] == "*") {
+      select_all = true;
+    } else if (tokens[pos][0] == '?') {
+      selected.push_back(tokens[pos]);
+    } else {
+      return error(StrCat("unexpected token in SELECT clause: ",
+                          tokens[pos]));
+    }
+    ++pos;
+  }
+  if (pos >= tokens.size()) return error("expected WHERE");
+  ++pos;
+  if (pos >= tokens.size() || tokens[pos] != "{") {
+    return error("expected '{' after WHERE");
+  }
+  ++pos;
+
+  std::vector<Pattern> patterns;
+  std::vector<std::string> terms;
+  while (pos < tokens.size() && tokens[pos] != "}") {
+    if (tokens[pos] == ".") {
+      if (!terms.empty()) return error("triple pattern with fewer than 3 terms");
+      ++pos;
+      continue;
+    }
+    terms.push_back(tokens[pos]);
+    ++pos;
+    if (terms.size() == 3) {
+      patterns.push_back(Pattern{terms[0], terms[1], terms[2]});
+      terms.clear();
+    }
+  }
+  if (!terms.empty()) return error("triple pattern with fewer than 3 terms");
+  if (pos >= tokens.size()) return error("expected '}'");
+  if (patterns.empty()) return error("empty basic graph pattern");
+
+  std::vector<Atom> body;
+  for (const Pattern& pattern : patterns) {
+    FLOQ_RETURN_IF_ERROR(TranslatePattern(world, pattern, body));
+  }
+
+  std::vector<Term> head;
+  if (select_all) {
+    std::unordered_set<uint32_t> seen;
+    for (const Atom& atom : body) {
+      for (Term t : atom) {
+        if (t.IsVariable() && StartsWith(world.NameOf(t), "Sparql_") &&
+            seen.insert(t.raw()).second) {
+          head.push_back(t);
+        }
+      }
+    }
+  } else {
+    for (const std::string& name : selected) {
+      head.push_back(world.MakeVariable("Sparql_" + name.substr(1)));
+    }
+  }
+
+  ConjunctiveQuery query("sparql", std::move(head), std::move(body));
+  Status valid = query.Validate(world);
+  if (!valid.ok()) return valid;
+  return query;
+}
+
+Result<ContainmentResult> CheckSparqlContainment(
+    World& world, std::string_view q1_text, std::string_view q2_text,
+    const ContainmentOptions& options) {
+  Result<ConjunctiveQuery> q1 = ParseSparql(world, q1_text);
+  if (!q1.ok()) return q1.status();
+  Result<ConjunctiveQuery> q2 = ParseSparql(world, q2_text);
+  if (!q2.ok()) return q2.status();
+  return CheckContainment(world, *q1, *q2, options);
+}
+
+}  // namespace floq::rdf

@@ -1,0 +1,41 @@
+#ifndef FLOQ_RDF_SPARQL_H_
+#define FLOQ_RDF_SPARQL_H_
+
+#include <string_view>
+
+#include "containment/containment.h"
+#include "query/conjunctive_query.h"
+#include "term/world.h"
+#include "util/status.h"
+
+// A SPARQL basic-graph-pattern frontend. Supported form:
+//
+//   SELECT ?x ?name
+//   WHERE {
+//     ?x rdf:type student .
+//     ?x name ?name
+//   }
+//
+// Variables start with '?'; everything else is a constant (compact IRIs
+// are opaque strings). Triple patterns translate as in rdf_graph.h:
+// rdf:type -> member, rdfs:subClassOf -> sub, other predicates -> data.
+// Schema-pattern predicates may themselves be variables, which is exactly
+// the meta-querying the paper is about — e.g. "?c rdfs:subClassOf person"
+// becomes sub(C, person).
+//
+// SELECT * selects all named variables in order of first occurrence.
+
+namespace floq::rdf {
+
+/// Parses a SPARQL BGP query into a conjunctive meta-query over P_FL.
+Result<ConjunctiveQuery> ParseSparql(World& world, std::string_view text);
+
+/// Decides containment of two SPARQL BGP queries under the F-logic Lite
+/// reading of RDFS (Sigma_FL).
+Result<ContainmentResult> CheckSparqlContainment(
+    World& world, std::string_view q1_text, std::string_view q2_text,
+    const ContainmentOptions& options = {});
+
+}  // namespace floq::rdf
+
+#endif  // FLOQ_RDF_SPARQL_H_

@@ -1,0 +1,25 @@
+#include "term/atom.h"
+
+namespace floq {
+
+std::string Atom::ToString(const World& world) const {
+  std::string out = world.predicates().NameOf(pred_);
+  out += '(';
+  for (int i = 0; i < arity_; ++i) {
+    if (i > 0) out += ", ";
+    out += world.NameOf(args_[i]);
+  }
+  out += ')';
+  return out;
+}
+
+std::string AtomsToString(const std::vector<Atom>& atoms, const World& world) {
+  std::string out;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += atoms[i].ToString(world);
+  }
+  return out;
+}
+
+}  // namespace floq

@@ -1,0 +1,125 @@
+#ifndef FLOQ_TERM_ATOM_H_
+#define FLOQ_TERM_ATOM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "term/predicate.h"
+#include "term/term.h"
+#include "term/world.h"
+#include "util/check.h"
+
+// Atoms (the paper's "conjuncts"): a predicate applied to terms. Atoms are
+// small value types (20 bytes) so chases and relations can hold millions.
+
+namespace floq {
+
+class Atom {
+ public:
+  Atom() : pred_(kInvalidPredicate), arity_(0) {}
+
+  Atom(PredicateId pred, std::initializer_list<Term> args)
+      : pred_(pred), arity_(uint8_t(args.size())) {
+    FLOQ_CHECK_LE(args.size(), size_t(kMaxArity));
+    int i = 0;
+    for (Term t : args) args_[i++] = t;
+  }
+
+  Atom(PredicateId pred, const std::vector<Term>& args)
+      : pred_(pred), arity_(uint8_t(args.size())) {
+    FLOQ_CHECK_LE(args.size(), size_t(kMaxArity));
+    for (size_t i = 0; i < args.size(); ++i) args_[i] = args[i];
+  }
+
+  // Convenience constructors for the P_FL predicates.
+  static Atom Member(Term object, Term cls) {
+    return Atom(pfl::kMember, {object, cls});
+  }
+  static Atom Sub(Term sub_class, Term super_class) {
+    return Atom(pfl::kSub, {sub_class, super_class});
+  }
+  static Atom Data(Term object, Term attribute, Term value) {
+    return Atom(pfl::kData, {object, attribute, value});
+  }
+  static Atom Type(Term object, Term attribute, Term type) {
+    return Atom(pfl::kType, {object, attribute, type});
+  }
+  static Atom Mandatory(Term attribute, Term object) {
+    return Atom(pfl::kMandatory, {attribute, object});
+  }
+  static Atom Funct(Term attribute, Term object) {
+    return Atom(pfl::kFunct, {attribute, object});
+  }
+
+  PredicateId predicate() const { return pred_; }
+  int arity() const { return arity_; }
+
+  Term arg(int i) const {
+    FLOQ_CHECK_LT(i, arity_);
+    return args_[i];
+  }
+
+  void set_arg(int i, Term t) {
+    FLOQ_CHECK_LT(i, arity_);
+    args_[i] = t;
+  }
+
+  /// Iteration over the argument terms.
+  const Term* begin() const { return args_.data(); }
+  const Term* end() const { return args_.data() + arity_; }
+
+  /// True if every argument is a constant or a null (no variables).
+  bool IsGround() const {
+    for (Term t : *this) {
+      if (t.IsVariable()) return false;
+    }
+    return true;
+  }
+
+  /// Renders e.g. "data(john, age, 33)".
+  std::string ToString(const World& world) const;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    if (a.pred_ != b.pred_ || a.arity_ != b.arity_) return false;
+    for (int i = 0; i < a.arity_; ++i) {
+      if (a.args_[i] != b.args_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const Atom& a, const Atom& b) { return !(a == b); }
+
+  /// Total order (predicate-major) for canonicalization.
+  friend bool operator<(const Atom& a, const Atom& b) {
+    if (a.pred_ != b.pred_) return a.pred_ < b.pred_;
+    if (a.arity_ != b.arity_) return a.arity_ < b.arity_;
+    for (int i = 0; i < a.arity_; ++i) {
+      if (a.args_[i] != b.args_[i]) return a.args_[i] < b.args_[i];
+    }
+    return false;
+  }
+
+ private:
+  PredicateId pred_;
+  uint8_t arity_;
+  std::array<Term, kMaxArity> args_;
+};
+
+struct AtomHash {
+  size_t operator()(const Atom& atom) const {
+    uint64_t h = 0xcbf29ce484222325ULL ^ atom.predicate();
+    for (Term t : atom) {
+      h ^= t.raw();
+      h *= 0x100000001b3ULL;
+    }
+    return size_t(h);
+  }
+};
+
+/// Renders a conjunction "a1, a2, ..., an".
+std::string AtomsToString(const std::vector<Atom>& atoms, const World& world);
+
+}  // namespace floq
+
+#endif  // FLOQ_TERM_ATOM_H_

@@ -1,0 +1,52 @@
+#include "term/predicate.h"
+
+#include "util/check.h"
+
+namespace floq {
+
+PredicateTable::PredicateTable() {
+  // The P_FL catalog must get the fixed ids declared in pfl::.
+  struct Entry {
+    const char* name;
+    int arity;
+    PredicateId expected_id;
+  };
+  static constexpr Entry kPfl[] = {
+      {"member", 2, pfl::kMember},   {"sub", 2, pfl::kSub},
+      {"data", 3, pfl::kData},       {"type", 3, pfl::kType},
+      {"mandatory", 2, pfl::kMandatory}, {"funct", 2, pfl::kFunct},
+  };
+  for (const Entry& entry : kPfl) {
+    PredicateId id = Intern(entry.name, entry.arity);
+    FLOQ_CHECK_EQ(id, entry.expected_id);
+  }
+}
+
+PredicateId PredicateTable::Intern(std::string_view name, int arity) {
+  FLOQ_CHECK_GE(arity, 0);
+  if (arity > kMaxArity) return kInvalidPredicate;
+  uint32_t existing = names_.Lookup(name);
+  if (existing != UINT32_MAX) {
+    return arities_[existing] == arity ? existing : kInvalidPredicate;
+  }
+  PredicateId id = names_.Intern(name);
+  FLOQ_CHECK_EQ(id, arities_.size());
+  arities_.push_back(arity);
+  return id;
+}
+
+PredicateId PredicateTable::Lookup(std::string_view name) const {
+  uint32_t id = names_.Lookup(name);
+  return id == UINT32_MAX ? kInvalidPredicate : id;
+}
+
+const std::string& PredicateTable::NameOf(PredicateId id) const {
+  return names_.NameOf(id);
+}
+
+int PredicateTable::ArityOf(PredicateId id) const {
+  FLOQ_CHECK_LT(id, arities_.size());
+  return arities_[id];
+}
+
+}  // namespace floq

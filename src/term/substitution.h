@@ -1,0 +1,88 @@
+#ifndef FLOQ_TERM_SUBSTITUTION_H_
+#define FLOQ_TERM_SUBSTITUTION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "term/atom.h"
+#include "term/term.h"
+
+// Substitutions map terms to terms. They represent both homomorphism
+// candidates during search and completed homomorphisms (Definition 1 of
+// the paper: constants map to themselves, variables map anywhere).
+
+namespace floq {
+
+class Substitution {
+ public:
+  Substitution() = default;
+
+  /// Returns the image of `t`, or `t` itself if unmapped (identity
+  /// outside the explicit domain — constants are typically unmapped).
+  Term Apply(Term t) const {
+    auto it = map_.find(t);
+    return it == map_.end() ? t : it->second;
+  }
+
+  /// Applies the substitution to every argument of `atom`.
+  Atom Apply(const Atom& atom) const {
+    Atom out = atom;
+    for (int i = 0; i < atom.arity(); ++i) out.set_arg(i, Apply(atom.arg(i)));
+    return out;
+  }
+
+  /// Applies the substitution to a list of atoms.
+  std::vector<Atom> Apply(const std::vector<Atom>& atoms) const {
+    std::vector<Atom> out;
+    out.reserve(atoms.size());
+    for (const Atom& atom : atoms) out.push_back(Apply(atom));
+    return out;
+  }
+
+  /// Applies the substitution to a list of terms.
+  std::vector<Term> ApplyToTerms(const std::vector<Term>& terms) const {
+    std::vector<Term> out;
+    out.reserve(terms.size());
+    for (Term t : terms) out.push_back(Apply(t));
+    return out;
+  }
+
+  /// Binds `from` to `to`. Overwrites any existing binding of `from`.
+  void Bind(Term from, Term to) { map_[from] = to; }
+
+  /// True if `t` has an explicit binding.
+  bool Binds(Term t) const { return map_.count(t) > 0; }
+
+  /// Attempts to extend with from->to; fails (returns false, no change) if
+  /// `from` is already bound to a different term.
+  bool TryBind(Term from, Term to) {
+    auto [it, inserted] = map_.emplace(from, to);
+    return inserted || it->second == to;
+  }
+
+  void Erase(Term from) { map_.erase(from); }
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  /// Composition: (other ∘ this), i.e. first apply *this, then `other`.
+  Substitution ComposeWith(const Substitution& other) const {
+    Substitution out;
+    for (const auto& [from, to] : map_) out.Bind(from, other.Apply(to));
+    for (const auto& [from, to] : other.map_) {
+      if (!out.Binds(from)) out.Bind(from, to);
+    }
+    return out;
+  }
+
+  const std::unordered_map<Term, Term, TermHash>& entries() const {
+    return map_;
+  }
+
+ private:
+  std::unordered_map<Term, Term, TermHash> map_;
+};
+
+}  // namespace floq
+
+#endif  // FLOQ_TERM_SUBSTITUTION_H_

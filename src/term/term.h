@@ -1,0 +1,84 @@
+#ifndef FLOQ_TERM_TERM_H_
+#define FLOQ_TERM_TERM_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/check.h"
+
+// Terms of F-logic Lite queries and chases. A term is a 4-byte value: a
+// kind tag plus an index into per-kind tables owned by a floq::World.
+//
+// Three kinds exist, and their numeric order deliberately matches the
+// chase order of the paper (Definition 2): original constants precede
+// fresh nulls ("fresh constants" in the paper, invented by rule rho_5),
+// which precede variables. When the equality-generating rule rho_4 equates
+// two terms, the one that precedes in this order survives.
+
+namespace floq {
+
+class Term {
+ public:
+  enum class Kind : uint8_t {
+    kConstant = 0,  // named constant from a query/program
+    kNull = 1,      // fresh value invented by the chase (labeled null)
+    kVariable = 2,  // query variable (capitalized in the surface syntax)
+  };
+
+  /// Default-constructed terms are an invalid sentinel distinct from every
+  /// real term; useful for uninitialized slots.
+  Term() : raw_(kInvalidRaw) {}
+
+  static Term Constant(uint32_t index) { return Term(Kind::kConstant, index); }
+  static Term Null(uint32_t index) { return Term(Kind::kNull, index); }
+  static Term Variable(uint32_t index) { return Term(Kind::kVariable, index); }
+
+  bool valid() const { return raw_ != kInvalidRaw; }
+
+  Kind kind() const {
+    FLOQ_CHECK(valid());
+    return Kind(raw_ >> kIndexBits);
+  }
+
+  uint32_t index() const {
+    FLOQ_CHECK(valid());
+    return raw_ & kIndexMask;
+  }
+
+  bool IsConstant() const { return kind() == Kind::kConstant; }
+  bool IsNull() const { return kind() == Kind::kNull; }
+  bool IsVariable() const { return kind() == Kind::kVariable; }
+
+  /// Raw 32-bit encoding, usable as a hash key.
+  uint32_t raw() const { return raw_; }
+
+  friend bool operator==(Term a, Term b) { return a.raw_ == b.raw_; }
+  friend bool operator!=(Term a, Term b) { return a.raw_ != b.raw_; }
+  /// Arbitrary-but-total order for use in sorted containers (kind-major,
+  /// then index). This is NOT the chase order, which for constants and
+  /// variables is lexicographic on names; see World::PrecedesInChaseOrder.
+  friend bool operator<(Term a, Term b) { return a.raw_ < b.raw_; }
+
+ private:
+  static constexpr int kIndexBits = 30;
+  static constexpr uint32_t kIndexMask = (1u << kIndexBits) - 1;
+  static constexpr uint32_t kInvalidRaw = ~0u;
+
+  Term(Kind kind, uint32_t index)
+      : raw_((uint32_t(kind) << kIndexBits) | index) {
+    FLOQ_CHECK_LE(index, kIndexMask);
+  }
+
+  uint32_t raw_;
+};
+
+struct TermHash {
+  size_t operator()(Term t) const {
+    // Fibonacci hashing of the raw encoding.
+    return size_t(t.raw()) * 0x9e3779b97f4a7c15ULL >> 32;
+  }
+};
+
+}  // namespace floq
+
+#endif  // FLOQ_TERM_TERM_H_

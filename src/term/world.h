@@ -1,0 +1,111 @@
+#ifndef FLOQ_TERM_WORLD_H_
+#define FLOQ_TERM_WORLD_H_
+
+#include <string>
+#include <string_view>
+
+#include "term/predicate.h"
+#include "term/term.h"
+#include "util/interner.h"
+
+// A World owns the symbol universe for a family of queries, chases, and
+// databases: the names of constants and variables, the supply of fresh
+// nulls, and the predicate registry. Everything that must be compared
+// (queries in a containment check, a query and a database) must live in
+// the same World.
+
+namespace floq {
+
+class World {
+ public:
+  World() = default;
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Interns a named constant.
+  Term MakeConstant(std::string_view name) {
+    return Term::Constant(constants_.Intern(name));
+  }
+
+  /// Interns a named variable.
+  Term MakeVariable(std::string_view name) {
+    return Term::Variable(variables_.Intern(name));
+  }
+
+  /// Creates a fresh labeled null. Nulls are ordered by creation, matching
+  /// the paper's requirement that each fresh value "lexicographically
+  /// follows all other constants in the segment of the chase constructed
+  /// so far (but still precedes all variables)".
+  Term MakeFreshNull() { return Term::Null(null_count_++); }
+
+  /// Creates a fresh variable never seen before (for `_` in the surface
+  /// syntax and for renaming queries apart). The generated "_G<n>" names
+  /// are parseable, so printed queries round-trip.
+  Term MakeFreshVariable() {
+    for (;;) {
+      std::string name = "_G" + std::to_string(fresh_variable_count_++);
+      if (variables_.Lookup(name) == UINT32_MAX) {
+        return Term::Variable(variables_.Intern(name));
+      }
+    }
+  }
+
+  /// Creates a fresh variable whose name ("$R<n>") no floq parser can
+  /// produce, so it can never collide with any variable of any
+  /// later-parsed query. Used for the internal variables of Sigma_FL and
+  /// of user dependency sets, whose identity must stay disjoint from all
+  /// chase values.
+  Term MakeReservedVariable() {
+    std::string name = "$R" + std::to_string(reserved_variable_count_++);
+    return Term::Variable(variables_.Intern(name));
+  }
+
+  /// Human-readable name of any term (nulls render as "_#k").
+  std::string NameOf(Term t) const {
+    switch (t.kind()) {
+      case Term::Kind::kConstant:
+        return constants_.NameOf(t.index());
+      case Term::Kind::kNull:
+        return "_#" + std::to_string(t.index());
+      case Term::Kind::kVariable:
+        return variables_.NameOf(t.index());
+    }
+    return "?";
+  }
+
+  /// The chase order of Definition 2: all constants (lexicographically)
+  /// precede all nulls (by creation) precede all variables
+  /// (lexicographically). Returns true if `a` strictly precedes `b`.
+  bool PrecedesInChaseOrder(Term a, Term b) const {
+    if (a.kind() != b.kind()) return uint8_t(a.kind()) < uint8_t(b.kind());
+    switch (a.kind()) {
+      case Term::Kind::kConstant:
+        return constants_.NameOf(a.index()) < constants_.NameOf(b.index());
+      case Term::Kind::kNull:
+        return a.index() < b.index();
+      case Term::Kind::kVariable:
+        return variables_.NameOf(a.index()) < variables_.NameOf(b.index());
+    }
+    return false;
+  }
+
+  PredicateTable& predicates() { return predicates_; }
+  const PredicateTable& predicates() const { return predicates_; }
+
+  uint32_t constant_count() const { return constants_.size(); }
+  uint32_t variable_count() const { return variables_.size(); }
+  uint32_t null_count() const { return null_count_; }
+
+ private:
+  StringInterner constants_;
+  StringInterner variables_;
+  PredicateTable predicates_;
+  uint32_t null_count_ = 0;
+  uint32_t fresh_variable_count_ = 0;
+  uint32_t reserved_variable_count_ = 0;
+};
+
+}  // namespace floq
+
+#endif  // FLOQ_TERM_WORLD_H_

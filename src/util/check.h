@@ -1,0 +1,60 @@
+#ifndef FLOQ_UTIL_CHECK_H_
+#define FLOQ_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+// Internal invariant checking. The library does not use exceptions
+// (errors that callers can act on travel through floq::Status /
+// floq::Result); FLOQ_CHECK is reserved for programming errors and
+// aborts with a diagnostic.
+
+namespace floq::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition,
+                                     const std::string& message) {
+  std::fprintf(stderr, "FLOQ_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               condition, message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+// Accumulates an optional streamed message for FLOQ_CHECK.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, condition_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+}  // namespace floq::internal
+
+#define FLOQ_CHECK(condition)                                          \
+  while (!(condition))                                                 \
+  ::floq::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define FLOQ_CHECK_EQ(a, b) FLOQ_CHECK((a) == (b))
+#define FLOQ_CHECK_NE(a, b) FLOQ_CHECK((a) != (b))
+#define FLOQ_CHECK_LT(a, b) FLOQ_CHECK((a) < (b))
+#define FLOQ_CHECK_LE(a, b) FLOQ_CHECK((a) <= (b))
+#define FLOQ_CHECK_GT(a, b) FLOQ_CHECK((a) > (b))
+#define FLOQ_CHECK_GE(a, b) FLOQ_CHECK((a) >= (b))
+
+#endif  // FLOQ_UTIL_CHECK_H_

@@ -1,0 +1,60 @@
+#ifndef FLOQ_UTIL_INTERNER_H_
+#define FLOQ_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+// String interning: terms and predicates refer to names by dense uint32
+// ids, so that atoms are small value types and comparisons are integral.
+
+namespace floq {
+
+/// Bidirectional map between strings and dense uint32 ids.
+class StringInterner {
+ public:
+  StringInterner() = default;
+
+  // Ids index into names_, so the table must not be copied while ids from
+  // another instance are live; moving is fine.
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+  StringInterner(StringInterner&&) = default;
+  StringInterner& operator=(StringInterner&&) = default;
+
+  /// Returns the id for `name`, inserting it if new.
+  uint32_t Intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    uint32_t id = uint32_t(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `name` if present, or UINT32_MAX otherwise.
+  uint32_t Lookup(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    return it == ids_.end() ? UINT32_MAX : it->second;
+  }
+
+  /// Returns the name of an interned id.
+  const std::string& NameOf(uint32_t id) const {
+    FLOQ_CHECK_LT(id, names_.size());
+    return names_[id];
+  }
+
+  uint32_t size() const { return uint32_t(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> ids_;
+};
+
+}  // namespace floq
+
+#endif  // FLOQ_UTIL_INTERNER_H_

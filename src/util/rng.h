@@ -1,0 +1,75 @@
+#ifndef FLOQ_UTIL_RNG_H_
+#define FLOQ_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+// Deterministic pseudo-random generation for workload generators and
+// property tests. All floq experiments are seeded so that every benchmark
+// table is exactly reproducible; we deliberately avoid std::mt19937's
+// platform-sized quirks and keep the generator self-contained.
+
+namespace floq {
+
+/// SplitMix64: used to expand a user seed into generator state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna — fast, high-quality, 256-bit state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  /// Uniform over the full 64-bit range.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Requires bound > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  uint64_t Below(uint64_t bound) {
+    FLOQ_CHECK_GT(bound, 0u);
+    const uint64_t threshold = -bound % bound;  // 2^64 mod bound
+    for (;;) {
+      uint64_t sample = Next();
+      if (sample >= threshold) return sample % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Between(int64_t lo, int64_t hi) {
+    FLOQ_CHECK_LE(lo, hi);
+    return lo + int64_t(Below(uint64_t(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with probability p in [0, 1].
+  bool Chance(double p) {
+    return double(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace floq
+
+#endif  // FLOQ_UTIL_RNG_H_

@@ -1,0 +1,115 @@
+#ifndef FLOQ_UTIL_STATUS_H_
+#define FLOQ_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+// Error handling for the floq library. The library is exception-free:
+// operations that can fail on user input (parsing, malformed queries,
+// resource budgets) return floq::Status or floq::Result<T>.
+
+namespace floq {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (parse errors, arity mismatches)
+  kNotFound,          // lookup misses (unknown predicate, unknown symbol)
+  kFailedPrecondition,// operation not valid in the current state
+  kResourceExhausted, // a configured budget (atoms, steps, levels) was hit
+  kInternal,          // invariant violation surfaced as a recoverable error
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the OK path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    FLOQ_CHECK(code != StatusCode::kOk) << "use Status() for OK";
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InternalError(std::string message);
+
+/// Holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return some_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status: `return InvalidArgumentError(...);`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    FLOQ_CHECK(!status_.ok()) << "Result(Status) requires an error status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : status_;
+  }
+
+  /// Requires ok(). Accessors mirror absl::StatusOr.
+  const T& value() const& {
+    FLOQ_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    FLOQ_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    FLOQ_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace floq
+
+/// Propagates an error Status from an expression producing a Status.
+#define FLOQ_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::floq::Status floq_status_ = (expr);           \
+    if (!floq_status_.ok()) return floq_status_;    \
+  } while (false)
+
+#endif  // FLOQ_UTIL_STATUS_H_

@@ -1,0 +1,36 @@
+#ifndef FLOQ_UTIL_STRINGS_H_
+#define FLOQ_UTIL_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Small string helpers shared by the parsers and printers.
+
+namespace floq {
+
+/// Concatenates the streamed representations of the arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  (out << ... << args);
+  return out.str();
+}
+
+/// Joins the elements of `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Splits on a single character, keeping empty pieces.
+std::vector<std::string> Split(std::string_view text, char separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace floq
+
+#endif  // FLOQ_UTIL_STRINGS_H_

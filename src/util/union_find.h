@@ -1,0 +1,64 @@
+#ifndef FLOQ_UTIL_UNION_FIND_H_
+#define FLOQ_UTIL_UNION_FIND_H_
+
+#include <cstdint>
+#include <vector>
+
+// Disjoint-set forest used by the chase to apply equality-generating
+// dependencies (rule rho_4 of Sigma_FL): when two terms are equated, their
+// equivalence classes are merged and a caller-chosen representative wins.
+
+namespace floq {
+
+/// Union-find over dense uint32 ids with path compression.
+///
+/// Unlike the textbook structure, Union() lets the caller pick which root
+/// becomes the representative: the chase must keep the term that precedes in
+/// the chase order (constants before nulls before variables), not the one in
+/// the larger tree.
+class UnionFind {
+ public:
+  UnionFind() = default;
+
+  /// Ensures ids [0, n) exist, each initially its own singleton class.
+  void GrowTo(uint32_t n) {
+    while (parent_.size() < n) parent_.push_back(uint32_t(parent_.size()));
+  }
+
+  uint32_t size() const { return uint32_t(parent_.size()); }
+
+  /// Returns the representative of `id`'s class. Grows on demand.
+  uint32_t Find(uint32_t id) {
+    GrowTo(id + 1);
+    uint32_t root = id;
+    while (parent_[root] != root) root = parent_[root];
+    // Path compression.
+    while (parent_[id] != root) {
+      uint32_t next = parent_[id];
+      parent_[id] = root;
+      id = next;
+    }
+    return root;
+  }
+
+  /// Merges the classes of `winner` and `loser`; the representative of
+  /// `winner`'s class becomes the representative of the union. Returns true
+  /// if the two were previously in distinct classes.
+  bool Union(uint32_t winner, uint32_t loser) {
+    uint32_t w = Find(winner);
+    uint32_t l = Find(loser);
+    if (w == l) return false;
+    parent_[l] = w;
+    return true;
+  }
+
+  /// True if the two ids are currently in the same class.
+  bool Same(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+}  // namespace floq
+
+#endif  // FLOQ_UTIL_UNION_FIND_H_

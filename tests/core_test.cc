@@ -1,0 +1,107 @@
+// Tests for Sigma_FL-core computation (minimization + variable folding).
+
+#include <gtest/gtest.h>
+
+#include "containment/containment.h"
+#include "containment/minimize.h"
+#include "query/parser.h"
+#include "term/world.h"
+
+namespace floq {
+namespace {
+
+ConjunctiveQuery Q(World& world, const char* text) {
+  Result<ConjunctiveQuery> q = ParseQuery(world, text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+TEST(CoreTest, FoldsParallelVariables) {
+  World world;
+  // Classical core: member(X, C) and member(X, D) fold into one atom.
+  ConjunctiveQuery q = Q(world, "q(X) :- member(X, C), member(X, D).");
+  CoreStats stats;
+  Result<ConjunctiveQuery> core = ComputeCore(world, q, {}, &stats);
+  ASSERT_TRUE(core.ok());
+  EXPECT_EQ(core->size(), 1);
+  EXPECT_TRUE(*CheckEquivalence(world, q, *core));
+}
+
+TEST(CoreTest, EgdEnablesAFoldRemovalCannotReach) {
+  World world;
+  // Neither data atom nor either member atom is removable on its own
+  // (each value variable carries its own membership). But under
+  // funct(a, o) the chase merges V and W, so the fold W -> V is
+  // equivalence-preserving — and it unlocks further shrinking.
+  ConjunctiveQuery q =
+      Q(world, "q() :- data(o, a, V), data(o, a, W), member(V, c), "
+               "member(W, d), funct(a, o).");
+  MinimizeStats m;
+  Result<ConjunctiveQuery> only_removal = MinimizeQuery(world, q, {}, &m);
+  ASSERT_TRUE(only_removal.ok());
+  EXPECT_EQ(only_removal->size(), 5);  // removal alone is stuck
+
+  CoreStats stats;
+  Result<ConjunctiveQuery> core = ComputeCore(world, q, {}, &stats);
+  ASSERT_TRUE(core.ok());
+  EXPECT_EQ(core->size(), 4);  // one data atom, both members, funct
+  EXPECT_GE(stats.variables_folded, 1);
+  EXPECT_TRUE(*CheckEquivalence(world, q, *core));
+}
+
+TEST(CoreTest, HeadVariablesAreNeverFolded) {
+  World world;
+  // X and Y are both in the head: they must stay distinct even though
+  // folding them would yield an equivalent-looking diagonal body.
+  ConjunctiveQuery q = Q(world, "q(X, Y) :- data(O, A, X), data(O, A, Y).");
+  Result<ConjunctiveQuery> core = ComputeCore(world, q);
+  ASSERT_TRUE(core.ok());
+  EXPECT_EQ(core->head()[0], world.MakeVariable("X"));
+  EXPECT_EQ(core->head()[1], world.MakeVariable("Y"));
+  EXPECT_EQ(core->size(), 2);
+}
+
+TEST(CoreTest, CombinesRemovalAndFolding) {
+  World world;
+  // member(O, D) is removable (rho_3); afterwards E folds onto C.
+  ConjunctiveQuery q =
+      Q(world, "q(O) :- member(O, C), sub(C, D), member(O, D), "
+               "member(O, E).");
+  CoreStats stats;
+  Result<ConjunctiveQuery> core = ComputeCore(world, q, {}, &stats);
+  ASSERT_TRUE(core.ok());
+  EXPECT_EQ(core->size(), 2);  // member(O, C), sub(C, D)
+  EXPECT_TRUE(*CheckEquivalence(world, q, *core));
+}
+
+TEST(CoreTest, MinimalQueryIsFixpoint) {
+  World world;
+  ConjunctiveQuery q = Q(world, "q(X) :- member(X, C), data(X, A, V).");
+  CoreStats stats;
+  Result<ConjunctiveQuery> core = ComputeCore(world, q, {}, &stats);
+  ASSERT_TRUE(core.ok());
+  EXPECT_EQ(core->size(), 2);
+  EXPECT_EQ(stats.atoms_removed, 0);
+  EXPECT_EQ(stats.variables_folded, 0);
+  // Idempotent.
+  Result<ConjunctiveQuery> again = ComputeCore(world, *core);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *core);
+}
+
+TEST(CoreTest, SigmaAwareFoldBeyondClassicalCore) {
+  World world;
+  // Under funct(a, o), the two values V and W coincide in every legal
+  // database, so the core folds W onto V — a fold the classical core
+  // would reject.
+  ConjunctiveQuery q =
+      Q(world, "q() :- funct(a, o), data(o, a, V), data(o, a, W), "
+               "member(V, c).");
+  Result<ConjunctiveQuery> core = ComputeCore(world, q);
+  ASSERT_TRUE(core.ok());
+  EXPECT_EQ(core->size(), 3);  // funct, one data, member
+  EXPECT_TRUE(*CheckEquivalence(world, q, *core));
+}
+
+}  // namespace
+}  // namespace floq

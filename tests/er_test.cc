@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "containment/containment.h"
+#include "er/er_schema.h"
+#include "kb/knowledge_base.h"
+#include "query/parser.h"
+#include "term/world.h"
+
+namespace floq::er {
+namespace {
+
+constexpr const char* kUniversitySchema = R"(
+  % conceptual schema of the running example
+  entity person {
+    attribute name : string;
+    attribute age : number optional;
+    attribute hobby : string optional multi;
+  }
+  entity student isa person {
+    attribute major : string;
+  }
+  entity course {
+    attribute title : string;
+  }
+  relationship enrolled {
+    role who : student mandatory;
+    role what : course unique;
+    attribute grade : number optional;
+  }
+)";
+
+// ---- parsing -------------------------------------------------------------
+
+TEST(ErParserTest, ParsesTheUniversitySchema) {
+  Result<ErSchema> schema = ParseErSchema(kUniversitySchema);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  ASSERT_EQ(schema->entities.size(), 3u);
+  ASSERT_EQ(schema->relationships.size(), 1u);
+
+  const Entity& person = schema->entities[0];
+  EXPECT_EQ(person.name, "person");
+  ASSERT_EQ(person.attributes.size(), 3u);
+  EXPECT_TRUE(person.attributes[0].mandatory);
+  EXPECT_TRUE(person.attributes[0].functional);
+  EXPECT_FALSE(person.attributes[1].mandatory);  // optional
+  EXPECT_TRUE(person.attributes[1].functional);
+  EXPECT_FALSE(person.attributes[2].mandatory);  // optional multi
+  EXPECT_FALSE(person.attributes[2].functional);
+
+  const Entity& student = schema->entities[1];
+  ASSERT_EQ(student.supertypes.size(), 1u);
+  EXPECT_EQ(student.supertypes[0], "person");
+
+  const Relationship& enrolled = schema->relationships[0];
+  ASSERT_EQ(enrolled.roles.size(), 2u);
+  EXPECT_TRUE(enrolled.roles[0].total_participation);
+  EXPECT_FALSE(enrolled.roles[0].unique_participation);
+  EXPECT_TRUE(enrolled.roles[1].unique_participation);
+}
+
+TEST(ErParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseErSchema("entity {").ok());
+  EXPECT_FALSE(ParseErSchema("entity p { attribute a string; }").ok());
+  EXPECT_FALSE(ParseErSchema("entity p { attribute a : t weird; }").ok());
+  EXPECT_FALSE(ParseErSchema("banana p { }").ok());
+  EXPECT_FALSE(ParseErSchema("relationship r { role a : b; }").ok());
+}
+
+TEST(ErParserTest, ValidationErrors) {
+  // Unknown role entity.
+  EXPECT_FALSE(ParseErSchema("entity a { } entity b { } relationship r { "
+                             "role x : a; role y : ghost; }")
+                   .ok());
+  // Duplicate names.
+  EXPECT_FALSE(ParseErSchema("entity a { } entity a { }").ok());
+  // Unknown supertype.
+  EXPECT_FALSE(ParseErSchema("entity a isa ghost { }").ok());
+  // ISA cycle.
+  EXPECT_FALSE(
+      ParseErSchema("entity a isa b { } entity b isa a { }").ok());
+  // Relationship with one role.
+  EXPECT_FALSE(
+      ParseErSchema("entity a { } relationship r { role x : a; }").ok());
+}
+
+// ---- compilation ------------------------------------------------------------
+
+TEST(ErCompileTest, EntityEncoding) {
+  Result<ErSchema> schema = ParseErSchema(kUniversitySchema);
+  ASSERT_TRUE(schema.ok());
+  World world;
+  std::vector<Atom> facts = schema->ToFacts(world);
+  auto has = [&](const Atom& atom) {
+    for (const Atom& fact : facts) {
+      if (fact == atom) return true;
+    }
+    return false;
+  };
+  Term person = world.MakeConstant("person");
+  Term student = world.MakeConstant("student");
+  Term name = world.MakeConstant("name");
+  Term age = world.MakeConstant("age");
+  Term hobby = world.MakeConstant("hobby");
+
+  EXPECT_TRUE(has(Atom::Sub(student, person)));
+  EXPECT_TRUE(has(Atom::Type(person, name, world.MakeConstant("string"))));
+  EXPECT_TRUE(has(Atom::Mandatory(name, person)));
+  EXPECT_TRUE(has(Atom::Funct(name, person)));
+  EXPECT_FALSE(has(Atom::Mandatory(age, person)));  // optional
+  EXPECT_TRUE(has(Atom::Funct(age, person)));
+  EXPECT_FALSE(has(Atom::Mandatory(hobby, person)));
+  EXPECT_FALSE(has(Atom::Funct(hobby, person)));
+}
+
+TEST(ErCompileTest, RelationshipEncoding) {
+  Result<ErSchema> schema = ParseErSchema(kUniversitySchema);
+  ASSERT_TRUE(schema.ok());
+  World world;
+  std::vector<Atom> facts = schema->ToFacts(world);
+  auto has = [&](const Atom& atom) {
+    for (const Atom& fact : facts) {
+      if (fact == atom) return true;
+    }
+    return false;
+  };
+  Term enrolled = world.MakeConstant("enrolled");
+  Term who = world.MakeConstant("who");
+  Term what = world.MakeConstant("what");
+  Term student = world.MakeConstant("student");
+  Term course = world.MakeConstant("course");
+  Term who_inv = world.MakeConstant("who_of_enrolled");
+  Term what_inv = world.MakeConstant("what_of_enrolled");
+
+  // Tuple side: both roles exactly-one.
+  EXPECT_TRUE(has(Atom::Type(enrolled, who, student)));
+  EXPECT_TRUE(has(Atom::Mandatory(who, enrolled)));
+  EXPECT_TRUE(has(Atom::Funct(who, enrolled)));
+  EXPECT_TRUE(has(Atom::Type(enrolled, what, course)));
+  // Participation side.
+  EXPECT_TRUE(has(Atom::Type(student, who_inv, enrolled)));
+  EXPECT_TRUE(has(Atom::Mandatory(who_inv, student)));   // total
+  EXPECT_FALSE(has(Atom::Funct(who_inv, student)));
+  EXPECT_TRUE(has(Atom::Type(course, what_inv, enrolled)));
+  EXPECT_TRUE(has(Atom::Funct(what_inv, course)));       // unique
+  EXPECT_FALSE(has(Atom::Mandatory(what_inv, course)));
+}
+
+// ---- end-to-end: E-R semantics drives containment ----------------------------
+
+TEST(ErContainmentTest, TotalParticipationImpliesEnrollment) {
+  // Under the schema, every student participates in `enrolled`: the query
+  // for students is contained in the query for participants.
+  Result<ErSchema> schema = ParseErSchema(kUniversitySchema);
+  ASSERT_TRUE(schema.ok());
+  World world;
+  std::vector<Atom> schema_facts = schema->ToFacts(world);
+
+  // Embed the schema facts into both queries (queries are checked against
+  // all databases, so the schema travels in the body).
+  auto with_schema = [&](const char* text) {
+    ConjunctiveQuery q = *ParseQuery(world, text);
+    std::vector<Atom> body = q.body();
+    body.insert(body.end(), schema_facts.begin(), schema_facts.end());
+    return ConjunctiveQuery(q.name(), q.head(), std::move(body));
+  };
+
+  ConjunctiveQuery students = with_schema("q(S) :- member(S, student).");
+  ConjunctiveQuery participants = *ParseQuery(
+      world, "q(S) :- data(S, who_of_enrolled, E), member(E, enrolled).");
+
+  Result<ContainmentResult> result =
+      CheckContainment(world, students, participants);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->contained);
+}
+
+TEST(ErContainmentTest, RelationshipTupleYieldsRoleFillers) {
+  Result<ErSchema> schema = ParseErSchema(kUniversitySchema);
+  ASSERT_TRUE(schema.ok());
+  World world;
+  std::vector<Atom> schema_facts = schema->ToFacts(world);
+
+  std::vector<Atom> body = {Atom::Member(world.MakeVariable("E"),
+                                         world.MakeConstant("enrolled"))};
+  body.insert(body.end(), schema_facts.begin(), schema_facts.end());
+  ConjunctiveQuery tuples("q", {world.MakeVariable("E")}, body);
+
+  // Every enrolled-tuple has a student filler for `who`.
+  ConjunctiveQuery with_filler = *ParseQuery(
+      world, "q(E) :- data(E, who, S), member(S, student).");
+  Result<ContainmentResult> result =
+      CheckContainment(world, tuples, with_filler);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->contained);
+}
+
+TEST(ErKbTest, InstanceDataSaturatesAgainstTheSchema) {
+  Result<ErSchema> schema = ParseErSchema(kUniversitySchema);
+  ASSERT_TRUE(schema.ok());
+  World world;
+  KnowledgeBase kb(world);
+  for (const Atom& fact : schema->ToFacts(world)) {
+    ASSERT_TRUE(kb.AddFact(fact).ok());
+  }
+  ASSERT_TRUE(kb.Load("ann : student. db : course. e1 : enrolled. "
+                      "e1[who -> ann, what -> db]. ann[name -> 'Ann']. "
+                      "ann[major -> 'cs'].").ok());
+  Result<ConsistencyReport> report = kb.Saturate();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->consistent);
+  // ann is a person (ISA) and has the inherited name typing.
+  EXPECT_TRUE(kb.database().Contains(Atom::Member(
+      world.MakeConstant("ann"), world.MakeConstant("person"))));
+  EXPECT_TRUE(kb.database().Contains(
+      Atom::Type(world.MakeConstant("ann"), world.MakeConstant("name"),
+                 world.MakeConstant("string"))));
+
+  // Violating role uniqueness is detected: a second enrollment of the
+  // same course.
+  ASSERT_TRUE(kb.Load("e2 : enrolled. e2[what -> db]. "
+                      "db[what_of_enrolled -> e1]. "
+                      "db[what_of_enrolled -> e2].").ok());
+  report = kb.Saturate();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->consistent);
+}
+
+}  // namespace
+}  // namespace floq::er

@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include "flogic/lexer.h"
+#include "flogic/parser.h"
+#include "flogic/printer.h"
+#include "term/world.h"
+
+namespace floq::flogic {
+namespace {
+
+// ---- lexer -------------------------------------------------------------
+
+TEST(LexerTest, PunctuationLongestMatch) {
+  Result<std::vector<Token>> tokens = Tokenize(":: : :- *=> * -> ?-");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kColonColon, TokenKind::kColon,
+                       TokenKind::kImplies, TokenKind::kSignature,
+                       TokenKind::kStar, TokenKind::kArrow, TokenKind::kQuery,
+                       TokenKind::kEnd}));
+}
+
+TEST(LexerTest, WordsSplitByCase) {
+  Result<std::vector<Token>> tokens = Tokenize("john Student _anon _");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kVariable);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kVariable);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kVariable);
+}
+
+TEST(LexerTest, NumberThenStatementDot) {
+  Result<std::vector<Token>> tokens = Tokenize("john[age -> 33].");
+  ASSERT_TRUE(tokens.ok());
+  // The '.' after 33 must be a kDot, not part of the number.
+  const Token& last = (*tokens)[tokens->size() - 2];
+  EXPECT_EQ(last.kind, TokenKind::kDot);
+  EXPECT_EQ((*tokens)[4].text, "33");
+}
+
+TEST(LexerTest, DecimalNumbers) {
+  Result<std::vector<Token>> tokens = Tokenize("x[w -> 3.14].");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[4].text, "3.14");
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kDot);
+}
+
+TEST(LexerTest, StringsAndComments) {
+  Result<std::vector<Token>> tokens =
+      Tokenize("'hello world' % trailing comment\nfoo");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "hello world");
+  EXPECT_EQ((*tokens)[1].text, "foo");
+}
+
+TEST(LexerTest, ErrorsCarryPosition) {
+  Result<std::vector<Token>> tokens = Tokenize("abc\n  @");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("2:3"), std::string::npos);
+}
+
+TEST(LexerTest, UnterminatedString) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+// ---- molecules --------------------------------------------------------
+
+TEST(FlogicParserTest, IsaMolecule) {
+  World world;
+  Result<std::vector<Atom>> atoms = ParseFormula(world, "john : student");
+  ASSERT_TRUE(atoms.ok()) << atoms.status().ToString();
+  ASSERT_EQ(atoms->size(), 1u);
+  EXPECT_EQ((*atoms)[0], Atom::Member(world.MakeConstant("john"),
+                                      world.MakeConstant("student")));
+}
+
+TEST(FlogicParserTest, SubclassMolecule) {
+  World world;
+  Result<std::vector<Atom>> atoms =
+      ParseFormula(world, "freshman :: student");
+  ASSERT_TRUE(atoms.ok());
+  EXPECT_EQ((*atoms)[0], Atom::Sub(world.MakeConstant("freshman"),
+                                   world.MakeConstant("student")));
+}
+
+TEST(FlogicParserTest, DataMolecule) {
+  World world;
+  Result<std::vector<Atom>> atoms = ParseFormula(world, "john[age -> 33]");
+  ASSERT_TRUE(atoms.ok());
+  EXPECT_EQ((*atoms)[0],
+            Atom::Data(world.MakeConstant("john"), world.MakeConstant("age"),
+                       world.MakeConstant("33")));
+}
+
+TEST(FlogicParserTest, SignatureMolecule) {
+  World world;
+  Result<std::vector<Atom>> atoms =
+      ParseFormula(world, "person[age *=> number]");
+  ASSERT_TRUE(atoms.ok());
+  EXPECT_EQ((*atoms)[0],
+            Atom::Type(world.MakeConstant("person"), world.MakeConstant("age"),
+                       world.MakeConstant("number")));
+}
+
+TEST(FlogicParserTest, MandatorySignatureEncodesPerPaper) {
+  World world;
+  // O[A {1:*} *=> _] encodes exactly mandatory(A, O).
+  Result<std::vector<Atom>> atoms =
+      ParseFormula(world, "person[name {1:*} *=> _]");
+  ASSERT_TRUE(atoms.ok());
+  ASSERT_EQ(atoms->size(), 1u);
+  EXPECT_EQ((*atoms)[0], Atom::Mandatory(world.MakeConstant("name"),
+                                         world.MakeConstant("person")));
+}
+
+TEST(FlogicParserTest, MandatoryWithTypeAddsTypeAtom) {
+  World world;
+  Result<std::vector<Atom>> atoms =
+      ParseFormula(world, "person[name {1:*} *=> string]");
+  ASSERT_TRUE(atoms.ok());
+  ASSERT_EQ(atoms->size(), 2u);
+  EXPECT_EQ((*atoms)[0].predicate(), pfl::kMandatory);
+  EXPECT_EQ((*atoms)[1].predicate(), pfl::kType);
+}
+
+TEST(FlogicParserTest, FunctionalSignature) {
+  World world;
+  Result<std::vector<Atom>> atoms =
+      ParseFormula(world, "person[age {0:1} *=> number]");
+  ASSERT_TRUE(atoms.ok());
+  ASSERT_EQ(atoms->size(), 2u);
+  EXPECT_EQ((*atoms)[0].predicate(), pfl::kFunct);
+  EXPECT_EQ((*atoms)[1].predicate(), pfl::kType);
+}
+
+TEST(FlogicParserTest, ExactlyOneCardinal) {
+  World world;
+  Result<std::vector<Atom>> atoms =
+      ParseFormula(world, "person[ssn {1:1} *=> _]");
+  ASSERT_TRUE(atoms.ok());
+  ASSERT_EQ(atoms->size(), 2u);
+  EXPECT_EQ((*atoms)[0].predicate(), pfl::kMandatory);
+  EXPECT_EQ((*atoms)[1].predicate(), pfl::kFunct);
+}
+
+TEST(FlogicParserTest, CommaCardinalitySeparatorFromPaper) {
+  World world;
+  // The paper writes {1,*} in its second example.
+  Result<std::vector<Atom>> atoms =
+      ParseFormula(world, "Class[Att {1,*} *=> _]");
+  ASSERT_TRUE(atoms.ok());
+  EXPECT_EQ((*atoms)[0].predicate(), pfl::kMandatory);
+}
+
+TEST(FlogicParserTest, UnsupportedCardinalityRejected) {
+  World world;
+  Result<std::vector<Atom>> atoms =
+      ParseFormula(world, "person[age {2:5} *=> number]");
+  ASSERT_FALSE(atoms.ok());
+  EXPECT_NE(atoms.status().message().find("F-logic Lite"), std::string::npos);
+}
+
+TEST(FlogicParserTest, VacuousCardinalityAddsNothing) {
+  World world;
+  Result<std::vector<Atom>> atoms =
+      ParseFormula(world, "person[age {0:*} *=> number]");
+  ASSERT_TRUE(atoms.ok());
+  ASSERT_EQ(atoms->size(), 1u);
+  EXPECT_EQ((*atoms)[0].predicate(), pfl::kType);
+}
+
+TEST(FlogicParserTest, MultiAttributeMolecule) {
+  World world;
+  Result<std::vector<Atom>> atoms =
+      ParseFormula(world, "john[age -> 33, name -> 'J', dept *=> string]");
+  ASSERT_TRUE(atoms.ok());
+  ASSERT_EQ(atoms->size(), 3u);
+  EXPECT_EQ((*atoms)[0].predicate(), pfl::kData);
+  EXPECT_EQ((*atoms)[1].predicate(), pfl::kData);
+  EXPECT_EQ((*atoms)[2].predicate(), pfl::kType);
+}
+
+TEST(FlogicParserTest, VariablesAnywherePerPaper) {
+  World world;
+  // john:X, Y::person, john[Att->33], person[Att*=>Val] are all allowed.
+  EXPECT_TRUE(ParseFormula(world, "john : X").ok());
+  EXPECT_TRUE(ParseFormula(world, "Y :: person").ok());
+  EXPECT_TRUE(ParseFormula(world, "john[Att -> 33]").ok());
+  EXPECT_TRUE(ParseFormula(world, "person[Att *=> Val]").ok());
+}
+
+TEST(FlogicParserTest, MixedMoleculeAndPredicateAtoms) {
+  World world;
+  Result<std::vector<Atom>> atoms =
+      ParseFormula(world, "member(X, C), C[name *=> string]");
+  ASSERT_TRUE(atoms.ok());
+  ASSERT_EQ(atoms->size(), 2u);
+  EXPECT_EQ((*atoms)[0].predicate(), pfl::kMember);
+  EXPECT_EQ((*atoms)[1].predicate(), pfl::kType);
+}
+
+// ---- rules & programs ----------------------------------------------------
+
+TEST(FlogicParserTest, PaperJoinableRule) {
+  World world;
+  Result<ConjunctiveQuery> q = ParseQuery(
+      world, "q(A, B) :- T1[A *=> T2], T2 :: T3, T3[B *=> _].");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->arity(), 2);
+  ASSERT_EQ(q->size(), 3);
+  EXPECT_EQ(q->body()[0].predicate(), pfl::kType);
+  EXPECT_EQ(q->body()[1].predicate(), pfl::kSub);
+  EXPECT_EQ(q->body()[2].predicate(), pfl::kType);
+  // The anonymous type variable is fresh.
+  EXPECT_TRUE(q->body()[2].arg(2).IsVariable());
+}
+
+TEST(FlogicParserTest, PaperMandatoryTripleRule) {
+  World world;
+  Result<ConjunctiveQuery> q = ParseQuery(world,
+                                          "q(Att, Class, Type) :- "
+                                          "Class[Att {1,*} *=> _], "
+                                          "Class[Att *=> Type], "
+                                          "_ : Class.");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->arity(), 3);
+  ASSERT_EQ(q->size(), 3);
+  EXPECT_EQ(q->body()[0].predicate(), pfl::kMandatory);
+  EXPECT_EQ(q->body()[1].predicate(), pfl::kType);
+  EXPECT_EQ(q->body()[2].predicate(), pfl::kMember);
+}
+
+TEST(FlogicParserTest, ProgramWithFactsRulesGoals) {
+  World world;
+  Result<Program> program = ParseProgram(world,
+                                         "john : student.\n"
+                                         "student :: person.\n"
+                                         "person[age {0:1} *=> number].\n"
+                                         "q(X) :- X : person.\n"
+                                         "?- student[Att *=> T].\n");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->facts.size(), 4u);  // funct + type from the signature
+  EXPECT_EQ(program->rules.size(), 1u);
+  EXPECT_EQ(program->goals.size(), 1u);
+  // Goal head collects named variables in order.
+  EXPECT_EQ(program->goals[0].arity(), 2);
+}
+
+TEST(FlogicParserTest, NonGroundFactRejected) {
+  World world;
+  Result<Program> program = ParseProgram(world, "X : student.");
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("ground"), std::string::npos);
+}
+
+TEST(FlogicParserTest, GoalWithOnlyAnonymousVarsHasArityZero) {
+  World world;
+  Result<Program> program = ParseProgram(world, "?- _ : student.");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->goals[0].arity(), 0);
+}
+
+// ---- printer ---------------------------------------------------------------
+
+TEST(FlogicPrinterTest, AtomSurfaceForms) {
+  World world;
+  Term o = world.MakeConstant("john");
+  Term c = world.MakeConstant("student");
+  Term a = world.MakeConstant("age");
+  Term v = world.MakeConstant("33");
+  EXPECT_EQ(AtomToSurface(Atom::Member(o, c), world), "john : student");
+  EXPECT_EQ(AtomToSurface(Atom::Sub(c, o), world), "student :: john");
+  EXPECT_EQ(AtomToSurface(Atom::Data(o, a, v), world), "john[age -> 33]");
+  EXPECT_EQ(AtomToSurface(Atom::Type(o, a, c), world),
+            "john[age *=> student]");
+  EXPECT_EQ(AtomToSurface(Atom::Mandatory(a, o), world),
+            "john[age {1:*} *=> _]");
+  EXPECT_EQ(AtomToSurface(Atom::Funct(a, o), world),
+            "john[age {0:1} *=> _]");
+}
+
+TEST(FlogicPrinterTest, SurfaceRoundTrip) {
+  World world;
+  ConjunctiveQuery q = *ParseQuery(
+      world, "q(A, B) :- T1[A *=> T2], T2 :: T3, T3[B *=> T4], "
+             "member(X, T3).");
+  std::string surface = QueryToSurface(q, world);
+  Result<ConjunctiveQuery> reparsed = ParseQuery(world, surface);
+  ASSERT_TRUE(reparsed.ok()) << surface;
+  EXPECT_EQ(reparsed->body(), q.body());
+  EXPECT_EQ(reparsed->head(), q.head());
+}
+
+}  // namespace
+}  // namespace floq::flogic
+
+namespace floq::flogic {
+namespace {
+
+TEST(FlogicPrinterTest, NonPflAtomsFallBackToPredicateNotation) {
+  World world;
+  PredicateId edge = world.predicates().Intern("edge", 2);
+  Atom atom(edge, {world.MakeConstant("a"), world.MakeConstant("b")});
+  EXPECT_EQ(AtomToSurface(atom, world), "edge(a, b)");
+}
+
+TEST(FlogicPrinterTest, FormulaJoinsWithCommas) {
+  World world;
+  std::vector<Atom> atoms = {
+      Atom::Member(world.MakeConstant("a"), world.MakeConstant("b")),
+      Atom::Sub(world.MakeConstant("b"), world.MakeConstant("c")),
+  };
+  EXPECT_EQ(FormulaToSurface(atoms, world), "a : b, b :: c");
+}
+
+}  // namespace
+}  // namespace floq::flogic

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "containment/containment.h"
+#include "gen/generators.h"
+#include "kb/knowledge_base.h"
+#include "term/world.h"
+
+namespace floq::gen {
+namespace {
+
+TEST(GeneratorTest, AttributeChainShape) {
+  World world;
+  ConjunctiveQuery q = MakeAttributeChainQuery(world, 3, true);
+  EXPECT_EQ(q.arity(), 2);
+  EXPECT_EQ(q.size(), 5);  // 3 type atoms + 2 sub hops
+  EXPECT_TRUE(q.Validate(world).ok());
+
+  ConjunctiveQuery qq = MakeAttributeChainQuery(world, 3, false, "qq");
+  EXPECT_EQ(qq.size(), 3);
+  EXPECT_TRUE(qq.Validate(world).ok());
+}
+
+TEST(GeneratorTest, ChainContainmentGeneralizesPaperExample) {
+  // For every n: the chain with subclass hops is contained in the chain
+  // without them (rho_8 collapses each sub step), paper §2 generalized.
+  World world;
+  for (int hops = 2; hops <= 4; ++hops) {
+    ConjunctiveQuery q = MakeAttributeChainQuery(world, hops, true, "q");
+    ConjunctiveQuery qq = MakeAttributeChainQuery(world, hops, false, "qq");
+    Result<ContainmentResult> result = CheckContainment(world, q, qq);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->contained) << "hops=" << hops;
+    Result<ContainmentResult> reverse = CheckContainment(world, qq, q);
+    ASSERT_TRUE(reverse.ok());
+    EXPECT_FALSE(reverse->contained) << "hops=" << hops;
+  }
+}
+
+TEST(GeneratorTest, MandatoryCycleShape) {
+  World world;
+  ConjunctiveQuery q = MakeMandatoryCycleQuery(world, 3);
+  EXPECT_EQ(q.size(), 6);
+  EXPECT_EQ(q.arity(), 0);
+  EXPECT_TRUE(q.Validate(world).ok());
+}
+
+TEST(GeneratorTest, MandatoryCycleChaseIsInfinite) {
+  World world;
+  ConjunctiveQuery q = MakeMandatoryCycleQuery(world, 2);
+  ChaseResult chase = ChaseQuery(world, q, {.max_level = 15});
+  EXPECT_EQ(chase.outcome(), ChaseOutcome::kLevelCapped);
+  EXPECT_GT(chase.stats().fresh_nulls, 2u);
+}
+
+TEST(GeneratorTest, DataChainProbeMatchesCycleChase) {
+  // The probe chains one attribute variable, so it needs a 1-cycle (the
+  // k=2 cycle alternates attributes between hops).
+  World world;
+  ConjunctiveQuery cycle = MakeMandatoryCycleQuery(world, 1);
+  ConjunctiveQuery probe = MakeDataChainProbe(world, 3);
+  Result<ContainmentResult> result = CheckContainment(world, cycle, probe);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->contained);
+}
+
+TEST(GeneratorTest, FunctFanMergesToOneValue) {
+  World world;
+  ConjunctiveQuery q = MakeFunctFanQuery(world, 8);
+  EXPECT_EQ(q.size(), 9);
+  ChaseResult chase = ChaseQuery(world, q);
+  EXPECT_EQ(chase.outcome(), ChaseOutcome::kCompleted);
+  EXPECT_EQ(chase.conjuncts().WithPredicate(pfl::kData).size(), 1u);
+  EXPECT_EQ(chase.stats().egd_merges, 7u);
+}
+
+TEST(GeneratorTest, RandomQueryIsDeterministic) {
+  World world;
+  RandomQuerySpec spec;
+  spec.seed = 42;
+  spec.atoms = 6;
+  ConjunctiveQuery q1 = MakeRandomQuery(world, spec);
+  ConjunctiveQuery q2 = MakeRandomQuery(world, spec);
+  EXPECT_EQ(q1, q2);
+  spec.seed = 43;
+  ConjunctiveQuery q3 = MakeRandomQuery(world, spec);
+  EXPECT_FALSE(q1 == q3);
+}
+
+TEST(GeneratorTest, RandomQueriesAreValid) {
+  World world;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    RandomQuerySpec spec;
+    spec.seed = seed;
+    spec.atoms = 1 + int(seed % 7);
+    spec.arity = int(seed % 3);
+    ConjunctiveQuery q = MakeRandomQuery(world, spec);
+    EXPECT_TRUE(q.Validate(world).ok()) << q.ToString(world);
+    EXPECT_EQ(q.size(), spec.atoms);
+  }
+}
+
+TEST(GeneratorTest, RandomKbFactsAreGroundAndSeedStable) {
+  World world;
+  RandomKbSpec spec;
+  spec.seed = 7;
+  std::vector<Atom> facts1 = MakeRandomKbFacts(world, spec);
+  std::vector<Atom> facts2 = MakeRandomKbFacts(world, spec);
+  EXPECT_EQ(facts1, facts2);
+  for (const Atom& fact : facts1) EXPECT_TRUE(fact.IsGround());
+  EXPECT_EQ(int(facts1.size()),
+            spec.sub_facts + spec.member_facts + spec.data_facts +
+                spec.type_facts + spec.mandatory_facts + spec.funct_facts);
+}
+
+TEST(GeneratorTest, RandomKbSaturates) {
+  World world;
+  RandomKbSpec spec;
+  spec.seed = 11;
+  KnowledgeBase kb(world);
+  for (const Atom& fact : MakeRandomKbFacts(world, spec)) {
+    ASSERT_TRUE(kb.AddFact(fact).ok());
+  }
+  SaturateOptions options;
+  options.mandatory_completion_rounds = 4;
+  Result<ConsistencyReport> report = kb.Saturate(options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(kb.size(), uint32_t(spec.member_facts));
+}
+
+}  // namespace
+}  // namespace floq::gen

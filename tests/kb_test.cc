@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include "kb/knowledge_base.h"
+#include "query/parser.h"
+#include "term/world.h"
+
+namespace floq {
+namespace {
+
+// The running example from the paper's Section 2 narrative.
+constexpr const char* kUniversity = R"(
+  % schema
+  freshman :: student.
+  student :: person.
+  person[age {0:1} *=> number].
+  person[name {1:*} *=> string].
+  student[major *=> string].
+
+  % data
+  john : freshman.
+  mary : student.
+  john[age -> 33].
+  john[name -> 'John Smith'].
+  mary[name -> 'Mary Poppins'].
+  33 : number.
+)";
+
+class KbTest : public ::testing::Test {
+ protected:
+  World world_;
+  KnowledgeBase kb_{world_};
+};
+
+TEST_F(KbTest, LoadAndCount) {
+  ASSERT_TRUE(kb_.Load(kUniversity).ok());
+  EXPECT_GT(kb_.size(), 0u);
+  EXPECT_FALSE(kb_.saturated());
+}
+
+TEST_F(KbTest, SaturationDerivesSubclassTransitivity) {
+  ASSERT_TRUE(kb_.Load(kUniversity).ok());
+  Result<ConsistencyReport> report = kb_.Saturate();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->consistent);
+  EXPECT_TRUE(kb_.database().Contains(Atom::Sub(
+      world_.MakeConstant("freshman"), world_.MakeConstant("person"))));
+  EXPECT_TRUE(kb_.database().Contains(Atom::Member(
+      world_.MakeConstant("john"), world_.MakeConstant("person"))));
+}
+
+TEST_F(KbTest, PaperIntroInferences) {
+  // "These statements imply, for instance, that john:person ... are true."
+  ASSERT_TRUE(kb_.Load("john : student. freshman :: student. "
+                       "student :: person.").ok());
+  ASSERT_TRUE(kb_.Saturate().ok());
+  EXPECT_TRUE(kb_.database().Contains(Atom::Member(
+      world_.MakeConstant("john"), world_.MakeConstant("person"))));
+  EXPECT_TRUE(kb_.database().Contains(Atom::Sub(
+      world_.MakeConstant("freshman"), world_.MakeConstant("person"))));
+  // "(Note that it does not follow ... that john:class)" — membership in
+  // 'class' must not appear out of nowhere.
+  ASSERT_TRUE(kb_.Load("student : class.").ok());
+  ASSERT_TRUE(kb_.Saturate().ok());
+  EXPECT_FALSE(kb_.database().Contains(Atom::Member(
+      world_.MakeConstant("john"), world_.MakeConstant("class"))));
+  EXPECT_FALSE(kb_.database().Contains(Atom::Sub(
+      world_.MakeConstant("student"), world_.MakeConstant("class"))));
+}
+
+TEST_F(KbTest, MetaQueryOverSchema) {
+  ASSERT_TRUE(kb_.Load(kUniversity).ok());
+  // "?- X::person." — subclasses of person.
+  Result<std::vector<std::vector<Term>>> answers = kb_.Answer("X :: person");
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  std::vector<std::string> names;
+  for (const auto& tuple : *answers) names.push_back(world_.NameOf(tuple[0]));
+  EXPECT_NE(std::find(names.begin(), names.end(), "student"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "freshman"), names.end());
+}
+
+TEST_F(KbTest, MixedMetaAndDataQueryFromPaper) {
+  // "?- student[Att*=>string], john[Att->Val]." — string attributes of
+  // class student valued on john. john need not be a student member.
+  ASSERT_TRUE(kb_.Load(kUniversity).ok());
+  Result<std::vector<std::vector<Term>>> answers =
+      kb_.Answer("student[Att *=> string], john[Att -> Val]");
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  ASSERT_EQ(answers->size(), 1u);
+  EXPECT_EQ(world_.NameOf((*answers)[0][0]), "name");
+  EXPECT_EQ(world_.NameOf((*answers)[0][1]), "John Smith");
+}
+
+TEST_F(KbTest, TypeInheritanceReachesMembers) {
+  ASSERT_TRUE(kb_.Load(kUniversity).ok());
+  ASSERT_TRUE(kb_.Saturate().ok());
+  // john inherits person's age signature through freshman :: student ::
+  // person (rho_7 then rho_6).
+  EXPECT_TRUE(kb_.database().Contains(
+      Atom::Type(world_.MakeConstant("john"), world_.MakeConstant("age"),
+                 world_.MakeConstant("number"))));
+  // Type correctness (rho_1): 33 is a number.
+  EXPECT_TRUE(kb_.database().Contains(Atom::Member(
+      world_.MakeConstant("33"), world_.MakeConstant("number"))));
+}
+
+TEST_F(KbTest, FunctViolationIsReported) {
+  ASSERT_TRUE(kb_.Load("person[age {0:1} *=> number]. bob : person. "
+                       "bob[age -> 33]. bob[age -> 44].").ok());
+  Result<ConsistencyReport> report = kb_.Saturate();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->consistent);
+  ASSERT_EQ(report->funct_violations.size(), 1u);
+  EXPECT_NE(report->funct_violations[0].find("bob"), std::string::npos);
+}
+
+TEST_F(KbTest, FunctMergesLabeledNulls) {
+  ASSERT_TRUE(kb_.Load("person[boss {1:1} *=> person]. ann : person.").ok());
+  SaturateOptions options;
+  options.mandatory_completion_rounds = 3;
+  Result<ConsistencyReport> report = kb_.Saturate(options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->consistent);
+  // ann got an invented boss; adding a concrete one must merge, not clash.
+  ASSERT_TRUE(kb_.Load("ann[boss -> bea]. bea : person.").ok());
+  report = kb_.Saturate(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->consistent);
+  // Exactly one boss value remains for ann, and it is the constant.
+  int ann_boss_values = 0;
+  for (const Atom& fact : kb_.database().facts()) {
+    if (fact.predicate() == pfl::kData &&
+        fact.arg(0) == world_.MakeConstant("ann") &&
+        fact.arg(1) == world_.MakeConstant("boss")) {
+      ++ann_boss_values;
+      EXPECT_EQ(fact.arg(2), world_.MakeConstant("bea"));
+    }
+  }
+  EXPECT_EQ(ann_boss_values, 1);
+}
+
+TEST_F(KbTest, UnsatisfiedMandatoryReportedWithoutCompletion) {
+  ASSERT_TRUE(kb_.Load("person[name {1:*} *=> string]. ann : person.").ok());
+  Result<ConsistencyReport> report = kb_.Saturate();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->consistent);
+  // mandatory(name, person) itself and mandatory(name, ann) via rho_10.
+  EXPECT_EQ(report->unsatisfied_mandatory.size(), 2u);
+}
+
+TEST_F(KbTest, MandatoryCompletionInventsValues) {
+  ASSERT_TRUE(kb_.Load("person[name {1:*} *=> string]. ann : person.").ok());
+  SaturateOptions options;
+  options.mandatory_completion_rounds = 5;
+  Result<ConsistencyReport> report = kb_.Saturate(options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->unsatisfied_mandatory.empty());
+  // The invented name is a member of string (rho_1).
+  bool found = false;
+  for (const Atom& fact : kb_.database().facts()) {
+    if (fact.predicate() == pfl::kMember && fact.arg(0).IsNull() &&
+        fact.arg(1) == world_.MakeConstant("string")) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(KbTest, AnswerAutoSaturates) {
+  ASSERT_TRUE(kb_.Load(kUniversity).ok());
+  Result<std::vector<std::vector<Term>>> answers =
+      kb_.Answer("q(X) :- X : person.");
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 2u);  // john, mary
+  EXPECT_TRUE(kb_.saturated());
+}
+
+TEST_F(KbTest, NonGroundFactRejected) {
+  World world;
+  KnowledgeBase kb(world);
+  Term v = world.MakeVariable("X");
+  Status status = kb.AddFact(Atom::Member(v, world.MakeConstant("c")));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(KbTest, GoalsAndRulesAreCollected) {
+  ASSERT_TRUE(kb_.Load("john : student. q(X) :- X : student. "
+                       "?- X : student.").ok());
+  EXPECT_EQ(kb_.rules().size(), 1u);
+  EXPECT_EQ(kb_.goals().size(), 1u);
+  Result<std::vector<std::vector<Term>>> answers = kb_.Answer(kb_.goals()[0]);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 1u);
+}
+
+}  // namespace
+}  // namespace floq
+
+namespace floq {
+namespace {
+
+TEST(KbDumpTest, RoundTripsThroughLoad) {
+  World world;
+  KnowledgeBase kb(world);
+  ASSERT_TRUE(kb.Load("freshman :: student. john : freshman. "
+                      "john[age -> 33]. person[name {1:*} *=> string]. "
+                      "person[age {0:1} *=> number].").ok());
+  ASSERT_TRUE(kb.Saturate().ok());
+  std::string dump = kb.DumpAsProgram();
+
+  World world2;
+  KnowledgeBase copy(world2);
+  ASSERT_TRUE(copy.Load(dump).ok()) << dump;
+  EXPECT_EQ(copy.size(), kb.size());
+  // Saturation is a no-op on a saturated dump.
+  uint32_t before = copy.size();
+  ASSERT_TRUE(copy.Saturate().ok());
+  EXPECT_EQ(copy.size(), before);
+}
+
+TEST(KbDumpTest, NullsBecomeLoadableConstants) {
+  World world;
+  KnowledgeBase kb(world);
+  ASSERT_TRUE(kb.Load("person[name {1:*} *=> string]. ann : person.").ok());
+  SaturateOptions options;
+  options.mandatory_completion_rounds = 4;
+  ASSERT_TRUE(kb.Saturate(options).ok());
+  std::string dump = kb.DumpAsProgram();
+  EXPECT_NE(dump.find("null_"), std::string::npos);
+
+  World world2;
+  KnowledgeBase copy(world2);
+  ASSERT_TRUE(copy.Load(dump).ok()) << dump;
+  EXPECT_EQ(copy.size(), kb.size());
+}
+
+}  // namespace
+}  // namespace floq
+
+namespace floq {
+namespace {
+
+TEST(KbRulesTest, UserRulesMaterialize) {
+  World world;
+  KnowledgeBase kb(world);
+  ASSERT_TRUE(kb.Load("ann[parent -> bob]. bob[parent -> cid].").ok());
+  ConjunctiveQuery rule =
+      *ParseQuery(world, "grandparent(X, Z) :- data(X, parent, Y), "
+                         "data(Y, parent, Z).");
+  ASSERT_TRUE(kb.DefineRule(rule).ok());
+  Result<std::vector<std::vector<Term>>> answers =
+      kb.Answer(*ParseQuery(world, "q(X, Z) :- grandparent(X, Z)."));
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  ASSERT_EQ(answers->size(), 1u);
+  EXPECT_EQ(world.NameOf((*answers)[0][0]), "ann");
+  EXPECT_EQ(world.NameOf((*answers)[0][1]), "cid");
+}
+
+TEST(KbRulesTest, RecursiveRulesReachFixpoint) {
+  World world;
+  KnowledgeBase kb(world);
+  ASSERT_TRUE(kb.Load("a[parent -> b]. b[parent -> c]. c[parent -> d].").ok());
+  ASSERT_TRUE(kb.DefineRule(*ParseQuery(
+      world, "ancestor(X, Y) :- data(X, parent, Y).")).ok());
+  ASSERT_TRUE(kb.DefineRule(*ParseQuery(
+      world, "ancestor(X, Z) :- ancestor(X, Y), ancestor(Y, Z).")).ok());
+  Result<std::vector<std::vector<Term>>> answers =
+      kb.Answer(*ParseQuery(world, "q(X, Y) :- ancestor(X, Y)."));
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 6u);  // all ordered pairs along the chain
+}
+
+TEST(KbRulesTest, RulesInteractWithSigmaFL) {
+  World world;
+  KnowledgeBase kb(world);
+  // A rule whose body uses Sigma_FL-derived facts, and whose conclusions
+  // feed back into Sigma_FL (classifying objects into a class that then
+  // inherits a signature).
+  ASSERT_TRUE(kb.Load("adult :: person. person[name {1:*} *=> string]. "
+                      "ann[age -> 21]. 21 : adultAge.").ok());
+  ASSERT_TRUE(kb.DefineRule(*ParseQuery(
+      world, "member(X, adult) :- data(X, age, V), member(V, adultAge)."))
+                  .ok());
+  ASSERT_TRUE(kb.Saturate().ok());
+  // ann became an adult, hence a person (rho_3), hence name is mandatory
+  // for her (rho_10).
+  EXPECT_TRUE(kb.database().Contains(Atom::Member(
+      world.MakeConstant("ann"), world.MakeConstant("person"))));
+  EXPECT_TRUE(kb.database().Contains(Atom::Mandatory(
+      world.MakeConstant("name"), world.MakeConstant("ann"))));
+}
+
+TEST(KbRulesTest, MaterializeLoadedRules) {
+  World world;
+  KnowledgeBase kb(world);
+  ASSERT_TRUE(kb.Load("ann : student. student :: person. "
+                      "named(X) :- X : person.").ok());
+  ASSERT_TRUE(kb.MaterializeLoadedRules().ok());
+  Result<std::vector<std::vector<Term>>> answers =
+      kb.Answer(*ParseQuery(world, "q(X) :- named(X)."));
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 1u);
+}
+
+TEST(KbRulesTest, ArityConflictRejected) {
+  World world;
+  KnowledgeBase kb(world);
+  ASSERT_TRUE(kb.DefineRule(*ParseQuery(
+      world, "p(X) :- member(X, c).")).ok());
+  // p/2 now conflicts with p/1.
+  Status status = kb.DefineRule(*ParseQuery(
+      world, "p(X, Y) :- data(X, a, Y)."));
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace floq

@@ -1,0 +1,469 @@
+// Property-based tests: randomized queries and databases checked against
+// the paper's semantic definitions, with the Datalog engine as an
+// independent oracle. Each suite is parameterized by a generator seed.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chase/chase.h"
+#include "chase/sigma_fl.h"
+#include "containment/containment.h"
+#include "containment/homomorphism.h"
+#include "datalog/evaluator.h"
+#include "gen/generators.h"
+#include "kb/knowledge_base.h"
+#include "term/world.h"
+
+namespace floq {
+namespace {
+
+gen::RandomQuerySpec SmallQuerySpec(uint64_t seed, int atoms, int arity) {
+  gen::RandomQuerySpec spec;
+  spec.seed = seed;
+  spec.atoms = atoms;
+  spec.arity = arity;
+  spec.variable_pool = 4;
+  spec.constant_pool = 3;
+  spec.constant_probability = 0.2;
+  return spec;
+}
+
+// ---- containment is reflexive ------------------------------------------------
+
+class ReflexivityProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReflexivityProperty, QContainedInQ) {
+  World world;
+  ConjunctiveQuery q = gen::MakeRandomQuery(
+      world, SmallQuerySpec(GetParam(), 2 + int(GetParam() % 4), 1));
+  Result<ContainmentResult> result = CheckContainment(world, q, q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->contained) << q.ToString(world);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReflexivityProperty,
+                         ::testing::Range(uint64_t(0), uint64_t(40)));
+
+// ---- dropping body atoms only widens the query -------------------------------
+
+class MonotonicityProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MonotonicityProperty, SubBodyContainsFullBody) {
+  World world;
+  ConjunctiveQuery q = gen::MakeRandomQuery(
+      world, SmallQuerySpec(GetParam(), 4, 1));
+  // Drop each atom in turn (when the result stays safe).
+  for (size_t i = 0; i < q.body().size(); ++i) {
+    std::vector<Atom> smaller = q.body();
+    smaller.erase(smaller.begin() + i);
+    ConjunctiveQuery wider(q.name(), q.head(), std::move(smaller));
+    if (!wider.Validate(world).ok()) continue;
+    Result<ContainmentResult> result = CheckContainment(world, q, wider);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->contained)
+        << q.ToString(world) << " vs " << wider.ToString(world);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonotonicityProperty,
+                         ::testing::Range(uint64_t(0), uint64_t(30)));
+
+// ---- the weaker checkers are sound w.r.t. the paper's checker ----------------
+
+class BaselineSoundnessProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BaselineSoundnessProperty, ClassicalImpliesSigma) {
+  World world;
+  ConjunctiveQuery q1 = gen::MakeRandomQuery(
+      world, SmallQuerySpec(GetParam() * 2 + 1, 3, 1), "q1");
+  ConjunctiveQuery q2 = gen::MakeRandomQuery(
+      world, SmallQuerySpec(GetParam() * 2 + 2, 2, 1), "q2");
+  if (q1.arity() != q2.arity()) return;
+
+  Result<ContainmentResult> classical =
+      CheckClassicalContainment(world, q1, q2);
+  ASSERT_TRUE(classical.ok());
+  if (!classical->contained) return;
+
+  Result<ContainmentResult> paper = CheckContainment(world, q1, q2);
+  ASSERT_TRUE(paper.ok()) << paper.status().ToString();
+  EXPECT_TRUE(paper->contained)
+      << q1.ToString(world) << " vs " << q2.ToString(world);
+}
+
+TEST_P(BaselineSoundnessProperty, LevelZeroImpliesSigma) {
+  World world;
+  ConjunctiveQuery q1 = gen::MakeRandomQuery(
+      world, SmallQuerySpec(GetParam() * 3 + 1, 3, 1), "q1");
+  ConjunctiveQuery q2 = gen::MakeRandomQuery(
+      world, SmallQuerySpec(GetParam() * 3 + 2, 2, 1), "q2");
+  if (q1.arity() != q2.arity()) return;
+
+  ContainmentOptions level_zero;
+  level_zero.depth = ChaseDepth::kLevelZero;
+  Result<ContainmentResult> shallow =
+      CheckContainment(world, q1, q2, level_zero);
+  ASSERT_TRUE(shallow.ok());
+  if (!shallow->contained) return;
+
+  Result<ContainmentResult> paper = CheckContainment(world, q1, q2);
+  ASSERT_TRUE(paper.ok());
+  EXPECT_TRUE(paper->contained);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineSoundnessProperty,
+                         ::testing::Range(uint64_t(0), uint64_t(40)));
+
+// ---- transitivity ---------------------------------------------------------------
+
+class TransitivityProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TransitivityProperty, ContainmentComposes) {
+  World world;
+  ConjunctiveQuery q1 = gen::MakeRandomQuery(
+      world, SmallQuerySpec(GetParam() * 5 + 1, 4, 1), "q1");
+  ConjunctiveQuery q2 = gen::MakeRandomQuery(
+      world, SmallQuerySpec(GetParam() * 5 + 2, 3, 1), "q2");
+  ConjunctiveQuery q3 = gen::MakeRandomQuery(
+      world, SmallQuerySpec(GetParam() * 5 + 3, 2, 1), "q3");
+  if (q1.arity() != q2.arity() || q2.arity() != q3.arity()) return;
+
+  Result<ContainmentResult> first = CheckContainment(world, q1, q2);
+  Result<ContainmentResult> second = CheckContainment(world, q2, q3);
+  ASSERT_TRUE(first.ok() && second.ok());
+  if (!first->contained || !second->contained) return;
+
+  Result<ContainmentResult> third = CheckContainment(world, q1, q3);
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third->contained)
+      << q1.ToString(world) << " | " << q2.ToString(world) << " | "
+      << q3.ToString(world);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransitivityProperty,
+                         ::testing::Range(uint64_t(0), uint64_t(40)));
+
+// ---- completed chases satisfy Sigma_FL --------------------------------------
+
+class ChaseModelProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaseModelProperty, CompletedChaseIsAModelOfSigma) {
+  World world;
+  gen::RandomQuerySpec spec = SmallQuerySpec(GetParam(), 4, 0);
+  ConjunctiveQuery q = gen::MakeRandomQuery(world, spec);
+  ChaseResult chase = ChaseQuery(world, q, {.max_level = 200,
+                                            .max_atoms = 200'000});
+  if (chase.outcome() != ChaseOutcome::kCompleted) return;
+
+  // Every Datalog TGD instance must have its head present.
+  SigmaFL sigma = MakeSigmaFL(world);
+  for (const SigmaTgd& tgd : sigma.tgds) {
+    MatchConjunction(tgd.rule.body, chase.conjuncts(), Substitution(),
+                     [&](const Substitution& match) {
+                       EXPECT_TRUE(chase.conjuncts().Contains(
+                           match.Apply(tgd.rule.head)))
+                           << "rho_" << int(tgd.id) << " unsatisfied in "
+                           << q.ToString(world);
+                       return true;
+                     });
+  }
+
+  // rho_4: a functional attribute has at most one value per object.
+  for (uint32_t fid : chase.conjuncts().WithPredicate(pfl::kFunct)) {
+    const Atom& funct = chase.conjunct(fid);
+    std::set<Term> values;
+    for (uint32_t id : chase.conjuncts().WithPredicate(pfl::kData)) {
+      const Atom& data = chase.conjunct(id);
+      if (data.arg(0) == funct.arg(1) && data.arg(1) == funct.arg(0)) {
+        values.insert(data.arg(2));
+      }
+    }
+    EXPECT_LE(values.size(), 1u) << q.ToString(world);
+  }
+
+  // rho_5: every mandatory attribute has a value.
+  for (uint32_t mid : chase.conjuncts().WithPredicate(pfl::kMandatory)) {
+    const Atom& mandatory = chase.conjunct(mid);
+    bool has_value = false;
+    for (uint32_t id : chase.conjuncts().WithPredicate(pfl::kData)) {
+      const Atom& data = chase.conjunct(id);
+      if (data.arg(0) == mandatory.arg(1) && data.arg(1) == mandatory.arg(0)) {
+        has_value = true;
+      }
+    }
+    EXPECT_TRUE(has_value) << q.ToString(world);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaseModelProperty,
+                         ::testing::Range(uint64_t(0), uint64_t(60)));
+
+// ---- negative verdicts are witnessed by the frozen chase ---------------------
+
+class CounterexampleProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CounterexampleProperty, FrozenChaseRefutesContainment) {
+  World world;
+  ConjunctiveQuery q1 = gen::MakeRandomQuery(
+      world, SmallQuerySpec(GetParam() * 7 + 1, 4, 1), "q1");
+  ConjunctiveQuery q2 = gen::MakeRandomQuery(
+      world, SmallQuerySpec(GetParam() * 7 + 2, 3, 1), "q2");
+  if (q1.arity() != q2.arity()) return;
+
+  Result<ContainmentResult> result = CheckContainment(world, q1, q2);
+  if (!result.ok()) return;  // budget blowups are exercised elsewhere
+  // Only finite chases yield genuine finite counterexample databases.
+  if (result->contained ||
+      result->chase.outcome() != ChaseOutcome::kCompleted) {
+    return;
+  }
+
+  // Freeze the chase: every variable becomes a fresh null.
+  Substitution freeze;
+  for (const Atom& atom : result->chase.conjuncts().atoms()) {
+    for (Term t : atom) {
+      if (t.IsVariable() && !freeze.Binds(t)) {
+        freeze.Bind(t, world.MakeFreshNull());
+      }
+    }
+  }
+  Database db;
+  for (const Atom& atom : result->chase.conjuncts().atoms()) {
+    db.Insert(freeze.Apply(atom));
+  }
+  std::vector<Term> frozen_head = freeze.ApplyToTerms(result->chase.head());
+
+  // q1 returns its canonical tuple on the counterexample; q2 does not.
+  EXPECT_TRUE(QueryReturns(db, q1, frozen_head)) << q1.ToString(world);
+  EXPECT_FALSE(QueryReturns(db, q2, frozen_head))
+      << q1.ToString(world) << " vs " << q2.ToString(world);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CounterexampleProperty,
+                         ::testing::Range(uint64_t(0), uint64_t(60)));
+
+// ---- soundness against random concrete databases -----------------------------
+
+class OracleSoundnessProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OracleSoundnessProperty, PositiveVerdictsHoldOnRandomDatabases) {
+  World world;
+  ConjunctiveQuery q1 = gen::MakeRandomQuery(
+      world, SmallQuerySpec(GetParam() * 11 + 1, 3, 1), "q1");
+  ConjunctiveQuery q2 = gen::MakeRandomQuery(
+      world, SmallQuerySpec(GetParam() * 11 + 2, 2, 1), "q2");
+  if (q1.arity() != q2.arity()) return;
+
+  Result<ContainmentResult> verdict = CheckContainment(world, q1, q2);
+  if (!verdict.ok() || !verdict->contained) return;
+
+  for (uint64_t db_seed = 0; db_seed < 5; ++db_seed) {
+    gen::RandomKbSpec kb_spec;
+    kb_spec.seed = GetParam() * 100 + db_seed;
+    KnowledgeBase kb(world);
+    for (const Atom& fact : gen::MakeRandomKbFacts(world, kb_spec)) {
+      ASSERT_TRUE(kb.AddFact(fact).ok());
+    }
+    // Bridge the query constants (c0..c2) into the database so constant
+    // atoms in the queries can match.
+    ASSERT_TRUE(kb.AddFact(Atom::Member(world.MakeConstant("c0"),
+                                        world.MakeConstant("c1"))).ok());
+    ASSERT_TRUE(kb.AddFact(Atom::Data(world.MakeConstant("c0"),
+                                      world.MakeConstant("c1"),
+                                      world.MakeConstant("c2"))).ok());
+    ASSERT_TRUE(kb.AddFact(Atom::Sub(world.MakeConstant("c1"),
+                                     world.MakeConstant("c2"))).ok());
+
+    SaturateOptions options;
+    options.mandatory_completion_rounds = 6;
+    Result<ConsistencyReport> report = kb.Saturate(options);
+    ASSERT_TRUE(report.ok());
+    // Only legal instances count: Sigma_FL must hold in full.
+    if (!report->consistent || !report->unsatisfied_mandatory.empty()) {
+      continue;
+    }
+
+    std::set<std::vector<Term>> q2_answers;
+    for (auto& tuple : EvaluateQuery(kb.database(), q2)) {
+      q2_answers.insert(std::move(tuple));
+    }
+    for (const auto& tuple : EvaluateQuery(kb.database(), q1)) {
+      EXPECT_TRUE(q2_answers.count(tuple) > 0)
+          << "containment verdict violated on database seed " << kb_spec.seed
+          << "\n  q1 = " << q1.ToString(world)
+          << "\n  q2 = " << q2.ToString(world);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleSoundnessProperty,
+                         ::testing::Range(uint64_t(0), uint64_t(40)));
+
+// ---- witnesses are valid homomorphisms ----------------------------------------
+
+class WitnessProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WitnessProperty, PositiveVerdictsCarryValidWitnesses) {
+  World world;
+  ConjunctiveQuery q1 = gen::MakeRandomQuery(
+      world, SmallQuerySpec(GetParam() * 13 + 1, 4, 1), "q1");
+  ConjunctiveQuery q2 = gen::MakeRandomQuery(
+      world, SmallQuerySpec(GetParam() * 13 + 2, 2, 1), "q2");
+  if (q1.arity() != q2.arity()) return;
+
+  Result<ContainmentResult> result = CheckContainment(world, q1, q2);
+  if (!result.ok() || !result->contained || result->q1_unsatisfiable) return;
+  ASSERT_TRUE(result->witness.has_value());
+  EXPECT_TRUE(IsQueryHomomorphism(q2, result->chase.conjuncts(),
+                                  result->chase.head(), *result->witness))
+      << q1.ToString(world) << " vs " << q2.ToString(world);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WitnessProperty,
+                         ::testing::Range(uint64_t(0), uint64_t(60)));
+
+}  // namespace
+}  // namespace floq
+
+// Appended suites: properties of the extension layer.
+
+#include "containment/classifier.h"
+#include "containment/minimize.h"
+
+namespace floq {
+namespace {
+
+// ---- cores are equivalent and idempotent -------------------------------------
+
+class CoreProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CoreProperty, CoreIsEquivalentAndIdempotent) {
+  World world;
+  ConjunctiveQuery q = gen::MakeRandomQuery(
+      world, SmallQuerySpec(GetParam() * 17 + 3, 4, 1));
+  Result<ConjunctiveQuery> core = ComputeCore(world, q);
+  if (!core.ok()) return;  // budget blowups tolerated
+  EXPECT_LE(core->size(), q.size());
+
+  Result<bool> equivalent = CheckEquivalence(world, q, *core);
+  ASSERT_TRUE(equivalent.ok());
+  EXPECT_TRUE(*equivalent) << q.ToString(world) << "  vs  "
+                           << core->ToString(world);
+
+  Result<ConjunctiveQuery> again = ComputeCore(world, *core);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->size(), core->size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoreProperty,
+                         ::testing::Range(uint64_t(0), uint64_t(30)));
+
+// ---- classifier agrees with pairwise checks -----------------------------------
+
+class ClassifierProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ClassifierProperty, ClassesMatchPairwiseEquivalence) {
+  World world;
+  std::vector<ConjunctiveQuery> queries;
+  for (int i = 0; i < 4; ++i) {
+    queries.push_back(gen::MakeRandomQuery(
+        world, SmallQuerySpec(GetParam() * 19 + uint64_t(i), 3, 1),
+        "q" + std::to_string(i)));
+  }
+  Result<QueryTaxonomy> taxonomy = ClassifyQueries(world, queries);
+  if (!taxonomy.ok()) return;
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (size_t j = i + 1; j < queries.size(); ++j) {
+      Result<bool> equivalent =
+          CheckEquivalence(world, queries[i], queries[j]);
+      ASSERT_TRUE(equivalent.ok());
+      EXPECT_EQ(*equivalent,
+                taxonomy->class_of[i] == taxonomy->class_of[j])
+          << queries[i].ToString(world) << " vs "
+          << queries[j].ToString(world);
+    }
+  }
+
+  // Hasse edges are strict containments between representatives.
+  for (const auto& [sub, super] : taxonomy->hasse_edges) {
+    size_t i = taxonomy->classes[size_t(sub)][0];
+    size_t j = taxonomy->classes[size_t(super)][0];
+    Result<ContainmentResult> forward =
+        CheckContainment(world, queries[i], queries[j]);
+    Result<ContainmentResult> backward =
+        CheckContainment(world, queries[j], queries[i]);
+    ASSERT_TRUE(forward.ok() && backward.ok());
+    EXPECT_TRUE(forward->contained);
+    EXPECT_FALSE(backward->contained);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClassifierProperty,
+                         ::testing::Range(uint64_t(0), uint64_t(25)));
+
+// ---- UCQ containment degenerates correctly -------------------------------------
+
+class UcqProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UcqProperty, SingletonUnionEqualsPlainContainment) {
+  World world;
+  ConjunctiveQuery q1 = gen::MakeRandomQuery(
+      world, SmallQuerySpec(GetParam() * 23 + 1, 3, 1), "q1");
+  ConjunctiveQuery q2 = gen::MakeRandomQuery(
+      world, SmallQuerySpec(GetParam() * 23 + 2, 2, 1), "q2");
+  if (q1.arity() != q2.arity()) return;
+
+  Result<ContainmentResult> plain = CheckContainment(world, q1, q2);
+  std::vector<ConjunctiveQuery> disjuncts = {q2};
+  Result<std::optional<size_t>> ucq =
+      CheckUcqContainment(world, q1, disjuncts);
+  if (!plain.ok() || !ucq.ok()) return;
+  EXPECT_EQ(plain->contained, ucq->has_value())
+      << q1.ToString(world) << " vs " << q2.ToString(world);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UcqProperty,
+                         ::testing::Range(uint64_t(0), uint64_t(40)));
+
+}  // namespace
+}  // namespace floq
+
+// Appended suite: the generic dependency path agrees with the paper's
+// specialized checker when fed Sigma_FL itself.
+
+#include "chase/dependencies.h"
+
+namespace floq {
+namespace {
+
+class GenericAgreementProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GenericAgreementProperty, GenericSigmaFLMatchesPaperChecker) {
+  World world;
+  ConjunctiveQuery q1 = gen::MakeRandomQuery(
+      world, SmallQuerySpec(GetParam() * 29 + 1, 3, 1), "q1");
+  ConjunctiveQuery q2 = gen::MakeRandomQuery(
+      world, SmallQuerySpec(GetParam() * 29 + 2, 2, 1), "q2");
+  if (q1.arity() != q2.arity()) return;
+
+  Result<ContainmentResult> paper = CheckContainment(world, q1, q2);
+  if (!paper.ok()) return;
+
+  DependencySet sigma = MakeSigmaFLDependencies(world);
+  ContainmentOptions options;
+  options.level_override = q2.size() * 2 * q1.size();
+  Result<ContainmentResult> generic =
+      CheckContainmentUnderDependencies(world, q1, q2, sigma, options);
+  if (!generic.ok()) return;
+  EXPECT_EQ(paper->contained, generic->contained)
+      << q1.ToString(world) << " vs " << q2.ToString(world);
+  EXPECT_EQ(paper->q1_unsatisfiable, generic->q1_unsatisfiable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GenericAgreementProperty,
+                         ::testing::Range(uint64_t(0), uint64_t(50)));
+
+}  // namespace
+}  // namespace floq

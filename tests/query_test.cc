@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "query/conjunctive_query.h"
+#include "query/parser.h"
+#include "term/world.h"
+
+namespace floq {
+namespace {
+
+// ---- parsing ------------------------------------------------------------
+
+TEST(QueryParserTest, ParsesPaperJoinableQuery) {
+  World world;
+  Result<ConjunctiveQuery> q = ParseQuery(
+      world, "q(A, B) :- type(T1, A, T2), sub(T2, T3), type(T3, B, _).");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->name(), "q");
+  EXPECT_EQ(q->arity(), 2);
+  EXPECT_EQ(q->size(), 3);
+  EXPECT_EQ(q->body()[0].predicate(), pfl::kType);
+  EXPECT_EQ(q->body()[1].predicate(), pfl::kSub);
+}
+
+TEST(QueryParserTest, VariablesVsConstantsByCase) {
+  World world;
+  Result<ConjunctiveQuery> q =
+      ParseQuery(world, "q(X) :- member(X, student).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->body()[0].arg(0).IsVariable());
+  EXPECT_TRUE(q->body()[0].arg(1).IsConstant());
+  EXPECT_EQ(world.NameOf(q->body()[0].arg(1)), "student");
+}
+
+TEST(QueryParserTest, AnonymousVariablesAreFreshEachTime) {
+  World world;
+  Result<ConjunctiveQuery> q =
+      ParseQuery(world, "q() :- data(_, _, _), data(_, _, _).");
+  ASSERT_TRUE(q.ok());
+  std::vector<Term> vars = q->Variables();
+  EXPECT_EQ(vars.size(), 6u);  // all distinct
+}
+
+TEST(QueryParserTest, QuotedAndNumericConstants) {
+  World world;
+  Result<ConjunctiveQuery> q =
+      ParseQuery(world, "q(V) :- data(john, age, V), data(john, name, 'J S').");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(world.NameOf(q->body()[1].arg(2)), "J S");
+  Result<ConjunctiveQuery> q2 = ParseQuery(world, "q() :- data(j, age, 33).");
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+  EXPECT_EQ(world.NameOf(q2->body()[0].arg(2)), "33");
+  EXPECT_TRUE(q2->body()[0].arg(2).IsConstant());
+}
+
+TEST(QueryParserTest, CommentsAreSkipped) {
+  World world;
+  Result<ConjunctiveQuery> q = ParseQuery(world,
+                                          "% a comment\n"
+                                          "q(X) :- % mid-rule comment\n"
+                                          "  member(X, c).");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+}
+
+TEST(QueryParserTest, ZeroAryHeadAllowed) {
+  World world;
+  Result<ConjunctiveQuery> q = ParseQuery(world, "q() :- sub(a, b).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->arity(), 0);
+  // Headless form also allowed.
+  Result<ConjunctiveQuery> q2 = ParseQuery(world, "q :- sub(a, b).");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->arity(), 0);
+}
+
+TEST(QueryParserTest, UserPredicatesRegisterOnFirstUse) {
+  World world;
+  Result<ConjunctiveQuery> q = ParseQuery(world, "q(X, Y) :- edge(X, Y).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_NE(world.predicates().Lookup("edge"), kInvalidPredicate);
+}
+
+TEST(QueryParserTest, ArityConflictIsError) {
+  World world;
+  ASSERT_TRUE(ParseQuery(world, "q(X) :- edge(X, X).").ok());
+  Result<ConjunctiveQuery> bad = ParseQuery(world, "q(X) :- edge(X, X, X).");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryParserTest, WrongPflArityIsError) {
+  World world;
+  EXPECT_FALSE(ParseQuery(world, "q(X) :- member(X).").ok());
+  EXPECT_FALSE(ParseQuery(world, "q(X) :- data(X, X).").ok());
+}
+
+TEST(QueryParserTest, UnsafeHeadIsError) {
+  World world;
+  Result<ConjunctiveQuery> bad = ParseQuery(world, "q(Y) :- member(X, c).");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("unsafe"), std::string::npos);
+}
+
+TEST(QueryParserTest, SyntaxErrorsReportPosition) {
+  World world;
+  Result<ConjunctiveQuery> bad = ParseQuery(world, "q(X) :- member(X c).");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("parse error at 1:"),
+            std::string::npos);
+}
+
+TEST(QueryParserTest, MultipleRules) {
+  World world;
+  Result<std::vector<ConjunctiveQuery>> queries = ParseQueries(world,
+                                                               "q(X) :- member(X, c).\n"
+                                                               "r(Y) :- sub(Y, d).\n");
+  ASSERT_TRUE(queries.ok());
+  ASSERT_EQ(queries->size(), 2u);
+  EXPECT_EQ((*queries)[0].name(), "q");
+  EXPECT_EQ((*queries)[1].name(), "r");
+}
+
+TEST(QueryParserTest, ParseAtomsList) {
+  World world;
+  Result<std::vector<Atom>> atoms =
+      ParseAtoms(world, "member(john, student), sub(student, person).");
+  ASSERT_TRUE(atoms.ok());
+  EXPECT_EQ(atoms->size(), 2u);
+  Result<std::vector<Atom>> empty = ParseAtoms(world, "  % nothing\n");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+// ---- ConjunctiveQuery utilities -------------------------------------------
+
+TEST(ConjunctiveQueryTest, SizeIsBodyAtomCount) {
+  World world;
+  ConjunctiveQuery q = *ParseQuery(world, "q(X) :- member(X, c), sub(c, d).");
+  EXPECT_EQ(q.size(), 2);
+}
+
+TEST(ConjunctiveQueryTest, VariablesInFirstOccurrenceOrder) {
+  World world;
+  ConjunctiveQuery q =
+      *ParseQuery(world, "q(B) :- data(A, B, C), member(A, D).");
+  std::vector<Term> vars = q.Variables();
+  ASSERT_EQ(vars.size(), 4u);
+  EXPECT_EQ(world.NameOf(vars[0]), "B");  // head first
+  EXPECT_EQ(world.NameOf(vars[1]), "A");
+  EXPECT_EQ(world.NameOf(vars[2]), "C");
+  EXPECT_EQ(world.NameOf(vars[3]), "D");
+}
+
+TEST(ConjunctiveQueryTest, RenameApartSharesNoVariables) {
+  World world;
+  ConjunctiveQuery q = *ParseQuery(world, "q(X) :- member(X, Y).");
+  Substitution renaming;
+  ConjunctiveQuery renamed = q.RenameApart(world, &renaming);
+  EXPECT_EQ(renamed.size(), q.size());
+  for (Term v : renamed.Variables()) {
+    for (Term original : q.Variables()) EXPECT_NE(v, original);
+  }
+  // The renaming maps old to new consistently.
+  EXPECT_EQ(renaming.Apply(q.head()[0]), renamed.head()[0]);
+}
+
+TEST(ConjunctiveQueryTest, FreezeProducesGroundAtomsAndHead) {
+  World world;
+  ConjunctiveQuery q = *ParseQuery(world, "q(X) :- data(X, age, V).");
+  std::vector<Term> frozen_head;
+  std::vector<Atom> frozen = q.Freeze(world, &frozen_head);
+  ASSERT_EQ(frozen.size(), 1u);
+  EXPECT_TRUE(frozen[0].IsGround());
+  ASSERT_EQ(frozen_head.size(), 1u);
+  EXPECT_TRUE(frozen_head[0].IsNull());
+  EXPECT_EQ(frozen[0].arg(0), frozen_head[0]);
+}
+
+TEST(ConjunctiveQueryTest, SubstituteRewritesHeadAndBody) {
+  World world;
+  ConjunctiveQuery q = *ParseQuery(world, "q(X) :- member(X, c).");
+  Substitution subst;
+  subst.Bind(q.head()[0], world.MakeConstant("john"));
+  ConjunctiveQuery grounded = q.Substitute(subst);
+  EXPECT_EQ(world.NameOf(grounded.head()[0]), "john");
+  EXPECT_EQ(world.NameOf(grounded.body()[0].arg(0)), "john");
+}
+
+TEST(ConjunctiveQueryTest, ToStringRoundTripsThroughParser) {
+  World world;
+  ConjunctiveQuery q = *ParseQuery(
+      world, "q(A, B) :- type(T1, A, T2), sub(T2, T3), type(T3, B, T4).");
+  std::string text = q.ToString(world);
+  Result<ConjunctiveQuery> reparsed = ParseQuery(world, text);
+  ASSERT_TRUE(reparsed.ok()) << text;
+  EXPECT_EQ(*reparsed, q);
+}
+
+TEST(ConjunctiveQueryTest, HeadConstantsAreAllowed) {
+  World world;
+  Result<ConjunctiveQuery> q =
+      ParseQuery(world, "q(john, X) :- member(X, c).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->head()[0].IsConstant());
+}
+
+}  // namespace
+}  // namespace floq

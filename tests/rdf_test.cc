@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "rdf/rdf_graph.h"
+#include "rdf/sparql.h"
+#include "term/world.h"
+
+namespace floq::rdf {
+namespace {
+
+constexpr const char* kGraphText = R"(
+  # classes
+  grad_student rdfs:subClassOf student
+  student rdfs:subClassOf person
+
+  # properties
+  advisor rdfs:domain grad_student
+  advisor rdfs:range professor
+  advisor rdf:type owl:FunctionalProperty
+  name rdfs:domain person
+  name rdfs:range string
+  name rdf:type floq:MandatoryProperty
+
+  # instances
+  kim rdf:type grad_student
+  kim advisor prof_lee .
+  prof_lee rdf:type professor
+)";
+
+TEST(RdfGraphTest, LoadTextParsesTriples) {
+  RdfGraph graph;
+  ASSERT_TRUE(graph.LoadText(kGraphText).ok());
+  EXPECT_EQ(graph.triples().size(), 11u);
+}
+
+TEST(RdfGraphTest, MalformedLineIsRejected) {
+  RdfGraph graph;
+  Status status = graph.LoadText("only two");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RdfGraphTest, VocabularyMapping) {
+  RdfGraph graph;
+  ASSERT_TRUE(graph.LoadText(kGraphText).ok());
+  World world;
+  std::vector<Atom> facts = graph.ToFacts(world);
+
+  Term grad = world.MakeConstant("grad_student");
+  Term student = world.MakeConstant("student");
+  Term advisor = world.MakeConstant("advisor");
+  Term professor = world.MakeConstant("professor");
+  Term kim = world.MakeConstant("kim");
+  Term person = world.MakeConstant("person");
+  Term name = world.MakeConstant("name");
+
+  auto contains = [&](const Atom& atom) {
+    for (const Atom& fact : facts) {
+      if (fact == atom) return true;
+    }
+    return false;
+  };
+
+  EXPECT_TRUE(contains(Atom::Sub(grad, student)));
+  EXPECT_TRUE(contains(Atom::Member(kim, grad)));
+  EXPECT_TRUE(contains(Atom::Type(grad, advisor, professor)));
+  EXPECT_TRUE(contains(Atom::Funct(advisor, grad)));
+  EXPECT_TRUE(contains(Atom::Mandatory(name, person)));
+  EXPECT_TRUE(contains(
+      Atom::Data(kim, advisor, world.MakeConstant("prof_lee"))));
+  // Schema triples are consumed, not turned into data atoms.
+  EXPECT_FALSE(contains(Atom::Data(advisor, world.MakeConstant("rdfs:domain"),
+                                   grad)));
+}
+
+TEST(RdfGraphTest, PopulatesKnowledgeBase) {
+  RdfGraph graph;
+  ASSERT_TRUE(graph.LoadText(kGraphText).ok());
+  World world;
+  KnowledgeBase kb(world);
+  ASSERT_TRUE(graph.Populate(kb).ok());
+  ASSERT_TRUE(kb.Saturate().ok());
+  // kim is a person via two subclass hops.
+  EXPECT_TRUE(kb.database().Contains(Atom::Member(
+      world.MakeConstant("kim"), world.MakeConstant("person"))));
+  // prof_lee is a professor by rho_1 (range typing).
+  EXPECT_TRUE(kb.database().Contains(Atom::Member(
+      world.MakeConstant("prof_lee"), world.MakeConstant("professor"))));
+}
+
+// ---- SPARQL ---------------------------------------------------------------
+
+TEST(SparqlTest, ParsesBasicGraphPattern) {
+  World world;
+  Result<ConjunctiveQuery> q = ParseSparql(world,
+                                           "SELECT ?x ?y WHERE { "
+                                           "?x rdf:type student . "
+                                           "?x age ?y }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->arity(), 2);
+  ASSERT_EQ(q->size(), 2);
+  EXPECT_EQ(q->body()[0].predicate(), pfl::kMember);
+  EXPECT_EQ(q->body()[1].predicate(), pfl::kData);
+}
+
+TEST(SparqlTest, SelectStarCollectsVariables) {
+  World world;
+  Result<ConjunctiveQuery> q = ParseSparql(
+      world, "select * where { ?c rdfs:subClassOf person . ?x rdf:type ?c }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->arity(), 2);  // ?c, ?x
+  EXPECT_EQ(q->body()[0].predicate(), pfl::kSub);
+}
+
+TEST(SparqlTest, MetaPatternsTranslate) {
+  World world;
+  Result<ConjunctiveQuery> q = ParseSparql(
+      world,
+      "SELECT ?p WHERE { ?p rdfs:range string . ?p rdf:type "
+      "owl:FunctionalProperty }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->size(), 2);
+  EXPECT_EQ(q->body()[0].predicate(), pfl::kType);
+  EXPECT_EQ(q->body()[1].predicate(), pfl::kFunct);
+}
+
+TEST(SparqlTest, ParseErrors) {
+  World world;
+  EXPECT_FALSE(ParseSparql(world, "WHERE { ?x rdf:type c }").ok());
+  EXPECT_FALSE(ParseSparql(world, "SELECT ?x WHERE { ?x rdf:type }").ok());
+  EXPECT_FALSE(ParseSparql(world, "SELECT ?x WHERE { }").ok());
+  // Unsafe head: ?y not in the pattern.
+  EXPECT_FALSE(
+      ParseSparql(world, "SELECT ?y WHERE { ?x rdf:type c }").ok());
+}
+
+TEST(SparqlTest, ContainmentUnderRdfsSemantics) {
+  World world;
+  // Members of subclasses of person vs members of person: needs rho_3.
+  Result<ContainmentResult> result = CheckSparqlContainment(
+      world,
+      "SELECT ?x WHERE { ?c rdfs:subClassOf person . ?x rdf:type ?c }",
+      "SELECT ?x WHERE { ?x rdf:type person }");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->contained);
+
+  Result<ContainmentResult> reverse = CheckSparqlContainment(
+      world,
+      "SELECT ?x WHERE { ?x rdf:type person }",
+      "SELECT ?x WHERE { ?c rdfs:subClassOf person . ?x rdf:type ?c }");
+  ASSERT_TRUE(reverse.ok());
+  EXPECT_FALSE(reverse->contained);
+}
+
+TEST(SparqlTest, MetaQueryContainment) {
+  World world;
+  // Functional mandatory property queries: {1:1} implies {0:1}-style
+  // containment at the meta level. Here: any property that is mandatory
+  // and range-typed on some class is range-typed on some class.
+  Result<ContainmentResult> result = CheckSparqlContainment(
+      world,
+      "SELECT ?p WHERE { ?p rdfs:range string . ?p rdf:type "
+      "floq:MandatoryProperty }",
+      "SELECT ?p WHERE { ?p rdfs:range string }");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->contained);
+}
+
+}  // namespace
+}  // namespace floq::rdf
+
+namespace floq::rdf {
+namespace {
+
+TEST(RdfGraphTest, QuotedLiteralsMayContainSpaces) {
+  RdfGraph graph;
+  ASSERT_TRUE(graph.LoadText("p1 title 'On the Chase'\n"
+                             "p1 note \"double quoted too\" .").ok());
+  ASSERT_EQ(graph.triples().size(), 2u);
+  EXPECT_EQ(graph.triples()[0].object, "On the Chase");
+  EXPECT_EQ(graph.triples()[1].object, "double quoted too");
+}
+
+TEST(RdfGraphTest, UnterminatedQuoteRejected) {
+  RdfGraph graph;
+  EXPECT_FALSE(graph.LoadText("p1 title 'oops").ok());
+}
+
+}  // namespace
+}  // namespace floq::rdf

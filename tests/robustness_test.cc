@@ -1,0 +1,143 @@
+// Robustness: malformed and adversarial inputs must produce Status errors
+// (never crashes), and randomized garbage must never be accepted as a
+// valid program when it is not one.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "flogic/parser.h"
+#include "query/parser.h"
+#include "rdf/sparql.h"
+#include "term/world.h"
+#include "util/rng.h"
+
+namespace floq {
+namespace {
+
+// ---- targeted malformed inputs ------------------------------------------------
+
+TEST(RobustnessTest, QueryParserRejectsGarbage) {
+  World world;
+  const char* cases[] = {
+      "",
+      "q(",
+      "q(X :- member(X, c).",
+      "q(X) :- member(X, c),",
+      "q(X) :- member(X, c)) .",
+      "q(X) :- member(X c).",
+      "q(X) :- member(, c).",
+      "q(X) : - member(X, c).",
+      "q(X) :- (X, c).",
+      "123(X) :- member(X, c).",
+      "q(X) :- member(X, 'unterminated).",
+      ":- member(X, c).",
+      "q(X) :- .",
+  };
+  for (const char* text : cases) {
+    Result<ConjunctiveQuery> q = ParseQuery(world, text);
+    EXPECT_FALSE(q.ok()) << "accepted: " << text;
+    EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument) << text;
+  }
+}
+
+TEST(RobustnessTest, FlogicParserRejectsGarbage) {
+  World world;
+  const char* cases[] = {
+      "john :",
+      "john ::",
+      "john[",
+      "john[age",
+      "john[age ->",
+      "john[age -> 33",
+      "john[age {1:*}",
+      "john[age {1:*} -> 33]",  // cardinality with -> is not legal
+      "john[age *=> ]",
+      "person[age {one:*} *=> t]",
+      "[age -> 33]",
+      "john : student student",
+      "?-",
+      "?- .",
+  };
+  for (const char* text : cases) {
+    Result<flogic::Program> program = flogic::ParseProgram(world, text);
+    EXPECT_FALSE(program.ok()) << "accepted: " << text;
+  }
+}
+
+TEST(RobustnessTest, SparqlParserRejectsGarbage) {
+  World world;
+  const char* cases[] = {
+      "",
+      "SELECT",
+      "SELECT ?x",
+      "SELECT ?x WHERE",
+      "SELECT ?x WHERE {",
+      "SELECT ?x WHERE { ?x }",
+      "SELECT ?x WHERE { ?x rdf:type }",
+      "SELECT x WHERE { ?x rdf:type c }",
+      "WHERE { ?x rdf:type c } SELECT ?x",
+  };
+  for (const char* text : cases) {
+    EXPECT_FALSE(rdf::ParseSparql(world, text).ok()) << "accepted: " << text;
+  }
+}
+
+// ---- randomized fuzz (structure-aware token soup) ------------------------------
+
+class FuzzProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzProperty, TokenSoupNeverCrashesTheParsers) {
+  static const char* kTokens[] = {
+      "q",      "(",    ")",    ":-",  ".",   ",",      "X",   "member",
+      "sub",    "data", "type", "::",  ":",   "[",      "]",   "->",
+      "*=>",    "{",    "}",    "1",   "*",   "0",      "_",   "'s t'",
+      "person", "33",   "%c\n", "?-",  "Att", "funct",  "a_b", "-",
+  };
+  Rng rng(GetParam());
+  std::string text;
+  int length = 1 + int(rng.Below(40));
+  for (int i = 0; i < length; ++i) {
+    text += kTokens[rng.Below(std::size(kTokens))];
+    text += rng.Chance(0.8) ? " " : "";
+  }
+
+  World world;
+  // Whatever happens must be a clean Result, not a crash; and if the text
+  // parses, it must re-parse after printing (idempotent acceptance).
+  Result<ConjunctiveQuery> q = ParseQuery(world, text);
+  if (q.ok()) {
+    Result<ConjunctiveQuery> again = ParseQuery(world, q->ToString(world));
+    EXPECT_TRUE(again.ok()) << text;
+  }
+  Result<flogic::Program> program = flogic::ParseProgram(world, text);
+  if (program.ok()) {
+    for (const Atom& fact : program->facts) EXPECT_TRUE(fact.IsGround());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzProperty,
+                         ::testing::Range(uint64_t(0), uint64_t(300)));
+
+// ---- random byte soup ------------------------------------------------------------
+
+class ByteFuzzProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ByteFuzzProperty, RandomBytesNeverCrash) {
+  Rng rng(GetParam() * 31 + 7);
+  std::string text;
+  int length = int(rng.Below(120));
+  for (int i = 0; i < length; ++i) {
+    text += char(32 + rng.Below(95));  // printable ASCII
+  }
+  World world;
+  (void)ParseQuery(world, text);
+  (void)flogic::ParseProgram(world, text);
+  (void)rdf::ParseSparql(world, text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ByteFuzzProperty,
+                         ::testing::Range(uint64_t(0), uint64_t(300)));
+
+}  // namespace
+}  // namespace floq

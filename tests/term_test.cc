@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "term/atom.h"
+#include "term/predicate.h"
+#include "term/substitution.h"
+#include "term/term.h"
+#include "term/world.h"
+
+namespace floq {
+namespace {
+
+// ---- Term -------------------------------------------------------------
+
+TEST(TermTest, KindsAndIndexes) {
+  Term c = Term::Constant(5);
+  Term n = Term::Null(7);
+  Term v = Term::Variable(9);
+  EXPECT_TRUE(c.IsConstant());
+  EXPECT_TRUE(n.IsNull());
+  EXPECT_TRUE(v.IsVariable());
+  EXPECT_EQ(c.index(), 5u);
+  EXPECT_EQ(n.index(), 7u);
+  EXPECT_EQ(v.index(), 9u);
+}
+
+TEST(TermTest, EqualityIsKindAndIndex) {
+  EXPECT_EQ(Term::Constant(1), Term::Constant(1));
+  EXPECT_NE(Term::Constant(1), Term::Variable(1));
+  EXPECT_NE(Term::Constant(1), Term::Constant(2));
+}
+
+TEST(TermTest, DefaultIsInvalid) {
+  Term t;
+  EXPECT_FALSE(t.valid());
+  EXPECT_NE(t, Term::Constant(0));
+}
+
+TEST(TermTest, TotalOrderIsKindMajor) {
+  EXPECT_LT(Term::Constant(100), Term::Null(0));
+  EXPECT_LT(Term::Null(100), Term::Variable(0));
+}
+
+// ---- World -----------------------------------------------------------
+
+TEST(WorldTest, ConstantInterning) {
+  World world;
+  Term a1 = world.MakeConstant("john");
+  Term a2 = world.MakeConstant("john");
+  Term b = world.MakeConstant("mary");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(world.NameOf(a1), "john");
+}
+
+TEST(WorldTest, VariablesAndConstantsAreSeparateNamespaces) {
+  World world;
+  Term c = world.MakeConstant("x");
+  Term v = world.MakeVariable("x");
+  EXPECT_NE(c, v);
+}
+
+TEST(WorldTest, FreshNullsAreOrdered) {
+  World world;
+  Term n0 = world.MakeFreshNull();
+  Term n1 = world.MakeFreshNull();
+  EXPECT_NE(n0, n1);
+  EXPECT_TRUE(world.PrecedesInChaseOrder(n0, n1));
+  EXPECT_EQ(world.NameOf(n0), "_#0");
+}
+
+TEST(WorldTest, FreshVariablesNeverCollide) {
+  World world;
+  world.MakeVariable("_G0");  // pre-claim the first generated name
+  Term fresh = world.MakeFreshVariable();
+  EXPECT_NE(world.NameOf(fresh), "_G0");
+}
+
+TEST(WorldTest, ChaseOrderConstantsBeforeNullsBeforeVariables) {
+  World world;
+  Term c = world.MakeConstant("zzz");
+  Term n = world.MakeFreshNull();
+  Term v = world.MakeVariable("Aaa");
+  EXPECT_TRUE(world.PrecedesInChaseOrder(c, n));
+  EXPECT_TRUE(world.PrecedesInChaseOrder(n, v));
+  EXPECT_TRUE(world.PrecedesInChaseOrder(c, v));
+  EXPECT_FALSE(world.PrecedesInChaseOrder(v, c));
+}
+
+TEST(WorldTest, ChaseOrderWithinKindIsLexicographic) {
+  World world;
+  Term a = world.MakeConstant("alpha");
+  Term b = world.MakeConstant("beta");
+  EXPECT_TRUE(world.PrecedesInChaseOrder(a, b));
+  EXPECT_FALSE(world.PrecedesInChaseOrder(b, a));
+  Term v1 = world.MakeVariable("V1");
+  Term v2 = world.MakeVariable("V2");
+  EXPECT_TRUE(world.PrecedesInChaseOrder(v1, v2));
+}
+
+// ---- PredicateTable ------------------------------------------------------
+
+TEST(PredicateTest, PflCatalogIsPreRegistered) {
+  PredicateTable table;
+  EXPECT_EQ(table.Lookup("member"), pfl::kMember);
+  EXPECT_EQ(table.Lookup("sub"), pfl::kSub);
+  EXPECT_EQ(table.Lookup("data"), pfl::kData);
+  EXPECT_EQ(table.Lookup("type"), pfl::kType);
+  EXPECT_EQ(table.Lookup("mandatory"), pfl::kMandatory);
+  EXPECT_EQ(table.Lookup("funct"), pfl::kFunct);
+  EXPECT_EQ(table.ArityOf(pfl::kData), 3);
+  EXPECT_EQ(table.ArityOf(pfl::kMember), 2);
+}
+
+TEST(PredicateTest, UserPredicatesGetFreshIds) {
+  PredicateTable table;
+  PredicateId p = table.Intern("edge", 2);
+  EXPECT_GE(p, pfl::kCount);
+  EXPECT_EQ(table.Intern("edge", 2), p);
+  EXPECT_EQ(table.NameOf(p), "edge");
+  EXPECT_FALSE(pfl::IsPfl(p));
+}
+
+TEST(PredicateTest, ArityConflictIsRejected) {
+  PredicateTable table;
+  table.Intern("edge", 2);
+  EXPECT_EQ(table.Intern("edge", 3), kInvalidPredicate);
+  EXPECT_EQ(table.Intern("member", 3), kInvalidPredicate);
+}
+
+TEST(PredicateTest, ExcessiveArityIsRejected) {
+  PredicateTable table;
+  EXPECT_EQ(table.Intern("wide", kMaxArity + 1), kInvalidPredicate);
+}
+
+// ---- Atom ----------------------------------------------------------------
+
+TEST(AtomTest, ConstructionAndAccessors) {
+  World world;
+  Term o = world.MakeConstant("john");
+  Term a = world.MakeConstant("age");
+  Term v = world.MakeConstant("33");
+  Atom atom = Atom::Data(o, a, v);
+  EXPECT_EQ(atom.predicate(), pfl::kData);
+  EXPECT_EQ(atom.arity(), 3);
+  EXPECT_EQ(atom.arg(0), o);
+  EXPECT_EQ(atom.arg(2), v);
+  EXPECT_EQ(atom.ToString(world), "data(john, age, 33)");
+}
+
+TEST(AtomTest, EqualityAndHash) {
+  World world;
+  Term x = world.MakeVariable("X");
+  Term c = world.MakeConstant("c");
+  Atom a1 = Atom::Member(x, c);
+  Atom a2 = Atom::Member(x, c);
+  Atom a3 = Atom::Member(c, x);
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, a3);
+  EXPECT_EQ(AtomHash()(a1), AtomHash()(a2));
+}
+
+TEST(AtomTest, GroundnessChecksVariables) {
+  World world;
+  Term c = world.MakeConstant("c");
+  Term n = world.MakeFreshNull();
+  Term v = world.MakeVariable("V");
+  EXPECT_TRUE(Atom::Sub(c, n).IsGround());
+  EXPECT_FALSE(Atom::Sub(c, v).IsGround());
+}
+
+TEST(AtomTest, IterationCoversArity) {
+  World world;
+  Atom atom = Atom::Type(world.MakeConstant("a"), world.MakeConstant("b"),
+                         world.MakeConstant("c"));
+  int count = 0;
+  for (Term t : atom) {
+    EXPECT_TRUE(t.valid());
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+}
+
+// ---- Substitution ----------------------------------------------------------
+
+TEST(SubstitutionTest, IdentityOutsideDomain) {
+  World world;
+  Substitution subst;
+  Term x = world.MakeVariable("X");
+  EXPECT_EQ(subst.Apply(x), x);
+}
+
+TEST(SubstitutionTest, BindAndApplyToAtom) {
+  World world;
+  Term x = world.MakeVariable("X");
+  Term c = world.MakeConstant("c");
+  Term d = world.MakeConstant("d");
+  Substitution subst;
+  subst.Bind(x, c);
+  Atom atom = Atom::Member(x, d);
+  EXPECT_EQ(subst.Apply(atom), Atom::Member(c, d));
+}
+
+TEST(SubstitutionTest, TryBindDetectsConflicts) {
+  World world;
+  Term x = world.MakeVariable("X");
+  Substitution subst;
+  EXPECT_TRUE(subst.TryBind(x, world.MakeConstant("a")));
+  EXPECT_TRUE(subst.TryBind(x, world.MakeConstant("a")));
+  EXPECT_FALSE(subst.TryBind(x, world.MakeConstant("b")));
+  EXPECT_EQ(subst.Apply(x), world.MakeConstant("a"));
+}
+
+TEST(SubstitutionTest, EraseRestoresIdentity) {
+  World world;
+  Term x = world.MakeVariable("X");
+  Substitution subst;
+  subst.Bind(x, world.MakeConstant("a"));
+  subst.Erase(x);
+  EXPECT_EQ(subst.Apply(x), x);
+  EXPECT_TRUE(subst.empty());
+}
+
+TEST(SubstitutionTest, Composition) {
+  World world;
+  Term x = world.MakeVariable("X");
+  Term y = world.MakeVariable("Y");
+  Term c = world.MakeConstant("c");
+  Substitution first;
+  first.Bind(x, y);
+  Substitution second;
+  second.Bind(y, c);
+  Substitution composed = first.ComposeWith(second);
+  EXPECT_EQ(composed.Apply(x), c);  // x -> y -> c
+  EXPECT_EQ(composed.Apply(y), c);  // y -> c carried over
+}
+
+}  // namespace
+}  // namespace floq
+
+namespace floq {
+namespace {
+
+TEST(WorldTest, ReservedVariablesAreUnparseableAndUnique) {
+  World world;
+  Term r0 = world.MakeReservedVariable();
+  Term r1 = world.MakeReservedVariable();
+  EXPECT_NE(r0, r1);
+  EXPECT_EQ(world.NameOf(r0)[0], '$');  // no floq lexer accepts '$'
+  // A later user parse can never produce these terms: '$' is rejected.
+}
+
+TEST(WorldTest, NullNamesAreStable) {
+  World world;
+  Term n = world.MakeFreshNull();
+  EXPECT_EQ(world.NameOf(n), "_#0");
+  EXPECT_EQ(world.null_count(), 1u);
+}
+
+}  // namespace
+}  // namespace floq

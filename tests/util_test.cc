@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "util/interner.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+#include "util/union_find.h"
+
+namespace floq {
+namespace {
+
+// ---- Status / Result --------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = InvalidArgumentError("bad foo");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad foo");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad foo");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status(), Status::Ok());
+  EXPECT_EQ(InvalidArgumentError("a"), InvalidArgumentError("a"));
+  EXPECT_FALSE(InvalidArgumentError("a") == InvalidArgumentError("b"));
+  EXPECT_FALSE(InvalidArgumentError("a") == NotFoundError("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = NotFoundError("missing");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result = std::string("payload");
+  std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+// ---- strings ------------------------------------------------------------
+
+TEST(StringsTest, StrCatMixesTypes) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y  "), "x y");
+  EXPECT_EQ(StripWhitespace("\t\n"), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("_G12", "_G"));
+  EXPECT_FALSE(StartsWith("_", "_G"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+// ---- interner -----------------------------------------------------------
+
+TEST(InternerTest, InternIsIdempotent) {
+  StringInterner interner;
+  uint32_t a = interner.Intern("alpha");
+  uint32_t b = interner.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.Intern("alpha"), a);
+  EXPECT_EQ(interner.NameOf(a), "alpha");
+  EXPECT_EQ(interner.NameOf(b), "beta");
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(InternerTest, LookupDoesNotInsert) {
+  StringInterner interner;
+  EXPECT_EQ(interner.Lookup("ghost"), UINT32_MAX);
+  EXPECT_EQ(interner.size(), 0u);
+  interner.Intern("ghost");
+  EXPECT_NE(interner.Lookup("ghost"), UINT32_MAX);
+}
+
+TEST(InternerTest, IdsAreDense) {
+  StringInterner interner;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(interner.Intern(StrCat("name", i)), uint32_t(i));
+  }
+}
+
+// ---- union-find -----------------------------------------------------------
+
+TEST(UnionFindTest, SingletonsAreDistinct) {
+  UnionFind uf;
+  uf.GrowTo(4);
+  EXPECT_FALSE(uf.Same(0, 1));
+  EXPECT_EQ(uf.Find(3), 3u);
+}
+
+TEST(UnionFindTest, WinnerBecomesRepresentative) {
+  UnionFind uf;
+  uf.GrowTo(4);
+  EXPECT_TRUE(uf.Union(2, 1));
+  EXPECT_EQ(uf.Find(1), 2u);
+  EXPECT_EQ(uf.Find(2), 2u);
+  // Merging again is a no-op.
+  EXPECT_FALSE(uf.Union(2, 1));
+}
+
+TEST(UnionFindTest, TransitiveMerges) {
+  UnionFind uf;
+  uf.GrowTo(10);
+  uf.Union(0, 1);
+  uf.Union(1, 2);  // winner is 0's class root (0)
+  EXPECT_TRUE(uf.Same(0, 2));
+  EXPECT_EQ(uf.Find(2), 0u);
+}
+
+TEST(UnionFindTest, GrowsOnDemand) {
+  UnionFind uf;
+  EXPECT_EQ(uf.Find(100), 100u);
+  EXPECT_GE(uf.size(), 101u);
+}
+
+// ---- rng ------------------------------------------------------------------
+
+TEST(RngTest, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t x = rng.Below(10);
+    EXPECT_LT(x, 10u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit
+}
+
+TEST(RngTest, BetweenInclusive) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t x = rng.Between(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= x == -3;
+    saw_hi |= x == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace floq

@@ -1,0 +1,400 @@
+// floq — command-line front end to the containment checker.
+//
+//   floq check <queries.fl>            decide q1 ⊆ q2 for the first two
+//                                      rules in the file, with explanation
+//   floq classify <queries.fl>         containment taxonomy of all rules
+//   floq chase <queries.fl> [N]        chase the first rule to level N
+//                                      (default 12) and dump the graph
+//   floq dot <queries.fl> [N]          same, as Graphviz DOT on stdout
+//   floq minimize <queries.fl>         minimize every rule under Sigma_FL
+//   floq query <kb.fl> <query text>    answer a query over a knowledge base
+//   floq consistency <kb.fl>           saturate and report rho_4/rho_5
+//
+// Files use the F-logic surface syntax (see README). Everything runs under
+// the F-logic Lite semantics Sigma_FL of Calì & Kifer (VLDB'06).
+
+#include <cstdio>
+#include <iostream>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chase/chase.h"
+#include "chase/dependencies.h"
+#include "chase/graph_dot.h"
+#include "containment/classifier.h"
+#include "containment/containment.h"
+#include "containment/explain.h"
+#include "containment/minimize.h"
+#include "containment/views.h"
+#include "flogic/parser.h"
+#include "flogic/printer.h"
+#include "kb/knowledge_base.h"
+#include "util/strings.h"
+#include "term/world.h"
+
+namespace {
+
+using namespace floq;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "floq: %s\n", message.c_str());
+  return 1;
+}
+
+bool ReadFile(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+Result<std::vector<ConjunctiveQuery>> LoadRules(World& world,
+                                                const std::string& path) {
+  std::string text;
+  if (!ReadFile(path, text)) {
+    return InvalidArgumentError("cannot read " + path);
+  }
+  Result<flogic::Program> program = flogic::ParseProgram(world, text);
+  if (!program.ok()) return program.status();
+  std::vector<ConjunctiveQuery> rules = std::move(program->rules);
+  for (ConjunctiveQuery& goal : program->goals) {
+    rules.push_back(std::move(goal));
+  }
+  if (rules.empty()) {
+    return InvalidArgumentError(path + " contains no rules or goals");
+  }
+  return rules;
+}
+
+int CmdCheck(const std::string& path) {
+  World world;
+  Result<std::vector<ConjunctiveQuery>> rules = LoadRules(world, path);
+  if (!rules.ok()) return Fail(rules.status().ToString());
+  if (rules->size() < 2) return Fail("check needs at least two rules");
+  const ConjunctiveQuery& q1 = (*rules)[0];
+  const ConjunctiveQuery& q2 = (*rules)[1];
+  Result<ContainmentResult> result = CheckContainment(world, q1, q2);
+  if (!result.ok()) return Fail(result.status().ToString());
+  std::printf("%s", ExplainContainment(world, q1, q2, *result).c_str());
+  return result->contained ? 0 : 2;
+}
+
+int CmdClassify(const std::string& path) {
+  World world;
+  Result<std::vector<ConjunctiveQuery>> rules = LoadRules(world, path);
+  if (!rules.ok()) return Fail(rules.status().ToString());
+  Result<QueryTaxonomy> taxonomy = ClassifyQueries(world, *rules);
+  if (!taxonomy.ok()) return Fail(taxonomy.status().ToString());
+  std::printf("%zu queries, %zu equivalence classes, %d checks\n",
+              rules->size(), taxonomy->classes.size(), taxonomy->checks);
+  std::printf("taxonomy (general at the top, ⊂ below):\n%s",
+              TaxonomyToString(*taxonomy, *rules, world).c_str());
+  return 0;
+}
+
+int CmdChase(const std::string& path, int level, bool dot) {
+  World world;
+  Result<std::vector<ConjunctiveQuery>> rules = LoadRules(world, path);
+  if (!rules.ok()) return Fail(rules.status().ToString());
+  ChaseOptions options;
+  options.max_level = level;
+  options.record_cross_arcs = dot;
+  ChaseResult chase = ChaseQuery(world, (*rules)[0], options);
+  if (dot) {
+    DotOptions dot_options;
+    dot_options.max_level = level;
+    dot_options.title =
+        "chase of " + (*rules)[0].ToString(world);
+    std::printf("%s", ChaseGraphToDot(chase, world, dot_options).c_str());
+  } else {
+    std::printf("%s", chase.DebugString(world).c_str());
+  }
+  return 0;
+}
+
+int CmdMinimize(const std::string& path) {
+  World world;
+  Result<std::vector<ConjunctiveQuery>> rules = LoadRules(world, path);
+  if (!rules.ok()) return Fail(rules.status().ToString());
+  for (const ConjunctiveQuery& query : *rules) {
+    MinimizeStats stats;
+    Result<ConjunctiveQuery> minimal = MinimizeQuery(world, query, {}, &stats);
+    if (!minimal.ok()) return Fail(minimal.status().ToString());
+    std::printf("%s\n", flogic::QueryToSurface(query, world).c_str());
+    if (stats.atoms_removed == 0) {
+      std::printf("  already minimal under Sigma_FL\n");
+    } else {
+      std::printf("  => %s   (%d atoms removed)\n",
+                  flogic::QueryToSurface(*minimal, world).c_str(),
+                  stats.atoms_removed);
+    }
+  }
+  return 0;
+}
+
+// Containment under a user dependency file (TGDs/EGDs; see
+// docs/LANGUAGE.md). Complete when the set is weakly acyclic.
+int CmdCheckUnder(const std::string& deps_path, const std::string& path) {
+  World world;
+  std::string deps_text;
+  if (!ReadFile(deps_path, deps_text)) {
+    return Fail("cannot read " + deps_path);
+  }
+  Result<DependencySet> deps = ParseDependencies(world, deps_text);
+  if (!deps.ok()) return Fail(deps.status().ToString());
+
+  Result<std::vector<ConjunctiveQuery>> rules = LoadRules(world, path);
+  if (!rules.ok()) return Fail(rules.status().ToString());
+  if (rules->size() < 2) return Fail("check-under needs at least two rules");
+
+  bool weakly_acyclic = IsWeaklyAcyclic(*deps, world);
+  std::printf("dependencies: %zu TGDs, %zu EGDs, weakly acyclic: %s\n",
+              deps->tgds.size(), deps->egds.size(),
+              weakly_acyclic ? "yes" : "NO");
+
+  ContainmentOptions options;
+  if (!weakly_acyclic) {
+    options.level_override =
+        (*rules)[1].size() * 2 * (*rules)[0].size();
+    std::printf("using bounded chase to level %d (sound; negatives "
+                "inconclusive)\n",
+                options.level_override);
+  }
+  Result<ContainmentResult> result = CheckContainmentUnderDependencies(
+      world, (*rules)[0], (*rules)[1], *deps, options);
+  if (!result.ok()) return Fail(result.status().ToString());
+  std::printf("q1 ⊆ q2 under the dependencies?  %s%s\n",
+              result->contained ? "YES" : "no",
+              result->conclusive ? "" : "  (inconclusive)");
+  return result->contained ? 0 : 2;
+}
+
+int CmdCore(const std::string& path) {
+  World world;
+  Result<std::vector<ConjunctiveQuery>> rules = LoadRules(world, path);
+  if (!rules.ok()) return Fail(rules.status().ToString());
+  for (const ConjunctiveQuery& query : *rules) {
+    CoreStats stats;
+    Result<ConjunctiveQuery> core = ComputeCore(world, query, {}, &stats);
+    if (!core.ok()) return Fail(core.status().ToString());
+    std::printf("%s\n", flogic::QueryToSurface(query, world).c_str());
+    if (stats.atoms_removed == 0 && stats.variables_folded == 0) {
+      std::printf("  already a Sigma_FL-core\n");
+    } else {
+      std::printf("  => %s   (%d atoms removed, %d variables folded)\n",
+                  flogic::QueryToSurface(*core, world).c_str(),
+                  stats.atoms_removed, stats.variables_folded);
+    }
+  }
+  return 0;
+}
+
+// View usability: first rule = the query, remaining rules = views.
+int CmdViews(const std::string& path) {
+  World world;
+  Result<std::vector<ConjunctiveQuery>> rules = LoadRules(world, path);
+  if (!rules.ok()) return Fail(rules.status().ToString());
+  if (rules->size() < 2) return Fail("views needs a query plus views");
+  ConjunctiveQuery query = (*rules)[0];
+  std::vector<ConjunctiveQuery> views(rules->begin() + 1, rules->end());
+  Result<ViewAnalysis> analysis = AnalyzeViews(world, query, views);
+  if (!analysis.ok()) return Fail(analysis.status().ToString());
+  std::printf("%s", ViewAnalysisToString(*analysis, query, views,
+                                         world).c_str());
+  return 0;
+}
+
+int CmdQuery(const std::string& kb_path, const std::string& query_text) {
+  World world;
+  KnowledgeBase kb(world);
+  std::string text;
+  if (!ReadFile(kb_path, text)) return Fail("cannot read " + kb_path);
+  Status loaded = kb.Load(text);
+  if (!loaded.ok()) return Fail(loaded.ToString());
+  Result<std::vector<std::vector<Term>>> answers = kb.Answer(query_text);
+  if (!answers.ok()) return Fail(answers.status().ToString());
+  for (const auto& tuple : *answers) {
+    std::string line;
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      if (i > 0) line += ", ";
+      line += world.NameOf(tuple[i]);
+    }
+    std::printf("%s\n", line.empty() ? "true" : line.c_str());
+  }
+  if (answers->empty()) std::printf("(no answers)\n");
+  return 0;
+}
+
+int CmdConsistency(const std::string& kb_path) {
+  World world;
+  KnowledgeBase kb(world);
+  std::string text;
+  if (!ReadFile(kb_path, text)) return Fail("cannot read " + kb_path);
+  Status loaded = kb.Load(text);
+  if (!loaded.ok()) return Fail(loaded.ToString());
+  SaturateOptions options;
+  options.mandatory_completion_rounds = 8;
+  Result<ConsistencyReport> report = kb.Saturate(options);
+  if (!report.ok()) return Fail(report.status().ToString());
+  std::printf("facts after saturation: %u\n", kb.size());
+  std::printf("consistent (rho_4): %s\n", report->consistent ? "yes" : "NO");
+  for (const std::string& violation : report->funct_violations) {
+    std::printf("  violation: %s\n", violation.c_str());
+  }
+  for (const std::string& pending : report->unsatisfied_mandatory) {
+    std::printf("  unsatisfied mandatory: %s\n", pending.c_str());
+  }
+  return report->consistent ? 0 : 2;
+}
+
+// Interactive shell: F-logic statements are asserted, goals are answered,
+// ':'-commands control the session. Reads stdin line by line; each line
+// must be a complete statement.
+int CmdRepl(const std::string& kb_path) {
+  World world;
+  KnowledgeBase kb(world);
+  if (!kb_path.empty()) {
+    std::string text;
+    if (!ReadFile(kb_path, text)) return Fail("cannot read " + kb_path);
+    Status loaded = kb.Load(text);
+    if (!loaded.ok()) return Fail(loaded.ToString());
+    std::printf("loaded %u facts from %s\n", kb.size(), kb_path.c_str());
+  }
+  std::printf("floq repl — F-logic statements assert, '?- goal.' queries,\n"
+              ":consistency, :facts, :help, :quit\n");
+
+  std::string line;
+  while (std::printf("floq> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::string_view trimmed = StripWhitespace(line);
+    if (trimmed.empty()) continue;
+    if (trimmed == ":quit" || trimmed == ":q") break;
+    if (trimmed == ":help") {
+      std::printf("  john : student.          assert a fact\n"
+                  "  ?- X :: person.          run a goal\n"
+                  "  q(X) :- X : person.      define + run a rule\n"
+                  "  :consistency             saturate and report\n"
+                  "  :facts                   dump the store\n"
+                  "  :quit                    leave\n");
+      continue;
+    }
+    if (trimmed == ":facts") {
+      for (const Atom& fact : kb.database().facts()) {
+        std::printf("  %s\n",
+                    flogic::AtomToSurface(fact, world).c_str());
+      }
+      continue;
+    }
+    if (trimmed == ":consistency") {
+      SaturateOptions options;
+      options.mandatory_completion_rounds = 8;
+      Result<ConsistencyReport> report = kb.Saturate(options);
+      if (!report.ok()) {
+        std::printf("error: %s\n", report.status().ToString().c_str());
+        continue;
+      }
+      std::printf("facts: %u, consistent: %s\n", kb.size(),
+                  report->consistent ? "yes" : "NO");
+      for (const std::string& violation : report->funct_violations) {
+        std::printf("  %s\n", violation.c_str());
+      }
+      continue;
+    }
+
+    // Goals and rules answer; plain statements assert.
+    Result<flogic::Program> program =
+        flogic::ParseProgram(world, std::string(trimmed));
+    if (!program.ok()) {
+      std::printf("error: %s\n", program.status().ToString().c_str());
+      continue;
+    }
+    for (const Atom& fact : program->facts) {
+      Status added = kb.AddFact(fact);
+      if (!added.ok()) std::printf("error: %s\n", added.ToString().c_str());
+    }
+    if (!program->facts.empty()) {
+      std::printf("asserted %zu fact(s)\n", program->facts.size());
+    }
+    std::vector<ConjunctiveQuery> to_answer = program->goals;
+    for (const ConjunctiveQuery& rule : program->rules) {
+      to_answer.push_back(rule);
+    }
+    for (const ConjunctiveQuery& goal : to_answer) {
+      Result<std::vector<std::vector<Term>>> answers = kb.Answer(goal);
+      if (!answers.ok()) {
+        std::printf("error: %s\n", answers.status().ToString().c_str());
+        continue;
+      }
+      if (answers->empty()) {
+        std::printf("no\n");
+        continue;
+      }
+      for (const auto& tuple : *answers) {
+        if (tuple.empty()) {
+          std::printf("yes\n");
+          continue;
+        }
+        std::string out;
+        for (size_t i = 0; i < tuple.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += world.NameOf(tuple[i]);
+        }
+        std::printf("%s\n", out.c_str());
+      }
+    }
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  floq check <queries.fl>\n"
+               "  floq classify <queries.fl>\n"
+               "  floq chase <queries.fl> [max_level]\n"
+               "  floq dot <queries.fl> [max_level]\n"
+               "  floq minimize <queries.fl>\n"
+               "  floq core <queries.fl>\n"
+               "  floq check-under <deps.fl> <queries.fl>\n"
+               "  floq views <query_then_views.fl>\n"
+               "  floq query <kb.fl> '<query>'\n"
+               "  floq consistency <kb.fl>\n"
+               "  floq repl [kb.fl]\n");
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return Usage();
+  const std::string& command = args[0];
+
+  if (command == "check" && args.size() == 2) return CmdCheck(args[1]);
+  if (command == "classify" && args.size() == 2) return CmdClassify(args[1]);
+  if ((command == "chase" || command == "dot") &&
+      (args.size() == 2 || args.size() == 3)) {
+    int level = args.size() == 3 ? std::atoi(args[2].c_str()) : 12;
+    return CmdChase(args[1], level, command == "dot");
+  }
+  if (command == "minimize" && args.size() == 2) return CmdMinimize(args[1]);
+  if (command == "core" && args.size() == 2) return CmdCore(args[1]);
+  if (command == "check-under" && args.size() == 3) {
+    return CmdCheckUnder(args[1], args[2]);
+  }
+  if (command == "views" && args.size() == 2) return CmdViews(args[1]);
+  if (command == "query" && args.size() == 3) {
+    return CmdQuery(args[1], args[2]);
+  }
+  if (command == "consistency" && args.size() == 2) {
+    return CmdConsistency(args[1]);
+  }
+  if (command == "repl" && args.size() <= 2) {
+    return CmdRepl(args.size() == 2 ? args[1] : std::string());
+  }
+  return Usage();
+}
