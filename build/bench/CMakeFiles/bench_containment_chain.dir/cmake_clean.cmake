@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_containment_chain.dir/bench_containment_chain.cc.o"
+  "CMakeFiles/bench_containment_chain.dir/bench_containment_chain.cc.o.d"
+  "bench_containment_chain"
+  "bench_containment_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_containment_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cycle_depth.dir/bench_cycle_depth.cc.o"
+  "CMakeFiles/bench_cycle_depth.dir/bench_cycle_depth.cc.o.d"
+  "bench_cycle_depth"
+  "bench_cycle_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cycle_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

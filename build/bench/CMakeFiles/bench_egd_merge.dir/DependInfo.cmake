@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_egd_merge.cc" "bench/CMakeFiles/bench_egd_merge.dir/bench_egd_merge.cc.o" "gcc" "bench/CMakeFiles/bench_egd_merge.dir/bench_egd_merge.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdf/CMakeFiles/floq_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/containment/CMakeFiles/floq_containment.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/floq_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/flogic/CMakeFiles/floq_flogic.dir/DependInfo.cmake"
+  "/root/repo/build/src/chase/CMakeFiles/floq_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/floq_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/floq_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/floq_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/er/CMakeFiles/floq_er.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/floq_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/floq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_egd_merge.dir/bench_egd_merge.cc.o"
+  "CMakeFiles/bench_egd_merge.dir/bench_egd_merge.cc.o.d"
+  "bench_egd_merge"
+  "bench_egd_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_egd_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_generic_chase.dir/bench_generic_chase.cc.o"
+  "CMakeFiles/bench_generic_chase.dir/bench_generic_chase.cc.o.d"
+  "bench_generic_chase"
+  "bench_generic_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_generic_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

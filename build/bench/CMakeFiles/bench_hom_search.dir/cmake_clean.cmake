@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hom_search.dir/bench_hom_search.cc.o"
+  "CMakeFiles/bench_hom_search.dir/bench_hom_search.cc.o.d"
+  "bench_hom_search"
+  "bench_hom_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hom_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

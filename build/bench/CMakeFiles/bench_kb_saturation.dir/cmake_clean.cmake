@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kb_saturation.dir/bench_kb_saturation.cc.o"
+  "CMakeFiles/bench_kb_saturation.dir/bench_kb_saturation.cc.o.d"
+  "bench_kb_saturation"
+  "bench_kb_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kb_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

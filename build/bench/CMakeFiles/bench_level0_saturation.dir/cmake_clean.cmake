@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_level0_saturation.dir/bench_level0_saturation.cc.o"
+  "CMakeFiles/bench_level0_saturation.dir/bench_level0_saturation.cc.o.d"
+  "bench_level0_saturation"
+  "bench_level0_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_level0_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_design.dir/er_design.cpp.o"
+  "CMakeFiles/er_design.dir/er_design.cpp.o.d"
+  "er_design"
+  "er_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

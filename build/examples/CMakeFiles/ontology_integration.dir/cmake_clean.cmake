@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ontology_integration.dir/ontology_integration.cpp.o"
+  "CMakeFiles/ontology_integration.dir/ontology_integration.cpp.o.d"
+  "ontology_integration"
+  "ontology_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ontology_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

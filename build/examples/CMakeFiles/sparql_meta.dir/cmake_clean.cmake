@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparql_meta.dir/sparql_meta.cpp.o"
+  "CMakeFiles/sparql_meta.dir/sparql_meta.cpp.o.d"
+  "sparql_meta"
+  "sparql_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparql_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chase/chase.cc" "src/chase/CMakeFiles/floq_chase.dir/chase.cc.o" "gcc" "src/chase/CMakeFiles/floq_chase.dir/chase.cc.o.d"
+  "/root/repo/src/chase/dependencies.cc" "src/chase/CMakeFiles/floq_chase.dir/dependencies.cc.o" "gcc" "src/chase/CMakeFiles/floq_chase.dir/dependencies.cc.o.d"
+  "/root/repo/src/chase/generic_chase.cc" "src/chase/CMakeFiles/floq_chase.dir/generic_chase.cc.o" "gcc" "src/chase/CMakeFiles/floq_chase.dir/generic_chase.cc.o.d"
+  "/root/repo/src/chase/graph_dot.cc" "src/chase/CMakeFiles/floq_chase.dir/graph_dot.cc.o" "gcc" "src/chase/CMakeFiles/floq_chase.dir/graph_dot.cc.o.d"
+  "/root/repo/src/chase/sigma_fl.cc" "src/chase/CMakeFiles/floq_chase.dir/sigma_fl.cc.o" "gcc" "src/chase/CMakeFiles/floq_chase.dir/sigma_fl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datalog/CMakeFiles/floq_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/floq_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/floq_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/floq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

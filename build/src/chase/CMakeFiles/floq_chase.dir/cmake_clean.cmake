@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floq_chase.dir/chase.cc.o"
+  "CMakeFiles/floq_chase.dir/chase.cc.o.d"
+  "CMakeFiles/floq_chase.dir/dependencies.cc.o"
+  "CMakeFiles/floq_chase.dir/dependencies.cc.o.d"
+  "CMakeFiles/floq_chase.dir/generic_chase.cc.o"
+  "CMakeFiles/floq_chase.dir/generic_chase.cc.o.d"
+  "CMakeFiles/floq_chase.dir/graph_dot.cc.o"
+  "CMakeFiles/floq_chase.dir/graph_dot.cc.o.d"
+  "CMakeFiles/floq_chase.dir/sigma_fl.cc.o"
+  "CMakeFiles/floq_chase.dir/sigma_fl.cc.o.d"
+  "libfloq_chase.a"
+  "libfloq_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floq_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/containment/classifier.cc" "src/containment/CMakeFiles/floq_containment.dir/classifier.cc.o" "gcc" "src/containment/CMakeFiles/floq_containment.dir/classifier.cc.o.d"
+  "/root/repo/src/containment/containment.cc" "src/containment/CMakeFiles/floq_containment.dir/containment.cc.o" "gcc" "src/containment/CMakeFiles/floq_containment.dir/containment.cc.o.d"
+  "/root/repo/src/containment/explain.cc" "src/containment/CMakeFiles/floq_containment.dir/explain.cc.o" "gcc" "src/containment/CMakeFiles/floq_containment.dir/explain.cc.o.d"
+  "/root/repo/src/containment/homomorphism.cc" "src/containment/CMakeFiles/floq_containment.dir/homomorphism.cc.o" "gcc" "src/containment/CMakeFiles/floq_containment.dir/homomorphism.cc.o.d"
+  "/root/repo/src/containment/minimize.cc" "src/containment/CMakeFiles/floq_containment.dir/minimize.cc.o" "gcc" "src/containment/CMakeFiles/floq_containment.dir/minimize.cc.o.d"
+  "/root/repo/src/containment/views.cc" "src/containment/CMakeFiles/floq_containment.dir/views.cc.o" "gcc" "src/containment/CMakeFiles/floq_containment.dir/views.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chase/CMakeFiles/floq_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/floq_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/floq_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/floq_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/floq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floq_containment.dir/classifier.cc.o"
+  "CMakeFiles/floq_containment.dir/classifier.cc.o.d"
+  "CMakeFiles/floq_containment.dir/containment.cc.o"
+  "CMakeFiles/floq_containment.dir/containment.cc.o.d"
+  "CMakeFiles/floq_containment.dir/explain.cc.o"
+  "CMakeFiles/floq_containment.dir/explain.cc.o.d"
+  "CMakeFiles/floq_containment.dir/homomorphism.cc.o"
+  "CMakeFiles/floq_containment.dir/homomorphism.cc.o.d"
+  "CMakeFiles/floq_containment.dir/minimize.cc.o"
+  "CMakeFiles/floq_containment.dir/minimize.cc.o.d"
+  "CMakeFiles/floq_containment.dir/views.cc.o"
+  "CMakeFiles/floq_containment.dir/views.cc.o.d"
+  "libfloq_containment.a"
+  "libfloq_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floq_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

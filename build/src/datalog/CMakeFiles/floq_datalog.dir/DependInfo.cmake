@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/evaluator.cc" "src/datalog/CMakeFiles/floq_datalog.dir/evaluator.cc.o" "gcc" "src/datalog/CMakeFiles/floq_datalog.dir/evaluator.cc.o.d"
+  "/root/repo/src/datalog/fact_index.cc" "src/datalog/CMakeFiles/floq_datalog.dir/fact_index.cc.o" "gcc" "src/datalog/CMakeFiles/floq_datalog.dir/fact_index.cc.o.d"
+  "/root/repo/src/datalog/match.cc" "src/datalog/CMakeFiles/floq_datalog.dir/match.cc.o" "gcc" "src/datalog/CMakeFiles/floq_datalog.dir/match.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/floq_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/floq_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/floq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

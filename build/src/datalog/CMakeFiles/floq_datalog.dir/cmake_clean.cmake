@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floq_datalog.dir/evaluator.cc.o"
+  "CMakeFiles/floq_datalog.dir/evaluator.cc.o.d"
+  "CMakeFiles/floq_datalog.dir/fact_index.cc.o"
+  "CMakeFiles/floq_datalog.dir/fact_index.cc.o.d"
+  "CMakeFiles/floq_datalog.dir/match.cc.o"
+  "CMakeFiles/floq_datalog.dir/match.cc.o.d"
+  "libfloq_datalog.a"
+  "libfloq_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floq_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfloq_datalog.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floq_er.dir/er_schema.cc.o"
+  "CMakeFiles/floq_er.dir/er_schema.cc.o.d"
+  "libfloq_er.a"
+  "libfloq_er.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floq_er.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floq_flogic.dir/lexer.cc.o"
+  "CMakeFiles/floq_flogic.dir/lexer.cc.o.d"
+  "CMakeFiles/floq_flogic.dir/parser.cc.o"
+  "CMakeFiles/floq_flogic.dir/parser.cc.o.d"
+  "CMakeFiles/floq_flogic.dir/printer.cc.o"
+  "CMakeFiles/floq_flogic.dir/printer.cc.o.d"
+  "libfloq_flogic.a"
+  "libfloq_flogic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floq_flogic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floq_gen.dir/generators.cc.o"
+  "CMakeFiles/floq_gen.dir/generators.cc.o.d"
+  "libfloq_gen.a"
+  "libfloq_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floq_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floq_kb.dir/knowledge_base.cc.o"
+  "CMakeFiles/floq_kb.dir/knowledge_base.cc.o.d"
+  "libfloq_kb.a"
+  "libfloq_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floq_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floq_query.dir/conjunctive_query.cc.o"
+  "CMakeFiles/floq_query.dir/conjunctive_query.cc.o.d"
+  "CMakeFiles/floq_query.dir/parser.cc.o"
+  "CMakeFiles/floq_query.dir/parser.cc.o.d"
+  "libfloq_query.a"
+  "libfloq_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floq_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floq_rdf.dir/rdf_graph.cc.o"
+  "CMakeFiles/floq_rdf.dir/rdf_graph.cc.o.d"
+  "CMakeFiles/floq_rdf.dir/sparql.cc.o"
+  "CMakeFiles/floq_rdf.dir/sparql.cc.o.d"
+  "libfloq_rdf.a"
+  "libfloq_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floq_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

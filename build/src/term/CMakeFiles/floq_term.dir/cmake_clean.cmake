@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floq_term.dir/atom.cc.o"
+  "CMakeFiles/floq_term.dir/atom.cc.o.d"
+  "CMakeFiles/floq_term.dir/predicate.cc.o"
+  "CMakeFiles/floq_term.dir/predicate.cc.o.d"
+  "libfloq_term.a"
+  "libfloq_term.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floq_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floq_util.dir/status.cc.o"
+  "CMakeFiles/floq_util.dir/status.cc.o.d"
+  "CMakeFiles/floq_util.dir/strings.cc.o"
+  "CMakeFiles/floq_util.dir/strings.cc.o.d"
+  "libfloq_util.a"
+  "libfloq_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floq_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

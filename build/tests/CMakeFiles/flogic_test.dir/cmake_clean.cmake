@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flogic_test.dir/flogic_test.cc.o"
+  "CMakeFiles/flogic_test.dir/flogic_test.cc.o.d"
+  "flogic_test"
+  "flogic_test.pdb"
+  "flogic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flogic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_chase_test.dir/generic_chase_test.cc.o"
+  "CMakeFiles/generic_chase_test.dir/generic_chase_test.cc.o.d"
+  "generic_chase_test"
+  "generic_chase_test.pdb"
+  "generic_chase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_chase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

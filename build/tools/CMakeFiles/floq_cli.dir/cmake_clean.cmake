@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floq_cli.dir/floq_cli.cc.o"
+  "CMakeFiles/floq_cli.dir/floq_cli.cc.o.d"
+  "floq"
+  "floq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
