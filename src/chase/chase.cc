@@ -50,14 +50,14 @@ class ChaseEngine {
   ChaseEngine(World& world, const ChaseOptions& options)
       : world_(world), options_(options), sigma_(MakeSigmaFL(world)) {}
 
-  ChaseResult Run(const ConjunctiveQuery& query) {
+  void Run(const ConjunctiveQuery& query) {
     // Initial conjuncts: body(q) at level 0.
     for (const Atom& atom : query.body()) {
-      if (!InsertNode(atom, 0, kRho0, {})) return Finish();
+      if (!InsertNode(atom, 0, kRho0, {})) return Seal();
     }
     result_.head_ = query.head();
 
-    if (!EgdFixpoint()) return Finish();
+    if (!EgdFixpoint()) return Seal();
 
     // Phase A — the preliminary chase with Sigma_FL^-: saturate the ten
     // Datalog TGDs (rho_4 interleaved); everything stays at level 0.
@@ -67,15 +67,40 @@ class ChaseEngine {
           CollectTgds(window, /*force_level_zero=*/true);
       if (pending.empty()) break;
       for (const PendingTgd& p : pending) {
-        if (!ApplyTgd(p)) return Finish();
+        if (!ApplyTgd(p)) return Seal();
       }
-      if (!EgdFixpoint()) return Finish();
+      if (!EgdFixpoint()) return Seal();
       ++result_.stats_.rounds;
     }
 
     // Phase B — the cyclic phase: rho_5 joins in and levels grow.
     full_recheck_ = true;  // mandatory conjuncts of level 0 need a rho_5 pass
     delta_.clear();
+    RunCyclic();
+  }
+
+  /// Resumes a kLevelCapped chase with a deeper level cap. Instances that
+  /// were deferred beyond the old cap are no longer in any delta window,
+  /// so the first resumed collection rescans the whole instance. No-op on
+  /// completed, failed, or budget-exhausted chases.
+  void Deepen(int new_max_level) {
+    if (new_max_level <= options_.max_level) return;
+    options_.max_level = new_max_level;
+    if (result_.outcome_ != ChaseOutcome::kLevelCapped) return;
+    full_recheck_ = true;
+    delta_.clear();
+    RunCyclic();
+  }
+
+  const ChaseResult& result() const { return result_; }
+  ChaseResult TakeResult() { return std::move(result_); }
+  int level_cap() const { return options_.max_level; }
+
+ private:
+  // Runs phase B until quiescence under the current level cap, setting the
+  // outcome (kCompleted if nothing applicable remains anywhere,
+  // kLevelCapped if instances beyond the cap were deferred).
+  void RunCyclic() {
     bool saw_beyond_cap = false;
     for (;;) {
       DeltaWindow window = TakeDelta();
@@ -103,24 +128,22 @@ class ChaseEngine {
       if (tgds_now.empty() && exists_now.empty()) {
         result_.outcome_ = saw_beyond_cap ? ChaseOutcome::kLevelCapped
                                           : ChaseOutcome::kCompleted;
-        return Finish();
+        return Seal();
       }
 
       for (const PendingTgd& p : tgds_now) {
-        if (!ApplyTgd(p)) return Finish();
+        if (!ApplyTgd(p)) return Seal();
       }
       for (const PendingExistential& p : exists_now) {
-        if (!ApplyExistential(p)) return Finish();
+        if (!ApplyExistential(p)) return Seal();
       }
-      if (!EgdFixpoint()) return Finish();
+      if (!EgdFixpoint()) return Seal();
       ++result_.stats_.rounds;
       // Beyond-cap instances remain applicable; they will be re-collected
       // only while their body atoms stay in the delta window, so remember
       // that we saw them.
     }
   }
-
- private:
   FactIndex& index() { return result_.conjuncts_; }
 
   // ---- node insertion -------------------------------------------------
@@ -406,10 +429,7 @@ class ChaseEngine {
     return out;
   }
 
-  ChaseResult Finish() {
-    result_.stats_.egd_merges = uf_.merge_count();
-    return std::move(result_);
-  }
+  void Seal() { result_.stats_.egd_merges = uf_.merge_count(); }
 
   World& world_;
   ChaseOptions options_;
@@ -461,14 +481,60 @@ std::string ChaseResult::DebugString(const World& world) const {
 
 ChaseResult ChaseQuery(World& world, const ConjunctiveQuery& query,
                        const ChaseOptions& options) {
-  return ChaseEngine(world, options).Run(query);
+  ChaseEngine engine(world, options);
+  engine.Run(query);
+  return engine.TakeResult();
 }
 
 ChaseResult ChaseLevelZero(World& world, const ConjunctiveQuery& query,
                            const ChaseOptions& options) {
   ChaseOptions level_zero = options;
   level_zero.max_level = 0;
-  return ChaseEngine(world, level_zero).Run(query);
+  ChaseEngine engine(world, level_zero);
+  engine.Run(query);
+  return engine.TakeResult();
+}
+
+// ---- ResumableChase ---------------------------------------------------------
+
+ResumableChase::ResumableChase(World& world, const ConjunctiveQuery& query,
+                               const ChaseOptions& options)
+    : world_(&world), query_(query), options_(options) {}
+
+ResumableChase::~ResumableChase() = default;
+ResumableChase::ResumableChase(ResumableChase&&) noexcept = default;
+ResumableChase& ResumableChase::operator=(ResumableChase&&) noexcept = default;
+
+const ChaseResult& ResumableChase::EnsureLevel(int level) {
+  if (!started_) {
+    FLOQ_CHECK(!frozen_);
+    ChaseOptions run_options = options_;
+    run_options.max_level = level;
+    engine_ = std::make_unique<ChaseEngine>(*world_, run_options);
+    engine_->Run(query_);
+    started_ = true;
+    return engine_->result();
+  }
+  if (level <= engine_->level_cap() ||
+      engine_->result().outcome() != ChaseOutcome::kLevelCapped) {
+    // Already materialized deep enough, or nothing deeper exists
+    // (completed) or can be computed (failed / budget): const read.
+    return engine_->result();
+  }
+  FLOQ_CHECK(!frozen_);  // immutability contract: no deepening when shared
+  engine_->Deepen(level);
+  ++deepen_count_;
+  return engine_->result();
+}
+
+const ChaseResult& ResumableChase::result() const {
+  FLOQ_CHECK(started_);
+  return engine_->result();
+}
+
+int ResumableChase::level_cap() const {
+  FLOQ_CHECK(started_);
+  return engine_->level_cap();
 }
 
 }  // namespace floq

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,13 @@
 // which rho_5 invents fresh nulls and levels grow. The engine materializes
 // the chase breadth-first, level by level, up to a caller-supplied level
 // cap — Theorem 12 shows the cap |q2| * 2|q1| suffices for containment.
+//
+// Two entry points exist: the one-shot ChaseQuery below, and ResumableChase,
+// a handle that keeps the engine state (FactIndex, delta frontier, level
+// bookkeeping, union-find) alive so the materialized prefix can later be
+// *deepened* from level k to k' > k without recomputing levels <= k. Batch
+// workloads (ContainmentEngine) cache one handle per query and deepen it
+// lazily to the largest level any containment pair demands.
 
 namespace floq {
 
@@ -137,6 +145,65 @@ class ChaseResult {
 /// database; its variables are treated as values throughout.
 ChaseResult ChaseQuery(World& world, const ConjunctiveQuery& query,
                        const ChaseOptions& options = {});
+
+class ChaseEngine;
+
+/// A memoized, resumable chase of one query: the engine state survives
+/// between calls, so EnsureLevel(k') after EnsureLevel(k) only materializes
+/// the missing levels (k, k']. `options.max_level` is ignored — the level
+/// cap always comes from EnsureLevel.
+///
+/// Concurrency contract: a ResumableChase is single-threaded while it is
+/// being deepened (the chase draws fresh nulls from the shared World).
+/// Once Freeze() has been called the handle is immutable — result() and
+/// EnsureLevel() calls that need no deepening are const reads of the
+/// FactIndex and may run from many threads concurrently. EnsureLevel()
+/// FLOQ_CHECK-fails if it would have to deepen a frozen handle.
+class ResumableChase {
+ public:
+  ResumableChase(World& world, const ConjunctiveQuery& query,
+                 const ChaseOptions& options = {});
+  ~ResumableChase();
+  ResumableChase(ResumableChase&&) noexcept;
+  ResumableChase& operator=(ResumableChase&&) noexcept;
+
+  /// Materializes conjuncts at least up to `level` (the first call runs
+  /// phases A and B from scratch; later calls resume phase B). A chase
+  /// that already completed, failed, or exhausted its budget is returned
+  /// unchanged. Returns result().
+  const ChaseResult& EnsureLevel(int level);
+
+  /// The materialized prefix. Valid only after the first EnsureLevel.
+  const ChaseResult& result() const;
+
+  /// True once EnsureLevel has run the initial chase.
+  bool started() const { return started_; }
+
+  /// The level cap the engine has materialized to so far (meaningful only
+  /// after the first EnsureLevel).
+  int level_cap() const;
+
+  /// Number of times EnsureLevel actually resumed phase B on an existing
+  /// materialization (cache-friendly deepenings, excluding the first run).
+  uint64_t deepen_count() const { return deepen_count_; }
+
+  /// Declares the handle immutable: any further EnsureLevel call that
+  /// would deepen the chase aborts. Call before sharing across threads.
+  void Freeze() { frozen_ = true; }
+  /// Lifts the immutability declaration. Only legal once no other thread
+  /// holds a reference anymore (i.e., after the sharing fan-out joined).
+  void Thaw() { frozen_ = false; }
+  bool frozen() const { return frozen_; }
+
+ private:
+  World* world_;
+  ConjunctiveQuery query_;
+  ChaseOptions options_;
+  std::unique_ptr<ChaseEngine> engine_;
+  bool started_ = false;
+  bool frozen_ = false;
+  uint64_t deepen_count_ = 0;
+};
 
 /// The preliminary chase only (Sigma_FL^-): terminating, everything at
 /// level 0. Equivalent to ChaseQuery with max_level = 0.

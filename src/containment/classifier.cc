@@ -8,25 +8,30 @@ namespace floq {
 
 Result<QueryTaxonomy> ClassifyQueries(
     World& world, const std::vector<ConjunctiveQuery>& queries,
-    const ContainmentOptions& options) {
+    const BatchContainmentOptions& options) {
   const size_t n = queries.size();
   QueryTaxonomy taxonomy;
   taxonomy.class_of.assign(n, -1);
   if (n == 0) return taxonomy;
 
-  // Pairwise containment matrix over queries.
+  // Pairwise containment matrix over queries, via the batch engine: one
+  // memoized chase per query, homomorphism searches fanned out.
+  ContainmentEngine engine(world, options);
+  for (const ConjunctiveQuery& query : queries) {
+    Result<size_t> id = engine.AddQuery(query);
+    if (!id.ok()) return id.status();
+  }
+  Result<std::vector<std::vector<PairVerdict>>> matrix = engine.CheckAll();
+  if (!matrix.ok()) return matrix.status();
+
   std::vector<std::vector<bool>> contained(n, std::vector<bool>(n, false));
   for (size_t i = 0; i < n; ++i) {
     contained[i][i] = true;
     for (size_t j = 0; j < n; ++j) {
-      if (i == j) continue;
-      Result<ContainmentResult> result =
-          CheckContainment(world, queries[i], queries[j], options);
-      if (!result.ok()) return result.status();
-      ++taxonomy.checks;
-      contained[i][j] = result->contained;
+      if (i != j) contained[i][j] = (*matrix)[i][j].contained;
     }
   }
+  taxonomy.checks = int(engine.stats().pairs_checked);
 
   // Equivalence classes: mutual containment.
   for (size_t i = 0; i < n; ++i) {
@@ -67,6 +72,14 @@ Result<QueryTaxonomy> ClassifyQueries(
     }
   }
   return taxonomy;
+}
+
+Result<QueryTaxonomy> ClassifyQueries(
+    World& world, const std::vector<ConjunctiveQuery>& queries,
+    const ContainmentOptions& options) {
+  BatchContainmentOptions batch;
+  batch.containment = options;
+  return ClassifyQueries(world, queries, batch);
 }
 
 std::string TaxonomyToString(const QueryTaxonomy& taxonomy,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "containment/containment.h"
+#include "containment/engine.h"
 #include "query/conjunctive_query.h"
 #include "term/world.h"
 #include "util/status.h"
@@ -38,10 +39,19 @@ struct QueryTaxonomy {
   int checks = 0;
 };
 
-/// Classifies `queries` (all must have equal arity) under Sigma_FL.
+/// Classifies `queries` (all must have equal arity) under Sigma_FL. The
+/// n(n-1) pairwise checks run through a ContainmentEngine: each query is
+/// chased once (not once per pair) and the homomorphism searches fan out
+/// over `options.jobs` threads.
 Result<QueryTaxonomy> ClassifyQueries(
     World& world, const std::vector<ConjunctiveQuery>& queries,
-    const ContainmentOptions& options = {});
+    const BatchContainmentOptions& options = {});
+
+/// Convenience overload for callers holding plain per-pair options; runs
+/// with the default thread count.
+Result<QueryTaxonomy> ClassifyQueries(
+    World& world, const std::vector<ConjunctiveQuery>& queries,
+    const ContainmentOptions& options);
 
 /// Renders the taxonomy as an indented forest, most general classes first.
 std::string TaxonomyToString(const QueryTaxonomy& taxonomy,

@@ -18,12 +18,11 @@ Status ValidatePair(const World& world, const ConjunctiveQuery& q1,
   return Status::Ok();
 }
 
-// The level cap of Theorem 12: |q2| * delta with delta = 2|q1|.
+}  // namespace
+
 int PaperLevelBound(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
   return q2.size() * 2 * q1.size();
 }
-
-}  // namespace
 
 Result<ContainmentResult> CheckContainment(World& world,
                                            const ConjunctiveQuery& q1,

@@ -34,6 +34,9 @@ enum class ChaseDepth {
   kNone,
 };
 
+/// The level cap of Theorem 12: |q2| * delta with delta = 2|q1|.
+int PaperLevelBound(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
 struct ContainmentOptions {
   ChaseDepth depth = ChaseDepth::kPaperBound;
   /// Overrides the level cap when >= 0 (used by convergence experiments).

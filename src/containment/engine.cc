@@ -1,0 +1,206 @@
+#include "containment/engine.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "containment/homomorphism.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace floq {
+
+// Per-query cache slot. `chase` (or `body_index` in kNone mode) is built
+// the first time the query appears as a left-hand side and reused — and
+// deepened, never rebuilt — by every later pair.
+struct ContainmentEngine::Entry {
+  ConjunctiveQuery query;
+  // The rhs pattern: variables renamed apart from every chase value (chase
+  // conjuncts carry the chased query's variables as values; see the
+  // matcher discipline note in DESIGN.md §4). Renamed once at
+  // registration, shared read-only by all workers.
+  ConjunctiveQuery renamed;
+  std::optional<ResumableChase> chase;
+  // ChaseDepth::kNone target: body(q) as a plain fact index.
+  std::optional<FactIndex> body_index;
+};
+
+ContainmentEngine::ContainmentEngine(World& world,
+                                     const BatchContainmentOptions& options)
+    : world_(world), options_(options) {}
+
+ContainmentEngine::~ContainmentEngine() = default;
+
+Result<size_t> ContainmentEngine::AddQuery(const ConjunctiveQuery& query) {
+  FLOQ_RETURN_IF_ERROR(query.Validate(world_));
+  auto entry = std::make_unique<Entry>();
+  entry->query = query;
+  entry->renamed = query.RenameApart(world_);
+  entries_.push_back(std::move(entry));
+  return entries_.size() - 1;
+}
+
+size_t ContainmentEngine::query_count() const { return entries_.size(); }
+
+const ConjunctiveQuery& ContainmentEngine::query(size_t id) const {
+  FLOQ_CHECK_LT(id, entries_.size());
+  return entries_[id]->query;
+}
+
+const ChaseResult* ContainmentEngine::chase_of(size_t id) const {
+  FLOQ_CHECK_LT(id, entries_.size());
+  const Entry& entry = *entries_[id];
+  return entry.chase.has_value() ? &entry.chase->result() : nullptr;
+}
+
+Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
+    std::span<const std::pair<size_t, size_t>> pairs) {
+  const ContainmentOptions& copts = options_.containment;
+
+  for (const auto& [lhs, rhs] : pairs) {
+    if (lhs >= entries_.size() || rhs >= entries_.size()) {
+      return InvalidArgumentError("pair refers to an unregistered query id");
+    }
+    const Entry& l = *entries_[lhs];
+    const Entry& r = *entries_[rhs];
+    if (l.query.arity() != r.query.arity()) {
+      return InvalidArgumentError(
+          StrCat("containment requires equal arities; got ",
+                 l.query.arity(), " and ", r.query.arity()));
+    }
+  }
+
+  std::vector<PairVerdict> verdicts(pairs.size());
+  std::vector<uint8_t> needs_search(pairs.size(), 0);
+
+  // ---- sequential phase: build / deepen the shared targets ---------------
+  //
+  // Everything that mutates the World (fresh nulls for chase steps) or a
+  // cache entry happens here, on the calling thread. The workers below
+  // only read.
+  ChaseOptions chase_options;
+  chase_options.max_atoms = copts.max_chase_atoms;
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    const auto& [lhs, rhs] = pairs[k];
+    Entry& l = *entries_[lhs];
+    PairVerdict& verdict = verdicts[k];
+    ++stats_.chase_requests;
+
+    if (copts.depth == ChaseDepth::kNone) {
+      verdict.level_bound = -1;
+      if (!l.body_index.has_value()) {
+        ++stats_.chases_run;
+        l.body_index.emplace();
+        for (const Atom& atom : l.query.body()) l.body_index->Insert(atom);
+      } else {
+        ++stats_.chase_cache_hits;
+      }
+      needs_search[k] = 1;
+      continue;
+    }
+
+    int level = 0;
+    if (copts.depth == ChaseDepth::kPaperBound) {
+      level = copts.level_override >= 0
+                  ? copts.level_override
+                  : PaperLevelBound(l.query, entries_[rhs]->query);
+    }
+    verdict.level_bound = level;
+
+    if (!l.chase.has_value()) {
+      ++stats_.chases_run;
+      l.chase.emplace(world_, l.query, chase_options);
+    } else {
+      ++stats_.chase_cache_hits;
+    }
+    uint64_t deepenings_before = l.chase->deepen_count();
+    const ChaseResult& chase = l.chase->EnsureLevel(level);
+    stats_.chase_deepenings += l.chase->deepen_count() - deepenings_before;
+
+    if (chase.failed()) {
+      // lhs has no answers on any database satisfying Sigma_FL: contained
+      // in every query of the same arity, no search needed.
+      verdict.contained = true;
+      verdict.lhs_unsatisfiable = true;
+      continue;
+    }
+    if (chase.outcome() == ChaseOutcome::kBudgetExceeded) {
+      return ResourceExhaustedError(
+          StrCat("chase of query ", lhs, " exceeded max_chase_atoms=",
+                 copts.max_chase_atoms, " before level ", level));
+    }
+    needs_search[k] = 1;
+  }
+
+  // Freeze every handle: from here on the chase artifacts are immutable
+  // and may be shared across threads (asserted by ResumableChase).
+  for (const std::unique_ptr<Entry>& entry : entries_) {
+    if (entry->chase.has_value()) entry->chase->Freeze();
+  }
+
+  // ---- parallel phase: stateless homomorphism searches -------------------
+  auto run_pair = [&](size_t k) {
+    if (needs_search[k] == 0) return;
+    const auto& [lhs, rhs] = pairs[k];
+    const Entry& l = *entries_[lhs];
+    const Entry& r = *entries_[rhs];
+    const FactIndex& target = copts.depth == ChaseDepth::kNone
+                                  ? *l.body_index
+                                  : l.chase->result().conjuncts();
+    const std::vector<Term>& target_head = copts.depth == ChaseDepth::kNone
+                                               ? l.query.head()
+                                               : l.chase->result().head();
+    PairVerdict& verdict = verdicts[k];
+    verdict.contained =
+        FindQueryHomomorphism(r.renamed, target, target_head,
+                              &verdict.hom_stats)
+            .has_value();
+  };
+
+  size_t jobs = options_.jobs == 0 ? ThreadPool::DefaultThreads()
+                                   : size_t(options_.jobs);
+  jobs = std::min(jobs, pairs.size());
+  if (jobs <= 1) {
+    for (size_t k = 0; k < pairs.size(); ++k) run_pair(k);
+  } else {
+    ThreadPool pool(jobs);
+    ParallelFor(pool, pairs.size(), run_pair);
+  }
+
+  // The fan-out has joined; a later CheckPairs call on this engine may
+  // legally deepen the handles again.
+  for (const std::unique_ptr<Entry>& entry : entries_) {
+    if (entry->chase.has_value()) entry->chase->Thaw();
+  }
+
+  stats_.pairs_checked += pairs.size();
+  for (const PairVerdict& verdict : verdicts) {
+    stats_.hom.nodes_visited += verdict.hom_stats.nodes_visited;
+    stats_.hom.matches_found += verdict.hom_stats.matches_found;
+  }
+  return verdicts;
+}
+
+Result<std::vector<std::vector<PairVerdict>>> ContainmentEngine::CheckAll() {
+  const size_t n = entries_.size();
+  std::vector<std::pair<size_t, size_t>> pairs;
+  pairs.reserve(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j) pairs.emplace_back(i, j);
+    }
+  }
+  Result<std::vector<PairVerdict>> verdicts = CheckPairs(pairs);
+  if (!verdicts.ok()) return verdicts.status();
+
+  std::vector<std::vector<PairVerdict>> matrix(
+      n, std::vector<PairVerdict>(n));
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j) matrix[i][j] = (*verdicts)[k++];
+    }
+  }
+  return matrix;
+}
+
+}  // namespace floq

@@ -1,0 +1,117 @@
+#ifndef FLOQ_CONTAINMENT_ENGINE_H_
+#define FLOQ_CONTAINMENT_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "containment/containment.h"
+#include "query/conjunctive_query.h"
+#include "term/world.h"
+#include "util/status.h"
+
+// Batch containment over a shared query set. Every realistic workload —
+// the classify taxonomy, view-based rewriting, the bench matrix — asks
+// O(n^2) containment questions over the *same* n queries, and the pairwise
+// CheckContainment re-materializes chase_Sigma(q1) from scratch for every
+// pair. The engine instead keeps one memoized, resumable chase handle per
+// registered query, deepens it lazily to the largest Theorem 12 bound
+// |q2| * 2|q1| any requested pair demands (a deeper chase prefix is still
+// a universal-model prefix, so homomorphism verdicts are unchanged), and
+// then fans the pairwise homomorphism searches out across a thread pool.
+//
+// Concurrency model (see DESIGN.md §8): all chase construction, deepening,
+// and query renaming happen sequentially on the calling thread (they draw
+// fresh nulls/variables from the shared World, which is not thread-safe);
+// the handles are then frozen (ResumableChase::Freeze) and shared
+// read-only with stateless workers that only perform const FactIndex
+// lookups. n queries cost n chases instead of n(n-1).
+
+namespace floq {
+
+struct BatchContainmentOptions {
+  /// Per-pair semantics: depth, level override, chase atom budget. The
+  /// engine honors all three ChaseDepth modes.
+  ContainmentOptions containment;
+  /// Worker threads for the homomorphism fan-out. 0 = hardware
+  /// concurrency; 1 = run everything on the calling thread.
+  int jobs = 0;
+};
+
+/// Cache and fan-out accounting for one engine.
+struct BatchStats {
+  /// One request per checked pair (the pair's left-hand side needs a
+  /// materialized chase).
+  uint64_t chase_requests = 0;
+  /// Requests served by a handle built for an earlier pair.
+  uint64_t chase_cache_hits = 0;
+  /// Distinct queries chased (cache misses; each query is chased once).
+  uint64_t chases_run = 0;
+  /// Times an existing handle had to resume its chase to a deeper level.
+  uint64_t chase_deepenings = 0;
+  uint64_t pairs_checked = 0;
+  /// Aggregated homomorphism search effort across all pairs.
+  MatchStats hom;
+};
+
+/// Verdict for one ordered pair lhs ⊆ rhs.
+struct PairVerdict {
+  bool contained = false;
+  /// Containment holds vacuously: chase(lhs) failed (rho_4 equated two
+  /// distinct constants), so lhs is unsatisfiable under Sigma_FL.
+  bool lhs_unsatisfiable = false;
+  /// Level the lhs chase was materialized to when searching (-1 for
+  /// ChaseDepth::kNone).
+  int level_bound = -1;
+  /// Search effort of this pair's homomorphism search.
+  MatchStats hom_stats;
+};
+
+class ContainmentEngine {
+ public:
+  explicit ContainmentEngine(World& world,
+                             const BatchContainmentOptions& options = {});
+  ~ContainmentEngine();
+
+  ContainmentEngine(const ContainmentEngine&) = delete;
+  ContainmentEngine& operator=(const ContainmentEngine&) = delete;
+
+  /// Registers a query and returns its dense id (the cache key: chases are
+  /// memoized per id). Fails if the query is malformed. Registration
+  /// renames the query apart eagerly, so later checks share one renamed
+  /// copy instead of re-renaming per pair.
+  Result<size_t> AddQuery(const ConjunctiveQuery& query);
+
+  size_t query_count() const;
+  const ConjunctiveQuery& query(size_t id) const;
+
+  /// Decides lhs ⊆_Sigma rhs for every requested (lhs, rhs) id pair.
+  /// Verdicts align with `pairs`. Fails on arity mismatches and when a
+  /// chase exhausts its atom budget.
+  Result<std::vector<PairVerdict>> CheckPairs(
+      std::span<const std::pair<size_t, size_t>> pairs);
+
+  /// The full matrix: verdicts[i][j] answers query(i) ⊆ query(j) for all
+  /// i != j (the diagonal is left defaulted — containment is reflexive).
+  Result<std::vector<std::vector<PairVerdict>>> CheckAll();
+
+  /// The materialized chase of a query, if one was built (nullptr before
+  /// any check used `id` as a left-hand side, or in kNone mode).
+  const ChaseResult* chase_of(size_t id) const;
+
+  const BatchStats& stats() const { return stats_; }
+
+ private:
+  struct Entry;
+
+  World& world_;
+  BatchContainmentOptions options_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  BatchStats stats_;
+};
+
+}  // namespace floq
+
+#endif  // FLOQ_CONTAINMENT_ENGINE_H_

@@ -8,6 +8,13 @@ namespace floq {
 
 namespace {
 
+// One-line summary of the homomorphism search effort behind a verdict.
+std::string RenderSearchEffort(const MatchStats& stats) {
+  return StrCat("search effort: ", stats.nodes_visited,
+                " backtracking nodes visited, ", stats.matches_found,
+                " matches found.\n");
+}
+
 void RenderDerivation(const World& world, const ChaseResult& chase,
                       uint32_t id, int depth,
                       std::unordered_set<uint32_t>& visited,
@@ -71,10 +78,12 @@ std::string ExplainContainment(const World& world,
                   ") on it, q2 does not.\n");
     out += StrCat("chase(q1) has ", result.chase.size(),
                   " conjuncts up to level ", result.chase.max_level(), ".\n");
+    out += RenderSearchEffort(result.hom_stats);
     return out;
   }
 
   out += "VERDICT: q1 ⊆ q2 under Sigma_FL (Theorem 4/12).\n";
+  out += RenderSearchEffort(result.hom_stats);
   if (!result.witness.has_value()) return out;
   out += "witness homomorphism and image derivations:\n";
   for (const Atom& atom : q2.body()) {

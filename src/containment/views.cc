@@ -16,36 +16,49 @@ const char* ViewUsabilityName(ViewUsability usability) {
 
 Result<ViewAnalysis> AnalyzeViews(World& world, const ConjunctiveQuery& query,
                                   const std::vector<ConjunctiveQuery>& views,
-                                  const ContainmentOptions& options) {
+                                  const BatchContainmentOptions& options) {
   FLOQ_RETURN_IF_ERROR(query.Validate(world));
   ViewAnalysis analysis;
-  analysis.usability.reserve(views.size());
+  analysis.usability.assign(views.size(), ViewUsability::kIrrelevant);
 
+  // Register the query and every usable view with one engine: the query is
+  // chased once (not once per view), each view once, and the 2m
+  // homomorphism searches fan out together.
+  ContainmentEngine engine(world, options);
+  Result<size_t> query_id = engine.AddQuery(query);
+  if (!query_id.ok()) return query_id.status();
+
+  std::vector<std::pair<size_t, size_t>> pairs;   // engine-id pairs
+  std::vector<size_t> pair_view;                  // pairs[k] -> view index
   for (size_t i = 0; i < views.size(); ++i) {
     const ConjunctiveQuery& view = views[i];
-    if (view.arity() != query.arity() || !view.Validate(world).ok()) {
-      analysis.usability.push_back(ViewUsability::kIrrelevant);
-      continue;
-    }
+    if (view.arity() != query.arity() || !view.Validate(world).ok()) continue;
+    Result<size_t> view_id = engine.AddQuery(view);
+    if (!view_id.ok()) return view_id.status();
+    pairs.emplace_back(*view_id, *query_id);  // sound:    V ⊆ Q
+    pairs.emplace_back(*query_id, *view_id);  // complete: Q ⊆ V
+    pair_view.push_back(i);
+    pair_view.push_back(i);
+  }
 
-    Result<ContainmentResult> sound =
-        CheckContainment(world, view, query, options);
-    if (!sound.ok()) return sound.status();
-    ++analysis.containment_checks;
-    Result<ContainmentResult> complete =
-        CheckContainment(world, query, view, options);
-    if (!complete.ok()) return complete.status();
-    ++analysis.containment_checks;
+  Result<std::vector<PairVerdict>> verdicts = engine.CheckPairs(pairs);
+  if (!verdicts.ok()) return verdicts.status();
+  analysis.containment_checks = int(engine.stats().pairs_checked);
+
+  for (size_t k = 0; k + 1 < verdicts->size(); k += 2) {
+    const size_t i = pair_view[k];
+    const bool sound = (*verdicts)[k].contained;
+    const bool complete = (*verdicts)[k + 1].contained;
 
     ViewUsability usability = ViewUsability::kIrrelevant;
-    if (sound->contained && complete->contained) {
+    if (sound && complete) {
       usability = ViewUsability::kExact;
-    } else if (sound->contained) {
+    } else if (sound) {
       usability = ViewUsability::kSound;
-    } else if (complete->contained) {
+    } else if (complete) {
       usability = ViewUsability::kComplete;
     }
-    analysis.usability.push_back(usability);
+    analysis.usability[i] = usability;
 
     if (usability == ViewUsability::kExact) {
       if (!analysis.exact_view.has_value()) analysis.exact_view = i;
@@ -58,6 +71,14 @@ Result<ViewAnalysis> AnalyzeViews(World& world, const ConjunctiveQuery& query,
     }
   }
   return analysis;
+}
+
+Result<ViewAnalysis> AnalyzeViews(World& world, const ConjunctiveQuery& query,
+                                  const std::vector<ConjunctiveQuery>& views,
+                                  const ContainmentOptions& options) {
+  BatchContainmentOptions batch;
+  batch.containment = options;
+  return AnalyzeViews(world, query, views, batch);
 }
 
 std::string ViewAnalysisToString(const ViewAnalysis& analysis,

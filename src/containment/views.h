@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "containment/containment.h"
+#include "containment/engine.h"
 #include "query/conjunctive_query.h"
 #include "term/world.h"
 #include "util/status.h"
@@ -52,10 +53,19 @@ struct ViewAnalysis {
 };
 
 /// Classifies every view against the query under Sigma_FL. All queries
-/// must share the query's arity (others are reported kIrrelevant).
+/// must share the query's arity (others are reported kIrrelevant). The 2m
+/// containment checks run through a ContainmentEngine: the query and every
+/// view are chased once each, and the homomorphism searches fan out over
+/// `options.jobs` threads.
 Result<ViewAnalysis> AnalyzeViews(World& world, const ConjunctiveQuery& query,
                                   const std::vector<ConjunctiveQuery>& views,
-                                  const ContainmentOptions& options = {});
+                                  const BatchContainmentOptions& options = {});
+
+/// Convenience overload for callers holding plain per-pair options; runs
+/// with the default thread count.
+Result<ViewAnalysis> AnalyzeViews(World& world, const ConjunctiveQuery& query,
+                                  const std::vector<ConjunctiveQuery>& views,
+                                  const ContainmentOptions& options);
 
 /// Renders the analysis as a table.
 std::string ViewAnalysisToString(const ViewAnalysis& analysis,

@@ -53,8 +53,14 @@ class FactIndex {
   void Clear();
 
  private:
+  // Packs (predicate, position, term) into one hash key: term in the low
+  // 32 bits, position in the next 4, predicate above. An earlier packing
+  // gave position only 2 bits, so position 4 of a wide predicate aliased
+  // position 0 of predicate id + 1 and buckets silently collided (caught
+  // by FactIndexTest.WideArityPositionsDoNotCollide).
   static uint64_t PositionKey(PredicateId pred, int position, Term value) {
-    return (uint64_t(pred) << 34) | (uint64_t(position) << 32) |
+    static_assert(kMaxArity <= 16, "position field packs into 4 bits");
+    return (uint64_t(pred) << 36) | (uint64_t(position) << 32) |
            uint64_t(value.raw());
   }
 

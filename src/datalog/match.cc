@@ -12,7 +12,7 @@ class Matcher {
  public:
   Matcher(std::span<const Atom> pattern, const FactIndex& index,
           const Substitution& initial,
-          const std::function<bool(const Substitution&)>& on_match,
+          FunctionRef<bool(const Substitution&)> on_match,
           MatchStats* stats, const MatchOptions& options)
       : pattern_(pattern),
         index_(index),
@@ -120,7 +120,7 @@ class Matcher {
   std::span<const Atom> pattern_;
   const FactIndex& index_;
   Substitution subst_;
-  const std::function<bool(const Substitution&)>& on_match_;
+  FunctionRef<bool(const Substitution&)> on_match_;
   MatchStats* stats_;
   MatchOptions options_;
   std::vector<uint32_t> remaining_;
@@ -128,11 +128,10 @@ class Matcher {
 
 }  // namespace
 
-bool MatchConjunction(
-    std::span<const Atom> pattern, const FactIndex& index,
-    const Substitution& initial,
-    const std::function<bool(const Substitution&)>& on_match,
-    MatchStats* stats, const MatchOptions& options) {
+bool MatchConjunction(std::span<const Atom> pattern, const FactIndex& index,
+                      const Substitution& initial,
+                      FunctionRef<bool(const Substitution&)> on_match,
+                      MatchStats* stats, const MatchOptions& options) {
   return Matcher(pattern, index, initial, on_match, stats, options).Run();
 }
 

@@ -2,12 +2,12 @@
 #define FLOQ_DATALOG_MATCH_H_
 
 #include <cstdint>
-#include <functional>
 #include <span>
 
 #include "datalog/fact_index.h"
 #include "term/atom.h"
 #include "term/substitution.h"
+#include "util/function_ref.h"
 
 // Conjunction matching: enumerate the homomorphisms (Definition 1 of the
 // paper) from a conjunction of pattern atoms into a FactIndex. Pattern
@@ -39,11 +39,15 @@ struct MatchOptions {
 /// Atom order is chosen dynamically (fewest candidates first), so callers
 /// need not pre-order the pattern. `stats`, when non-null, accumulates
 /// search effort for benchmarks.
-bool MatchConjunction(
-    std::span<const Atom> pattern, const FactIndex& index,
-    const Substitution& initial,
-    const std::function<bool(const Substitution&)>& on_match,
-    MatchStats* stats = nullptr, const MatchOptions& options = {});
+///
+/// `on_match` is a non-owning FunctionRef: the callable only has to
+/// outlive this call (std::function's owning type erasure was measurable
+/// per-node overhead in the backtracking hot path; see bench_hom_search).
+bool MatchConjunction(std::span<const Atom> pattern, const FactIndex& index,
+                      const Substitution& initial,
+                      FunctionRef<bool(const Substitution&)> on_match,
+                      MatchStats* stats = nullptr,
+                      const MatchOptions& options = {});
 
 /// Convenience: true iff at least one match exists; if so and `out` is
 /// non-null, stores the first match found.

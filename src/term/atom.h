@@ -12,7 +12,8 @@
 #include "util/check.h"
 
 // Atoms (the paper's "conjuncts"): a predicate applied to terms. Atoms are
-// small value types (20 bytes) so chases and relations can hold millions.
+// small value types (32 bytes at kMaxArity = 6) so chases and relations
+// can hold millions.
 
 namespace floq {
 

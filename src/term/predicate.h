@@ -18,9 +18,10 @@ using PredicateId = uint32_t;
 
 inline constexpr PredicateId kInvalidPredicate = ~0u;
 
-/// Maximum predicate arity the engine supports. P_FL needs 3; we allow one
-/// spare slot for user predicates (e.g., reified 4-ary relations).
-inline constexpr int kMaxArity = 4;
+/// Maximum predicate arity the engine supports. P_FL needs 3; the
+/// headroom is for user predicates of the generic chase (e.g., reified
+/// relations with a handful of roles).
+inline constexpr int kMaxArity = 6;
 
 // The fixed P_FL catalog (Section 2 of the paper).
 namespace pfl {

@@ -1,0 +1,60 @@
+#ifndef FLOQ_UTIL_FUNCTION_REF_H_
+#define FLOQ_UTIL_FUNCTION_REF_H_
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+// A non-owning reference to a callable, in the spirit of C++26
+// std::function_ref: two words (object pointer + invoker), trivially
+// copyable, no allocation and no virtual dispatch. Used on hot paths
+// (the conjunction matcher's per-match callback) where std::function's
+// type erasure showed up in profiles. The referenced callable must outlive
+// the FunctionRef — fine for the synchronous enumeration callbacks it
+// replaces, where the lambda lives in the caller's frame for the whole
+// call.
+
+namespace floq {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Implicit by design, mirroring std::function_ref: callers pass lambdas
+  /// directly to functions taking a FunctionRef parameter.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) {  // NOLINT(runtime/explicit)
+    using Fn = std::remove_reference_t<F>;
+    if constexpr (std::is_function_v<Fn>) {
+      // Plain functions: store the function pointer itself (an object
+      // pointer to it would dangle; void* <-> function pointer casts are
+      // conditionally supported but fine on every POSIX target).
+      object_ = reinterpret_cast<void*>(&f);
+      invoke_ = [](void* object, Args... args) -> R {
+        return (reinterpret_cast<Fn*>(object))(std::forward<Args>(args)...);
+      };
+    } else {
+      object_ = const_cast<void*>(static_cast<const void*>(std::addressof(f)));
+      invoke_ = [](void* object, Args... args) -> R {
+        return (*static_cast<Fn*>(object))(std::forward<Args>(args)...);
+      };
+    }
+  }
+
+  R operator()(Args... args) const {
+    return invoke_(object_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* object_;
+  R (*invoke_)(void*, Args...);
+};
+
+}  // namespace floq
+
+#endif  // FLOQ_UTIL_FUNCTION_REF_H_

@@ -1,0 +1,114 @@
+#ifndef FLOQ_UTIL_THREAD_POOL_H_
+#define FLOQ_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+// A small fixed-size thread pool: a task queue guarded by one mutex and a
+// pair of condition variables, no external dependencies. Built for the
+// batch-containment engine's fan-out of independent homomorphism searches,
+// where tasks are coarse (milliseconds and up) and the pool overhead is
+// negligible; it is deliberately not a work-stealing scheduler.
+
+namespace floq {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(size_t threads) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  /// Drains the queue, then joins the workers.
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_.push(std::move(task));
+      ++pending_;
+    }
+    wake_.notify_one();
+  }
+
+  /// Blocks until every task submitted so far has finished executing.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+  /// std::thread::hardware_concurrency with a fallback for the platforms
+  /// where it reports 0.
+  static size_t DefaultThreads() {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 4 : size_t(hw);
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping, queue drained
+        task = std::move(queue_.front());
+        queue_.pop();
+      }
+      task();
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        --pending_;
+        if (pending_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  size_t pending_ = 0;  // submitted but not yet finished
+  bool stopping_ = false;
+};
+
+/// Runs fn(0) .. fn(count - 1) across the pool and blocks until all are
+/// done. The caller must not submit other work to `pool` concurrently —
+/// Wait() would observe it.
+inline void ParallelFor(ThreadPool& pool, size_t count,
+                        const std::function<void(size_t)>& fn) {
+  for (size_t i = 0; i < count; ++i) {
+    pool.Submit([&fn, i] { fn(i); });
+  }
+  pool.Wait();
+}
+
+}  // namespace floq
+
+#endif  // FLOQ_UTIL_THREAD_POOL_H_

@@ -53,6 +53,52 @@ TEST(FactIndexTest, ArgumentIndex) {
   EXPECT_TRUE(index.WithArgument(pfl::kSub, 0, c).empty());
 }
 
+// Regression test for the argument-index packing: the key used to give
+// the position only 2 bits, so position 4 of a 6-ary predicate computed
+// the same bucket key as position 0 of the next predicate id (and
+// position 5 as its position 1), and lookups returned ids of foreign
+// atoms.
+TEST(FactIndexTest, WideArityPositionsDoNotCollide) {
+  World world;
+  PredicateId wide_a = world.predicates().Intern("wide_a", 6);
+  PredicateId wide_b = world.predicates().Intern("wide_b", 6);
+  ASSERT_NE(wide_a, kInvalidPredicate);
+  ASSERT_EQ(wide_b, wide_a + 1);  // consecutive ids: the aliasing setup
+
+  Term v = world.MakeConstant("v");
+  Term w = world.MakeConstant("w");
+  std::vector<Term> filler;
+  for (int i = 0; i < 6; ++i) {
+    filler.push_back(world.MakeConstant("c" + std::to_string(i)));
+  }
+
+  FactIndex index;
+  Atom a(wide_a, filler);
+  a.set_arg(4, v);
+  a.set_arg(5, w);
+  Atom b(wide_b, filler);
+  b.set_arg(0, v);
+  b.set_arg(1, w);
+  index.Insert(a);
+  index.Insert(b);
+
+  // Old packing: key(wide_a, 4, v) == key(wide_b, 0, v), so both lookups
+  // saw a two-element bucket.
+  ASSERT_EQ(index.WithArgument(wide_a, 4, v).size(), 1u);
+  EXPECT_EQ(index.at(index.WithArgument(wide_a, 4, v)[0]), a);
+  ASSERT_EQ(index.WithArgument(wide_b, 0, v).size(), 1u);
+  EXPECT_EQ(index.at(index.WithArgument(wide_b, 0, v)[0]), b);
+
+  // And key(wide_a, 5, w) == key(wide_b, 1, w).
+  ASSERT_EQ(index.WithArgument(wide_a, 5, w).size(), 1u);
+  EXPECT_EQ(index.at(index.WithArgument(wide_a, 5, w)[0]), a);
+  ASSERT_EQ(index.WithArgument(wide_b, 1, w).size(), 1u);
+  EXPECT_EQ(index.at(index.WithArgument(wide_b, 1, w)[0]), b);
+
+  EXPECT_TRUE(index.WithArgument(wide_a, 0, v).empty());
+  EXPECT_TRUE(index.WithArgument(wide_b, 4, v).empty());
+}
+
 TEST(FactIndexTest, IdOfMissingAtom) {
   World world;
   FactIndex index;

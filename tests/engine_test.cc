@@ -1,0 +1,451 @@
+#include "containment/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "chase/chase.h"
+#include "containment/containment.h"
+#include "gen/generators.h"
+#include "query/parser.h"
+#include "term/world.h"
+
+namespace floq {
+namespace {
+
+ConjunctiveQuery Q(World& world, const char* text) {
+  Result<ConjunctiveQuery> q = ParseQuery(world, text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+// A small mixed workload: chains that exercise rho_8 containments plus
+// parsed queries with mutual containments and incomparable pairs.
+std::vector<ConjunctiveQuery> Workload(World& world) {
+  std::vector<ConjunctiveQuery> queries;
+  queries.push_back(Q(world, "q0(X) :- member(X, C)."));
+  queries.push_back(Q(world, "q1(X) :- member(X, C), sub(C, D)."));
+  queries.push_back(Q(world, "q2(X) :- member(X, C), member(X, D)."));
+  queries.push_back(Q(world, "q3(X) :- data(X, A, V)."));
+  queries.push_back(Q(world, "q4(X) :- data(X, A, V), funct(A, O)."));
+  queries.push_back(
+      Q(world, "q5(X) :- member(X, C), mandatory(A, C), type(C, A, T)."));
+  return queries;
+}
+
+// ---- equivalence with the pairwise checker ------------------------------
+
+TEST(ContainmentEngineTest, MatchesPairwiseCheckContainment) {
+  World world;
+  std::vector<ConjunctiveQuery> queries = Workload(world);
+
+  ContainmentEngine engine(world);
+  for (const ConjunctiveQuery& q : queries) {
+    Result<size_t> id = engine.AddQuery(q);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+  }
+  Result<std::vector<std::vector<PairVerdict>>> matrix = engine.CheckAll();
+  ASSERT_TRUE(matrix.ok()) << matrix.status().ToString();
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (size_t j = 0; j < queries.size(); ++j) {
+      if (i == j) continue;
+      Result<ContainmentResult> direct =
+          CheckContainment(world, queries[i], queries[j]);
+      ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+      EXPECT_EQ((*matrix)[i][j].contained, direct->contained)
+          << queries[i].name() << " ⊆ " << queries[j].name();
+    }
+  }
+}
+
+TEST(ContainmentEngineTest, MatchesPairwiseInLevelZeroAndClassicalModes) {
+  for (ChaseDepth depth : {ChaseDepth::kLevelZero, ChaseDepth::kNone}) {
+    World world;
+    std::vector<ConjunctiveQuery> queries = Workload(world);
+    BatchContainmentOptions options;
+    options.containment.depth = depth;
+
+    ContainmentEngine engine(world, options);
+    for (const ConjunctiveQuery& q : queries) {
+      ASSERT_TRUE(engine.AddQuery(q).ok());
+    }
+    Result<std::vector<std::vector<PairVerdict>>> matrix = engine.CheckAll();
+    ASSERT_TRUE(matrix.ok()) << matrix.status().ToString();
+
+    for (size_t i = 0; i < queries.size(); ++i) {
+      for (size_t j = 0; j < queries.size(); ++j) {
+        if (i == j) continue;
+        Result<ContainmentResult> direct = CheckContainment(
+            world, queries[i], queries[j], options.containment);
+        ASSERT_TRUE(direct.ok());
+        EXPECT_EQ((*matrix)[i][j].contained, direct->contained)
+            << "depth mode " << int(depth) << ": " << queries[i].name()
+            << " ⊆ " << queries[j].name();
+      }
+    }
+  }
+}
+
+// ---- chase memoization ---------------------------------------------------
+
+TEST(ContainmentEngineTest, EachQueryChasedExactlyOnce) {
+  World world;
+  std::vector<ConjunctiveQuery> queries = Workload(world);
+  const size_t n = queries.size();
+
+  ContainmentEngine engine(world);
+  for (const ConjunctiveQuery& q : queries) {
+    ASSERT_TRUE(engine.AddQuery(q).ok());
+  }
+  ASSERT_TRUE(engine.CheckAll().ok());
+
+  const BatchStats& stats = engine.stats();
+  EXPECT_EQ(stats.pairs_checked, n * (n - 1));
+  EXPECT_EQ(stats.chase_requests, n * (n - 1));
+  EXPECT_EQ(stats.chases_run, n);  // one chase per query, not per pair
+  EXPECT_EQ(stats.chase_cache_hits, n * (n - 1) - n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NE(engine.chase_of(i), nullptr) << "query " << i;
+  }
+}
+
+TEST(ContainmentEngineTest, SecondCheckReusesAndDeepensHandles) {
+  World world;
+  // The 1-cycle's chase is an infinite data chain along one attribute, so
+  // every EnsureLevel with a higher bound genuinely deepens, and data-chain
+  // probes of any length embed into it.
+  std::vector<ConjunctiveQuery> queries;
+  queries.push_back(gen::MakeMandatoryCycleQuery(world, 1, "cycle"));
+  queries.push_back(gen::MakeDataChainProbe(world, 2, "short_probe"));
+  queries.push_back(gen::MakeDataChainProbe(world, 4, "long_probe"));
+
+  ContainmentEngine engine(world);
+  for (const ConjunctiveQuery& q : queries) {
+    ASSERT_TRUE(engine.AddQuery(q).ok());
+  }
+
+  // First round: cycle ⊆ short_probe.
+  std::vector<std::pair<size_t, size_t>> first = {{0, 1}};
+  Result<std::vector<PairVerdict>> r1 = engine.CheckPairs(first);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_TRUE((*r1)[0].contained);
+  EXPECT_EQ(engine.stats().chases_run, 1u);
+  int first_level = (*r1)[0].level_bound;
+
+  // Second round needs a deeper chase of the same lhs (longer probe =>
+  // larger Theorem 12 bound). The handle must be reused and deepened, not
+  // rebuilt.
+  std::vector<std::pair<size_t, size_t>> second = {{0, 2}};
+  Result<std::vector<PairVerdict>> r2 = engine.CheckPairs(second);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_TRUE((*r2)[0].contained);
+  EXPECT_GT((*r2)[0].level_bound, first_level);
+  EXPECT_EQ(engine.stats().chases_run, 1u);      // still the one chase
+  EXPECT_EQ(engine.stats().chase_cache_hits, 1u);
+  EXPECT_GE(engine.stats().chase_deepenings, 1u);
+  ASSERT_NE(engine.chase_of(0), nullptr);
+  EXPECT_GE(engine.chase_of(0)->max_level(), first_level);
+}
+
+// ---- parallel == sequential ---------------------------------------------
+
+TEST(ContainmentEngineTest, ParallelVerdictsEqualSequential) {
+  World world;
+  std::vector<ConjunctiveQuery> queries = Workload(world);
+  for (int seed = 1; seed <= 6; ++seed) {
+    gen::RandomQuerySpec spec;
+    spec.seed = uint64_t(seed);
+    spec.atoms = 4;
+    spec.variable_pool = 3;
+    spec.arity = 1;
+    queries.push_back(
+        gen::MakeRandomQuery(world, spec, "r" + std::to_string(seed)));
+  }
+
+  BatchContainmentOptions sequential;
+  sequential.jobs = 1;
+  ContainmentEngine seq_engine(world, sequential);
+  BatchContainmentOptions parallel;
+  parallel.jobs = 4;
+  ContainmentEngine par_engine(world, parallel);
+  for (const ConjunctiveQuery& q : queries) {
+    ASSERT_TRUE(seq_engine.AddQuery(q).ok());
+    ASSERT_TRUE(par_engine.AddQuery(q).ok());
+  }
+
+  Result<std::vector<std::vector<PairVerdict>>> seq = seq_engine.CheckAll();
+  Result<std::vector<std::vector<PairVerdict>>> par = par_engine.CheckAll();
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (size_t j = 0; j < queries.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_EQ((*seq)[i][j].contained, (*par)[i][j].contained)
+          << i << " ⊆ " << j;
+      EXPECT_EQ((*seq)[i][j].lhs_unsatisfiable, (*par)[i][j].lhs_unsatisfiable);
+    }
+  }
+  EXPECT_EQ(seq_engine.stats().chases_run, par_engine.stats().chases_run);
+}
+
+// ---- edge cases ----------------------------------------------------------
+
+TEST(ContainmentEngineTest, UnsatisfiableLhsIsVacuouslyContained) {
+  World world;
+  // rho_4 equates the two distinct constants 1 and 2: the chase fails.
+  ConjunctiveQuery bad = Q(
+      world, "q() :- funct(a, o), data(o, a, one), data(o, a, two).");
+  ConjunctiveQuery probe = Q(world, "p() :- member(X, C).");
+
+  ContainmentEngine engine(world);
+  ASSERT_TRUE(engine.AddQuery(bad).ok());
+  ASSERT_TRUE(engine.AddQuery(probe).ok());
+  std::vector<std::pair<size_t, size_t>> pairs = {{0, 1}, {1, 0}};
+  Result<std::vector<PairVerdict>> verdicts = engine.CheckPairs(pairs);
+  ASSERT_TRUE(verdicts.ok()) << verdicts.status().ToString();
+
+  EXPECT_TRUE((*verdicts)[0].contained);
+  EXPECT_TRUE((*verdicts)[0].lhs_unsatisfiable);
+  EXPECT_FALSE((*verdicts)[1].contained);
+  EXPECT_FALSE((*verdicts)[1].lhs_unsatisfiable);
+}
+
+TEST(ContainmentEngineTest, RejectsUnknownIdsAndArityMismatches) {
+  World world;
+  ContainmentEngine engine(world);
+  ASSERT_TRUE(engine.AddQuery(Q(world, "q(X) :- member(X, C).")).ok());
+  ASSERT_TRUE(engine.AddQuery(Q(world, "p() :- member(X, C).")).ok());
+
+  std::vector<std::pair<size_t, size_t>> bad_id = {{0, 7}};
+  EXPECT_FALSE(engine.CheckPairs(bad_id).ok());
+
+  std::vector<std::pair<size_t, size_t>> bad_arity = {{0, 1}};
+  Result<std::vector<PairVerdict>> mismatch = engine.CheckPairs(bad_arity);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ContainmentEngineTest, EmptyPairListAndEmptyEngine) {
+  World world;
+  ContainmentEngine engine(world);
+  EXPECT_EQ(engine.query_count(), 0u);
+  Result<std::vector<std::vector<PairVerdict>>> matrix = engine.CheckAll();
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_TRUE(matrix->empty());
+  std::vector<std::pair<size_t, size_t>> none;
+  Result<std::vector<PairVerdict>> verdicts = engine.CheckPairs(none);
+  ASSERT_TRUE(verdicts.ok());
+  EXPECT_TRUE(verdicts->empty());
+}
+
+TEST(ContainmentEngineTest, RejectsMalformedQuery) {
+  World world;
+  // Unsafe: head variable X does not occur in the body.
+  ConjunctiveQuery unsafe("bad", {world.MakeVariable("X")},
+                          {Atom::Member(world.MakeVariable("Y"),
+                                        world.MakeVariable("C"))});
+  ContainmentEngine engine(world);
+  EXPECT_FALSE(engine.AddQuery(unsafe).ok());
+}
+
+// ---- resumption property: deepened == fresh ------------------------------
+//
+// The chase materialized by EnsureLevel(k1), ..., EnsureLevel(kn) must be
+// the same instance a fresh single-shot chase at level kn produces. Null
+// names are execution-order artifacts (the two runs draw different fresh
+// nulls from the World), so equality is up to a bijection over nulls.
+// Per-conjunct levels are NOT compared: level assignment depends on which
+// derivation reached a conjunct first, which is order-dependent.
+
+// Tries to extend the null bijection so that a == b position-wise.
+// Returns the newly added (null of a, null of b) pairs for backtracking.
+bool MapAtom(const Atom& a, const Atom& b, std::map<Term, Term>& fwd,
+             std::map<Term, Term>& rev,
+             std::vector<std::pair<Term, Term>>& added) {
+  if (a.predicate() != b.predicate() || a.arity() != b.arity()) return false;
+  auto undo = [&] {
+    for (const auto& [x, y] : added) {
+      fwd.erase(x);
+      rev.erase(y);
+    }
+    added.clear();
+  };
+  for (int i = 0; i < a.arity(); ++i) {
+    Term x = a.arg(i);
+    Term y = b.arg(i);
+    if (!x.IsNull() && !y.IsNull()) {
+      if (x != y) return undo(), false;
+      continue;
+    }
+    if (!x.IsNull() || !y.IsNull()) return undo(), false;
+    auto f = fwd.find(x);
+    if (f != fwd.end()) {
+      if (f->second != y) return undo(), false;
+      continue;
+    }
+    if (rev.count(y) > 0) return undo(), false;
+    fwd.emplace(x, y);
+    rev.emplace(y, x);
+    added.emplace_back(x, y);
+  }
+  return true;
+}
+
+bool MatchAtoms(size_t i, const std::vector<Atom>& as,
+                const std::vector<std::vector<size_t>>& candidates,
+                const std::vector<Atom>& bs, std::vector<bool>& used,
+                std::map<Term, Term>& fwd, std::map<Term, Term>& rev) {
+  if (i == as.size()) return true;
+  for (size_t j : candidates[i]) {
+    if (used[j]) continue;
+    std::vector<std::pair<Term, Term>> added;
+    if (!MapAtom(as[i], bs[j], fwd, rev, added)) continue;
+    used[j] = true;
+    if (MatchAtoms(i + 1, as, candidates, bs, used, fwd, rev)) return true;
+    used[j] = false;
+    for (const auto& [x, y] : added) {
+      fwd.erase(x);
+      rev.erase(y);
+    }
+  }
+  return false;
+}
+
+// Whether a null-renaming bijection maps chase `a` (atoms + head) onto
+// chase `b` exactly.
+bool ChasesIsomorphic(const ChaseResult& a, const ChaseResult& b) {
+  if (a.outcome() != b.outcome()) return false;
+  if (a.size() != b.size()) return false;
+  if (a.head().size() != b.head().size()) return false;
+
+  std::map<Term, Term> fwd, rev;
+  // Seed the bijection with the head correspondence.
+  for (size_t i = 0; i < a.head().size(); ++i) {
+    Term x = a.head()[i];
+    Term y = b.head()[i];
+    if (!x.IsNull() && !y.IsNull()) {
+      if (x != y) return false;
+      continue;
+    }
+    if (!x.IsNull() || !y.IsNull()) return false;
+    auto f = fwd.find(x);
+    if (f != fwd.end()) {
+      if (f->second != y) return false;
+      continue;
+    }
+    if (rev.count(y) > 0) return false;
+    fwd.emplace(x, y);
+    rev.emplace(y, x);
+  }
+
+  const std::vector<Atom>& as = a.conjuncts().atoms();
+  const std::vector<Atom>& bs = b.conjuncts().atoms();
+  std::vector<std::vector<size_t>> candidates(as.size());
+  for (size_t i = 0; i < as.size(); ++i) {
+    for (size_t j = 0; j < bs.size(); ++j) {
+      if (as[i].predicate() == bs[j].predicate()) candidates[i].push_back(j);
+    }
+    if (candidates[i].empty()) return false;
+  }
+  std::vector<bool> used(bs.size(), false);
+  return MatchAtoms(0, as, candidates, bs, used, fwd, rev);
+}
+
+TEST(ResumableChaseTest, DeepeningMatchesFreshChaseAcrossCorpus) {
+  // Structured queries with infinite chases plus random constrained
+  // queries: deepen in three steps and compare against one-shot chases at
+  // every intermediate level.
+  const int kSteps[] = {2, 5, 9};
+  World world;
+  std::vector<ConjunctiveQuery> corpus;
+  corpus.push_back(gen::MakeMandatoryCycleQuery(world, 2, "cycle2"));
+  corpus.push_back(gen::MakeMandatoryCycleQuery(world, 3, "cycle3"));
+  corpus.push_back(gen::MakeAttributeChainQuery(world, 3, true, "chain"));
+  corpus.push_back(gen::MakeFunctFanQuery(world, 3, "fan"));
+  for (int seed = 1; seed <= 10; ++seed) {
+    gen::RandomQuerySpec spec;
+    spec.seed = uint64_t(seed);
+    spec.atoms = 4;
+    spec.variable_pool = 3;
+    spec.constant_pool = 2;
+    spec.arity = 1;
+    spec.with_constraints = true;
+    corpus.push_back(
+        gen::MakeRandomQuery(world, spec, "rand" + std::to_string(seed)));
+  }
+
+  for (const ConjunctiveQuery& query : corpus) {
+    ResumableChase resumable(world, query);
+    for (int level : kSteps) {
+      const ChaseResult& resumed = resumable.EnsureLevel(level);
+      ChaseOptions fresh_options;
+      fresh_options.max_level = level;
+      ChaseResult fresh = ChaseQuery(world, query, fresh_options);
+      EXPECT_TRUE(ChasesIsomorphic(resumed, fresh))
+          << query.name() << " at level " << level << ": resumed "
+          << resumed.size() << " conjuncts ("
+          << ChaseOutcomeName(resumed.outcome()) << "), fresh "
+          << fresh.size() << " conjuncts ("
+          << ChaseOutcomeName(fresh.outcome()) << ")";
+    }
+    EXPECT_TRUE(resumable.started());
+  }
+}
+
+TEST(ResumableChaseTest, EnsureLevelIsMonotoneAndIdempotent) {
+  World world;
+  ConjunctiveQuery cycle = gen::MakeMandatoryCycleQuery(world, 2, "cycle");
+  ResumableChase resumable(world, cycle);
+
+  const ChaseResult& at4 = resumable.EnsureLevel(4);
+  EXPECT_EQ(at4.outcome(), ChaseOutcome::kLevelCapped);
+  uint32_t size_at4 = at4.size();
+  EXPECT_EQ(resumable.deepen_count(), 0u);
+
+  // Same or lower level: a const no-op.
+  resumable.EnsureLevel(4);
+  resumable.EnsureLevel(2);
+  EXPECT_EQ(resumable.deepen_count(), 0u);
+  EXPECT_EQ(resumable.result().size(), size_at4);
+
+  const ChaseResult& at8 = resumable.EnsureLevel(8);
+  EXPECT_EQ(resumable.deepen_count(), 1u);
+  EXPECT_GT(at8.size(), size_at4);
+  EXPECT_GE(at8.max_level(), 5);
+}
+
+TEST(ResumableChaseTest, FrozenHandleAllowsConstReads) {
+  World world;
+  ConjunctiveQuery cycle = gen::MakeMandatoryCycleQuery(world, 2, "cycle");
+  ResumableChase resumable(world, cycle);
+  resumable.EnsureLevel(5);
+  uint32_t size = resumable.result().size();
+
+  resumable.Freeze();
+  EXPECT_TRUE(resumable.frozen());
+  // Reads and non-deepening EnsureLevel calls stay legal while frozen.
+  EXPECT_EQ(resumable.EnsureLevel(3).size(), size);
+  EXPECT_EQ(resumable.result().size(), size);
+  resumable.Thaw();
+  EXPECT_FALSE(resumable.frozen());
+  // After thawing, deepening is legal again.
+  EXPECT_GT(resumable.EnsureLevel(7).size(), size);
+}
+
+TEST(ResumableChaseTest, CompletedChaseNeverDeepens) {
+  World world;
+  // No mandatory atoms: the chase completes at level 0.
+  ConjunctiveQuery q = Q(world, "q(X) :- member(X, C), sub(C, D).");
+  ResumableChase resumable(world, q);
+  const ChaseResult& result = resumable.EnsureLevel(3);
+  EXPECT_EQ(result.outcome(), ChaseOutcome::kCompleted);
+  resumable.EnsureLevel(100);
+  EXPECT_EQ(resumable.deepen_count(), 0u);
+}
+
+}  // namespace
+}  // namespace floq

@@ -1,12 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "util/function_ref.h"
 #include "util/interner.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 #include "util/union_find.h"
 
 namespace floq {
@@ -207,6 +213,100 @@ TEST(RngTest, ChanceExtremes) {
     EXPECT_FALSE(rng.Chance(0.0));
     EXPECT_TRUE(rng.Chance(1.0));
   }
+}
+
+// ---- ThreadPool --------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitCanBeReusedAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (batch + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        counter.fetch_add(1);
+      });
+    }
+  }  // destructor must run the backlog before joining
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  ParallelFor(pool, hits.size(),
+              [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+}
+
+// ---- FunctionRef -------------------------------------------------------
+
+int FreeFunctionDouble(int x) { return 2 * x; }
+
+TEST(FunctionRefTest, CallsLambda) {
+  int calls = 0;
+  // The ref is non-owning: the lambda must be a named object that outlives
+  // it (a temporary would dangle, exactly as with C++26 std::function_ref).
+  auto increment = [&calls](int x) {
+    ++calls;
+    return x + 1;
+  };
+  FunctionRef<int(int)> ref = increment;
+  EXPECT_EQ(ref(41), 42);
+  EXPECT_EQ(ref(1), 2);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(FunctionRefTest, CallsFreeFunction) {
+  FunctionRef<int(int)> ref = FreeFunctionDouble;
+  EXPECT_EQ(ref(21), 42);
+}
+
+TEST(FunctionRefTest, PassesReferenceArguments) {
+  auto append = [](std::string& out) { out += "x"; };
+  FunctionRef<void(std::string&)> ref = append;
+  std::string s;
+  ref(s);
+  ref(s);
+  EXPECT_EQ(s, "xx");
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 // the F-logic Lite semantics Sigma_FL of Calì & Kifer (VLDB'06).
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <fstream>
 #include <sstream>
@@ -83,11 +84,13 @@ int CmdCheck(const std::string& path) {
   return result->contained ? 0 : 2;
 }
 
-int CmdClassify(const std::string& path) {
+int CmdClassify(const std::string& path, int jobs) {
   World world;
   Result<std::vector<ConjunctiveQuery>> rules = LoadRules(world, path);
   if (!rules.ok()) return Fail(rules.status().ToString());
-  Result<QueryTaxonomy> taxonomy = ClassifyQueries(world, *rules);
+  BatchContainmentOptions options;
+  options.jobs = jobs;  // 0 = hardware concurrency
+  Result<QueryTaxonomy> taxonomy = ClassifyQueries(world, *rules, options);
   if (!taxonomy.ok()) return Fail(taxonomy.status().ToString());
   std::printf("%zu queries, %zu equivalence classes, %d checks\n",
               rules->size(), taxonomy->classes.size(), taxonomy->checks);
@@ -354,7 +357,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  floq check <queries.fl>\n"
-               "  floq classify <queries.fl>\n"
+               "  floq classify [--jobs N] <queries.fl>\n"
                "  floq chase <queries.fl> [max_level]\n"
                "  floq dot <queries.fl> [max_level]\n"
                "  floq minimize <queries.fl>\n"
@@ -374,8 +377,28 @@ int main(int argc, char** argv) {
   if (args.empty()) return Usage();
   const std::string& command = args[0];
 
+  // `--jobs N` (anywhere after the command): homomorphism fan-out width
+  // for the batch commands. 0 = hardware concurrency (the default).
+  int jobs = 0;
+  for (size_t i = 1; i + 1 < args.size();) {
+    if (args[i] == "--jobs") {
+      char* end = nullptr;
+      long value = std::strtol(args[i + 1].c_str(), &end, 10);
+      if (end == args[i + 1].c_str() || *end != '\0' || value < 0) {
+        return Fail("--jobs needs a non-negative integer, got '" +
+                    args[i + 1] + "'");
+      }
+      jobs = int(value);
+      args.erase(args.begin() + long(i), args.begin() + long(i) + 2);
+    } else {
+      ++i;
+    }
+  }
+
   if (command == "check" && args.size() == 2) return CmdCheck(args[1]);
-  if (command == "classify" && args.size() == 2) return CmdClassify(args[1]);
+  if (command == "classify" && args.size() == 2) {
+    return CmdClassify(args[1], jobs);
+  }
   if ((command == "chase" || command == "dot") &&
       (args.size() == 2 || args.size() == 3)) {
     int level = args.size() == 3 ? std::atoi(args[2].c_str()) : 12;
