@@ -2,22 +2,47 @@
 // backtracking. This benchmark probes the search frontier: embedding
 // random q2 bodies of growing size and join density into the chase of a
 // fixed q1, reporting visited search nodes alongside wall time.
+//
+// Experiment E11 — the compiled homomorphism kernel (DESIGN.md §9). The
+// same searches are run three ways over a generator-corpus grid:
+//
+//   * legacy             — the interpreted, map-based matcher
+//                          (use_compiled_kernel = false),
+//   * kernel_no_intersect — compiled pattern + flat binding trail, but
+//                          smallest-list candidate scans,
+//   * kernel             — the production path: compiled pattern, trail,
+//                          and k-way galloping posting-list intersection.
+//
+// Per configuration the report records wall time (best of several
+// passes), backtracking nodes, index probes, and probes per node; the
+// headline number is the geometric-mean wall-time speedup of the kernel
+// over the legacy matcher. Everything is written to BENCH_hom_search.json
+// (and echoed to stdout) so the bench trajectory is machine-checkable.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "chase/chase.h"
 #include "containment/homomorphism.h"
+#include "datalog/match.h"
 #include "gen/generators.h"
 #include "term/world.h"
+#include "util/check.h"
+#include "util/rng.h"
 
 namespace {
 
+using namespace floq;
+
 // A q1 whose chase has many interchangeable conjuncts: a wide schema with
 // several classes, attributes, members.
-floq::ConjunctiveQuery MakeWideTarget(floq::World& world) {
-  floq::gen::RandomQuerySpec spec;
+ConjunctiveQuery MakeWideTarget(World& world) {
+  gen::RandomQuerySpec spec;
   spec.seed = 12345;
   spec.atoms = 24;
   spec.variable_pool = 10;
@@ -25,11 +50,10 @@ floq::ConjunctiveQuery MakeWideTarget(floq::World& world) {
   spec.constant_probability = 0.0;
   spec.arity = 0;
   spec.with_constraints = false;  // keep the chase finite and level-0
-  return floq::gen::MakeRandomQuery(world, spec, "target");
+  return gen::MakeRandomQuery(world, spec, "target");
 }
 
 void PrintSearchTable() {
-  using namespace floq;
   World world;
   ConjunctiveQuery q1 = MakeWideTarget(world);
   ChaseResult chase = ChaseLevelZero(world, q1);
@@ -67,9 +91,241 @@ void PrintSearchTable() {
   std::printf("\n");
 }
 
+// ---- E11: compiled kernel vs legacy matcher ---------------------------------
+
+struct CorpusConfig {
+  const char* name;
+  int target_atoms;      // size of the random q1 whose chase is the target
+  int target_pool;       // q1 variable pool (smaller => denser target)
+  int probe_atoms;       // size of each probe body
+  int probe_pool;        // probe variable pool (random probes only)
+  double constant_probability;  // of both target and probes
+  // Probes sampled from the target's own body (renamed apart): always
+  // embeddable, so the search enumerates real match sets instead of dying
+  // on the first unmatchable atom — the regime Theorem 13's NP guess is
+  // about, and the representative containment workload (q2 related to q1).
+  bool subquery_probes;
+  bool enumerate_all;    // count every match instead of stopping at one
+  int probes;            // probes per pass
+};
+
+// The grid spans the axes that matter to the kernel: target size
+// (candidate-list length per node), probe size (nodes per search), join
+// density (how often several positions are bound => intersection
+// opportunity), constants (compile-time list resolution), related vs
+// unrelated probes, and first-match vs full enumeration.
+constexpr CorpusConfig kCorpus[] = {
+    {"random_sparse_first", 24, 10, 8, 5, 0.0, false, false, 64},
+    {"random_dense_first", 24, 6, 12, 4, 0.0, false, false, 64},
+    {"random_constants_first", 24, 8, 10, 5, 0.25, false, false, 64},
+    {"subquery_small_all", 24, 8, 5, 0, 0.0, true, true, 24},
+    {"subquery_mid_all", 48, 10, 7, 0, 0.0, true, true, 16},
+    {"subquery_wide_all", 96, 14, 7, 0, 0.0, true, true, 12},
+    {"subquery_wide_first", 96, 14, 10, 0, 0.0, true, false, 24},
+    {"subquery_deep_all", 64, 8, 9, 0, 0.0, true, true, 8},
+};
+
+struct RunMetrics {
+  double wall_ms = 0;  // best pass
+  MatchStats stats;    // of one pass
+  uint64_t found = 0;  // per-probe verdicts, for cross-matcher agreement
+};
+
+struct Workload {
+  World world;
+  ChaseResult chase;
+  std::vector<ConjunctiveQuery> probes;
+};
+
+// Fills a caller-owned Workload (World is neither copyable nor movable).
+void MakeWorkload(const CorpusConfig& config, Workload& w) {
+  gen::RandomQuerySpec target_spec;
+  target_spec.seed = 977;
+  target_spec.atoms = config.target_atoms;
+  target_spec.variable_pool = config.target_pool;
+  target_spec.constant_pool = 3;
+  target_spec.constant_probability = config.constant_probability;
+  target_spec.arity = 0;
+  target_spec.with_constraints = false;
+  ConjunctiveQuery q1 = gen::MakeRandomQuery(w.world, target_spec, "target");
+  w.chase = ChaseLevelZero(w.world, q1);
+
+  Rng rng(4242);
+  for (int t = 0; t < config.probes; ++t) {
+    if (config.subquery_probes) {
+      // A random sample of the target's own body atoms, renamed apart.
+      std::vector<Atom> body = q1.body();
+      for (size_t i = body.size(); i > 1; --i) {
+        std::swap(body[i - 1], body[rng.Below(i)]);
+      }
+      body.resize(size_t(config.probe_atoms));
+      ConjunctiveQuery probe("probe", {}, std::move(body));
+      w.probes.push_back(probe.RenameApart(w.world));
+    } else {
+      gen::RandomQuerySpec spec;
+      spec.seed = uint64_t(t) * 131 + 17;
+      spec.atoms = config.probe_atoms;
+      spec.variable_pool = config.probe_pool;
+      spec.constant_pool = 3;
+      spec.constant_probability = config.constant_probability;
+      spec.arity = 0;
+      spec.with_constraints = false;
+      w.probes.push_back(
+          gen::MakeRandomQuery(w.world, spec, "probe").RenameApart(w.world));
+    }
+  }
+}
+
+// One pass over every probe of the workload; returns per-pass stats and a
+// bitset-as-counter of verdicts (enumerate_all: total match count).
+RunMetrics OnePass(const Workload& workload, const CorpusConfig& config,
+                   const MatchOptions& options) {
+  RunMetrics metrics;
+  for (const ConjunctiveQuery& probe : workload.probes) {
+    if (config.enumerate_all) {
+      // Cap per-probe enumeration: embeddings of a subquery into a wide
+      // chase can be combinatorial. Both matchers enumerate in the same
+      // order (asserted by kernel_test), so the capped workload is the
+      // exact same node set for every configuration under comparison.
+      constexpr uint64_t kMatchCap = 20000;
+      uint64_t matches = 0;
+      MatchConjunction(
+          probe.body(), workload.chase.conjuncts(), Substitution(),
+          [&](const Substitution&) {
+            return ++matches < kMatchCap;
+          },
+          &metrics.stats, options);
+      metrics.found += matches;
+    } else {
+      if (FindQueryHomomorphism(probe, workload.chase.conjuncts(), {},
+                                &metrics.stats, options)) {
+        ++metrics.found;
+      }
+    }
+  }
+  return metrics;
+}
+
+RunMetrics TimedRun(const Workload& workload, const CorpusConfig& config,
+                    const MatchOptions& options) {
+  OnePass(workload, config, options);  // warm-up
+  RunMetrics best;
+  constexpr int kPasses = 5;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    auto start = std::chrono::steady_clock::now();
+    RunMetrics metrics = OnePass(workload, config, options);
+    auto stop = std::chrono::steady_clock::now();
+    metrics.wall_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (pass == 0 || metrics.wall_ms < best.wall_ms) best = metrics;
+  }
+  return best;
+}
+
+void AppendRunJson(std::string& out, const char* key,
+                   const RunMetrics& metrics) {
+  char buffer[256];
+  double probes_per_node =
+      metrics.stats.nodes_visited == 0
+          ? 0.0
+          : double(metrics.stats.index_probes) /
+                double(metrics.stats.nodes_visited);
+  std::snprintf(buffer, sizeof(buffer),
+                "      \"%s\": {\"wall_ms\": %.3f, \"nodes\": %llu, "
+                "\"index_probes\": %llu, \"probes_per_node\": %.2f}",
+                key, metrics.wall_ms,
+                (unsigned long long)metrics.stats.nodes_visited,
+                (unsigned long long)metrics.stats.index_probes,
+                probes_per_node);
+  out += buffer;
+}
+
+void WriteKernelReport() {
+  std::string json;
+  json += "{\n  \"experiment\": \"hom_search_kernel\",\n";
+  json += "  \"passes\": 5,\n  \"configs\": [\n";
+
+  double log_speedup_sum = 0, log_intersect_sum = 0;
+  int config_count = 0;
+  bool all_agree = true;
+
+  for (const CorpusConfig& config : kCorpus) {
+    Workload workload;
+    MakeWorkload(config, workload);
+
+    MatchOptions legacy;
+    legacy.use_compiled_kernel = false;
+    MatchOptions kernel_no_intersect;
+    kernel_no_intersect.use_list_intersection = false;
+    MatchOptions kernel;
+
+    RunMetrics legacy_run = TimedRun(workload, config, legacy);
+    RunMetrics plain_run = TimedRun(workload, config, kernel_no_intersect);
+    RunMetrics kernel_run = TimedRun(workload, config, kernel);
+
+    bool agree = legacy_run.found == plain_run.found &&
+                 legacy_run.found == kernel_run.found;
+    all_agree = all_agree && agree;
+    double speedup = kernel_run.wall_ms > 0
+                         ? legacy_run.wall_ms / kernel_run.wall_ms
+                         : 0.0;
+    double intersect_gain = kernel_run.wall_ms > 0
+                                ? plain_run.wall_ms / kernel_run.wall_ms
+                                : 0.0;
+    log_speedup_sum += std::log(speedup);
+    log_intersect_sum += std::log(intersect_gain);
+    ++config_count;
+
+    char buffer[512];
+    std::snprintf(buffer, sizeof(buffer),
+                  "    {\"name\": \"%s\", \"target_conjuncts\": %u, "
+                  "\"probe_atoms\": %d, \"probe_pool\": %d, "
+                  "\"constant_probability\": %.2f, \"mode\": \"%s\", "
+                  "\"probes\": %d,\n",
+                  config.name, workload.chase.size(), config.probe_atoms,
+                  config.probe_pool, config.constant_probability,
+                  config.enumerate_all ? "all_matches" : "first_match",
+                  config.probes);
+    json += buffer;
+    AppendRunJson(json, "legacy", legacy_run);
+    json += ",\n";
+    AppendRunJson(json, "kernel_no_intersect", plain_run);
+    json += ",\n";
+    AppendRunJson(json, "kernel", kernel_run);
+    json += ",\n";
+    std::snprintf(buffer, sizeof(buffer),
+                  "      \"speedup_kernel_vs_legacy\": %.3f, "
+                  "\"speedup_intersection\": %.3f, "
+                  "\"verdicts_agree\": %s}",
+                  speedup, intersect_gain, agree ? "true" : "false");
+    json += buffer;
+    json += (&config == &kCorpus[std::size(kCorpus) - 1]) ? "\n" : ",\n";
+  }
+
+  double geomean = std::exp(log_speedup_sum / config_count);
+  double geomean_intersect = std::exp(log_intersect_sum / config_count);
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "  ],\n  \"geomean_speedup_kernel_vs_legacy\": %.3f,\n"
+                "  \"geomean_speedup_intersection\": %.3f,\n"
+                "  \"all_verdicts_agree\": %s\n}\n",
+                geomean, geomean_intersect, all_agree ? "true" : "false");
+  json += buffer;
+
+  std::printf("== E11: compiled kernel vs legacy matcher ==\n%s\n",
+              json.c_str());
+  std::FILE* file = std::fopen("BENCH_hom_search.json", "w");
+  FLOQ_CHECK(file != nullptr);
+  std::fputs(json.c_str(), file);
+  std::fclose(file);
+  std::printf("(report written to BENCH_hom_search.json)\n\n");
+}
+
+// ---- google-benchmark timers ------------------------------------------------
+
 void BM_HomSearch(benchmark::State& state) {
-  using namespace floq;
   const int atoms = int(state.range(0));
+  const bool compiled = state.range(1) != 0;
   World world;
   ConjunctiveQuery q1 = MakeWideTarget(world);
   ChaseResult chase = ChaseLevelZero(world, q1);
@@ -88,24 +344,32 @@ void BM_HomSearch(benchmark::State& state) {
         gen::MakeRandomQuery(world, spec, "probe").RenameApart(world));
   }
 
+  MatchOptions options;
+  options.use_compiled_kernel = compiled;
   size_t i = 0;
   uint64_t nodes = 0;
   for (auto _ : state) {
     MatchStats stats;
     auto hom = FindQueryHomomorphism(probes[i++ % probes.size()],
-                                     chase.conjuncts(), {}, &stats);
+                                     chase.conjuncts(), {}, &stats, options);
     benchmark::DoNotOptimize(hom.has_value());
     nodes += stats.nodes_visited;
   }
   state.counters["nodes/op"] =
       benchmark::Counter(double(nodes), benchmark::Counter::kAvgIterations);
 }
-BENCHMARK(BM_HomSearch)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+BENCHMARK(BM_HomSearch)
+    ->ArgNames({"atoms", "kernel"})
+    ->Args({2, 1})->Args({2, 0})
+    ->Args({8, 1})->Args({8, 0})
+    ->Args({16, 1})->Args({16, 0})
+    ->Args({24, 1})->Args({24, 0});
 
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintSearchTable();
+  WriteKernelReport();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -66,7 +66,8 @@ Result<ContainmentResult> CheckContainment(World& world,
   ConjunctiveQuery q2_fresh = q2.RenameApart(world, &renaming);
   std::optional<Substitution> hom =
       FindQueryHomomorphism(q2_fresh, result.chase.conjuncts(),
-                            result.chase.head(), &result.hom_stats);
+                            result.chase.head(), &result.hom_stats,
+                            options.match);
   if (hom.has_value()) {
     result.witness = renaming.ComposeWith(*hom);
   }
@@ -141,7 +142,8 @@ Result<std::optional<size_t>> CheckUcqContainment(
 
   for (size_t i = 0; i < disjuncts.size(); ++i) {
     ConjunctiveQuery fresh = disjuncts[i].RenameApart(world);
-    if (FindQueryHomomorphism(fresh, chase.conjuncts(), chase.head())
+    if (FindQueryHomomorphism(fresh, chase.conjuncts(), chase.head(),
+                              /*stats=*/nullptr, options.match)
             .has_value()) {
       return std::optional<size_t>(i);
     }
@@ -189,7 +191,8 @@ Result<ContainmentResult> CheckContainmentUnderDependencies(
   ConjunctiveQuery q2_fresh = q2.RenameApart(world, &renaming);
   std::optional<Substitution> hom =
       FindQueryHomomorphism(q2_fresh, result.chase.conjuncts(),
-                            result.chase.head(), &result.hom_stats);
+                            result.chase.head(), &result.hom_stats,
+                            options.match);
   if (hom.has_value()) {
     result.witness = renaming.ComposeWith(*hom);
   }

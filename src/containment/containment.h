@@ -45,6 +45,11 @@ struct ContainmentOptions {
   /// kResourceExhausted (the decision problem is NP-hard, Theorem 13 gives
   /// a *nondeterministic* polynomial algorithm).
   uint64_t max_chase_atoms = 2'000'000;
+  /// Homomorphism search configuration (compiled kernel, list
+  /// intersection, atom ordering) — forwarded to every hom search this
+  /// check runs. Defaults to the production kernel; the differential
+  /// tests and ablation benches flip the toggles.
+  MatchOptions match;
 };
 
 struct ContainmentResult {

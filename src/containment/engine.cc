@@ -152,7 +152,7 @@ Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
     PairVerdict& verdict = verdicts[k];
     verdict.contained =
         FindQueryHomomorphism(r.renamed, target, target_head,
-                              &verdict.hom_stats)
+                              &verdict.hom_stats, copts.match)
             .has_value();
   };
 
@@ -174,8 +174,7 @@ Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
 
   stats_.pairs_checked += pairs.size();
   for (const PairVerdict& verdict : verdicts) {
-    stats_.hom.nodes_visited += verdict.hom_stats.nodes_visited;
-    stats_.hom.matches_found += verdict.hom_stats.matches_found;
+    stats_.hom.Accumulate(verdict.hom_stats);
   }
   return verdicts;
 }

@@ -11,7 +11,8 @@ namespace {
 // One-line summary of the homomorphism search effort behind a verdict.
 std::string RenderSearchEffort(const MatchStats& stats) {
   return StrCat("search effort: ", stats.nodes_visited,
-                " backtracking nodes visited, ", stats.matches_found,
+                " backtracking nodes visited, ", stats.index_probes,
+                " index probes, ", stats.matches_found,
                 " matches found.\n");
 }
 

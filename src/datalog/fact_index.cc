@@ -11,11 +11,32 @@ std::pair<uint32_t, bool> FactIndex::Insert(const Atom& atom) {
   if (!inserted) return {it->second, false};
   uint32_t id = it->second;
   atoms_.push_back(atom);
-  by_predicate_[atom.predicate()].push_back(id);
+  std::vector<uint32_t>& bucket = by_predicate_[atom.predicate()];
+  FLOQ_DCHECK(bucket.empty() || bucket.back() < id);
+  bucket.push_back(id);
   for (int i = 0; i < atom.arity(); ++i) {
-    by_argument_[PositionKey(atom.predicate(), i, atom.arg(i))].push_back(id);
+    std::vector<uint32_t>& ids =
+        by_argument_[PositionKey(atom.predicate(), i, atom.arg(i))];
+    FLOQ_DCHECK(ids.empty() || ids.back() < id);
+    ids.push_back(id);
   }
   return {id, true};
+}
+
+bool FactIndex::PostingListsSorted() const {
+  auto strictly_increasing = [](const std::vector<uint32_t>& ids) {
+    for (size_t i = 1; i < ids.size(); ++i) {
+      if (ids[i - 1] >= ids[i]) return false;
+    }
+    return true;
+  };
+  for (const auto& [pred, ids] : by_predicate_) {
+    if (!strictly_increasing(ids)) return false;
+  }
+  for (const auto& [key, ids] : by_argument_) {
+    if (!strictly_increasing(ids)) return false;
+  }
+  return true;
 }
 
 const std::vector<uint32_t>& FactIndex::WithPredicate(PredicateId pred) const {

@@ -52,6 +52,13 @@ class FactIndex {
   /// Removes everything.
   void Clear();
 
+  /// True iff every WithPredicate/WithArgument posting list is strictly
+  /// increasing in fact id. This holds by construction (ids are assigned
+  /// in insertion order and each Insert appends), and the homomorphism
+  /// kernel's galloping intersection relies on it; Insert FLOQ_DCHECKs
+  /// it per append, and this full scan backs the unit test.
+  bool PostingListsSorted() const;
+
  private:
   // Packs (predicate, position, term) into one hash key: term in the low
   // 32 bits, position in the next 4, predicate above. An earlier packing

@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <vector>
 
+#include "datalog/compiled_pattern.h"
+
 namespace floq {
 
 namespace {
 
-// Per-call state for the backtracking search.
+// Per-call state for the legacy (interpreted, map-based) backtracking
+// search. The production path is the compiled kernel in
+// compiled_pattern.cc; this matcher is kept as the differential-testing
+// and ablation baseline (MatchOptions::use_compiled_kernel = false).
 class Matcher {
  public:
   Matcher(std::span<const Atom> pattern, const FactIndex& index,
@@ -37,10 +42,13 @@ class Matcher {
       Term arg = p.arg(i);
       // Unbound pattern variables constrain nothing; anything else (a
       // constant, a value variable, or a bound pattern variable's image)
-      // pins the argument and its index applies.
-      if (arg.IsVariable() && !subst_.Binds(arg)) continue;
-      const std::vector<uint32_t>& ids =
-          index_.WithArgument(p.predicate(), i, subst_.Apply(arg));
+      // pins the argument and its index applies. Lookup gives the image
+      // in the same hash probe that decides boundness.
+      const Term* image = subst_.Lookup(arg);
+      if (arg.IsVariable() && image == nullptr) continue;
+      if (stats_ != nullptr) ++stats_->index_probes;
+      const std::vector<uint32_t>& ids = index_.WithArgument(
+          p.predicate(), i, image != nullptr ? *image : arg);
       if (ids.size() < best->size()) best = &ids;
     }
     return *best;
@@ -105,10 +113,13 @@ class Matcher {
                 std::vector<Term>& bound_here) {
     for (int i = 0; i < p.arity(); ++i) {
       Term arg = p.arg(i);
-      if (arg.IsVariable() && !subst_.Binds(arg)) {
+      // One Lookup replaces the old Binds-then-Apply pair (two probes of
+      // the same key). The pointer is not held across Bind.
+      const Term* image = subst_.Lookup(arg);
+      if (arg.IsVariable() && image == nullptr) {
         subst_.Bind(arg, fact.arg(i));
         bound_here.push_back(arg);
-      } else if (subst_.Apply(arg) != fact.arg(i)) {
+      } else if ((image != nullptr ? *image : arg) != fact.arg(i)) {
         for (Term var : bound_here) subst_.Erase(var);
         bound_here.clear();
         return false;
@@ -132,6 +143,9 @@ bool MatchConjunction(std::span<const Atom> pattern, const FactIndex& index,
                       const Substitution& initial,
                       FunctionRef<bool(const Substitution&)> on_match,
                       MatchStats* stats, const MatchOptions& options) {
+  if (options.use_compiled_kernel) {
+    return MatchCompiled(pattern, index, initial, on_match, stats, options);
+  }
   return Matcher(pattern, index, initial, on_match, stats, options).Run();
 }
 

@@ -22,6 +22,17 @@ namespace floq {
 struct MatchStats {
   uint64_t nodes_visited = 0;   // backtracking nodes expanded
   uint64_t matches_found = 0;
+  /// FactIndex posting-list probes (WithArgument lookups), including the
+  /// compile-time probes of the compiled kernel. The per-node probe count
+  /// is the metric the kernel's selectivity cache attacks; reported by
+  /// bench_hom_search.
+  uint64_t index_probes = 0;
+
+  void Accumulate(const MatchStats& other) {
+    nodes_visited += other.nodes_visited;
+    matches_found += other.matches_found;
+    index_probes += other.index_probes;
+  }
 };
 
 struct MatchOptions {
@@ -29,6 +40,16 @@ struct MatchOptions {
   /// it matches atoms left to right — kept for the ablation benchmark
   /// bench_ablation, not for production use.
   bool most_constrained_first = true;
+  /// Compiled-pattern kernel (the default): dense slot renumbering, flat
+  /// binding trail, compile-time constant-list resolution, cached
+  /// candidate counts. Disabling it runs the legacy map-based matcher —
+  /// kept for differential testing and bench_ablation/bench_hom_search.
+  bool use_compiled_kernel = true;
+  /// K-way galloping intersection of all bound-position posting lists
+  /// when computing an atom's candidates (vs scanning the single smallest
+  /// list and filtering in unification). Kernel path only; an adaptive
+  /// cutoff skips the intersection for tiny driver lists.
+  bool use_list_intersection = true;
 };
 
 /// Enumerates all substitutions extending `initial` that map every atom of

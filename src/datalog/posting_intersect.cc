@@ -1,0 +1,76 @@
+#include "datalog/posting_intersect.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace floq {
+
+size_t GallopToLowerBound(std::span<const uint32_t> list, size_t begin,
+                          uint32_t target) {
+  const size_t n = list.size();
+  if (begin >= n || list[begin] >= target) return begin;
+  // Exponential probe: find the first doubling offset that overshoots.
+  size_t step = 1;
+  size_t lo = begin;  // invariant: list[lo] < target
+  while (lo + step < n && list[lo + step] < target) {
+    lo += step;
+    step <<= 1;
+  }
+  size_t hi = std::min(lo + step, n);  // list[hi] >= target or hi == n
+  // Binary search in (lo, hi].
+  ++lo;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (list[mid] < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void IntersectPostingLists(std::span<const std::vector<uint32_t>* const> lists,
+                           std::vector<uint32_t>& out) {
+  out.clear();
+  FLOQ_CHECK(!lists.empty());
+  if (lists.size() == 1) {
+    out.assign(lists[0]->begin(), lists[0]->end());
+    return;
+  }
+
+  // Drive from the smallest list; keep the rest in a small local array
+  // ordered by size so the most selective lists reject candidates first.
+  constexpr size_t kMaxLists = 16;
+  FLOQ_CHECK_LE(lists.size(), kMaxLists);
+  const std::vector<uint32_t>* ordered[kMaxLists];
+  std::copy(lists.begin(), lists.end(), ordered);
+  std::sort(ordered, ordered + lists.size(),
+            [](const std::vector<uint32_t>* a, const std::vector<uint32_t>* b) {
+              return a->size() < b->size();
+            });
+
+  const std::vector<uint32_t>& driver = *ordered[0];
+  if (driver.empty()) return;
+  out.reserve(driver.size());
+
+  size_t cursors[kMaxLists] = {0};
+  for (uint32_t id : driver) {
+    bool in_all = true;
+    for (size_t k = 1; k < lists.size(); ++k) {
+      std::span<const uint32_t> other(*ordered[k]);
+      size_t pos = GallopToLowerBound(other, cursors[k], id);
+      cursors[k] = pos;
+      if (pos == other.size()) return;  // other list exhausted: done
+      if (other[pos] != id) {
+        in_all = false;
+        break;
+      }
+      ++cursors[k];  // id consumed; ids are strictly increasing
+    }
+    if (in_all) out.push_back(id);
+  }
+}
+
+}  // namespace floq

@@ -1,0 +1,38 @@
+#ifndef FLOQ_DATALOG_POSTING_INTERSECT_H_
+#define FLOQ_DATALOG_POSTING_INTERSECT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+// Sorted posting-list intersection for the homomorphism kernel. FactIndex
+// posting lists are append-only and therefore strictly increasing in fact
+// id (FLOQ_DCHECKed at insert time); candidate computation for a pattern
+// atom with several bound argument positions is then a k-way intersection
+// of sorted uint32 lists — the same primitive search engines use for
+// conjunctive keyword queries. The driver iterates the smallest list and
+// gallops (exponential probe + binary search, Bentley–Yao) through the
+// others, so the cost is O(|smallest| * k * log(skip)) rather than the
+// sum of the list lengths.
+
+namespace floq {
+
+/// First index in `list[begin..)` whose value is >= `target`, found by
+/// galloping from `begin` (doubling steps, then binary search within the
+/// last doubling window). Returns list.size() when every remaining element
+/// is smaller. `list` must be sorted ascending.
+size_t GallopToLowerBound(std::span<const uint32_t> list, size_t begin,
+                          uint32_t target);
+
+/// Intersects k >= 1 ascending id lists into `out` (cleared first). The
+/// pointers must be non-null; `out` receives the ids present in every
+/// list, ascending. The smallest list drives; cursors into the other
+/// lists advance monotonically via GallopToLowerBound, so each list is
+/// traversed at most once per call.
+void IntersectPostingLists(std::span<const std::vector<uint32_t>* const> lists,
+                           std::vector<uint32_t>& out);
+
+}  // namespace floq
+
+#endif  // FLOQ_DATALOG_POSTING_INTERSECT_H_

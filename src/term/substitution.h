@@ -53,6 +53,14 @@ class Substitution {
   /// True if `t` has an explicit binding.
   bool Binds(Term t) const { return map_.count(t) > 0; }
 
+  /// The explicit binding of `t`, or nullptr if unmapped. One hash lookup
+  /// where a Binds + Apply pair would pay two — the matcher hot path uses
+  /// this. The pointer is invalidated by any mutation.
+  const Term* Lookup(Term t) const {
+    auto it = map_.find(t);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
   /// Attempts to extend with from->to; fails (returns false, no change) if
   /// `from` is already bound to a different term.
   bool TryBind(Term from, Term to) {

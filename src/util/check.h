@@ -50,6 +50,18 @@ class CheckMessageBuilder {
   while (!(condition))                                                 \
   ::floq::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
 
+// Debug-only invariant check: compiled out under NDEBUG (the default
+// RelWithDebInfo build), active in Debug and sanitizer builds. Used on
+// per-insert hot paths where the always-on FLOQ_CHECK would be
+// measurable (e.g. the FactIndex posting-list sortedness invariant).
+#ifdef NDEBUG
+#define FLOQ_DCHECK(condition) \
+  while (false && !(condition)) \
+  ::floq::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+#else
+#define FLOQ_DCHECK(condition) FLOQ_CHECK(condition)
+#endif
+
 #define FLOQ_CHECK_EQ(a, b) FLOQ_CHECK((a) == (b))
 #define FLOQ_CHECK_NE(a, b) FLOQ_CHECK((a) != (b))
 #define FLOQ_CHECK_LT(a, b) FLOQ_CHECK((a) < (b))

@@ -26,6 +26,29 @@ TEST(FactIndexTest, InsertDeduplicates) {
   EXPECT_TRUE(index.Contains(atom));
 }
 
+TEST(FactIndexTest, PostingListsAreStrictlyIncreasing) {
+  // The galloping intersection in the homomorphism kernel relies on every
+  // posting list being strictly increasing in fact id — which holds by
+  // construction (ids are assigned in insertion order, each Insert
+  // appends) and is FLOQ_DCHECKed per append in debug builds.
+  World world;
+  FactIndex index;
+  Term a = world.MakeConstant("a");
+  Term b = world.MakeConstant("b");
+  Term c = world.MakeConstant("c");
+  index.Insert(Atom::Sub(a, b));
+  index.Insert(Atom::Sub(b, c));
+  index.Insert(Atom::Sub(a, c));
+  index.Insert(Atom::Member(a, b));
+  index.Insert(Atom::Sub(b, c));  // duplicate: must not re-append
+  EXPECT_TRUE(index.PostingListsSorted());
+
+  const std::vector<uint32_t>& subs = index.WithPredicate(pfl::kSub);
+  EXPECT_EQ(subs, (std::vector<uint32_t>{0, 1, 2}));
+  const std::vector<uint32_t>& from_a = index.WithArgument(pfl::kSub, 0, a);
+  EXPECT_EQ(from_a, (std::vector<uint32_t>{0, 2}));
+}
+
 TEST(FactIndexTest, PredicateBuckets) {
   World world;
   FactIndex index;
