@@ -1,0 +1,53 @@
+#include "analysis/analyzer.h"
+
+namespace floq::analysis {
+
+std::vector<Diagnostic> AnalyzeProgram(World& world,
+                                       const flogic::Program& program,
+                                       const AnalyzeOptions& options) {
+  std::vector<Diagnostic> out;
+  for (const ConjunctiveQuery& rule : program.rules) {
+    std::vector<Diagnostic> found = LintQuery(world, rule, options.query);
+    out.insert(out.end(), std::make_move_iterator(found.begin()),
+               std::make_move_iterator(found.end()));
+  }
+  for (const ConjunctiveQuery& goal : program.goals) {
+    std::vector<Diagnostic> found = LintQuery(world, goal, options.query);
+    out.insert(out.end(), std::make_move_iterator(found.begin()),
+               std::make_move_iterator(found.end()));
+  }
+  if (options.lint_facts) {
+    std::vector<Diagnostic> found = LintFacts(world, program.facts);
+    out.insert(out.end(), std::make_move_iterator(found.begin()),
+               std::make_move_iterator(found.end()));
+  }
+  SortDiagnostics(out);
+  return out;
+}
+
+std::vector<Diagnostic> AnalyzeProgramText(World& world, std::string_view text,
+                                           const AnalyzeOptions& options) {
+  Result<flogic::Program> program = flogic::ParseProgramLenient(world, text);
+  if (!program.ok()) {
+    return {DiagnosticFromStatus(program.status())};
+  }
+  return AnalyzeProgram(world, *program, options);
+}
+
+std::vector<Diagnostic> AnalyzeDependencySet(const DependencySet& dependencies,
+                                             const World& world) {
+  std::vector<Diagnostic> out = LintDependencySet(dependencies, world);
+  SortDiagnostics(out);
+  return out;
+}
+
+std::vector<Diagnostic> AnalyzeDependencyText(World& world,
+                                              std::string_view text) {
+  Result<DependencySet> dependencies = ParseDependencies(world, text);
+  if (!dependencies.ok()) {
+    return {DiagnosticFromStatus(dependencies.status())};
+  }
+  return AnalyzeDependencySet(*dependencies, world);
+}
+
+}  // namespace floq::analysis

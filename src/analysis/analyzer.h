@@ -1,0 +1,49 @@
+#ifndef FLOQ_ANALYSIS_ANALYZER_H_
+#define FLOQ_ANALYSIS_ANALYZER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "analysis/dependency_lints.h"
+#include "analysis/diagnostic.h"
+#include "analysis/query_lints.h"
+#include "chase/dependencies.h"
+#include "flogic/parser.h"
+#include "term/world.h"
+
+// The analyzer facade behind `floq lint`: parse leniently (so unsafe
+// heads surface as located FLQ001 diagnostics, not parse failures), run
+// every applicable lint family, and return the diagnostics sorted by
+// source position. Parse errors themselves become FLQ000 diagnostics —
+// the analyzer entry points never fail.
+
+namespace floq::analysis {
+
+struct AnalyzeOptions {
+  QueryLintOptions query;
+  /// FLD103 over the program's ground facts.
+  bool lint_facts = true;
+};
+
+/// Lints every rule, goal, and (optionally) the fact base of a parsed
+/// F-logic program.
+std::vector<Diagnostic> AnalyzeProgram(World& world,
+                                       const flogic::Program& program,
+                                       const AnalyzeOptions& options = {});
+
+/// Parses `text` leniently and lints it. Unparseable input yields one
+/// FLQ000 diagnostic.
+std::vector<Diagnostic> AnalyzeProgramText(World& world, std::string_view text,
+                                           const AnalyzeOptions& options = {});
+
+/// FLD101/FLD102 for a dependency set.
+std::vector<Diagnostic> AnalyzeDependencySet(const DependencySet& dependencies,
+                                             const World& world);
+
+/// Parses a dependency program (chase/dependencies syntax) and lints it.
+std::vector<Diagnostic> AnalyzeDependencyText(World& world,
+                                              std::string_view text);
+
+}  // namespace floq::analysis
+
+#endif  // FLOQ_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,330 @@
+#include "analysis/dependency_lints.h"
+
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "term/predicate.h"
+#include "util/strings.h"
+
+namespace floq::analysis {
+
+namespace {
+
+// A (predicate, position) node packed into one integer, matching the
+// encoding AnalyzeWeakAcyclicity uses.
+uint64_t PositionKey(PredicateId pred, int index) {
+  return (uint64_t(pred) << 8) | uint64_t(index);
+}
+
+std::vector<Term> FrontierVariables(const Tgd& tgd) {
+  std::set<uint32_t> body_vars;
+  for (const Atom& atom : tgd.body) {
+    for (Term t : atom) {
+      if (t.IsVariable()) body_vars.insert(t.raw());
+    }
+  }
+  std::vector<Term> frontier;
+  std::set<uint32_t> seen;
+  for (Term t : tgd.head) {
+    if (t.IsVariable() && body_vars.count(t.raw()) != 0 &&
+        seen.insert(t.raw()).second) {
+      frontier.push_back(t);
+    }
+  }
+  return frontier;
+}
+
+std::set<uint64_t> BodyPositionsOf(const Tgd& tgd, Term x) {
+  std::set<uint64_t> positions;
+  for (const Atom& atom : tgd.body) {
+    for (int i = 0; i < atom.arity(); ++i) {
+      if (atom.arg(i) == x) positions.insert(PositionKey(atom.predicate(), i));
+    }
+  }
+  return positions;
+}
+
+std::set<uint64_t> HeadPositionsOf(const Tgd& tgd, Term x) {
+  std::set<uint64_t> positions;
+  for (int i = 0; i < tgd.head.arity(); ++i) {
+    if (tgd.head.arg(i) == x) positions.insert(PositionKey(tgd.head.predicate(), i));
+  }
+  return positions;
+}
+
+bool Subset(const std::set<uint64_t>& small, const std::set<uint64_t>& big) {
+  for (uint64_t k : small) {
+    if (big.count(k) == 0) return false;
+  }
+  return !small.empty();
+}
+
+}  // namespace
+
+bool IsJointlyAcyclic(const DependencySet& dependencies) {
+  // One entry per existential variable occurrence site (rule, variable).
+  struct ExVar {
+    size_t tgd_index;
+    Term variable;
+    std::set<uint64_t> mov;  // positions its invented values can reach
+  };
+  std::vector<ExVar> ex_vars;
+  for (size_t ti = 0; ti < dependencies.tgds.size(); ++ti) {
+    for (Term y : dependencies.tgds[ti].ExistentialVariables()) {
+      ex_vars.push_back({ti, y, {}});
+    }
+  }
+  if (ex_vars.empty()) return true;
+
+  // Mov(y): start from y's head positions, then close under frontier
+  // propagation — whenever every body position of a frontier variable x
+  // of some rule lies in Mov(y), x can be bound entirely to y-values, so
+  // x's head positions join Mov(y).
+  for (ExVar& ex : ex_vars) {
+    ex.mov = HeadPositionsOf(dependencies.tgds[ex.tgd_index], ex.variable);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Tgd& tgd : dependencies.tgds) {
+        for (Term x : FrontierVariables(tgd)) {
+          if (!Subset(BodyPositionsOf(tgd, x), ex.mov)) continue;
+          for (uint64_t k : HeadPositionsOf(tgd, x)) {
+            changed |= ex.mov.insert(k).second;
+          }
+        }
+      }
+    }
+  }
+
+  // Existential-dependency graph: y -> y' when y-values can fire y''s
+  // rule (some frontier variable of that rule binds entirely inside
+  // Mov(y)). Jointly acyclic iff this graph is acyclic.
+  size_t n = ex_vars.size();
+  std::vector<std::vector<size_t>> successors(n);
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = 0; b < n; ++b) {
+      const Tgd& rule_b = dependencies.tgds[ex_vars[b].tgd_index];
+      for (Term x : FrontierVariables(rule_b)) {
+        if (Subset(BodyPositionsOf(rule_b, x), ex_vars[a].mov)) {
+          successors[a].push_back(b);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<int> color(n, 0);  // 0 white, 1 gray, 2 black
+  std::vector<std::pair<size_t, size_t>> stack;
+  for (size_t start = 0; start < n; ++start) {
+    if (color[start] != 0) continue;
+    stack.push_back({start, 0});
+    color[start] = 1;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      if (next < successors[node].size()) {
+        size_t succ = successors[node][next++];
+        if (color[succ] == 1) return false;  // back edge: a cycle
+        if (color[succ] == 0) {
+          color[succ] = 1;
+          stack.push_back({succ, 0});
+        }
+      } else {
+        color[node] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+std::string MandatoryEdge::ToString(const World& world) const {
+  return StrCat(world.NameOf(cls), " -[", world.NameOf(attr), "]-> ",
+                world.NameOf(target));
+}
+
+MandatoryCycleReport FindMandatoryCycle(const World& world,
+                                        const std::vector<Atom>& facts) {
+  (void)world;
+  MandatoryCycleReport report;
+
+  // Index the three fact kinds the analysis needs. sub(c, d): d is a
+  // superclass of c; mandatory/type declarations inherit downward along
+  // sub (rho_7, rho_9), so the effective declarations of a class come
+  // from its upward closure sup*.
+  std::map<uint32_t, std::vector<Term>> supers;
+  std::map<uint32_t, std::vector<std::pair<Term, uint32_t>>> mandatory_of;
+  std::map<uint32_t, std::vector<std::tuple<Term, Term, uint32_t>>> type_of;
+  for (const Atom& fact : facts) {
+    if (fact.predicate() == pfl::kSub && fact.arity() == 2) {
+      supers[fact.arg(0).raw()].push_back(fact.arg(1));
+    } else if (fact.predicate() == pfl::kMandatory && fact.arity() == 2) {
+      mandatory_of[fact.arg(1).raw()].push_back(
+          {fact.arg(0), fact.provenance()});
+    } else if (fact.predicate() == pfl::kType && fact.arity() == 3) {
+      type_of[fact.arg(0).raw()].push_back(
+          {fact.arg(1), fact.arg(2), fact.provenance()});
+    }
+  }
+
+  auto upward_closure = [&](Term c) {
+    std::vector<Term> closure = {c};
+    std::set<uint32_t> seen = {c.raw()};
+    for (size_t i = 0; i < closure.size(); ++i) {
+      auto it = supers.find(closure[i].raw());
+      if (it == supers.end()) continue;
+      for (Term super : it->second) {
+        if (seen.insert(super.raw()).second) closure.push_back(super);
+      }
+    }
+    return closure;
+  };
+
+  // Outgoing edges of class c: c -[a]-> t whenever a is mandatory for
+  // some superclass of c and typed into t by some superclass of c. A
+  // member invented in c (or c itself, viewed as an object) then needs an
+  // a-value of type t, whose membership in t continues the walk (rho_5,
+  // rho_1, rho_3, rho_10).
+  auto edges_of = [&](Term c) {
+    std::vector<MandatoryEdge> edges;
+    std::set<std::pair<uint32_t, uint32_t>> seen;  // (attr, target)
+    std::vector<Term> closure = upward_closure(c);
+    for (Term d : closure) {
+      auto mand = mandatory_of.find(d.raw());
+      if (mand == mandatory_of.end()) continue;
+      for (const auto& [attr, mand_span] : mand->second) {
+        for (Term e : closure) {
+          auto typed = type_of.find(e.raw());
+          if (typed == type_of.end()) continue;
+          for (const auto& [type_attr, target, type_span] : typed->second) {
+            if (!(type_attr == attr)) continue;
+            if (!seen.insert({attr.raw(), target.raw()}).second) continue;
+            edges.push_back(MandatoryEdge{c, attr, target, mand_span,
+                                          type_span});
+          }
+        }
+      }
+    }
+    return edges;
+  };
+
+  // Iterative DFS with gray-node cycle extraction. Start nodes: every
+  // class with a mandatory declaration somewhere in its closure (only
+  // those can have outgoing edges).
+  std::set<uint32_t> starts_seen;
+  std::vector<Term> starts;
+  for (const Atom& fact : facts) {
+    for (Term t : fact) {
+      if (t.IsConstant() && starts_seen.insert(t.raw()).second) {
+        starts.push_back(t);
+      }
+    }
+  }
+
+  std::map<uint32_t, int> color;  // missing = white, 1 gray, 2 black
+  struct Frame {
+    Term node;
+    std::vector<MandatoryEdge> edges;
+    size_t next = 0;
+  };
+  for (Term start : starts) {
+    if (color.count(start.raw()) != 0) continue;
+    std::vector<Frame> stack;
+    stack.push_back({start, edges_of(start)});
+    color[start.raw()] = 1;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next >= frame.edges.size()) {
+        color[frame.node.raw()] = 2;
+        stack.pop_back();
+        continue;
+      }
+      MandatoryEdge edge = frame.edges[frame.next++];
+      auto it = color.find(edge.target.raw());
+      if (it != color.end() && it->second == 1) {
+        // Gray target: the DFS path from edge.target down to `frame`
+        // plus this edge closes the cycle.
+        size_t from = 0;
+        while (!(stack[from].node == edge.target)) ++from;
+        for (size_t i = from; i + 1 < stack.size(); ++i) {
+          report.cycle.push_back(stack[i].edges[stack[i].next - 1]);
+        }
+        report.cycle.push_back(edge);
+        report.cyclic = true;
+        return report;
+      }
+      if (it == color.end()) {
+        color[edge.target.raw()] = 1;
+        stack.push_back({edge.target, edges_of(edge.target)});
+      }
+    }
+  }
+  return report;
+}
+
+std::vector<Diagnostic> LintDependencySet(const DependencySet& dependencies,
+                                          const World& world) {
+  std::vector<Diagnostic> out;
+  WeakAcyclicityResult wa = AnalyzeWeakAcyclicity(dependencies, world);
+  if (wa.weakly_acyclic) return out;
+
+  std::vector<std::string> witness;
+  witness.reserve(wa.witness.size());
+  for (const DependencyEdge& edge : wa.witness) {
+    witness.push_back(edge.ToString(dependencies, world));
+  }
+
+  if (IsJointlyAcyclic(dependencies)) {
+    Diagnostic d = MakeDiagnostic(
+        "FLD102",
+        "not weakly acyclic, but jointly acyclic: the chase still "
+        "terminates on every instance");
+    d.notes.push_back("weak-acyclicity witness cycle (refuted by joint "
+                      "acyclicity):");
+    for (std::string& line : witness) d.notes.push_back(std::move(line));
+    out.push_back(std::move(d));
+  } else {
+    Diagnostic d = MakeDiagnostic(
+        "FLD101",
+        "dependency set is not weakly acyclic (nor jointly acyclic): the "
+        "chase may not terminate; containment checks need a level "
+        "override and negative verdicts become inconclusive");
+    d.notes.push_back("witness cycle through a special edge (*):");
+    for (std::string& line : witness) d.notes.push_back(std::move(line));
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::vector<Diagnostic> LintFacts(const World& world,
+                                  const std::vector<Atom>& facts) {
+  std::vector<Diagnostic> out;
+  MandatoryCycleReport report = FindMandatoryCycle(world, facts);
+  if (!report.cyclic) return out;
+
+  uint32_t anchor = report.cycle.front().mandatory_span;
+  Diagnostic d = MakeDiagnostic(
+      "FLD103",
+      "mandatory-attribute cycle: rho_5 must invent a fresh value at every "
+      "step, so the Sigma_FL chase of this knowledge base is infinite and "
+      "saturation cannot terminate",
+      world.spans().at(anchor));
+  for (const MandatoryEdge& edge : report.cycle) {
+    std::string line = edge.ToString(world);
+    SourceSpan mand = world.spans().at(edge.mandatory_span);
+    SourceSpan type = world.spans().at(edge.type_span);
+    if (mand.known() || type.known()) {
+      line += "  (";
+      if (mand.known()) line = StrCat(line, "mandatory at ", mand.ToString());
+      if (mand.known() && type.known()) line += ", ";
+      if (type.known()) line = StrCat(line, "type at ", type.ToString());
+      line += ")";
+    }
+    d.notes.push_back(std::move(line));
+  }
+  out.push_back(std::move(d));
+  return out;
+}
+
+}  // namespace floq::analysis

@@ -1,0 +1,71 @@
+#ifndef FLOQ_ANALYSIS_DEPENDENCY_LINTS_H_
+#define FLOQ_ANALYSIS_DEPENDENCY_LINTS_H_
+
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "chase/dependencies.h"
+#include "term/atom.h"
+#include "term/world.h"
+
+// Dependency-set and knowledge-base termination analyses (FLD1xx).
+//
+// FLD101/FLD102 grade a user TGD set for chase termination: weak
+// acyclicity (Fagin et al.) with a witness cycle, refined by joint
+// acyclicity (Kroetzsch & Rudolph, IJCAI 2011), which still guarantees
+// termination for sets weak acyclicity rejects. Sigma_FL itself fails
+// both — its chase really is infinite in general (Section 4 of the
+// paper).
+//
+// FLD103 is the paper's Section-4 trigger made concrete: a cycle
+// c1 -[a1]-> c2 -[a2]-> ... -> c1 where each ci has (possibly inherited)
+// mandatory attribute ai typed into c_{i+1} forces rho_5 and rho_1 to
+// invent members forever. A KB whose class graph has such a cycle can
+// never be fully saturated.
+
+namespace floq::analysis {
+
+/// Joint acyclicity: build Mov(y) for each existential variable y (the
+/// positions its invented values can reach through frontier variables)
+/// and test the existential-dependency graph for cycles. Implies chase
+/// termination; strictly weaker a requirement than weak acyclicity.
+bool IsJointlyAcyclic(const DependencySet& dependencies);
+
+/// One edge of the mandatory-attribute class graph: `cls` has mandatory
+/// attribute `attr` (inherited along sub) typed into `target`. The spans
+/// locate the generating mandatory/type facts when known.
+struct MandatoryEdge {
+  Term cls;
+  Term attr;
+  Term target;
+  uint32_t mandatory_span = 0;
+  uint32_t type_span = 0;
+
+  /// "person -[spouse]-> person".
+  std::string ToString(const World& world) const;
+};
+
+struct MandatoryCycleReport {
+  bool cyclic = false;
+  /// The witness cycle: cycle[i].target == cycle[i+1].cls, wrapping.
+  std::vector<MandatoryEdge> cycle;
+};
+
+/// Scans ground P_FL facts for a mandatory-attribute cycle, closing
+/// mandatory and type declarations upward along sub (rho_7/rho_9: both
+/// inherit to subclasses; membership of an invented value then reimports
+/// them via rho_3/rho_10).
+MandatoryCycleReport FindMandatoryCycle(const World& world,
+                                        const std::vector<Atom>& facts);
+
+/// FLD101/FLD102 for a dependency set.
+std::vector<Diagnostic> LintDependencySet(const DependencySet& dependencies,
+                                          const World& world);
+
+/// FLD103 for a fact base.
+std::vector<Diagnostic> LintFacts(const World& world,
+                                  const std::vector<Atom>& facts);
+
+}  // namespace floq::analysis
+
+#endif  // FLOQ_ANALYSIS_DEPENDENCY_LINTS_H_

@@ -1,0 +1,80 @@
+#ifndef FLOQ_ANALYSIS_DIAGNOSTIC_H_
+#define FLOQ_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "term/source_span.h"
+#include "util/status.h"
+
+// Diagnostics infrastructure for the floq static analyzer (floq lint).
+// Every analyzer reports through one channel: a Diagnostic with a stable
+// lint code, a severity, a message, an exact source span (when the parsed
+// input recorded one), and optional supporting note lines (witness
+// cycles, component lists). The registry below is the single source of
+// truth for codes; DESIGN.md section 10 documents it.
+
+namespace floq::analysis {
+
+enum class Severity {
+  kError,    // the input is wrong: it will fail or silently misbehave
+  kWarning,  // suspicious: likely a typo or a performance hazard
+  kNote,     // informational: an optimization opportunity
+};
+
+/// "error" / "warning" / "note".
+const char* SeverityName(Severity severity);
+
+struct Diagnostic {
+  std::string code;  // stable lint code, e.g. "FLQ001"
+  Severity severity = Severity::kWarning;
+  std::string message;
+  SourceSpan span;                 // !known() when no span was recorded
+  std::vector<std::string> notes;  // supporting lines (witness paths etc.)
+};
+
+struct LintCodeInfo {
+  const char* code;
+  const char* name;   // kebab-case slug
+  Severity severity;  // default severity
+  const char* summary;
+};
+
+/// The stable lint-code registry, sorted by code.
+const std::vector<LintCodeInfo>& LintCodes();
+
+/// Looks up a code; nullptr when unknown.
+const LintCodeInfo* FindLintCode(std::string_view code);
+
+/// A diagnostic carrying the registry's default severity for `code`.
+Diagnostic MakeDiagnostic(std::string_view code, std::string message,
+                          SourceSpan span = {});
+
+/// Converts an error Status whose message carries an "at L:C:" anchor
+/// (every floq lex/parse error does) into a located FLQ000 diagnostic.
+Diagnostic DiagnosticFromStatus(const Status& status);
+
+/// True if any diagnostic has error severity.
+bool HasErrors(const std::vector<Diagnostic>& diagnostics);
+
+/// Sorts by source position (unknown spans last), then by code.
+void SortDiagnostics(std::vector<Diagnostic>& diagnostics);
+
+/// "file:3:14: warning: message [FLQ002]" plus indented note lines.
+std::string FormatDiagnostic(const Diagnostic& diagnostic,
+                             std::string_view filename = {});
+
+/// All diagnostics, one per line (notes indented), plus a trailing
+/// "N error(s), M warning(s)" summary line when non-empty.
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diagnostics,
+                              std::string_view filename = {});
+
+/// Machine-readable JSON: an array of objects with code, name, severity,
+/// message, span {line, column, end_line, end_column} and notes.
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics,
+                              std::string_view filename = {});
+
+}  // namespace floq::analysis
+
+#endif  // FLOQ_ANALYSIS_DIAGNOSTIC_H_

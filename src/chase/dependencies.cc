@@ -3,6 +3,7 @@
 #include <cctype>
 #include <map>
 #include <set>
+#include <tuple>
 #include <unordered_set>
 
 #include "query/parser.h"
@@ -213,19 +214,36 @@ DependencySet MakeSigmaFLDependencies(World& world) {
   return std::move(parsed).value();
 }
 
-bool IsWeaklyAcyclic(const DependencySet& dependencies, const World& world) {
+std::string DependencyPosition::ToString(const World& world) const {
+  return StrCat(world.predicates().NameOf(pred), "[", index, "]");
+}
+
+std::string DependencyEdge::ToString(const DependencySet& dependencies,
+                                     const World& world) const {
+  std::string label =
+      tgd_index >= 0 && size_t(tgd_index) < dependencies.tgds.size()
+          ? dependencies.tgds[tgd_index].name
+          : "?";
+  return StrCat(from.ToString(world), " --", label, special ? "*" : "",
+                "--> ", to.ToString(world));
+}
+
+WeakAcyclicityResult AnalyzeWeakAcyclicity(const DependencySet& dependencies,
+                                           const World& world) {
   (void)world;
+  WeakAcyclicityResult result;
+
   // Nodes: (predicate, position) pairs packed into one integer.
-  auto position = [](PredicateId pred, int index) {
-    return (uint64_t(pred) << 8) | uint64_t(index);
+  auto key = [](const DependencyPosition& p) {
+    return (uint64_t(p.pred) << 8) | uint64_t(p.index);
   };
 
-  // normal edges and special edges.
-  std::map<uint64_t, std::set<uint64_t>> normal;
-  std::map<uint64_t, std::set<uint64_t>> special;
-  std::set<uint64_t> nodes;
-
-  for (const Tgd& tgd : dependencies.tgds) {
+  // Collect labeled edges in deterministic (TGD, body atom, position)
+  // order, deduplicating repeats (the first generating TGD labels the
+  // edge).
+  std::set<std::tuple<uint64_t, uint64_t, bool>> seen;
+  for (size_t ti = 0; ti < dependencies.tgds.size(); ++ti) {
+    const Tgd& tgd = dependencies.tgds[ti];
     std::vector<Term> existential = tgd.ExistentialVariables();
     auto is_existential = [&](Term t) {
       for (Term e : existential) {
@@ -237,49 +255,88 @@ bool IsWeaklyAcyclic(const DependencySet& dependencies, const World& world) {
       for (int i = 0; i < body_atom.arity(); ++i) {
         Term x = body_atom.arg(i);
         if (!x.IsVariable()) continue;
-        uint64_t from = position(body_atom.predicate(), i);
-        nodes.insert(from);
+        DependencyPosition from{body_atom.predicate(), i};
         for (int j = 0; j < tgd.head.arity(); ++j) {
           Term h = tgd.head.arg(j);
-          uint64_t to = position(tgd.head.predicate(), j);
-          nodes.insert(to);
+          DependencyPosition to{tgd.head.predicate(), j};
+          bool special;
           if (h == x) {
-            normal[from].insert(to);  // x propagates
+            special = false;  // x propagates
           } else if (h.IsVariable() && is_existential(h)) {
-            special[from].insert(to);  // x feeds an invented value
+            special = true;  // x feeds an invented value
+          } else {
+            continue;
+          }
+          if (seen.insert({key(from), key(to), special}).second) {
+            result.edges.push_back(
+                DependencyEdge{from, to, special, int(ti)});
           }
         }
       }
     }
   }
 
-  // Reachability over (normal ∪ special); weak acyclicity fails iff some
-  // special edge (u, v) has a path v ->* u.
-  auto reaches = [&](uint64_t from, uint64_t to) {
-    std::set<uint64_t> visited;
-    std::vector<uint64_t> stack = {from};
-    while (!stack.empty()) {
-      uint64_t node = stack.back();
-      stack.pop_back();
-      if (node == to) return true;
-      if (!visited.insert(node).second) continue;
-      auto push_all = [&](const std::map<uint64_t, std::set<uint64_t>>& edges) {
-        auto it = edges.find(node);
-        if (it == edges.end()) return;
-        for (uint64_t next : it->second) stack.push_back(next);
-      };
-      push_all(normal);
-      push_all(special);
-    }
-    return false;
-  };
-
-  for (const auto& [from, targets] : special) {
-    for (uint64_t to : targets) {
-      if (reaches(to, from) || to == from) return false;
-    }
+  std::map<uint64_t, std::vector<size_t>> adjacency;
+  for (size_t e = 0; e < result.edges.size(); ++e) {
+    adjacency[key(result.edges[e].from)].push_back(e);
   }
-  return true;
+
+  // Weak acyclicity fails iff some special edge (u, v) closes a cycle,
+  // i.e. v reaches u over (normal ∪ special). BFS with incoming-edge
+  // tracking reconstructs the v ->* u path for the witness.
+  for (size_t se = 0; se < result.edges.size(); ++se) {
+    if (!result.edges[se].special) continue;
+    uint64_t start = key(result.edges[se].to);
+    uint64_t goal = key(result.edges[se].from);
+
+    if (start == goal) {  // special self-loop: a cycle of length one
+      result.weakly_acyclic = false;
+      result.witness = {result.edges[se]};
+      return result;
+    }
+
+    std::map<uint64_t, size_t> incoming;  // node -> edge that reached it
+    std::vector<uint64_t> frontier = {start};
+    std::set<uint64_t> visited = {start};
+    bool found = false;
+    while (!frontier.empty() && !found) {
+      std::vector<uint64_t> next_frontier;
+      for (uint64_t node : frontier) {
+        auto it = adjacency.find(node);
+        if (it == adjacency.end()) continue;
+        for (size_t e : it->second) {
+          uint64_t to = key(result.edges[e].to);
+          if (!visited.insert(to).second) continue;
+          incoming[to] = e;
+          if (to == goal) {
+            found = true;
+            break;
+          }
+          next_frontier.push_back(to);
+        }
+        if (found) break;
+      }
+      frontier = std::move(next_frontier);
+    }
+    if (!found) continue;
+
+    // Witness: the special edge u -> v, then the path v ->* u.
+    std::vector<DependencyEdge> path;
+    for (uint64_t node = goal; node != start;) {
+      size_t e = incoming.at(node);
+      path.push_back(result.edges[e]);
+      node = key(result.edges[e].from);
+    }
+    result.weakly_acyclic = false;
+    result.witness.push_back(result.edges[se]);
+    result.witness.insert(result.witness.end(), path.rbegin(), path.rend());
+    return result;
+  }
+  return result;
+}
+
+bool IsWeaklyAcyclic(const DependencySet& dependencies, const World& world) {
+  return AnalyzeWeakAcyclicity(dependencies, world).weakly_acyclic;
 }
 
 }  // namespace floq

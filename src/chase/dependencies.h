@@ -63,11 +63,50 @@ Result<DependencySet> ParseDependencies(World& world, std::string_view text);
 /// generic chase against the specialized engine).
 DependencySet MakeSigmaFLDependencies(World& world);
 
-/// Weak acyclicity (Fagin, Kolaitis, Miller, Popa 2003): the chase of any
-/// instance under a weakly acyclic TGD set terminates. Builds the
-/// (predicate, position) dependency graph; returns false iff some cycle
-/// passes through a "special" (existential) edge. EGDs do not affect the
-/// test.
+/// A node of the Fagin-et-al. dependency graph: a predicate position.
+struct DependencyPosition {
+  PredicateId pred = kInvalidPredicate;
+  int index = 0;
+
+  /// "data[2]".
+  std::string ToString(const World& world) const;
+
+  friend bool operator==(const DependencyPosition& a,
+                         const DependencyPosition& b) {
+    return a.pred == b.pred && a.index == b.index;
+  }
+};
+
+/// A labeled edge of the dependency graph: some TGD copies (normal) or
+/// feeds an invented value into (special) the target position from the
+/// source position.
+struct DependencyEdge {
+  DependencyPosition from;
+  DependencyPosition to;
+  bool special = false;
+  int tgd_index = -1;  // index into DependencySet::tgds
+
+  /// "data[2] --tgd5*--> member[0]" ('*' marks a special edge).
+  std::string ToString(const DependencySet& dependencies,
+                       const World& world) const;
+};
+
+/// Weak acyclicity (Fagin, Kolaitis, Miller, Popa 2003) as a diagnostic:
+/// the full labeled dependency graph plus, when the set is not weakly
+/// acyclic, a witness cycle through at least one special edge
+/// (witness[i].to == witness[i+1].from, and the last edge wraps to the
+/// first). EGDs do not affect the test.
+struct WeakAcyclicityResult {
+  bool weakly_acyclic = true;
+  std::vector<DependencyEdge> edges;
+  std::vector<DependencyEdge> witness;
+};
+
+WeakAcyclicityResult AnalyzeWeakAcyclicity(const DependencySet& dependencies,
+                                           const World& world);
+
+/// Weak acyclicity verdict only: the chase of any instance under a weakly
+/// acyclic TGD set terminates.
 bool IsWeaklyAcyclic(const DependencySet& dependencies, const World& world);
 
 }  // namespace floq

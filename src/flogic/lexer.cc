@@ -43,6 +43,8 @@ class Lexer {
     for (;;) {
       SkipWhitespaceAndComments();
       if (AtEnd()) {
+        start_line_ = line_;
+        start_column_ = column_;
         tokens.push_back(Make(TokenKind::kEnd, ""));
         return tokens;
       }
@@ -187,7 +189,10 @@ class Lexer {
   }
 
   Token Make(TokenKind kind, std::string text) const {
-    return Token{kind, std::move(text), start_line_, start_column_};
+    // Called right after the token's characters were consumed, so the
+    // current position is the token's end.
+    return Token{kind, std::move(text), start_line_, start_column_,
+                 line_, column_};
   }
 
   Status Error(std::string message) const {

@@ -49,8 +49,10 @@ const char* TokenKindName(TokenKind kind);
 struct Token {
   TokenKind kind;
   std::string text;  // original spelling (unquoted for strings)
-  int line = 1;
+  int line = 1;      // 1-based start position
   int column = 1;
+  int end_line = 1;  // position just past the last character
+  int end_column = 1;
 };
 
 /// Tokenizes the whole input. A trailing kEnd token is always appended.

@@ -28,8 +28,8 @@ struct Cardinality {
 
 class Parser {
  public:
-  Parser(World& world, std::vector<Token> tokens)
-      : world_(world), tokens_(std::move(tokens)) {}
+  Parser(World& world, std::vector<Token> tokens, bool validate = true)
+      : world_(world), tokens_(std::move(tokens)), validate_(validate) {}
 
   Result<Program> ParseWholeProgram() {
     Program program;
@@ -56,11 +56,14 @@ class Parser {
 
  private:
   Status ParseStatement(Program& program) {
+    size_t start = pos_;
     if (ConsumeIf(TokenKind::kQuery)) {
       std::vector<Atom> body;
       FLOQ_RETURN_IF_ERROR(ParseFormulaInto(body));
       FLOQ_RETURN_IF_ERROR(Expect(TokenKind::kDot));
-      program.goals.push_back(MakeGoal(std::move(body)));
+      ConjunctiveQuery goal = MakeGoal(std::move(body));
+      goal.set_span(SpanFrom(start));
+      program.goals.push_back(std::move(goal));
       return Status::Ok();
     }
 
@@ -78,8 +81,9 @@ class Parser {
     FLOQ_RETURN_IF_ERROR(Expect(TokenKind::kDot));
     for (const Atom& atom : atoms) {
       if (!atom.IsGround()) {
-        return InvalidArgumentError(
-            StrCat("fact must be ground: ", atom.ToString(world_)));
+        return ErrorAtSpan(atom.provenance(),
+                           StrCat("fact must be ground: ",
+                                  atom.ToString(world_)));
       }
       program.facts.push_back(atom);
     }
@@ -109,17 +113,21 @@ class Parser {
   }
 
   Result<ConjunctiveQuery> ParseRule() {
+    size_t start = pos_;
     if (!Check(TokenKind::kIdentifier)) {
       return Error("expected rule name");
     }
     std::string name = Advance().text;
     std::vector<Term> head;
+    std::vector<uint32_t> head_spans;
     if (ConsumeIf(TokenKind::kLParen)) {
       if (!ConsumeIf(TokenKind::kRParen)) {
         for (;;) {
+          size_t term_start = pos_;
           Result<Term> term = ParseTerm();
           if (!term.ok()) return term.status();
           head.push_back(term.value());
+          head_spans.push_back(SpanFrom(term_start));
           if (ConsumeIf(TokenKind::kRParen)) break;
           FLOQ_RETURN_IF_ERROR_R(Expect(TokenKind::kComma));
         }
@@ -132,8 +140,16 @@ class Parser {
       return Error("expected '.' at end of rule");
     }
     ConjunctiveQuery query(std::move(name), std::move(head), std::move(body));
-    Status valid = query.Validate(world_);
-    if (!valid.ok()) return valid;
+    query.set_span(SpanFrom(start));
+    query.set_head_spans(std::move(head_spans));
+    if (validate_) {
+      Status valid = query.Validate(world_);
+      if (!valid.ok()) {
+        const Token& at = tokens_[start];
+        return InvalidArgumentError(StrCat("parse error at ", at.line, ":",
+                                           at.column, ": ", valid.message()));
+      }
+    }
     return query;
   }
 
@@ -146,7 +162,23 @@ class Parser {
 
   // One conjunct: either a low-level predicate atom p(t1,...,tn) or an
   // F-logic molecule (isa, subclass, or bracketed attribute expressions).
+  // Every produced atom is stamped with a provenance span: atoms from an
+  // attribute expression get the expression's span (set in
+  // ParseAttributeSpecInto), everything else the whole conjunct's.
   Status ParseConjunctInto(std::vector<Atom>& atoms) {
+    size_t start = pos_;
+    size_t first = atoms.size();
+    FLOQ_RETURN_IF_ERROR(ParseConjunctImpl(atoms));
+    uint32_t span = SpanFrom(start);
+    for (size_t i = first; i < atoms.size(); ++i) {
+      if (atoms[i].provenance() == SpanTable::kNone) {
+        atoms[i].set_provenance(span);
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status ParseConjunctImpl(std::vector<Atom>& atoms) {
     // Predicate-atom lookahead: identifier followed by '('.
     if (Check(TokenKind::kIdentifier) &&
         PeekAhead(1).kind == TokenKind::kLParen) {
@@ -182,6 +214,17 @@ class Parser {
 
   // attribute ('->' value | cardinality? '*=>' type)
   Status ParseAttributeSpecInto(Term subject, std::vector<Atom>& atoms) {
+    size_t start = pos_;
+    size_t first = atoms.size();
+    FLOQ_RETURN_IF_ERROR(ParseAttributeSpecImpl(subject, atoms));
+    uint32_t span = SpanFrom(start);
+    for (size_t i = first; i < atoms.size(); ++i) {
+      atoms[i].set_provenance(span);
+    }
+    return Status::Ok();
+  }
+
+  Status ParseAttributeSpecImpl(Term subject, std::vector<Atom>& atoms) {
     Result<Term> attribute = ParseTerm();
     if (!attribute.ok()) return attribute.status();
 
@@ -309,17 +352,24 @@ class Parser {
   ConjunctiveQuery MakeGoal(std::vector<Atom> body) {
     // The goal's answer tuple is the named variables of the body, in first
     // occurrence order. Anonymous '_' variables were already freshened and
-    // are excluded by their generated "_G" prefix.
+    // are excluded by their generated "_G" prefix. Each head variable
+    // inherits the span of the atom of its first occurrence.
     std::vector<Term> head;
+    std::vector<uint32_t> head_spans;
     std::unordered_set<uint32_t> seen;
     for (const Atom& atom : body) {
       for (Term t : atom) {
         if (!t.IsVariable()) continue;
         if (StartsWith(world_.NameOf(t), "_G")) continue;
-        if (seen.insert(t.raw()).second) head.push_back(t);
+        if (seen.insert(t.raw()).second) {
+          head.push_back(t);
+          head_spans.push_back(atom.provenance());
+        }
       }
     }
-    return ConjunctiveQuery("goal", std::move(head), std::move(body));
+    ConjunctiveQuery goal("goal", std::move(head), std::move(body));
+    goal.set_head_spans(std::move(head_spans));
+    return goal;
   }
 
   const Token& PeekToken() const { return tokens_[pos_]; }
@@ -353,9 +403,29 @@ class Parser {
                                        token.column, ": ", message));
   }
 
+  /// Error anchored at a recorded span (falls back to the current token
+  /// when the span is unknown).
+  Status ErrorAtSpan(uint32_t span_id, std::string message) const {
+    const SourceSpan& span = world_.spans().at(span_id);
+    if (!span.known()) return Error(std::move(message));
+    return InvalidArgumentError(StrCat("parse error at ", span.line, ":",
+                                       span.column, ": ", message));
+  }
+
+  /// Records the span from token index `first` through the last consumed
+  /// token into the World's span table.
+  uint32_t SpanFrom(size_t first) {
+    size_t last = pos_ > first ? pos_ - 1 : first;
+    const Token& a = tokens_[first];
+    const Token& b = tokens_[last];
+    return world_.spans().Add(
+        SourceSpan{a.line, a.column, b.end_line, b.end_column});
+  }
+
   World& world_;
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  bool validate_ = true;
 };
 
 }  // namespace
@@ -370,6 +440,13 @@ Result<Program> ParseProgram(World& world, std::string_view text) {
   Result<std::vector<Token>> tokens = Tokenize(text);
   if (!tokens.ok()) return tokens.status();
   return Parser(world, std::move(tokens).value()).ParseWholeProgram();
+}
+
+Result<Program> ParseProgramLenient(World& world, std::string_view text) {
+  Result<std::vector<Token>> tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  return Parser(world, std::move(tokens).value(), /*validate=*/false)
+      .ParseWholeProgram();
 }
 
 Result<std::vector<Atom>> ParseFormula(World& world, std::string_view text) {

@@ -44,6 +44,12 @@ Result<ConjunctiveQuery> ParseQuery(World& world, std::string_view text);
 /// Parses a whole program (facts, rules, goals).
 Result<Program> ParseProgram(World& world, std::string_view text);
 
+/// Parses a whole program without rejecting unsafe rule heads (the safety
+/// check of ConjunctiveQuery::Validate). The static analyzer (floq lint)
+/// uses this so it can report unsafe head variables as located
+/// diagnostics instead of parse failures.
+Result<Program> ParseProgramLenient(World& world, std::string_view text);
+
 /// Parses a conjunction of molecules/atoms (no head, no trailing '.').
 Result<std::vector<Atom>> ParseFormula(World& world, std::string_view text);
 

@@ -65,8 +65,11 @@ Status ConjunctiveQuery::Validate(const World& world) const {
 }
 
 ConjunctiveQuery ConjunctiveQuery::Substitute(const Substitution& subst) const {
-  return ConjunctiveQuery(name_, subst.ApplyToTerms(head_terms_),
-                          subst.Apply(body_));
+  ConjunctiveQuery out(name_, subst.ApplyToTerms(head_terms_),
+                       subst.Apply(body_));
+  out.span_ = span_;
+  out.head_spans_ = head_spans_;
+  return out;
 }
 
 ConjunctiveQuery ConjunctiveQuery::RenameApart(World& world,

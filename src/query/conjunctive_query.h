@@ -63,6 +63,22 @@ class ConjunctiveQuery {
   std::vector<Atom> Freeze(World& world,
                            std::vector<Term>* frozen_head = nullptr) const;
 
+  /// Provenance (ids into the owning World's SpanTable; 0/empty =
+  /// unknown): the span of the whole rule and of each head term, aligned
+  /// with head(). Ignored by operator==; preserved by Substitute and
+  /// RenameApart.
+  uint32_t span() const { return span_; }
+  void set_span(uint32_t span_id) { span_ = span_id; }
+  const std::vector<uint32_t>& head_spans() const { return head_spans_; }
+  void set_head_spans(std::vector<uint32_t> span_ids) {
+    head_spans_ = std::move(span_ids);
+  }
+
+  /// The span id of head term `i`, or 0 when not recorded.
+  uint32_t head_span(int i) const {
+    return size_t(i) < head_spans_.size() ? head_spans_[i] : 0;
+  }
+
   /// Renders "q(X, Y) :- member(X, C), data(X, A, Y)."
   std::string ToString(const World& world) const;
 
@@ -74,6 +90,8 @@ class ConjunctiveQuery {
   std::string name_ = "q";
   std::vector<Term> head_terms_;
   std::vector<Atom> body_;
+  uint32_t span_ = 0;
+  std::vector<uint32_t> head_spans_;
 };
 
 }  // namespace floq

@@ -57,18 +57,23 @@ class Parser {
  private:
   Result<ConjunctiveQuery> ParseRule() {
     SkipWhitespace();
+    size_t rule_start = pos_;
     Result<std::string> name = ParseIdentifier("rule head name");
     if (!name.ok()) return name.status();
 
     std::vector<Term> head_terms;
+    std::vector<uint32_t> head_spans;
     SkipWhitespace();
     if (Consume('(')) {
       SkipWhitespace();
       if (!Consume(')')) {
         for (;;) {
+          SkipWhitespace();
+          size_t term_start = pos_;
           Result<Term> term = ParseTerm();
           if (!term.ok()) return term.status();
           head_terms.push_back(term.value());
+          head_spans.push_back(RecordSpan(term_start, pos_));
           SkipWhitespace();
           if (Consume(')')) break;
           if (!Consume(',')) return Error("expected ',' or ')' in head");
@@ -94,15 +99,18 @@ class Parser {
 
     ConjunctiveQuery query(*std::move(name), std::move(head_terms),
                            std::move(body));
+    query.set_span(RecordSpan(rule_start, pos_));
+    query.set_head_spans(std::move(head_spans));
     if (check_safety_) {
       Status valid = query.Validate(world_);
-      if (!valid.ok()) return valid;
+      if (!valid.ok()) return ErrorAt(rule_start, valid.message());
     }
     return query;
   }
 
   Result<Atom> ParseAtom() {
     SkipWhitespace();
+    size_t atom_start = pos_;
     Result<std::string> name = ParseIdentifier("predicate name");
     if (!name.ok()) return name.status();
     SkipWhitespace();
@@ -123,11 +131,14 @@ class Parser {
 
     PredicateId pred = world_.predicates().Intern(*name, int(args.size()));
     if (pred == kInvalidPredicate) {
-      return Error(StrCat("predicate ", *name, "/", args.size(),
-                          " conflicts with an existing arity or exceeds the "
-                          "maximum arity"));
+      return ErrorAt(atom_start,
+                     StrCat("predicate ", *name, "/", args.size(),
+                            " conflicts with an existing arity or exceeds "
+                            "the maximum arity"));
     }
-    return Atom(pred, args);
+    Atom atom(pred, args);
+    atom.set_provenance(RecordSpan(atom_start, pos_));
+    return atom;
   }
 
   Result<Term> ParseTerm() {
@@ -225,10 +236,11 @@ class Parser {
     return true;
   }
 
-  Status Error(std::string message) const {
-    // Report 1-based line/column of the current position.
+  /// 1-based line/column of a byte offset (parsers are not hot paths; the
+  /// rescan keeps position tracking out of the scanning fast path).
+  std::pair<int, int> LineColAt(size_t offset) const {
     int line = 1, column = 1;
-    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+    for (size_t i = 0; i < offset && i < text_.size(); ++i) {
       if (text_[i] == '\n') {
         ++line;
         column = 1;
@@ -236,6 +248,20 @@ class Parser {
         ++column;
       }
     }
+    return {line, column};
+  }
+
+  /// Interns the span covering text_[begin, end) into the World.
+  uint32_t RecordSpan(size_t begin, size_t end) {
+    auto [line, column] = LineColAt(begin);
+    auto [end_line, end_column] = LineColAt(end);
+    return world_.spans().Add(SourceSpan{line, column, end_line, end_column});
+  }
+
+  Status Error(std::string message) const { return ErrorAt(pos_, message); }
+
+  Status ErrorAt(size_t offset, std::string message) const {
+    auto [line, column] = LineColAt(offset);
     return InvalidArgumentError(
         StrCat("parse error at ", line, ":", column, ": ", message));
   }

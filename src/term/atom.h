@@ -13,7 +13,10 @@
 
 // Atoms (the paper's "conjuncts"): a predicate applied to terms. Atoms are
 // small value types (32 bytes at kMaxArity = 6) so chases and relations
-// can hold millions.
+// can hold millions. Each atom additionally carries a 24-bit source-span
+// id (see term/source_span.h) packed into otherwise-padding bytes:
+// parsers record where an atom came from, diagnostics report it, and the
+// engines ignore it (provenance never participates in ==, < or hashing).
 
 namespace floq {
 
@@ -79,6 +82,21 @@ class Atom {
     return true;
   }
 
+  /// 24-bit source-span id into the owning World's SpanTable; 0 = no
+  /// recorded span. Carried through copies and substitutions, ignored by
+  /// comparison and hashing.
+  uint32_t provenance() const {
+    return uint32_t(prov_[0]) | (uint32_t(prov_[1]) << 8) |
+           (uint32_t(prov_[2]) << 16);
+  }
+
+  void set_provenance(uint32_t span_id) {
+    if (span_id > 0xffffffu) span_id = 0;  // best-effort: overflow = unknown
+    prov_[0] = uint8_t(span_id);
+    prov_[1] = uint8_t(span_id >> 8);
+    prov_[2] = uint8_t(span_id >> 16);
+  }
+
   /// Renders e.g. "data(john, age, 33)".
   std::string ToString(const World& world) const;
 
@@ -104,8 +122,12 @@ class Atom {
  private:
   PredicateId pred_;
   uint8_t arity_;
+  uint8_t prov_[3] = {0, 0, 0};  // 24-bit span id, in the padding bytes
   std::array<Term, kMaxArity> args_;
 };
+
+static_assert(sizeof(Atom) == sizeof(PredicateId) + 4 + kMaxArity * sizeof(Term),
+              "Atom provenance must live in padding, not grow the layout");
 
 struct AtomHash {
   size_t operator()(const Atom& atom) const {

@@ -1,0 +1,66 @@
+#ifndef FLOQ_TERM_SOURCE_SPAN_H_
+#define FLOQ_TERM_SOURCE_SPAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Source provenance for parsed syntax. A SourceSpan is a range of 1-based
+// line/column positions in the source text a parser consumed (end is the
+// position just past the last character). Spans are interned into a
+// SpanTable and addressed by dense 24-bit ids so an Atom can carry its
+// provenance inside otherwise-padding bytes (see Atom); id 0 is reserved
+// for "no recorded span".
+
+namespace floq {
+
+struct SourceSpan {
+  int line = 0;  // 1-based; 0 = unknown
+  int column = 0;
+  int end_line = 0;
+  int end_column = 0;
+
+  bool known() const { return line > 0; }
+
+  /// "3:14" — the start position, the canonical diagnostic anchor.
+  std::string ToString() const {
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+
+  friend bool operator==(const SourceSpan& a, const SourceSpan& b) {
+    return a.line == b.line && a.column == b.column &&
+           a.end_line == b.end_line && a.end_column == b.end_column;
+  }
+};
+
+/// Arena of source spans addressed by 24-bit ids (0 = none). Owned by a
+/// World, so every parser feeding that world shares one id space.
+class SpanTable {
+ public:
+  static constexpr uint32_t kNone = 0;
+  static constexpr uint32_t kMaxId = (1u << 24) - 1;
+
+  SpanTable() : spans_(1) {}  // slot 0 = the unknown span
+
+  /// Records `span` and returns its id. Returns kNone when the table is
+  /// full: provenance is best-effort and never an error.
+  uint32_t Add(const SourceSpan& span) {
+    if (spans_.size() > kMaxId) return kNone;
+    spans_.push_back(span);
+    return uint32_t(spans_.size() - 1);
+  }
+
+  /// The span for `id`; out-of-range ids yield the unknown span.
+  const SourceSpan& at(uint32_t id) const {
+    return id < spans_.size() ? spans_[id] : spans_[0];
+  }
+
+  uint32_t size() const { return uint32_t(spans_.size()); }
+
+ private:
+  std::vector<SourceSpan> spans_;
+};
+
+}  // namespace floq
+
+#endif  // FLOQ_TERM_SOURCE_SPAN_H_

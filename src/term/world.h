@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "term/predicate.h"
+#include "term/source_span.h"
 #include "term/term.h"
 #include "util/interner.h"
 
@@ -93,6 +94,11 @@ class World {
   PredicateTable& predicates() { return predicates_; }
   const PredicateTable& predicates() const { return predicates_; }
 
+  /// Source spans recorded by the parsers (Atom/ConjunctiveQuery
+  /// provenance ids index into this table).
+  SpanTable& spans() { return spans_; }
+  const SpanTable& spans() const { return spans_; }
+
   uint32_t constant_count() const { return constants_.size(); }
   uint32_t variable_count() const { return variables_.size(); }
   uint32_t null_count() const { return null_count_; }
@@ -101,6 +107,7 @@ class World {
   StringInterner constants_;
   StringInterner variables_;
   PredicateTable predicates_;
+  SpanTable spans_;
   uint32_t null_count_ = 0;
   uint32_t fresh_variable_count_ = 0;
   uint32_t reserved_variable_count_ = 0;

@@ -14,7 +14,9 @@ namespace floq {
 template <typename... Args>
 std::string StrCat(const Args&... args) {
   std::ostringstream out;
-  (out << ... << args);
+  // void-cast: with an empty pack the fold collapses to plain `out`,
+  // which gcc otherwise flags as a statement with no effect.
+  static_cast<void>((out << ... << args));
   return out.str();
 }
 

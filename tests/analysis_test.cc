@@ -1,0 +1,446 @@
+// Tests for the static diagnostics engine (src/analysis): the lint-code
+// registry, every query lint family FLQ001..FLQ007 with exact source
+// spans, the dependency-set grades FLD101/FLD102, the Section-4
+// mandatory-cycle detector FLD103, and the two output formats.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/dependency_lints.h"
+#include "analysis/diagnostic.h"
+#include "analysis/query_lints.h"
+#include "chase/dependencies.h"
+#include "flogic/parser.h"
+#include "query/parser.h"
+#include "term/world.h"
+
+namespace floq::analysis {
+namespace {
+
+std::vector<const Diagnostic*> WithCode(const std::vector<Diagnostic>& all,
+                                        std::string_view code) {
+  std::vector<const Diagnostic*> out;
+  for (const Diagnostic& d : all) {
+    if (d.code == code) out.push_back(&d);
+  }
+  return out;
+}
+
+bool HasCode(const std::vector<Diagnostic>& all, std::string_view code) {
+  return !WithCode(all, code).empty();
+}
+
+// ---- registry and formatting ---------------------------------------------
+
+TEST(DiagnosticTest, RegistryIsSortedAndComplete) {
+  const std::vector<LintCodeInfo>& codes = LintCodes();
+  ASSERT_FALSE(codes.empty());
+  for (size_t i = 1; i < codes.size(); ++i) {
+    EXPECT_LT(std::string(codes[i - 1].code), codes[i].code);
+  }
+  for (const char* code : {"FLQ000", "FLQ001", "FLQ002", "FLQ003", "FLQ004",
+                           "FLQ005", "FLQ006", "FLQ007", "FLD101", "FLD102",
+                           "FLD103"}) {
+    EXPECT_NE(FindLintCode(code), nullptr) << code;
+  }
+  EXPECT_EQ(FindLintCode("FLQ999"), nullptr);
+  EXPECT_EQ(FindLintCode("FLQ001")->severity, Severity::kError);
+  EXPECT_EQ(FindLintCode("FLQ007")->severity, Severity::kNote);
+}
+
+TEST(DiagnosticTest, FormatIncludesFileSpanSeverityAndCode) {
+  Diagnostic d = MakeDiagnostic("FLQ002", "variable X occurs only once",
+                                SourceSpan{3, 14, 3, 15});
+  d.notes.push_back("a note");
+  std::string text = FormatDiagnostic(d, "input.fl");
+  EXPECT_EQ(text,
+            "input.fl:3:14: warning: variable X occurs only once [FLQ002]\n"
+            "    note: a note");
+  // Without a span or file the location prefix disappears.
+  EXPECT_EQ(FormatDiagnostic(MakeDiagnostic("FLQ006", "bad")),
+            "error: bad [FLQ006]");
+}
+
+TEST(DiagnosticTest, StatusAnchorBecomesSpan) {
+  Diagnostic d = DiagnosticFromStatus(
+      InvalidArgumentError("parse error at 7:12: expected ':-'"));
+  EXPECT_EQ(d.code, "FLQ000");
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_EQ(d.span.line, 7);
+  EXPECT_EQ(d.span.column, 12);
+}
+
+TEST(DiagnosticTest, SortPutsUnknownSpansLast) {
+  std::vector<Diagnostic> all;
+  all.push_back(MakeDiagnostic("FLD101", "no span"));
+  all.push_back(MakeDiagnostic("FLQ002", "later", SourceSpan{5, 1, 5, 2}));
+  all.push_back(MakeDiagnostic("FLQ001", "earlier", SourceSpan{2, 3, 2, 4}));
+  SortDiagnostics(all);
+  EXPECT_EQ(all[0].code, "FLQ001");
+  EXPECT_EQ(all[1].code, "FLQ002");
+  EXPECT_EQ(all[2].code, "FLD101");
+}
+
+TEST(DiagnosticTest, JsonShape) {
+  std::vector<Diagnostic> all;
+  Diagnostic d = MakeDiagnostic("FLQ005", "duplicate \"atom\"",
+                                SourceSpan{1, 2, 1, 9});
+  d.notes.push_back("first occurrence at 1:1");
+  all.push_back(std::move(d));
+  std::string json = DiagnosticsToJson(all, "in.fl");
+  EXPECT_NE(json.find("\"code\": \"FLQ005\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"duplicate-atom\""), std::string::npos);
+  EXPECT_NE(json.find("\"severity\": \"warning\""), std::string::npos);
+  EXPECT_NE(json.find("\"file\": \"in.fl\""), std::string::npos);
+  EXPECT_NE(json.find("duplicate \\\"atom\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"span\": {\"line\": 1, \"column\": 2"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"notes\": [\"first occurrence at 1:1\"]"),
+            std::string::npos);
+  EXPECT_EQ(DiagnosticsToJson({}), "[]");
+}
+
+// ---- FLQ001 unsafe head variable -----------------------------------------
+
+TEST(QueryLintTest, UnsafeHeadVariableWithExactSpan) {
+  World world;
+  std::vector<Diagnostic> all = AnalyzeProgramText(world, R"(
+q(X, Y) :- X : person.
+)");
+  auto found = WithCode(all, "FLQ001");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0]->severity, Severity::kError);
+  EXPECT_NE(found[0]->message.find("Y"), std::string::npos);
+  // "Y" sits at line 2, column 6 of the program text.
+  EXPECT_EQ(found[0]->span.line, 2);
+  EXPECT_EQ(found[0]->span.column, 6);
+  EXPECT_EQ(found[0]->span.end_column, 7);
+  EXPECT_TRUE(HasErrors(all));
+}
+
+TEST(QueryLintTest, SafeQueryHasNoUnsafeHeadDiagnostic) {
+  World world;
+  std::vector<Diagnostic> all = AnalyzeProgramText(
+      world, "q(X) :- X : person.");
+  EXPECT_FALSE(HasCode(all, "FLQ001"));
+  EXPECT_FALSE(HasErrors(all));
+}
+
+// ---- FLQ002 singleton variables ------------------------------------------
+
+TEST(QueryLintTest, SingletonVariableFlagged) {
+  World world;
+  std::vector<Diagnostic> all = AnalyzeProgramText(
+      world, "q(X) :- X : person, Unused : course.");
+  auto found = WithCode(all, "FLQ002");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_NE(found[0]->message.find("Unused"), std::string::npos);
+  EXPECT_TRUE(found[0]->span.known());
+}
+
+TEST(QueryLintTest, AnonymousAndProjectedVariablesAreSilent) {
+  World world;
+  // _ is the explicit don't-care; X is projected by the head.
+  std::vector<Diagnostic> all = AnalyzeProgramText(
+      world, "q(X) :- X[age -> _].");
+  EXPECT_FALSE(HasCode(all, "FLQ002"));
+}
+
+// ---- FLQ003 cartesian product --------------------------------------------
+
+TEST(QueryLintTest, DisconnectedComponentsFlagged) {
+  World world;
+  std::vector<Diagnostic> all = AnalyzeProgramText(
+      world, "q(X, Y) :- X : person, Y : course.");
+  auto found = WithCode(all, "FLQ003");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0]->notes.size(), 2u);
+}
+
+TEST(QueryLintTest, GroundAtomsAreNotProductFactors) {
+  World world;
+  std::vector<Diagnostic> all = AnalyzeProgramText(
+      world, "q(X) :- member(X, c), sub(c, d).");
+  EXPECT_FALSE(HasCode(all, "FLQ003"));
+}
+
+// ---- FLQ004 P_FL role misuse ---------------------------------------------
+
+TEST(QueryLintTest, AttributeObjectRoleMixFlagged) {
+  World world;
+  std::vector<Diagnostic> all = AnalyzeProgramText(
+      world, "q(X) :- member(X, C), data(X, C, V), data(Y, C, V).");
+  auto found = WithCode(all, "FLQ004");
+  ASSERT_EQ(found.size(), 1u);  // reported once per term
+  EXPECT_NE(found[0]->message.find("C"), std::string::npos);
+  EXPECT_EQ(found[0]->notes.size(), 2u);
+}
+
+TEST(QueryLintTest, PaperFigureOneQueryIsRoleClean) {
+  World world;
+  // Figure 1 of the paper: T is object/class throughout, A is attribute
+  // throughout — no mix, even though T occurs in type's value position.
+  std::vector<Diagnostic> all = AnalyzeProgramText(
+      world, "q() :- mandatory(A, T), type(T, A, T), sub(T, U).");
+  EXPECT_FALSE(HasCode(all, "FLQ004"));
+}
+
+// ---- FLQ005 duplicate atoms ----------------------------------------------
+
+TEST(QueryLintTest, DuplicateAtomFlaggedAtSecondOccurrence) {
+  World world;
+  std::vector<Diagnostic> all = AnalyzeProgramText(
+      world, "q(X) :- member(X, C), member(X, C).");
+  auto found = WithCode(all, "FLQ005");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0]->span.column, 23);  // the second member(X, C)
+  ASSERT_EQ(found[0]->notes.size(), 1u);
+  EXPECT_NE(found[0]->notes[0].find("1:9"), std::string::npos);
+}
+
+// ---- FLQ006 unsatisfiable under Sigma_FL ---------------------------------
+
+TEST(QueryLintTest, FunctViolationMakesQueryUnsatisfiable) {
+  World world;
+  // rho_4 must equate the distinct constants one and two.
+  std::vector<Diagnostic> all = AnalyzeProgramText(world,
+      "q(X) :- member(X, c), data(o, a, one), data(o, a, two), "
+      "funct(a, o).");
+  EXPECT_TRUE(HasCode(all, "FLQ006"));
+  EXPECT_TRUE(HasErrors(all));
+}
+
+TEST(QueryLintTest, SatisfiableQueryPassesTheProbe) {
+  World world;
+  std::vector<Diagnostic> all = AnalyzeProgramText(
+      world, "q(X, V) :- data(X, a, V), funct(a, X).");
+  EXPECT_FALSE(HasCode(all, "FLQ006"));
+}
+
+// ---- FLQ007 redundant atoms ----------------------------------------------
+
+TEST(QueryLintTest, SigmaRedundantAtomFlagged) {
+  World world;
+  // member(X, c) follows from member(X, d) and sub(d, c) under rho_3 —
+  // the introduction's motivating example of constraint-aware redundancy.
+  std::vector<Diagnostic> all = AnalyzeProgramText(
+      world, "q(X) :- member(X, c), member(X, d), sub(d, c).");
+  auto found = WithCode(all, "FLQ007");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0]->severity, Severity::kNote);
+  EXPECT_NE(found[0]->message.find("member(X, c)"), std::string::npos);
+  EXPECT_EQ(found[0]->span.column, 9);
+}
+
+TEST(QueryLintTest, MinimalQueryHasNoRedundancyNote) {
+  World world;
+  std::vector<Diagnostic> all = AnalyzeProgramText(
+      world, "q(X) :- member(X, c), member(X, d).");
+  EXPECT_FALSE(HasCode(all, "FLQ007"));
+}
+
+TEST(QueryLintTest, ProbesCanBeDisabled) {
+  World world;
+  Result<flogic::Program> program = flogic::ParseProgramLenient(
+      world, "q(X) :- member(X, c), member(X, d), sub(d, c).");
+  ASSERT_TRUE(program.ok());
+  QueryLintOptions options;
+  options.chase_probe = false;
+  options.redundancy = false;
+  std::vector<Diagnostic> all =
+      LintQuery(world, program->rules[0], options);
+  EXPECT_FALSE(HasCode(all, "FLQ006"));
+  EXPECT_FALSE(HasCode(all, "FLQ007"));
+}
+
+// ---- FLQ000 parse errors -------------------------------------------------
+
+TEST(AnalyzerTest, ParseErrorBecomesLocatedDiagnostic) {
+  World world;
+  std::vector<Diagnostic> all =
+      AnalyzeProgramText(world, "q(X) :- X : .");
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].code, "FLQ000");
+  EXPECT_EQ(all[0].severity, Severity::kError);
+  EXPECT_TRUE(all[0].span.known());
+}
+
+// ---- FLD101/FLD102 dependency grades -------------------------------------
+
+TEST(DependencyLintTest, WeaklyAcyclicSetIsClean) {
+  World world;
+  std::vector<Diagnostic> all = AnalyzeDependencyText(world, R"(
+    person(X) :- employee(X).
+    works_in(X, D) :- employee(X).
+  )");
+  EXPECT_TRUE(all.empty());
+}
+
+TEST(DependencyLintTest, JointlyAcyclicRefinementReported) {
+  World world;
+  // Not weakly acyclic (p[0] -*-> q[1] -> p[0]) but jointly acyclic:
+  // the invented Y can never reach r[1]... there is no rule binding a
+  // frontier variable entirely inside Mov(Y) = {q[1]}.
+  std::vector<Diagnostic> all = AnalyzeDependencyText(world, R"(
+    q(X, Y) :- p(X).
+    p(Y) :- q(X, Y), r(Y).
+  )");
+  auto found = WithCode(all, "FLD102");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0]->severity, Severity::kNote);
+  EXPECT_FALSE(HasCode(all, "FLD101"));
+  // The witness cycle rides along as notes.
+  bool has_special_edge = false;
+  for (const std::string& note : found[0]->notes) {
+    has_special_edge |= note.find("*-->") != std::string::npos;
+  }
+  EXPECT_TRUE(has_special_edge);
+}
+
+TEST(DependencyLintTest, SigmaFLStyleSetGetsFullWarningWithWitness) {
+  World world;
+  std::vector<Diagnostic> all = AnalyzeDependencyText(world, R"(
+    member(V, T) :- type(O, A, T), data(O, A, V).
+    data(O, A, V) :- mandatory(A, O).
+    mandatory(A, O) :- member(O, C), mandatory(A, C).
+  )");
+  auto found = WithCode(all, "FLD101");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0]->severity, Severity::kWarning);
+  // The witness must pass through the special edge into data[2] and
+  // close the cycle back to mandatory[1].
+  std::string joined;
+  for (const std::string& note : found[0]->notes) joined += note + "\n";
+  EXPECT_NE(joined.find("data[2]"), std::string::npos);
+  EXPECT_NE(joined.find("mandatory[1]"), std::string::npos);
+}
+
+TEST(DependencyLintTest, FullSigmaFLIsNeitherGrade) {
+  World world;
+  DependencySet sigma = MakeSigmaFLDependencies(world);
+  EXPECT_FALSE(IsWeaklyAcyclic(sigma, world));
+  EXPECT_FALSE(IsJointlyAcyclic(sigma));
+}
+
+TEST(DependencyLintTest, DatalogAndEgdOnlySetsAreJointlyAcyclic) {
+  World world;
+  Result<DependencySet> deps = ParseDependencies(world, R"(
+    p(X) :- q(X, Y).
+    X = Y :- r(E, X), r(E, Y).
+  )");
+  ASSERT_TRUE(deps.ok());
+  EXPECT_TRUE(IsJointlyAcyclic(*deps));
+}
+
+// ---- FLD103 mandatory cycles ---------------------------------------------
+
+TEST(MandatoryCycleTest, DirectCycleFound) {
+  World world;
+  Result<flogic::Program> program = flogic::ParseProgram(world, R"(
+person[spouse {1:1} *=> person].
+john : person.
+)");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  MandatoryCycleReport report = FindMandatoryCycle(world, program->facts);
+  ASSERT_TRUE(report.cyclic);
+  ASSERT_EQ(report.cycle.size(), 1u);
+  EXPECT_EQ(report.cycle[0].ToString(world), "person -[spouse]-> person");
+  // cycle[i].target chains into cycle[i+1].cls (wrapping).
+  EXPECT_TRUE(report.cycle.front().cls == report.cycle.back().target);
+}
+
+TEST(MandatoryCycleTest, CycleThroughSubclassInheritanceFound) {
+  World world;
+  // employee inherits mandatory boss from person; boss is typed into
+  // manager, a subclass of person — the cycle runs through inheritance:
+  // manager -[boss]-> manager.
+  Result<flogic::Program> program = flogic::ParseProgram(world, R"(
+manager :: person.
+person[boss {1:*} *=> manager].
+)");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  MandatoryCycleReport report = FindMandatoryCycle(world, program->facts);
+  ASSERT_TRUE(report.cyclic);
+  for (size_t i = 0; i < report.cycle.size(); ++i) {
+    const MandatoryEdge& edge = report.cycle[i];
+    const MandatoryEdge& next =
+        report.cycle[(i + 1) % report.cycle.size()];
+    EXPECT_TRUE(edge.target == next.cls);
+  }
+}
+
+TEST(MandatoryCycleTest, AcyclicSchemaIsClean) {
+  World world;
+  Result<flogic::Program> program = flogic::ParseProgram(world, R"(
+person[name {1:*} *=> string].
+person[age {0:1} *=> number].
+john : person.
+)");
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(FindMandatoryCycle(world, program->facts).cyclic);
+}
+
+TEST(MandatoryCycleTest, UntypedMandatoryDoesNotCycle) {
+  World world;
+  // mandatory without a type target: rho_5 invents one value and stops.
+  Result<flogic::Program> program =
+      flogic::ParseProgram(world, "person[spouse {1:*} *=> _].");
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(FindMandatoryCycle(world, program->facts).cyclic);
+}
+
+TEST(AnalyzerTest, CyclicKbYieldsFld103WithSpanAndWitness) {
+  World world;
+  std::vector<Diagnostic> all = AnalyzeProgramText(world, R"(
+person[spouse {1:1} *=> person].
+john : person.
+)");
+  auto found = WithCode(all, "FLD103");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0]->severity, Severity::kError);
+  EXPECT_EQ(found[0]->span.line, 2);  // the spouse attribute expression
+  ASSERT_FALSE(found[0]->notes.empty());
+  EXPECT_NE(found[0]->notes[0].find("person -[spouse]-> person"),
+            std::string::npos);
+  EXPECT_TRUE(HasErrors(all));
+}
+
+// ---- analyzer composition -------------------------------------------------
+
+TEST(AnalyzerTest, DiagnosticsAcrossRulesComeBackSorted) {
+  World world;
+  std::vector<Diagnostic> all = AnalyzeProgramText(world, R"(
+q1(X) :- X : person, Unused : course.
+q2(X, Y) :- X : person.
+)");
+  ASSERT_GE(all.size(), 2u);
+  for (size_t i = 1; i < all.size(); ++i) {
+    bool prev_known = all[i - 1].span.known();
+    bool cur_known = all[i].span.known();
+    if (prev_known && cur_known) {
+      EXPECT_LE(all[i - 1].span.line, all[i].span.line);
+    }
+    EXPECT_TRUE(prev_known || !cur_known);  // unknown spans stay last
+  }
+}
+
+TEST(AnalyzerTest, CleanProgramProducesNoDiagnostics) {
+  World world;
+  std::vector<Diagnostic> all = AnalyzeProgramText(world, R"(
+% the university schema of the README, cycle-free
+freshman :: student.
+student :: person.
+person[name {1:*} *=> string].
+john : freshman.
+john[name -> 'John Smith'].
+q(X) :- X : person, X[name -> N], N : string.
+)");
+  EXPECT_TRUE(all.empty()) << FormatDiagnostics(all);
+}
+
+}  // namespace
+}  // namespace floq::analysis

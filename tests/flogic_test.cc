@@ -294,26 +294,78 @@ TEST(FlogicPrinterTest, SurfaceRoundTrip) {
   EXPECT_EQ(reparsed->head(), q.head());
 }
 
-}  // namespace
-}  // namespace floq::flogic
+// ---- error positions and spans -------------------------------------------
 
-namespace floq::flogic {
-namespace {
-
-TEST(FlogicPrinterTest, NonPflAtomsFallBackToPredicateNotation) {
-  World world;
-  PredicateId edge = world.predicates().Intern("edge", 2);
-  Atom atom(edge, {world.MakeConstant("a"), world.MakeConstant("b")});
-  EXPECT_EQ(AtomToSurface(atom, world), "edge(a, b)");
+TEST(LexerTest, TokensCarryEndPositions) {
+  Result<std::vector<Token>> tokens = Tokenize("ab[cd ->\n  ef]");
+  ASSERT_TRUE(tokens.ok());
+  const Token& ab = (*tokens)[0];
+  EXPECT_EQ(ab.line, 1);
+  EXPECT_EQ(ab.column, 1);
+  EXPECT_EQ(ab.end_line, 1);
+  EXPECT_EQ(ab.end_column, 3);  // one past the last character
+  const Token& ef = (*tokens)[4];
+  EXPECT_EQ(ef.line, 2);
+  EXPECT_EQ(ef.column, 3);
+  EXPECT_EQ(ef.end_column, 5);
 }
 
-TEST(FlogicPrinterTest, FormulaJoinsWithCommas) {
+TEST(FlogicParserTest, NonGroundFactErrorAnchorsAtTheFact) {
   World world;
-  std::vector<Atom> atoms = {
-      Atom::Member(world.MakeConstant("a"), world.MakeConstant("b")),
-      Atom::Sub(world.MakeConstant("b"), world.MakeConstant("c")),
-  };
-  EXPECT_EQ(FormulaToSurface(atoms, world), "a : b, b :: c");
+  Result<Program> bad = ParseProgram(world,
+      "john : student.\n  X : student.");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("at 2:3:"), std::string::npos);
+}
+
+TEST(FlogicParserTest, UnsafeRuleErrorAnchorsAtTheRule) {
+  World world;
+  Result<Program> bad = ParseProgram(world,
+      "john : student.\nq(X, Y) :- X : person.");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("at 2:1:"), std::string::npos);
+}
+
+TEST(FlogicParserTest, LenientParseKeepsUnsafeRule) {
+  World world;
+  Result<Program> program = ParseProgramLenient(world,
+      "q(X, Y) :- X : person.");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_EQ(program->rules.size(), 1u);
+  EXPECT_FALSE(program->rules[0].Validate(world).ok());
+}
+
+TEST(FlogicParserTest, RulesCarryHeadTermSpans) {
+  World world;
+  Result<Program> program = ParseProgram(world,
+      "q(X, Name) :- X[name -> Name].");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const ConjunctiveQuery& rule = program->rules[0];
+  SourceSpan x = world.spans().at(rule.head_span(0));
+  SourceSpan name = world.spans().at(rule.head_span(1));
+  EXPECT_EQ(x.line, 1);
+  EXPECT_EQ(x.column, 3);
+  EXPECT_EQ(name.column, 6);
+  EXPECT_EQ(name.end_column, 10);
+  SourceSpan whole = world.spans().at(rule.span());
+  EXPECT_EQ(whole.column, 1);
+}
+
+TEST(FlogicParserTest, MoleculeAtomsCarryProvenanceSpans) {
+  World world;
+  Result<Program> program = ParseProgram(world,
+      "?- X : person,\n   X[age -> A].");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const ConjunctiveQuery& goal = program->goals[0];
+  ASSERT_EQ(goal.body().size(), 2u);
+  SourceSpan isa = world.spans().at(goal.body()[0].provenance());
+  SourceSpan data = world.spans().at(goal.body()[1].provenance());
+  EXPECT_EQ(isa.line, 1);
+  EXPECT_EQ(isa.column, 4);
+  // The data atom is stamped with its attribute expression "age -> A",
+  // not the whole molecule.
+  EXPECT_EQ(data.line, 2);
+  EXPECT_EQ(data.column, 6);
 }
 
 }  // namespace

@@ -51,8 +51,10 @@ TEST(PaperSection2Test, JoinableAttributesNeedsSupertyping) {
   EXPECT_FALSE(CheckClassicalContainment(world, q, qq)->contained);
 
   // And on the derived conjunct type(T1, A, T3) being at level 0.
-  Result<ContainmentResult> level_zero = CheckContainment(
-      world, q, qq, {.depth = ChaseDepth::kLevelZero});
+  ContainmentOptions level_zero_options;
+  level_zero_options.depth = ChaseDepth::kLevelZero;
+  Result<ContainmentResult> level_zero =
+      CheckContainment(world, q, qq, level_zero_options);
   ASSERT_TRUE(level_zero.ok());
   EXPECT_TRUE(level_zero->contained);  // rho_8 fires in the Sigma^- chase
 }
@@ -84,9 +86,10 @@ TEST(PaperSection2Test, MandatoryAttributeTripleContainment) {
   // Neither the classical check nor the level-0 chase can see this:
   // rho_5 must invent the value.
   EXPECT_FALSE(CheckClassicalContainment(world, q, qq)->contained);
+  ContainmentOptions level_zero_options;
+  level_zero_options.depth = ChaseDepth::kLevelZero;
   EXPECT_FALSE(
-      CheckContainment(world, q, qq, {.depth = ChaseDepth::kLevelZero})
-          ->contained);
+      CheckContainment(world, q, qq, level_zero_options)->contained);
 }
 
 // ---- Example 1: chase side effects on the query head ------------------------

@@ -203,5 +203,62 @@ TEST(ConjunctiveQueryTest, HeadConstantsAreAllowed) {
   EXPECT_TRUE(q->head()[0].IsConstant());
 }
 
+// ---- error positions and spans -------------------------------------------
+
+TEST(QueryParserTest, SafetyErrorAnchorsAtRuleStart) {
+  World world;
+  Result<std::vector<ConjunctiveQuery>> bad = ParseQueries(world,
+      "q(X) :- member(X, c).\n"
+      "  r(Y) :- member(X, c).\n");
+  ASSERT_FALSE(bad.ok());
+  // The offending rule starts at line 2, column 3.
+  EXPECT_NE(bad.status().message().find("at 2:3:"), std::string::npos);
+}
+
+TEST(QueryParserTest, ArityConflictAnchorsAtAtom) {
+  World world;
+  Result<ConjunctiveQuery> bad =
+      ParseQuery(world, "q(X) :- p(X, Y),\n  p(X).");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("at 2:3:"), std::string::npos);
+}
+
+TEST(QueryParserTest, MidRuleSyntaxErrorPositionIsExact) {
+  World world;
+  Result<ConjunctiveQuery> bad =
+      ParseQuery(world, "q(X) :-\n member(X c).");
+  ASSERT_FALSE(bad.ok());
+  // The parser stops where ',' or ')' was expected: line 2, column 11.
+  EXPECT_NE(bad.status().message().find("at 2:11:"), std::string::npos);
+}
+
+TEST(QueryParserTest, RecordsRuleAndHeadTermSpans) {
+  World world;
+  Result<ConjunctiveQuery> q =
+      ParseQuery(world, "q(X, Y) :- member(X, c), member(Y, d).");
+  ASSERT_TRUE(q.ok());
+  SourceSpan rule = world.spans().at(q->span());
+  EXPECT_EQ(rule.line, 1);
+  EXPECT_EQ(rule.column, 1);
+  SourceSpan x = world.spans().at(q->head_span(0));
+  SourceSpan y = world.spans().at(q->head_span(1));
+  EXPECT_EQ(x.column, 3);
+  EXPECT_EQ(y.column, 6);
+  EXPECT_EQ(y.end_column, 7);
+}
+
+TEST(QueryParserTest, AtomsCarryProvenanceSpans) {
+  World world;
+  Result<ConjunctiveQuery> q =
+      ParseQuery(world, "q(X) :- member(X, c),\n  sub(c, d).");
+  ASSERT_TRUE(q.ok());
+  SourceSpan first = world.spans().at(q->body()[0].provenance());
+  SourceSpan second = world.spans().at(q->body()[1].provenance());
+  EXPECT_EQ(first.line, 1);
+  EXPECT_EQ(first.column, 9);
+  EXPECT_EQ(second.line, 2);
+  EXPECT_EQ(second.column, 3);
+}
+
 }  // namespace
 }  // namespace floq

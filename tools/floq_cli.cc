@@ -9,6 +9,10 @@
 //   floq minimize <queries.fl>         minimize every rule under Sigma_FL
 //   floq query <kb.fl> <query text>    answer a query over a knowledge base
 //   floq consistency <kb.fl>           saturate and report rho_4/rho_5
+//   floq lint [--json] [--deps d.fl] [file.fl]
+//                                      static diagnostics: query lints,
+//                                      termination analyses (FLD103 finds
+//                                      mandatory-attribute cycles)
 //
 // Files use the F-logic surface syntax (see README). Everything runs under
 // the F-logic Lite semantics Sigma_FL of Calì & Kifer (VLDB'06).
@@ -21,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "chase/chase.h"
 #include "chase/dependencies.h"
 #include "chase/graph_dot.h"
@@ -353,6 +358,66 @@ int CmdRepl(const std::string& kb_path) {
   return 0;
 }
 
+// Static diagnostics: program lints (FLQ0xx, FLD103) on `path`,
+// dependency-set termination analyses (FLD101/FLD102) on `deps_path`.
+// Exits 0 when clean or warnings only, 2 when an error-severity
+// diagnostic fired, 1 on operational failure (unreadable file).
+int CmdLint(const std::string& path, const std::string& deps_path,
+            bool json) {
+  World world;
+  // (filename, diagnostics) per linted source.
+  std::vector<std::pair<std::string, std::vector<analysis::Diagnostic>>>
+      groups;
+  if (!path.empty()) {
+    std::string text;
+    if (!ReadFile(path, text)) return Fail("cannot read " + path);
+    groups.push_back({path, analysis::AnalyzeProgramText(world, text)});
+  }
+  if (!deps_path.empty()) {
+    std::string text;
+    if (!ReadFile(deps_path, text)) return Fail("cannot read " + deps_path);
+    groups.push_back(
+        {deps_path, analysis::AnalyzeDependencyText(world, text)});
+  }
+
+  bool errors = false;
+  size_t total = 0;
+  for (const auto& [file, diagnostics] : groups) {
+    errors |= analysis::HasErrors(diagnostics);
+    total += diagnostics.size();
+  }
+
+  if (json) {
+    // Splice the per-file arrays into one.
+    std::string out = "[";
+    bool first = true;
+    for (const auto& [file, diagnostics] : groups) {
+      if (diagnostics.empty()) continue;
+      std::string array = analysis::DiagnosticsToJson(diagnostics, file);
+      if (!first) out += ",";
+      out.append(array, 1, array.size() - 3);  // strip "[" and "\n]"
+      first = false;
+    }
+    out += first ? "]" : "\n]";
+    std::printf("%s\n", out.c_str());
+  } else {
+    int error_count = 0, warning_count = 0;
+    for (const auto& [file, diagnostics] : groups) {
+      for (const analysis::Diagnostic& d : diagnostics) {
+        std::printf("%s\n", analysis::FormatDiagnostic(d, file).c_str());
+        if (d.severity == analysis::Severity::kError) ++error_count;
+        if (d.severity == analysis::Severity::kWarning) ++warning_count;
+      }
+    }
+    if (total > 0) {
+      std::printf("%d error(s), %d warning(s)\n", error_count, warning_count);
+    } else {
+      std::printf("no diagnostics\n");
+    }
+  }
+  return errors ? 2 : 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -366,6 +431,7 @@ int Usage() {
                "  floq views <query_then_views.fl>\n"
                "  floq query <kb.fl> '<query>'\n"
                "  floq consistency <kb.fl>\n"
+               "  floq lint [--json] [--deps <deps.fl>] [<file.fl>]\n"
                "  floq repl [kb.fl]\n");
   return 64;
 }
@@ -415,6 +481,24 @@ int main(int argc, char** argv) {
   }
   if (command == "consistency" && args.size() == 2) {
     return CmdConsistency(args[1]);
+  }
+  if (command == "lint") {
+    bool json = false;
+    std::string deps_path, file_path;
+    bool bad = false;
+    for (size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--json") {
+        json = true;
+      } else if (args[i] == "--deps" && i + 1 < args.size()) {
+        deps_path = args[++i];
+      } else if (!StartsWith(args[i], "--") && file_path.empty()) {
+        file_path = args[i];
+      } else {
+        bad = true;
+      }
+    }
+    if (bad || (file_path.empty() && deps_path.empty())) return Usage();
+    return CmdLint(file_path, deps_path, json);
   }
   if (command == "repl" && args.size() <= 2) {
     return CmdRepl(args.size() == 2 ? args[1] : std::string());
