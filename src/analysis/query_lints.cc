@@ -213,7 +213,10 @@ void LintUnsatisfiable(World& world, const ConjunctiveQuery& query,
   ChaseOptions chase_options;
   chase_options.max_level = options.chase_probe_max_level;
   chase_options.max_atoms = options.chase_probe_max_atoms;
+  ExecGovernor governor = MakeChaseGovernor(options.budget);
+  if (!options.budget.unlimited()) chase_options.governor = &governor;
   ChaseResult chase = ChaseQuery(world, query, chase_options);
+  // An interrupted probe stays silent: failure was not demonstrated.
   if (!chase.failed()) return;
   out.push_back(MakeDiagnostic(
       "FLQ006",
@@ -232,9 +235,12 @@ void LintRedundantAtoms(World& world, const ConjunctiveQuery& query,
   if (int(query.body().size()) > options.redundancy_max_atoms) return;
   ContainmentOptions containment;
   containment.max_chase_atoms = 200'000;
+  // Budget trips inside MinimizeQuery surface as kUnknown containment
+  // verdicts, which keep the candidate atom — silent, never wrong.
+  containment.budget = options.budget;
   Result<ConjunctiveQuery> minimized =
       MinimizeQuery(world, query, containment);
-  if (!minimized.ok()) return;  // budget hit: stay silent, not wrong
+  if (!minimized.ok()) return;  // stay silent, not wrong
   if (minimized->body().size() == query.body().size()) return;
 
   std::vector<bool> kept(query.body().size(), false);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "analysis/diagnostic.h"
+#include "containment/governor.h"
 #include "query/conjunctive_query.h"
 #include "term/world.h"
 
@@ -28,6 +29,12 @@ struct QueryLintOptions {
   /// cap (each candidate atom costs a containment check).
   bool redundancy = true;
   int redundancy_max_atoms = 10;
+
+  /// Resource budget shared by the semantic probes (the FLQ006 chase
+  /// probe and each FLQ007 containment check). A trip keeps the lint
+  /// silent — an undecided probe never produces a diagnostic, wrong or
+  /// otherwise.
+  ResourceBudget budget;
 };
 
 /// Lints one rule or goal. Diagnostics carry spans when the query was

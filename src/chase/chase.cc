@@ -17,6 +17,7 @@ const char* ChaseOutcomeName(ChaseOutcome outcome) {
     case ChaseOutcome::kCompleted: return "COMPLETED";
     case ChaseOutcome::kLevelCapped: return "LEVEL_CAPPED";
     case ChaseOutcome::kBudgetExceeded: return "BUDGET_EXCEEDED";
+    case ChaseOutcome::kInterrupted: return "INTERRUPTED";
     case ChaseOutcome::kFailed: return "FAILED";
   }
   return "?";
@@ -50,46 +51,36 @@ class ChaseEngine {
   ChaseEngine(World& world, const ChaseOptions& options)
       : world_(world), options_(options), sigma_(MakeSigmaFL(world)) {}
 
-  void Run(const ConjunctiveQuery& query) {
-    // Initial conjuncts: body(q) at level 0.
+  void Run(const ConjunctiveQuery& query, ExecGovernor* governor = nullptr) {
+    // Initial conjuncts: body(q) at level 0. Inserted before the governor
+    // is armed: a resumed run cannot re-seed them, so they must all be
+    // present before any trip can stop the engine.
     for (const Atom& atom : query.body()) {
       if (!InsertNode(atom, 0, kRho0, {})) return Seal();
     }
     result_.head_ = query.head();
-
-    if (!EgdFixpoint()) return Seal();
-
-    // Phase A — the preliminary chase with Sigma_FL^-: saturate the ten
-    // Datalog TGDs (rho_4 interleaved); everything stays at level 0.
-    for (;;) {
-      DeltaWindow window = TakeDelta();
-      std::vector<PendingTgd> pending =
-          CollectTgds(window, /*force_level_zero=*/true);
-      if (pending.empty()) break;
-      for (const PendingTgd& p : pending) {
-        if (!ApplyTgd(p)) return Seal();
-      }
-      if (!EgdFixpoint()) return Seal();
-      ++result_.stats_.rounds;
-    }
-
-    // Phase B — the cyclic phase: rho_5 joins in and levels grow.
-    full_recheck_ = true;  // mandatory conjuncts of level 0 need a rho_5 pass
-    delta_.clear();
-    RunCyclic();
+    SetGovernor(governor);
+    Advance();
   }
 
-  /// Resumes a kLevelCapped chase with a deeper level cap. Instances that
-  /// were deferred beyond the old cap are no longer in any delta window,
-  /// so the first resumed collection rescans the whole instance. No-op on
-  /// completed, failed, or budget-exhausted chases.
-  void Deepen(int new_max_level) {
-    if (new_max_level <= options_.max_level) return;
-    options_.max_level = new_max_level;
-    if (result_.outcome_ != ChaseOutcome::kLevelCapped) return;
+  /// Resumes a kLevelCapped chase with a deeper level cap, or an
+  /// interrupted chase at any level. Instances that were deferred beyond
+  /// the old cap (or lost when a governor tripped mid-batch) are no longer
+  /// in any delta window, so the first resumed collection rescans the
+  /// whole instance. No-op on completed, failed, or budget-exhausted
+  /// chases. `governor`, when non-null, bounds this resume only.
+  void Deepen(int new_max_level, ExecGovernor* governor = nullptr) {
+    ChaseOutcome outcome = result_.outcome_;
+    if (outcome == ChaseOutcome::kLevelCapped) {
+      if (new_max_level <= options_.max_level) return;
+    } else if (outcome != ChaseOutcome::kInterrupted) {
+      return;
+    }
+    options_.max_level = std::max(options_.max_level, new_max_level);
+    SetGovernor(governor);
     full_recheck_ = true;
     delta_.clear();
-    RunCyclic();
+    Advance();
   }
 
   const ChaseResult& result() const { return result_; }
@@ -97,12 +88,66 @@ class ChaseEngine {
   int level_cap() const { return options_.max_level; }
 
  private:
+  void SetGovernor(ExecGovernor* governor) {
+    governor_ = governor != nullptr ? governor : options_.governor;
+    match_options_.governor = governor_;
+  }
+
+  // True when the governor has tripped. Latches kInterrupted and arms a
+  // full rescan: a trip can lose pending applications mid-batch (they are
+  // in no delta window afterwards), so a resumed run must re-collect from
+  // the whole instance.
+  bool Interrupted() {
+    if (governor_ == nullptr || governor_->CheckNow()) return false;
+    result_.outcome_ = ChaseOutcome::kInterrupted;
+    full_recheck_ = true;
+    return true;
+  }
+
+  // Drives the chase from wherever it stopped: phase A (the preliminary
+  // chase with Sigma_FL^-) to fixpoint, then phase B under the current
+  // level cap. First call and resumed calls share this path; phase A is
+  // skipped once it has completed.
+  void Advance() {
+    // Always reach the EGD fixpoint first: a resumed run may have been
+    // interrupted mid-merge, and quiescence detection assumes a
+    // rho_4-saturated instance. At fixpoint this is one cheap scan.
+    if (!EgdFixpoint()) return Seal();
+
+    if (!preliminary_done_) {
+      // Phase A: saturate the ten Datalog TGDs (rho_4 interleaved);
+      // everything stays at level 0.
+      for (;;) {
+        if (Interrupted()) return Seal();
+        DeltaWindow window = TakeDelta();
+        std::vector<PendingTgd> pending =
+            CollectTgds(window, /*force_level_zero=*/true);
+        if (pending.empty()) break;
+        for (const PendingTgd& p : pending) {
+          if (!ApplyTgd(p)) return Seal();
+        }
+        if (!EgdFixpoint()) return Seal();
+        ++result_.stats_.rounds;
+      }
+      // An empty collection pass under a tripped governor is truncation,
+      // not fixpoint — do not advance the phase marker.
+      if (Interrupted()) return Seal();
+      preliminary_done_ = true;
+      // Phase B: rho_5 joins in and levels grow. Mandatory conjuncts of
+      // level 0 need a rho_5 pass, so rescan.
+      full_recheck_ = true;
+      delta_.clear();
+    }
+    RunCyclic();
+  }
+
   // Runs phase B until quiescence under the current level cap, setting the
   // outcome (kCompleted if nothing applicable remains anywhere,
   // kLevelCapped if instances beyond the cap were deferred).
   void RunCyclic() {
     bool saw_beyond_cap = false;
     for (;;) {
+      if (Interrupted()) return Seal();
       DeltaWindow window = TakeDelta();
       std::vector<PendingTgd> tgds =
           CollectTgds(window, /*force_level_zero=*/false);
@@ -126,6 +171,9 @@ class ChaseEngine {
       }
 
       if (tgds_now.empty() && exists_now.empty()) {
+        // A trip during collection truncates the pending sets; re-check
+        // before declaring quiescence.
+        if (Interrupted()) return Seal();
         result_.outcome_ = saw_beyond_cap ? ChaseOutcome::kLevelCapped
                                           : ChaseOutcome::kCompleted;
         return Seal();
@@ -148,9 +196,15 @@ class ChaseEngine {
 
   // ---- node insertion -------------------------------------------------
 
-  // Returns false if the atom budget is exhausted (outcome set).
+  // Returns false if the atom budget is exhausted or the governor tripped
+  // (outcome set).
   bool InsertNode(const Atom& atom, int level, RuleId rule,
                   std::vector<uint32_t> parents) {
+    if (governor_ != nullptr && !governor_->Tick()) {
+      result_.outcome_ = ChaseOutcome::kInterrupted;
+      full_recheck_ = true;
+      return false;
+    }
     auto [id, inserted] = index().Insert(atom);
     if (!inserted) return true;
     FLOQ_CHECK_EQ(id, result_.meta_.size());
@@ -274,7 +328,8 @@ class ChaseEngine {
                          [&](const Substitution& match) {
                            consider(tgd, match);
                            return true;
-                         });
+                         },
+                         /*stats=*/nullptr, match_options_);
         continue;
       }
       for (size_t pivot = 0; pivot < tgd.rule.body.size(); ++pivot) {
@@ -289,7 +344,8 @@ class ChaseEngine {
                            [&](const Substitution& match) {
                              consider(tgd, match);
                              return true;
-                           });
+                           },
+                           /*stats=*/nullptr, match_options_);
         }
       }
     }
@@ -343,8 +399,14 @@ class ChaseEngine {
   // data(O, A, ·) form one equivalence class.
   bool EgdFixpoint() {
     for (;;) {
+      if (Interrupted()) return false;
       bool merged_any = false;
       for (uint32_t fid : index().WithPredicate(pfl::kFunct)) {
+        if (governor_ != nullptr && !governor_->Tick()) {
+          result_.outcome_ = ChaseOutcome::kInterrupted;
+          full_recheck_ = true;
+          return false;
+        }
         const Atom& funct = index().at(fid);
         Term attr = funct.arg(0);
         Term object = funct.arg(1);
@@ -437,6 +499,10 @@ class ChaseEngine {
   ChaseResult result_;
   TermUnionFind uf_;
   std::vector<Atom> delta_;
+  // Governor of the current Run/Deepen call (not owned; see SetGovernor).
+  ExecGovernor* governor_ = nullptr;
+  MatchOptions match_options_;
+  bool preliminary_done_ = false;
   bool full_recheck_ = true;
   std::set<std::pair<uint64_t, RuleId>> cross_seen_;
   // (object, attribute) pairs rho_5 has fired for (oblivious mode).
@@ -505,24 +571,29 @@ ResumableChase::~ResumableChase() = default;
 ResumableChase::ResumableChase(ResumableChase&&) noexcept = default;
 ResumableChase& ResumableChase::operator=(ResumableChase&&) noexcept = default;
 
-const ChaseResult& ResumableChase::EnsureLevel(int level) {
+const ChaseResult& ResumableChase::EnsureLevel(int level,
+                                               ExecGovernor* governor) {
   if (!started_) {
     FLOQ_CHECK(!frozen_);
     ChaseOptions run_options = options_;
     run_options.max_level = level;
     engine_ = std::make_unique<ChaseEngine>(*world_, run_options);
-    engine_->Run(query_);
+    engine_->Run(query_, governor);
     started_ = true;
     return engine_->result();
   }
-  if (level <= engine_->level_cap() ||
-      engine_->result().outcome() != ChaseOutcome::kLevelCapped) {
+  ChaseOutcome outcome = engine_->result().outcome();
+  if (outcome != ChaseOutcome::kInterrupted &&
+      (level <= engine_->level_cap() ||
+       outcome != ChaseOutcome::kLevelCapped)) {
     // Already materialized deep enough, or nothing deeper exists
-    // (completed) or can be computed (failed / budget): const read.
+    // (completed) or can be computed (failed / budget): const read. An
+    // interrupted chase never takes this path — its materialization is
+    // incomplete even at the current cap, so it always resumes.
     return engine_->result();
   }
   FLOQ_CHECK(!frozen_);  // immutability contract: no deepening when shared
-  engine_->Deepen(level);
+  engine_->Deepen(level, governor);
   ++deepen_count_;
   return engine_->result();
 }

@@ -11,6 +11,7 @@
 #include "datalog/fact_index.h"
 #include "query/conjunctive_query.h"
 #include "term/world.h"
+#include "util/deadline.h"
 
 // The chase of a conjunctive meta-query with respect to Sigma_FL
 // (Definition 2 of the paper), organized as in Section 4: a terminating
@@ -37,6 +38,11 @@ enum class ChaseOutcome {
   kLevelCapped,
   /// The atom budget was exhausted before the level cap.
   kBudgetExceeded,
+  /// A resource governor (deadline or cancellation; see util/deadline.h)
+  /// stopped the run mid-materialization. Unlike kBudgetExceeded this is
+  /// resumable: Deepen / EnsureLevel under a fresh governor picks up where
+  /// the run stopped (the first resumed collection rescans the instance).
+  kInterrupted,
   /// rho_4 tried to equate two distinct constants: the chase fails, i.e.
   /// the query has no answer on any database satisfying Sigma_FL.
   kFailed,
@@ -63,6 +69,13 @@ struct ChaseOptions {
   /// one and remains sound for containment; it is exposed for study and
   /// comparison, not used by CheckContainment.
   bool restricted_rho5 = true;
+  /// Optional resource governor (not owned; must outlive the run). Checked
+  /// at round boundaries and ticked per inserted conjunct; a trip stops
+  /// the run with ChaseOutcome::kInterrupted. One-shot entry points
+  /// (ChaseQuery, GenericChaseEngine) read it from here; ResumableChase
+  /// instead takes a per-call governor in EnsureLevel so each resume can
+  /// run under its caller's budget.
+  ExecGovernor* governor = nullptr;
 };
 
 /// Per-conjunct provenance: generating rule and the conjuncts its body
@@ -170,8 +183,10 @@ class ResumableChase {
   /// Materializes conjuncts at least up to `level` (the first call runs
   /// phases A and B from scratch; later calls resume phase B). A chase
   /// that already completed, failed, or exhausted its budget is returned
-  /// unchanged. Returns result().
-  const ChaseResult& EnsureLevel(int level);
+  /// unchanged; an interrupted chase (a previous governor tripped) is
+  /// always resumed, even at the same level. `governor`, when non-null,
+  /// bounds this call only. Returns result().
+  const ChaseResult& EnsureLevel(int level, ExecGovernor* governor = nullptr);
 
   /// The materialized prefix. Valid only after the first EnsureLevel.
   const ChaseResult& result() const;

@@ -26,7 +26,9 @@ class GenericChaseEngine {
  public:
   GenericChaseEngine(World& world, const DependencySet& dependencies,
                      const ChaseOptions& options)
-      : world_(world), dependencies_(dependencies), options_(options) {}
+      : world_(world), dependencies_(dependencies), options_(options) {
+    match_options_.governor = options_.governor;
+  }
 
   ChaseResult Run(const std::vector<Atom>& initial,
                   const std::vector<Term>& head) {
@@ -37,6 +39,7 @@ class GenericChaseEngine {
 
     bool saw_beyond_cap = false;
     for (;;) {
+      if (Interrupted()) return Finish();
       if (!EgdFixpoint()) return Finish();
 
       DeltaWindow window = TakeDelta();
@@ -51,6 +54,9 @@ class GenericChaseEngine {
         }
       }
       if (now.empty()) {
+        // A trip during collection truncates the pending set; re-check
+        // before declaring quiescence.
+        if (Interrupted()) return Finish();
         result_.outcome_ = saw_beyond_cap ? ChaseOutcome::kLevelCapped
                                           : ChaseOutcome::kCompleted;
         return Finish();
@@ -79,8 +85,22 @@ class GenericChaseEngine {
     return window;
   }
 
+  // True when the governor has tripped; latches kInterrupted. This engine
+  // is one-shot (no resume), so no rescan bookkeeping is needed.
+  bool Interrupted() {
+    if (options_.governor == nullptr || options_.governor->CheckNow()) {
+      return false;
+    }
+    result_.outcome_ = ChaseOutcome::kInterrupted;
+    return true;
+  }
+
   bool InsertNode(const Atom& atom, int level, RuleId rule,
                   std::vector<uint32_t> parents) {
+    if (options_.governor != nullptr && !options_.governor->Tick()) {
+      result_.outcome_ = ChaseOutcome::kInterrupted;
+      return false;
+    }
     auto [id, inserted] = index().Insert(atom);
     if (!inserted) return true;
     FLOQ_CHECK_EQ(id, result_.meta_.size());
@@ -166,7 +186,8 @@ class GenericChaseEngine {
                          [&](const Substitution& match) {
                            consider(t, match);
                            return true;
-                         });
+                         },
+                         /*stats=*/nullptr, match_options_);
         continue;
       }
       for (size_t pivot = 0; pivot < tgd.body.size(); ++pivot) {
@@ -181,7 +202,8 @@ class GenericChaseEngine {
                            [&](const Substitution& match) {
                              consider(t, match);
                              return true;
-                           });
+                           },
+                           /*stats=*/nullptr, match_options_);
         }
       }
     }
@@ -230,7 +252,8 @@ class GenericChaseEngine {
                            }
                            merged_any = true;
                            return true;
-                         });
+                         },
+                         /*stats=*/nullptr, match_options_);
         if (!ok) {
           result_.outcome_ = ChaseOutcome::kFailed;
           return false;
@@ -282,6 +305,7 @@ class GenericChaseEngine {
   World& world_;
   const DependencySet& dependencies_;
   ChaseOptions options_;
+  MatchOptions match_options_;
   ChaseResult result_;
   TermUnionFind uf_;
   std::vector<Atom> delta_;

@@ -28,7 +28,14 @@ Result<QueryTaxonomy> ClassifyQueries(
   for (size_t i = 0; i < n; ++i) {
     contained[i][i] = true;
     for (size_t j = 0; j < n; ++j) {
-      if (i != j) contained[i][j] = (*matrix)[i][j].contained;
+      if (i == j) continue;
+      // An UNKNOWN verdict (resource trip) counts as not-contained here:
+      // the taxonomy only merges or orders classes on *proven*
+      // containments, so trips can hide structure but never fabricate it.
+      contained[i][j] = (*matrix)[i][j].contained;
+      if ((*matrix)[i][j].resolution == Resolution::kUnknown) {
+        ++taxonomy.unknown_checks;
+      }
     }
   }
   taxonomy.checks = int(engine.stats().pairs_checked);

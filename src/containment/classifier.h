@@ -37,6 +37,13 @@ struct QueryTaxonomy {
 
   /// Number of pairwise containment checks performed.
   int checks = 0;
+
+  /// Pairwise checks that returned Resolution::kUnknown (a resource
+  /// budget tripped). Unknown pairs are treated conservatively as
+  /// not-contained when building the preorder — the taxonomy never
+  /// *merges* classes on an unproven containment — so a nonzero count
+  /// means some edges/classes may be missing, never wrong.
+  int unknown_checks = 0;
 };
 
 /// Classifies `queries` (all must have equal arity) under Sigma_FL. The

@@ -18,6 +18,37 @@ Status ValidatePair(const World& world, const ConjunctiveQuery& q1,
   return Status::Ok();
 }
 
+void MarkContained(ContainmentResult& result) {
+  result.contained = true;
+  result.resolution = Resolution::kContained;
+  result.unknown_reason = TripReason::kNone;
+}
+
+void MarkUnknown(ContainmentResult& result, TripReason reason) {
+  result.contained = false;
+  result.resolution = Resolution::kUnknown;
+  result.unknown_reason = reason;
+  result.conclusive = false;
+}
+
+/// Settles a negative hom-search outcome into NOT_CONTAINED or UNKNOWN.
+/// chase_trip is the reason the chase was truncated (kNone when the
+/// materialization is complete up to the Theorem-12 bound); hom_governor
+/// is the governor the search ran under, or nullptr when ungoverned.
+void ResolveNegative(ContainmentResult& result, TripReason chase_trip,
+                     const ExecGovernor* hom_governor) {
+  if (chase_trip != TripReason::kNone) {
+    MarkUnknown(result, chase_trip);
+    return;
+  }
+  if (hom_governor != nullptr && hom_governor->tripped()) {
+    MarkUnknown(result, hom_governor->trip());
+    return;
+  }
+  result.contained = false;
+  result.resolution = Resolution::kNotContained;
+}
+
 }  // namespace
 
 int PaperLevelBound(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
@@ -29,7 +60,7 @@ Result<ContainmentResult> CheckContainment(World& world,
                                            const ConjunctiveQuery& q2,
                                            const ContainmentOptions& options) {
   if (options.depth == ChaseDepth::kNone) {
-    return CheckClassicalContainment(world, q1, q2);
+    return CheckClassicalContainment(world, q1, q2, options);
   }
   FLOQ_RETURN_IF_ERROR(ValidatePair(world, q1, q2));
 
@@ -39,9 +70,17 @@ Result<ContainmentResult> CheckContainment(World& world,
                                               : PaperLevelBound(q1, q2);
   }
 
+  // Both stages share one anchored deadline: the budget's timeout is for
+  // the whole check, not per stage. (The batch engine re-anchors per pair
+  // and per stage instead; see engine.cc.)
+  const bool governed = !options.budget.unlimited();
+  Deadline anchored = AnchorDeadline(options.budget);
+  ExecGovernor chase_governor(anchored, options.budget.cancel);
+
   ChaseOptions chase_options;
   chase_options.max_level = level_bound;
   chase_options.max_atoms = options.max_chase_atoms;
+  if (governed) chase_options.governor = &chase_governor;
   ContainmentResult result;
   result.level_bound = level_bound;
   result.chase = ChaseQuery(world, q1, chase_options);
@@ -49,15 +88,29 @@ Result<ContainmentResult> CheckContainment(World& world,
   if (result.chase.failed()) {
     // q1 has no answers on any database satisfying Sigma_FL, so it is
     // contained in every query of the same arity.
-    result.contained = true;
+    MarkContained(result);
     result.q1_unsatisfiable = true;
     return result;
   }
-  if (result.chase.outcome() == ChaseOutcome::kBudgetExceeded) {
-    return ResourceExhaustedError(
-        StrCat("chase of q1 exceeded max_chase_atoms=",
-               options.max_chase_atoms, " before level ", level_bound));
+
+  TripReason chase_trip = ChaseTripReason(result.chase.outcome(),
+                                          chase_governor);
+  if (chase_trip == TripReason::kDeadlineExceeded ||
+      chase_trip == TripReason::kCancelled) {
+    // Out of time (or told to stop): do not start the hom search against
+    // the prefix — a positive would be sound, but the caller's clock has
+    // already run out.
+    MarkUnknown(result, chase_trip);
+    return result;
   }
+
+  // chase_trip is kNone or kChaseAtomBudget here. Search even a truncated
+  // prefix: a homomorphism into any prefix composes into the universal
+  // model, so kContained remains sound (governor.h).
+  ExecGovernor hom_governor(anchored, options.budget.cancel,
+                            options.budget.hom_step_budget);
+  MatchOptions match = options.match;
+  if (governed && match.governor == nullptr) match.governor = &hom_governor;
 
   // q2's variables must be disjoint from the values of chase(q1) (which
   // include q1's variables): rename apart, search, then express the
@@ -66,33 +119,43 @@ Result<ContainmentResult> CheckContainment(World& world,
   ConjunctiveQuery q2_fresh = q2.RenameApart(world, &renaming);
   std::optional<Substitution> hom =
       FindQueryHomomorphism(q2_fresh, result.chase.conjuncts(),
-                            result.chase.head(), &result.hom_stats,
-                            options.match);
+                            result.chase.head(), &result.hom_stats, match);
   if (hom.has_value()) {
     result.witness = renaming.ComposeWith(*hom);
+    MarkContained(result);
+    return result;
   }
-  result.contained = result.witness.has_value();
+  ResolveNegative(result, chase_trip, match.governor);
   return result;
 }
 
 Result<ContainmentResult> CheckClassicalContainment(
-    World& world, const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+    World& world, const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+    const ContainmentOptions& options) {
   FLOQ_RETURN_IF_ERROR(ValidatePair(world, q1, q2));
 
   // The target is body(q1) itself, with q1's variables as values.
   FactIndex target;
   for (const Atom& atom : q1.body()) target.Insert(atom);
 
+  const bool governed = !options.budget.unlimited();
+  ExecGovernor hom_governor = MakeHomGovernor(options.budget);
+  MatchOptions match = options.match;
+  if (governed && match.governor == nullptr) match.governor = &hom_governor;
+
   ContainmentResult result;
   result.level_bound = -1;
   Substitution renaming;
   ConjunctiveQuery q2_fresh = q2.RenameApart(world, &renaming);
   std::optional<Substitution> hom =
-      FindQueryHomomorphism(q2_fresh, target, q1.head(), &result.hom_stats);
+      FindQueryHomomorphism(q2_fresh, target, q1.head(), &result.hom_stats,
+                            match);
   if (hom.has_value()) {
     result.witness = renaming.ComposeWith(*hom);
+    MarkContained(result);
+    return result;
   }
-  result.contained = result.witness.has_value();
+  ResolveNegative(result, TripReason::kNone, match.governor);
   return result;
 }
 
@@ -126,9 +189,16 @@ Result<std::optional<size_t>> CheckUcqContainment(
   if (options.level_override >= 0) level_bound = options.level_override;
   if (options.depth == ChaseDepth::kLevelZero) level_bound = 0;
 
+  // The UCQ API has no kUnknown channel (it returns a disjunct index), so
+  // trips surface as typed errors here.
+  const bool governed = !options.budget.unlimited();
+  Deadline anchored = AnchorDeadline(options.budget);
+  ExecGovernor chase_governor(anchored, options.budget.cancel);
+
   ChaseOptions chase_options;
   chase_options.max_level = level_bound;
   chase_options.max_atoms = options.max_chase_atoms;
+  if (governed) chase_options.governor = &chase_governor;
   ChaseResult chase = ChaseQuery(world, q, chase_options);
 
   if (chase.failed()) {
@@ -139,13 +209,38 @@ Result<std::optional<size_t>> CheckUcqContainment(
   if (chase.outcome() == ChaseOutcome::kBudgetExceeded) {
     return ResourceExhaustedError("chase exceeded max_chase_atoms");
   }
+  if (chase.outcome() == ChaseOutcome::kInterrupted) {
+    return chase_governor.trip() == TripReason::kCancelled
+               ? CancelledError("UCQ containment cancelled during chase")
+               : DeadlineExceededError(
+                     "UCQ containment deadline exceeded during chase");
+  }
+
+  // All disjunct searches draw on one governor: the hom budget spans the
+  // whole stage, not each disjunct.
+  ExecGovernor hom_governor(anchored, options.budget.cancel,
+                            options.budget.hom_step_budget);
+  MatchOptions match = options.match;
+  if (governed && match.governor == nullptr) match.governor = &hom_governor;
 
   for (size_t i = 0; i < disjuncts.size(); ++i) {
     ConjunctiveQuery fresh = disjuncts[i].RenameApart(world);
     if (FindQueryHomomorphism(fresh, chase.conjuncts(), chase.head(),
-                              /*stats=*/nullptr, options.match)
+                              /*stats=*/nullptr, match)
             .has_value()) {
       return std::optional<size_t>(i);
+    }
+  }
+  if (match.governor != nullptr && match.governor->tripped()) {
+    switch (match.governor->trip()) {
+      case TripReason::kCancelled:
+        return CancelledError("UCQ containment cancelled during hom search");
+      case TripReason::kHomStepBudget:
+        return ResourceExhaustedError(
+            "UCQ containment exhausted the hom step budget");
+      default:
+        return DeadlineExceededError(
+            "UCQ containment deadline exceeded during hom search");
     }
   }
   return std::optional<size_t>();
@@ -172,36 +267,52 @@ Result<ContainmentResult> CheckContainmentUnderDependencies(
         "(but possibly inconclusive) bounded check");
   }
 
+  const bool governed = !options.budget.unlimited();
+  Deadline anchored = AnchorDeadline(options.budget);
+  ExecGovernor chase_governor(anchored, options.budget.cancel);
+  if (governed) chase_options.governor = &chase_governor;
+
   ContainmentResult result;
   result.level_bound = level_bound;
   result.chase = GenericChase(world, q1, dependencies, chase_options);
 
   if (result.chase.failed()) {
-    result.contained = true;
+    MarkContained(result);
     result.q1_unsatisfiable = true;
     return result;
   }
-  if (result.chase.outcome() == ChaseOutcome::kBudgetExceeded) {
-    return ResourceExhaustedError(
-        StrCat("generic chase of q1 exceeded max_chase_atoms=",
-               options.max_chase_atoms));
+
+  TripReason chase_trip = ChaseTripReason(result.chase.outcome(),
+                                          chase_governor);
+  if (chase_trip == TripReason::kDeadlineExceeded ||
+      chase_trip == TripReason::kCancelled) {
+    MarkUnknown(result, chase_trip);
+    return result;
   }
+
+  ExecGovernor hom_governor(anchored, options.budget.cancel,
+                            options.budget.hom_step_budget);
+  MatchOptions match = options.match;
+  if (governed && match.governor == nullptr) match.governor = &hom_governor;
 
   Substitution renaming;
   ConjunctiveQuery q2_fresh = q2.RenameApart(world, &renaming);
   std::optional<Substitution> hom =
       FindQueryHomomorphism(q2_fresh, result.chase.conjuncts(),
-                            result.chase.head(), &result.hom_stats,
-                            options.match);
+                            result.chase.head(), &result.hom_stats, match);
   if (hom.has_value()) {
     result.witness = renaming.ComposeWith(*hom);
+    MarkContained(result);
+    return result;
   }
-  result.contained = result.witness.has_value();
+  ResolveNegative(result, chase_trip, match.governor);
   // On a truncated chase of a non-weakly-acyclic set, "no homomorphism"
-  // does not refute containment.
-  result.conclusive =
-      result.contained || weakly_acyclic ||
-      result.chase.outcome() == ChaseOutcome::kCompleted;
+  // does not refute containment even when no resource budget tripped.
+  if (result.resolution == Resolution::kNotContained) {
+    result.conclusive =
+        weakly_acyclic ||
+        result.chase.outcome() == ChaseOutcome::kCompleted;
+  }
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include "chase/chase.h"
 #include "chase/dependencies.h"
 #include "chase/generic_chase.h"
+#include "containment/governor.h"
 #include "containment/homomorphism.h"
 #include "query/conjunctive_query.h"
 #include "term/world.h"
@@ -50,11 +51,30 @@ struct ContainmentOptions {
   /// check runs. Defaults to the production kernel; the differential
   /// tests and ablation benches flip the toggles.
   MatchOptions match;
+  /// Resource governance: wall-clock timeout/deadline, cancellation
+  /// token, and hom-search step budget. When any of these trips before
+  /// the check is decided, the result degrades to
+  /// Resolution::kUnknown with a typed reason instead of a spurious
+  /// "not contained" (see governor.h for the soundness argument).
+  ResourceBudget budget;
 };
 
 struct ContainmentResult {
-  /// The verdict: q1 ⊆_Sigma q2.
+  /// The verdict: q1 ⊆_Sigma q2. Kept for callers that predate the
+  /// three-valued resolution; always equals
+  /// (resolution == Resolution::kContained).
   bool contained = false;
+
+  /// The three-valued verdict. kUnknown means a resource budget tripped
+  /// before the check was decided; `unknown_reason` names it. Positive
+  /// verdicts are sound even under trips (a homomorphism into a chase
+  /// prefix composes into the universal model); negatives require the
+  /// full materialization and an exhausted search.
+  Resolution resolution = Resolution::kNotContained;
+
+  /// The budget that made the verdict kUnknown (kNone otherwise). When
+  /// both stages tripped, the chase stage (the earlier one) wins.
+  TripReason unknown_reason = TripReason::kNone;
 
   /// False only for CheckContainmentUnderDependencies on a
   /// non-weakly-acyclic set with a level override: a negative verdict is
@@ -82,8 +102,11 @@ struct ContainmentResult {
 };
 
 /// Decides q1 ⊆_Sigma_FL q2. Fails with kInvalidArgument if the queries
-/// have different arities or are malformed, and with kResourceExhausted if
-/// the chase budget is hit.
+/// have different arities or are malformed. Resource trips (the chase
+/// atom budget, the hom step budget, a deadline, cancellation) do not
+/// fail the call: they surface as resolution == kUnknown with a typed
+/// unknown_reason, so batch callers can keep definite verdicts for the
+/// other pairs.
 Result<ContainmentResult> CheckContainment(World& world,
                                            const ConjunctiveQuery& q1,
                                            const ConjunctiveQuery& q2,
@@ -92,8 +115,10 @@ Result<ContainmentResult> CheckContainment(World& world,
 
 /// Classical conjunctive-query containment q1 ⊆ q2 over unconstrained
 /// databases: a homomorphism body(q2) -> body(q1) with head(q2) -> head(q1).
+/// Only options.match and options.budget (hom stage) are consulted.
 Result<ContainmentResult> CheckClassicalContainment(
-    World& world, const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+    World& world, const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+    const ContainmentOptions& options = {});
 
 /// Equivalence under Sigma_FL: containment in both directions.
 Result<bool> CheckEquivalence(World& world, const ConjunctiveQuery& q1,

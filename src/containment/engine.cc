@@ -52,9 +52,34 @@ const ChaseResult* ContainmentEngine::chase_of(size_t id) const {
   return entry.chase.has_value() ? &entry.chase->result() : nullptr;
 }
 
+namespace {
+
+void MarkPairContained(PairVerdict& verdict) {
+  verdict.contained = true;
+  verdict.resolution = Resolution::kContained;
+  verdict.unknown_reason = TripReason::kNone;
+}
+
+void MarkPairUnknown(PairVerdict& verdict, TripReason reason) {
+  verdict.contained = false;
+  verdict.resolution = Resolution::kUnknown;
+  verdict.unknown_reason = reason;
+}
+
+}  // namespace
+
+void ContainmentEngine::Cancel() { cancel_source_.Cancel(); }
+
+void ContainmentEngine::ResetCancel() { cancel_source_.Reset(); }
+
 Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
     std::span<const std::pair<size_t, size_t>> pairs) {
   const ContainmentOptions& copts = options_.containment;
+  const ResourceBudget& budget = copts.budget;
+  // Snapshot the token once: worker threads copy it concurrently below,
+  // and ResetCancel (which swaps the shared flag) is only legal between
+  // batches.
+  const CancellationToken engine_token = cancel_source_.token();
 
   for (const auto& [lhs, rhs] : pairs) {
     if (lhs >= entries_.size() || rhs >= entries_.size()) {
@@ -71,12 +96,17 @@ Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
 
   std::vector<PairVerdict> verdicts(pairs.size());
   std::vector<uint8_t> needs_search(pairs.size(), 0);
+  // Why this pair's chase prefix cannot refute containment (kNone when it
+  // can): consumed by the hom phase to settle negatives.
+  std::vector<TripReason> chase_trips(pairs.size(), TripReason::kNone);
 
   // ---- sequential phase: build / deepen the shared targets ---------------
   //
   // Everything that mutates the World (fresh nulls for chase steps) or a
   // cache entry happens here, on the calling thread. The workers below
-  // only read.
+  // only read. Each pair gets its own governor with a freshly anchored
+  // timeout (per-pair isolation): a runaway chase trips its own deadline,
+  // and the next pair starts with a full budget again.
   ChaseOptions chase_options;
   chase_options.max_atoms = copts.max_chase_atoms;
   for (size_t k = 0; k < pairs.size(); ++k) {
@@ -98,6 +128,15 @@ Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
       continue;
     }
 
+    ExecGovernor chase_governor = MakeChaseGovernor(budget);
+    chase_governor.AddCancellation(engine_token);
+    if (!chase_governor.CheckNow()) {
+      // Already cancelled (or the absolute deadline has passed) before
+      // this pair started: skip its chase entirely.
+      MarkPairUnknown(verdict, chase_governor.trip());
+      continue;
+    }
+
     int level = 0;
     if (copts.depth == ChaseDepth::kPaperBound) {
       level = copts.level_override >= 0
@@ -113,21 +152,24 @@ Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
       ++stats_.chase_cache_hits;
     }
     uint64_t deepenings_before = l.chase->deepen_count();
-    const ChaseResult& chase = l.chase->EnsureLevel(level);
+    const ChaseResult& chase = l.chase->EnsureLevel(level, &chase_governor);
     stats_.chase_deepenings += l.chase->deepen_count() - deepenings_before;
 
     if (chase.failed()) {
       // lhs has no answers on any database satisfying Sigma_FL: contained
       // in every query of the same arity, no search needed.
-      verdict.contained = true;
+      MarkPairContained(verdict);
       verdict.lhs_unsatisfiable = true;
       continue;
     }
-    if (chase.outcome() == ChaseOutcome::kBudgetExceeded) {
-      return ResourceExhaustedError(
-          StrCat("chase of query ", lhs, " exceeded max_chase_atoms=",
-                 copts.max_chase_atoms, " before level ", level));
+    chase_trips[k] = ChaseTripReason(chase.outcome(), chase_governor);
+    if (chase_trips[k] == TripReason::kCancelled) {
+      MarkPairUnknown(verdict, TripReason::kCancelled);
+      continue;
     }
+    // A truncated prefix (atom budget, or this pair's chase deadline) is
+    // still worth searching: a homomorphism into it is a sound positive,
+    // and the hom stage anchors its own fresh timeout slice.
     needs_search[k] = 1;
   }
 
@@ -138,8 +180,24 @@ Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
   }
 
   // ---- parallel phase: stateless homomorphism searches -------------------
+  //
+  // Workers read frozen chase results directly (never EnsureLevel — an
+  // interrupted frozen handle must not resume here) and run under a
+  // per-pair hom governor with its own anchored timeout.
   auto run_pair = [&](size_t k) {
     if (needs_search[k] == 0) return;
+    PairVerdict& verdict = verdicts[k];
+    ExecGovernor hom_governor = MakeHomGovernor(budget);
+    hom_governor.AddCancellation(engine_token);
+    if (!hom_governor.CheckNow()) {
+      MarkPairUnknown(verdict,
+                      hom_governor.trip() == TripReason::kCancelled
+                          ? TripReason::kCancelled
+                          : chase_trips[k] != TripReason::kNone
+                                ? chase_trips[k]
+                                : hom_governor.trip());
+      return;
+    }
     const auto& [lhs, rhs] = pairs[k];
     const Entry& l = *entries_[lhs];
     const Entry& r = *entries_[rhs];
@@ -149,11 +207,23 @@ Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
     const std::vector<Term>& target_head = copts.depth == ChaseDepth::kNone
                                                ? l.query.head()
                                                : l.chase->result().head();
-    PairVerdict& verdict = verdicts[k];
-    verdict.contained =
-        FindQueryHomomorphism(r.renamed, target, target_head,
-                              &verdict.hom_stats, copts.match)
-            .has_value();
+    MatchOptions match = copts.match;
+    match.governor = &hom_governor;
+    if (FindQueryHomomorphism(r.renamed, target, target_head,
+                              &verdict.hom_stats, match)
+            .has_value()) {
+      // Sound even into a truncated prefix (see governor.h).
+      MarkPairContained(verdict);
+      return;
+    }
+    if (chase_trips[k] != TripReason::kNone) {
+      MarkPairUnknown(verdict, chase_trips[k]);
+    } else if (hom_governor.tripped()) {
+      MarkPairUnknown(verdict, hom_governor.trip());
+    } else {
+      verdict.contained = false;
+      verdict.resolution = Resolution::kNotContained;
+    }
   };
 
   size_t jobs = options_.jobs == 0 ? ThreadPool::DefaultThreads()
@@ -175,6 +245,14 @@ Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
   stats_.pairs_checked += pairs.size();
   for (const PairVerdict& verdict : verdicts) {
     stats_.hom.Accumulate(verdict.hom_stats);
+    if (verdict.resolution == Resolution::kUnknown) {
+      ++stats_.unknown_pairs;
+      if (verdict.unknown_reason == TripReason::kDeadlineExceeded) {
+        ++stats_.timed_out_pairs;
+      } else if (verdict.unknown_reason == TripReason::kCancelled) {
+        ++stats_.cancelled_pairs;
+      }
+    }
   }
   return verdicts;
 }

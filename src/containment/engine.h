@@ -32,8 +32,13 @@
 namespace floq {
 
 struct BatchContainmentOptions {
-  /// Per-pair semantics: depth, level override, chase atom budget. The
-  /// engine honors all three ChaseDepth modes.
+  /// Per-pair semantics: depth, level override, chase atom budget, and the
+  /// resource budget (containment.budget). The engine honors all three
+  /// ChaseDepth modes. The budget is applied *per pair, per stage*: each
+  /// pair's chase stage and hom stage re-anchor containment.budget's
+  /// timeout_ms, so one runaway pair exhausts its own slice (at most
+  /// ~2x timeout_ms) and every other pair still gets its full share. The
+  /// absolute deadline and cancellation token are shared batch-wide.
   ContainmentOptions containment;
   /// Worker threads for the homomorphism fan-out. 0 = hardware
   /// concurrency; 1 = run everything on the calling thread.
@@ -52,13 +57,25 @@ struct BatchStats {
   /// Times an existing handle had to resume its chase to a deeper level.
   uint64_t chase_deepenings = 0;
   uint64_t pairs_checked = 0;
+  /// Pairs whose verdict degraded to Resolution::kUnknown (any reason).
+  uint64_t unknown_pairs = 0;
+  /// Unknown pairs whose reason was a tripped deadline.
+  uint64_t timed_out_pairs = 0;
+  /// Unknown pairs whose reason was cancellation (engine or user token).
+  uint64_t cancelled_pairs = 0;
   /// Aggregated homomorphism search effort across all pairs.
   MatchStats hom;
 };
 
 /// Verdict for one ordered pair lhs ⊆ rhs.
 struct PairVerdict {
+  /// Always equals (resolution == Resolution::kContained).
   bool contained = false;
+  /// Three-valued verdict: kUnknown means this pair's resource budget
+  /// tripped before the pair was decided (the rest of the batch is
+  /// unaffected); `unknown_reason` names the budget that tripped first.
+  Resolution resolution = Resolution::kNotContained;
+  TripReason unknown_reason = TripReason::kNone;
   /// Containment holds vacuously: chase(lhs) failed (rho_4 equated two
   /// distinct constants), so lhs is unsatisfiable under Sigma_FL.
   bool lhs_unsatisfiable = false;
@@ -88,8 +105,10 @@ class ContainmentEngine {
   const ConjunctiveQuery& query(size_t id) const;
 
   /// Decides lhs ⊆_Sigma rhs for every requested (lhs, rhs) id pair.
-  /// Verdicts align with `pairs`. Fails on arity mismatches and when a
-  /// chase exhausts its atom budget.
+  /// Verdicts align with `pairs`. Fails on arity mismatches. Resource
+  /// trips never fail the batch: the affected pair's verdict becomes
+  /// Resolution::kUnknown with a typed reason and every other pair still
+  /// gets a definite answer.
   Result<std::vector<PairVerdict>> CheckPairs(
       std::span<const std::pair<size_t, size_t>> pairs);
 
@@ -103,6 +122,18 @@ class ContainmentEngine {
 
   const BatchStats& stats() const { return stats_; }
 
+  /// Requests cooperative cancellation of any in-flight CheckPairs /
+  /// CheckAll. Safe to call from another thread; the batch returns
+  /// promptly (within one governor stride per worker) with every
+  /// unfinished pair marked Resolution::kUnknown(kCancelled) and every
+  /// already-finished pair keeping its definite verdict. Cancellation
+  /// latches: later batches also return kCancelled until ResetCancel().
+  void Cancel();
+  bool cancel_requested() const { return cancel_source_.cancel_requested(); }
+  /// Re-arms the engine after a Cancel(). Must not race an in-flight
+  /// batch; call it between batches only.
+  void ResetCancel();
+
  private:
   struct Entry;
 
@@ -110,6 +141,7 @@ class ContainmentEngine {
   BatchContainmentOptions options_;
   std::vector<std::unique_ptr<Entry>> entries_;
   BatchStats stats_;
+  CancellationSource cancel_source_;
 };
 
 }  // namespace floq

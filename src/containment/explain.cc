@@ -63,6 +63,20 @@ std::string ExplainContainment(const World& world,
     return out;
   }
 
+  if (result.resolution == Resolution::kUnknown) {
+    out += StrCat("VERDICT: UNKNOWN (",
+                  TripReasonName(result.unknown_reason),
+                  " budget tripped before the check was decided).\n");
+    out += StrCat("chase(q1) materialized ", result.chase.size(),
+                  " conjuncts up to level ", result.chase.max_level(),
+                  " of the ", result.level_bound, " required.\n");
+    out += "No homomorphism was found in the explored prefix, but a\n";
+    out += "truncated chase or search cannot refute containment; rerun\n";
+    out += "with a larger budget for a definite verdict.\n";
+    out += RenderSearchEffort(result.hom_stats);
+    return out;
+  }
+
   if (!result.contained) {
     out += "VERDICT: q1 ⊄ q2 under Sigma_FL.\n";
     out += StrCat("No homomorphism maps body(q2) into the first ",

@@ -271,6 +271,12 @@ class CompiledMatcher {
 
   bool Recurse() {
     if (stats_ != nullptr) ++stats_->nodes_visited;
+    // A governor trip unwinds exactly like a callback stop (every frame
+    // undoes its trail mark); the caller distinguishes the two by
+    // inspecting governor->tripped().
+    if (options_.governor != nullptr && !options_.governor->Tick()) {
+      return false;
+    }
     if (remaining_.empty()) {
       if (stats_ != nullptr) ++stats_->matches_found;
       return on_match_(Materialize());
@@ -328,9 +334,25 @@ class CompiledMatcher {
       }
     }
 
+    // Tick per driver iteration: the leapfrog loop can gallop through
+    // long posting lists without ever reaching Recurse(), so deadline
+    // enforcement must live inside the intersection itself. Batched
+    // through a register counter: the hot loop pays one local decrement,
+    // and the governor's member state is touched once per kGovernorBatch
+    // iterations (still far finer than its kStride clock amortization).
+    constexpr uint32_t kGovernorBatch = 64;
+    ExecGovernor* const governor = options_.governor;
+    uint32_t governor_countdown = kGovernorBatch;
     bool keep_going = true;
     size_t di = 0;
     while (di < candidates.size()) {
+      if (governor != nullptr && --governor_countdown == 0) {
+        governor_countdown = kGovernorBatch;
+        if (!governor->TickBatch(kGovernorBatch)) {
+          keep_going = false;
+          break;
+        }
+      }
       uint32_t fact_id = candidates[di];
       bool present = true;
       bool exhausted = false;

@@ -32,7 +32,8 @@ namespace {
 // Matches `rule`'s body with atom `pivot_index` pinned to fact `fact`, the
 // rest anywhere in `index`; appends the instantiated heads to `out`.
 void MatchWithPivot(const Rule& rule, size_t pivot_index, const Atom& fact,
-                    const FactIndex& index, std::vector<Atom>& out) {
+                    const FactIndex& index, std::vector<Atom>& out,
+                    const MatchOptions& match_options) {
   Substitution subst;
   if (!TryUnifyAtom(rule.body[pivot_index], fact, subst)) return;
 
@@ -42,10 +43,19 @@ void MatchWithPivot(const Rule& rule, size_t pivot_index, const Atom& fact,
     if (i != pivot_index) rest.push_back(rule.body[i]);
   }
 
-  MatchConjunction(rest, index, subst, [&](const Substitution& match) {
-    out.push_back(match.Apply(rule.head));
-    return true;
-  });
+  MatchConjunction(
+      rest, index, subst,
+      [&](const Substitution& match) {
+        out.push_back(match.Apply(rule.head));
+        return true;
+      },
+      /*stats=*/nullptr, match_options);
+}
+
+Status GovernorError(const ExecGovernor& governor) {
+  return governor.trip() == TripReason::kCancelled
+             ? CancelledError("fixpoint cancelled")
+             : DeadlineExceededError("fixpoint deadline exceeded");
 }
 
 }  // namespace
@@ -53,23 +63,33 @@ void MatchWithPivot(const Rule& rule, size_t pivot_index, const Atom& fact,
 Result<uint64_t> SemiNaiveFixpoint(Database& db, std::span<const Rule> rules,
                                    const EvalOptions& options) {
   uint64_t derived = 0;
+  MatchOptions match_options;
+  match_options.governor = options.governor;
 
   // Round 0 (naive): every rule against the full database.
   std::vector<Atom> pending;
   for (const Rule& rule : rules) {
-    MatchConjunction(rule.body, db.index(), Substitution(),
-                     [&](const Substitution& match) {
-                       pending.push_back(match.Apply(rule.head));
-                       return true;
-                     });
+    MatchConjunction(
+        rule.body, db.index(), Substitution(),
+        [&](const Substitution& match) {
+          pending.push_back(match.Apply(rule.head));
+          return true;
+        },
+        /*stats=*/nullptr, match_options);
   }
 
   // Delta rounds: each new derivation must use at least one fact from the
   // previous round's delta.
   std::vector<Atom> delta;
   for (;;) {
+    if (options.governor != nullptr && !options.governor->CheckNow()) {
+      return GovernorError(*options.governor);
+    }
     delta.clear();
     for (const Atom& fact : pending) {
+      if (options.governor != nullptr && !options.governor->Tick()) {
+        return GovernorError(*options.governor);
+      }
       if (db.Insert(fact)) {
         ++derived;
         delta.push_back(fact);
@@ -85,7 +105,8 @@ Result<uint64_t> SemiNaiveFixpoint(Database& db, std::span<const Rule> rules,
     for (const Rule& rule : rules) {
       for (size_t pivot = 0; pivot < rule.body.size(); ++pivot) {
         for (const Atom& fact : delta) {
-          MatchWithPivot(rule, pivot, fact, db.index(), pending);
+          MatchWithPivot(rule, pivot, fact, db.index(), pending,
+                         match_options);
         }
       }
     }

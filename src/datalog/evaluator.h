@@ -21,6 +21,10 @@ namespace floq {
 struct EvalOptions {
   /// Abort with kResourceExhausted when the database would exceed this.
   uint64_t max_facts = 50'000'000;
+  /// Optional resource governor (not owned): checked per derived fact and
+  /// threaded into body matching. A trip aborts the fixpoint with
+  /// kDeadlineExceeded or kCancelled.
+  ExecGovernor* governor = nullptr;
 };
 
 /// Saturates `db` under `rules` (to fixpoint) using semi-naive evaluation.

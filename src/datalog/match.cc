@@ -56,6 +56,11 @@ class Matcher {
 
   bool Recurse() {
     if (stats_ != nullptr) ++stats_->nodes_visited;
+    // A governor trip unwinds exactly like a callback stop: every frame
+    // undoes its bindings and Run() reports the enumeration incomplete.
+    if (options_.governor != nullptr && !options_.governor->Tick()) {
+      return false;
+    }
     if (remaining_.empty()) {
       if (stats_ != nullptr) ++stats_->matches_found;
       return on_match_(subst_);
@@ -88,6 +93,10 @@ class Matcher {
     // Iterate over a copy: candidate lists are stable (FactIndex is not
     // mutated during matching), but be defensive about re-entrancy.
     for (uint32_t fact_id : *best_candidates) {
+      if (options_.governor != nullptr && !options_.governor->Tick()) {
+        keep_going = false;
+        break;
+      }
       const Atom& fact = index_.at(fact_id);
       std::vector<Term> bound_here;
       if (TryUnify(p, fact, bound_here)) {
@@ -143,7 +152,12 @@ bool MatchConjunction(std::span<const Atom> pattern, const FactIndex& index,
                       const Substitution& initial,
                       FunctionRef<bool(const Substitution&)> on_match,
                       MatchStats* stats, const MatchOptions& options) {
-  if (options.use_compiled_kernel) {
+  // The compiled kernel renumbers pattern variables into uint16_t slots;
+  // a pathological pattern could overflow that space (at most kMaxArity
+  // distinct variables per atom), so route oversized conjunctions to the
+  // interpreter, which has no slot limit.
+  if (options.use_compiled_kernel &&
+      pattern.size() < size_t(UINT16_MAX) / size_t(kMaxArity)) {
     return MatchCompiled(pattern, index, initial, on_match, stats, options);
   }
   return Matcher(pattern, index, initial, on_match, stats, options).Run();

@@ -7,6 +7,7 @@
 #include "datalog/fact_index.h"
 #include "term/atom.h"
 #include "term/substitution.h"
+#include "util/deadline.h"
 #include "util/function_ref.h"
 
 // Conjunction matching: enumerate the homomorphisms (Definition 1 of the
@@ -50,6 +51,15 @@ struct MatchOptions {
   /// list and filtering in unification). Kernel path only; an adaptive
   /// cutoff skips the intersection for tiny driver lists.
   bool use_list_intersection = true;
+  /// Optional resource governor ticked once per backtracking node and per
+  /// candidate-loop iteration (amortized; see util/deadline.h). When it
+  /// trips, the search unwinds and MatchConjunction returns false exactly
+  /// as if the callback had stopped enumeration — callers that need to
+  /// tell the two apart inspect governor->tripped(). Not owned; one
+  /// governor may be shared across many MatchConjunction calls so budgets
+  /// span a whole check, not one search. Its trip latches across calls:
+  /// once tripped, every subsequent governed search returns immediately.
+  ExecGovernor* governor = nullptr;
 };
 
 /// Enumerates all substitutions extending `initial` that map every atom of

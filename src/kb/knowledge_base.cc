@@ -54,8 +54,19 @@ Result<ConsistencyReport> KnowledgeBase::Saturate(
   EvalOptions eval_options;
   eval_options.max_facts = options.max_facts;
 
+  // One governor spans the whole saturation: fixpoint ticks and the
+  // between-phase checks below all draw on the same deadline and token.
+  ExecGovernor governor(options.deadline, options.cancel);
+  bool governed = !options.deadline.infinite() || options.cancel.valid();
+  if (governed) eval_options.governor = &governor;
+
   int completion_rounds_left = options.mandatory_completion_rounds;
   for (;;) {
+    if (governed && !governor.CheckNow()) {
+      return governor.trip() == TripReason::kCancelled
+                 ? CancelledError("saturation cancelled")
+                 : DeadlineExceededError("saturation deadline exceeded");
+    }
     Result<uint64_t> derived =
         SemiNaiveFixpoint(database_, sigma_rules_, eval_options);
     if (!derived.ok()) return derived.status();

@@ -9,6 +9,7 @@
 #include "datalog/rule.h"
 #include "query/conjunctive_query.h"
 #include "term/world.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 // F-logic Lite knowledge bases: a ground fact store over P_FL whose
@@ -39,6 +40,12 @@ struct SaturateOptions {
   /// Rounds of rho_5 completion (each round may cascade new mandatory
   /// facts onto the invented nulls). 0 disables completion.
   int mandatory_completion_rounds = 0;
+  /// Wall-clock limit on the whole saturation (fixpoint rounds, funct
+  /// repair, mandatory completion). Infinite by default.
+  Deadline deadline;
+  /// Cooperative cancellation: when the token fires, Saturate returns
+  /// kCancelled at the next amortized check.
+  CancellationToken cancel;
 };
 
 class KnowledgeBase {

@@ -161,7 +161,9 @@ class Parser {
   }
 
   Result<Term> ParseQuotedConstant() {
-    FLOQ_CHECK(Consume('\''));
+    // ParseTerm only dispatches here on a quote, but a malformed file must
+    // never be able to turn a dispatch slip into an assertion failure.
+    if (!Consume('\'')) return Error("expected '\\'' to open a constant");
     std::string value;
     while (!AtEnd() && Peek() != '\'') {
       value += Advance();

@@ -19,6 +19,8 @@ enum class StatusCode {
   kNotFound,          // lookup misses (unknown predicate, unknown symbol)
   kFailedPrecondition,// operation not valid in the current state
   kResourceExhausted, // a configured budget (atoms, steps, levels) was hit
+  kDeadlineExceeded,  // a wall-clock deadline passed before completion
+  kCancelled,         // a CancellationToken stopped the operation
   kInternal,          // invariant violation surfaced as a recoverable error
 };
 
@@ -58,6 +60,8 @@ Status InvalidArgumentError(std::string message);
 Status NotFoundError(std::string message);
 Status FailedPreconditionError(std::string message);
 Status ResourceExhaustedError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status CancelledError(std::string message);
 Status InternalError(std::string message);
 
 /// Holds either a value of type T or an error Status.

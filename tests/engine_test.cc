@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <map>
+#include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -10,6 +13,8 @@
 #include "containment/containment.h"
 #include "gen/generators.h"
 #include "query/parser.h"
+#include "term/atom.h"
+#include "term/term.h"
 #include "term/world.h"
 
 namespace floq {
@@ -445,6 +450,185 @@ TEST(ResumableChaseTest, CompletedChaseNeverDeepens) {
   EXPECT_EQ(result.outcome(), ChaseOutcome::kCompleted);
   resumable.EnsureLevel(100);
   EXPECT_EQ(resumable.deepen_count(), 0u);
+}
+
+// ---- resource governance (DESIGN.md §11) --------------------------------
+
+// q() :- sub(c1,c2), sub(c2,c3), ..., sub(cn,c_{n+1}). The rho_2
+// transitivity closure materializes ~n^2/2 level-0 conjuncts, so a long
+// chain makes the chase stage deliberately expensive while staying
+// completely free of member/data/type atoms.
+ConjunctiveQuery MakeSubChainQuery(World& world, int n,
+                                   const std::string& name) {
+  std::vector<Atom> body;
+  Term prev = world.MakeConstant(name + "_c1");
+  for (int i = 1; i <= n; ++i) {
+    Term next = world.MakeConstant(name + "_c" + std::to_string(i + 1));
+    body.push_back(Atom::Sub(prev, next));
+    prev = next;
+  }
+  return ConjunctiveQuery(name, {}, std::move(body));
+}
+
+TEST(GovernedEngineTest, ChaseAtomBudgetYieldsUnknownOnlyWhereInconclusive) {
+  World world;
+  BatchContainmentOptions options;
+  options.jobs = 1;
+  // Far below what the cycle's Theorem 12 bound materializes, but enough
+  // for the small member queries to chase to completion.
+  options.containment.max_chase_atoms = 10;
+  ContainmentEngine engine(world, options);
+
+  Result<size_t> cycle =
+      engine.AddQuery(gen::MakeMandatoryCycleQuery(world, 2, "cycle"));
+  Result<size_t> sub_probe = engine.AddQuery(Q(world, "p() :- sub(X, Y)."));
+  Result<size_t> mandatory_probe =
+      engine.AddQuery(Q(world, "p0() :- mandatory(A, B)."));
+  Result<size_t> member_sub =
+      engine.AddQuery(Q(world, "s1() :- member(X, C), sub(C, D)."));
+  Result<size_t> member_only =
+      engine.AddQuery(Q(world, "s0() :- member(X, C)."));
+  ASSERT_TRUE(cycle.ok() && sub_probe.ok() && mandatory_probe.ok() &&
+              member_sub.ok() && member_only.ok());
+
+  std::vector<std::pair<size_t, size_t>> pairs = {
+      {*cycle, *sub_probe},        // truncated prefix, no hom -> UNKNOWN
+      {*cycle, *mandatory_probe},  // hom into the truncated prefix
+      {*member_sub, *member_only},  // untripped definite positive
+      {*member_only, *member_sub},  // untripped definite negative
+  };
+  Result<std::vector<PairVerdict>> verdicts = engine.CheckPairs(pairs);
+  ASSERT_TRUE(verdicts.ok()) << verdicts.status().ToString();
+
+  // The cycle's chase tripped the atom budget and sub(X, Y) never embeds
+  // in the prefix (no chase rule invents sub facts), so "not contained"
+  // would be unsound: the verdict degrades to UNKNOWN(chase-atoms).
+  EXPECT_EQ((*verdicts)[0].resolution, Resolution::kUnknown);
+  EXPECT_EQ((*verdicts)[0].unknown_reason, TripReason::kChaseAtomBudget);
+  EXPECT_FALSE((*verdicts)[0].contained);
+
+  // Same truncated prefix, but mandatory(A, B) maps into the retained
+  // body atoms: a homomorphism into any prefix is a sound positive.
+  EXPECT_EQ((*verdicts)[1].resolution, Resolution::kContained);
+  EXPECT_TRUE((*verdicts)[1].contained);
+
+  // Pairs whose chases completed keep their definite verdicts.
+  EXPECT_EQ((*verdicts)[2].resolution, Resolution::kContained);
+  EXPECT_EQ((*verdicts)[3].resolution, Resolution::kNotContained);
+
+  EXPECT_EQ(engine.stats().unknown_pairs, 1u);
+  EXPECT_EQ(engine.stats().timed_out_pairs, 0u);
+  EXPECT_EQ(engine.stats().cancelled_pairs, 0u);
+}
+
+TEST(GovernedEngineTest, CancelLatchesAcrossBatchesUntilReset) {
+  World world;
+  BatchContainmentOptions options;
+  options.jobs = 1;
+  ContainmentEngine engine(world, options);
+  ASSERT_TRUE(
+      engine.AddQuery(Q(world, "s1() :- member(X, C), sub(C, D).")).ok());
+  ASSERT_TRUE(engine.AddQuery(Q(world, "s0() :- member(X, C).")).ok());
+
+  engine.Cancel();
+  EXPECT_TRUE(engine.cancel_requested());
+  Result<std::vector<std::vector<PairVerdict>>> cancelled = engine.CheckAll();
+  ASSERT_TRUE(cancelled.ok()) << cancelled.status().ToString();
+  EXPECT_EQ((*cancelled)[0][1].resolution, Resolution::kUnknown);
+  EXPECT_EQ((*cancelled)[0][1].unknown_reason, TripReason::kCancelled);
+  EXPECT_EQ((*cancelled)[1][0].resolution, Resolution::kUnknown);
+  EXPECT_EQ((*cancelled)[1][0].unknown_reason, TripReason::kCancelled);
+  EXPECT_EQ(engine.stats().cancelled_pairs, 2u);
+
+  engine.ResetCancel();
+  EXPECT_FALSE(engine.cancel_requested());
+  Result<std::vector<std::vector<PairVerdict>>> verdicts = engine.CheckAll();
+  ASSERT_TRUE(verdicts.ok()) << verdicts.status().ToString();
+  EXPECT_EQ((*verdicts)[0][1].resolution, Resolution::kContained);
+  EXPECT_EQ((*verdicts)[1][0].resolution, Resolution::kNotContained);
+  EXPECT_EQ(engine.stats().cancelled_pairs, 2u);
+}
+
+// TSan-runnable: Cancel() flips an atomic observed by the chase governor
+// on the checking thread; no other state is shared.
+TEST(GovernedEngineTest, CancelFromAnotherThreadStopsTheBatchPromptly) {
+  World world;
+  BatchContainmentOptions options;
+  options.jobs = 1;
+  // Make the atom budget a non-factor: only cancellation may stop this.
+  options.containment.max_chase_atoms = 10'000'000;
+  ContainmentEngine engine(world, options);
+  Result<size_t> chain = engine.AddQuery(MakeSubChainQuery(world, 2000, "cn"));
+  Result<size_t> probe = engine.AddQuery(Q(world, "p() :- member(X, C)."));
+  ASSERT_TRUE(chain.ok() && probe.ok());
+  std::vector<std::pair<size_t, size_t>> pairs = {{*chain, *probe}};
+
+  auto start = std::chrono::steady_clock::now();
+  std::thread canceller([&engine] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    engine.Cancel();
+  });
+  Result<std::vector<PairVerdict>> verdicts = engine.CheckPairs(pairs);
+  canceller.join();
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+
+  ASSERT_TRUE(verdicts.ok()) << verdicts.status().ToString();
+  EXPECT_EQ((*verdicts)[0].resolution, Resolution::kUnknown);
+  EXPECT_EQ((*verdicts)[0].unknown_reason, TripReason::kCancelled);
+  EXPECT_EQ(engine.stats().cancelled_pairs, 1u);
+  // The ~2M-atom transitivity closure is abandoned within a governor
+  // stride of the Cancel(); the generous bound keeps slow CI green while
+  // still ruling out "ran to completion anyway".
+  EXPECT_LT(elapsed.count(), 10'000);
+}
+
+// The ISSUE's acceptance scenario: one deliberately pathological pair
+// under a 200ms budget degrades to UNKNOWN(deadline) in bounded time
+// while every other pair in the same batch keeps its definite verdict.
+TEST(GovernedEngineTest, DeadlineTripIsolatedToPathologicalPair) {
+  World world;
+  BatchContainmentOptions options;
+  options.jobs = 1;
+  options.containment.max_chase_atoms = 10'000'000;
+  options.containment.budget.timeout_ms = 200;
+  ContainmentEngine engine(world, options);
+
+  Result<size_t> chain = engine.AddQuery(MakeSubChainQuery(world, 2000, "cn"));
+  Result<size_t> probe = engine.AddQuery(Q(world, "p() :- member(X, C)."));
+  Result<size_t> member_sub =
+      engine.AddQuery(Q(world, "s1() :- member(X, C), sub(C, D)."));
+  Result<size_t> member_only =
+      engine.AddQuery(Q(world, "s0() :- member(X, C)."));
+  ASSERT_TRUE(chain.ok() && probe.ok() && member_sub.ok() &&
+              member_only.ok());
+
+  // Pathological pair in the middle: isolation, not ordering, must save
+  // the definite pairs. Each pair re-anchors its own 200ms slices.
+  std::vector<std::pair<size_t, size_t>> pairs = {
+      {*member_sub, *member_only},
+      {*chain, *probe},
+      {*member_only, *member_sub},
+  };
+  auto start = std::chrono::steady_clock::now();
+  Result<std::vector<PairVerdict>> verdicts = engine.CheckPairs(pairs);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_TRUE(verdicts.ok()) << verdicts.status().ToString();
+
+  // The chain's ~2M-atom closure cannot finish inside 200ms; its prefix
+  // holds no member facts, so the probe finds no sound positive either.
+  EXPECT_EQ((*verdicts)[1].resolution, Resolution::kUnknown);
+  EXPECT_EQ((*verdicts)[1].unknown_reason, TripReason::kDeadlineExceeded);
+
+  EXPECT_EQ((*verdicts)[0].resolution, Resolution::kContained);
+  EXPECT_EQ((*verdicts)[2].resolution, Resolution::kNotContained);
+
+  EXPECT_EQ(engine.stats().unknown_pairs, 1u);
+  EXPECT_EQ(engine.stats().timed_out_pairs, 1u);
+  // Bounded: the pathological pair consumes at most ~2x its 200ms budget
+  // (chase slice + hom slice); the rest of the batch is trivial.
+  EXPECT_LT(elapsed.count(), 10'000);
 }
 
 }  // namespace

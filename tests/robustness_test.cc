@@ -41,6 +41,40 @@ TEST(RobustnessTest, QueryParserRejectsGarbage) {
   }
 }
 
+TEST(RobustnessTest, QuotedConstantEdgeCases) {
+  World world;
+  // Quotes delimit arbitrary constants, including empty and spaced ones.
+  EXPECT_TRUE(ParseQuery(world, "q(X) :- member(X, 'a class').").ok());
+  EXPECT_TRUE(ParseQuery(world, "q(X) :- member(X, '').").ok());
+  // Misplaced or unterminated quotes must come back as Status errors —
+  // never assertion failures — wherever a term or identifier can start.
+  const char* cases[] = {
+      "q(X) :- member(X, ').",
+      "q(X) :- member(X, 'abc).",
+      "q('unterminated :- member(X, c).",
+      "q(X) :- member('a, 'b).",
+      "'q'(X) :- member(X, c).",
+      "q(X) :- 'member'(X, c).",
+  };
+  for (const char* text : cases) {
+    Result<ConjunctiveQuery> q = ParseQuery(world, text);
+    EXPECT_FALSE(q.ok()) << "accepted: " << text;
+    EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument) << text;
+  }
+}
+
+TEST(RobustnessTest, ArityOverflowIsRejected) {
+  World world;
+  // kMaxArity is 6; a seventh argument must be a parse error, not a crash
+  // in the Atom constructor.
+  Result<ConjunctiveQuery> q =
+      ParseQuery(world, "q() :- p(A, B, C, D, E, F, G).");
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+  // The rejected arity must not poison the predicate table.
+  EXPECT_TRUE(ParseQuery(world, "q() :- p(A, A).").ok());
+}
+
 TEST(RobustnessTest, FlogicParserRejectsGarbage) {
   World world;
   const char* cases[] = {

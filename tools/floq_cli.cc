@@ -16,6 +16,13 @@
 //
 // Files use the F-logic surface syntax (see README). Everything runs under
 // the F-logic Lite semantics Sigma_FL of Calì & Kifer (VLDB'06).
+//
+// Global flags (anywhere after the command):
+//   --jobs N         worker threads for the batch commands (0 = cores)
+//   --timeout-ms N   wall-clock budget per containment check; a tripped
+//                    budget renders as UNKNOWN (exit 3), never as a
+//                    wrong definite verdict
+//   --hom-steps N    cap on homomorphism-search steps per check
 
 #include <cstdio>
 #include <cstdlib>
@@ -76,29 +83,39 @@ Result<std::vector<ConjunctiveQuery>> LoadRules(World& world,
   return rules;
 }
 
-int CmdCheck(const std::string& path) {
+int CmdCheck(const std::string& path, const ResourceBudget& budget) {
   World world;
   Result<std::vector<ConjunctiveQuery>> rules = LoadRules(world, path);
   if (!rules.ok()) return Fail(rules.status().ToString());
   if (rules->size() < 2) return Fail("check needs at least two rules");
   const ConjunctiveQuery& q1 = (*rules)[0];
   const ConjunctiveQuery& q2 = (*rules)[1];
-  Result<ContainmentResult> result = CheckContainment(world, q1, q2);
+  ContainmentOptions options;
+  options.budget = budget;
+  Result<ContainmentResult> result = CheckContainment(world, q1, q2, options);
   if (!result.ok()) return Fail(result.status().ToString());
   std::printf("%s", ExplainContainment(world, q1, q2, *result).c_str());
+  if (result->resolution == Resolution::kUnknown) return 3;
   return result->contained ? 0 : 2;
 }
 
-int CmdClassify(const std::string& path, int jobs) {
+int CmdClassify(const std::string& path, int jobs,
+                const ResourceBudget& budget) {
   World world;
   Result<std::vector<ConjunctiveQuery>> rules = LoadRules(world, path);
   if (!rules.ok()) return Fail(rules.status().ToString());
   BatchContainmentOptions options;
   options.jobs = jobs;  // 0 = hardware concurrency
+  options.containment.budget = budget;
   Result<QueryTaxonomy> taxonomy = ClassifyQueries(world, *rules, options);
   if (!taxonomy.ok()) return Fail(taxonomy.status().ToString());
   std::printf("%zu queries, %zu equivalence classes, %d checks\n",
               rules->size(), taxonomy->classes.size(), taxonomy->checks);
+  if (taxonomy->unknown_checks > 0) {
+    std::printf("%d check(s) returned UNKNOWN (resource budget tripped); "
+                "the taxonomy may be coarser than the true preorder\n",
+                taxonomy->unknown_checks);
+  }
   std::printf("taxonomy (general at the top, ⊂ below):\n%s",
               TaxonomyToString(*taxonomy, *rules, world).c_str());
   return 0;
@@ -146,7 +163,8 @@ int CmdMinimize(const std::string& path) {
 
 // Containment under a user dependency file (TGDs/EGDs; see
 // docs/LANGUAGE.md). Complete when the set is weakly acyclic.
-int CmdCheckUnder(const std::string& deps_path, const std::string& path) {
+int CmdCheckUnder(const std::string& deps_path, const std::string& path,
+                  const ResourceBudget& budget) {
   World world;
   std::string deps_text;
   if (!ReadFile(deps_path, deps_text)) {
@@ -165,6 +183,7 @@ int CmdCheckUnder(const std::string& deps_path, const std::string& path) {
               weakly_acyclic ? "yes" : "NO");
 
   ContainmentOptions options;
+  options.budget = budget;
   if (!weakly_acyclic) {
     options.level_override =
         (*rules)[1].size() * 2 * (*rules)[0].size();
@@ -175,6 +194,12 @@ int CmdCheckUnder(const std::string& deps_path, const std::string& path) {
   Result<ContainmentResult> result = CheckContainmentUnderDependencies(
       world, (*rules)[0], (*rules)[1], *deps, options);
   if (!result.ok()) return Fail(result.status().ToString());
+  if (result->resolution == Resolution::kUnknown) {
+    std::printf("q1 ⊆ q2 under the dependencies?  UNKNOWN (%s budget "
+                "tripped)\n",
+                TripReasonName(result->unknown_reason));
+    return 3;
+  }
   std::printf("q1 ⊆ q2 under the dependencies?  %s%s\n",
               result->contained ? "YES" : "no",
               result->conclusive ? "" : "  (inconclusive)");
@@ -363,15 +388,19 @@ int CmdRepl(const std::string& kb_path) {
 // Exits 0 when clean or warnings only, 2 when an error-severity
 // diagnostic fired, 1 on operational failure (unreadable file).
 int CmdLint(const std::string& path, const std::string& deps_path,
-            bool json) {
+            bool json, const ResourceBudget& budget) {
   World world;
+  analysis::AnalyzeOptions options;
+  // A tripped budget keeps the semantic probes silent (never wrong).
+  options.query.budget = budget;
   // (filename, diagnostics) per linted source.
   std::vector<std::pair<std::string, std::vector<analysis::Diagnostic>>>
       groups;
   if (!path.empty()) {
     std::string text;
     if (!ReadFile(path, text)) return Fail("cannot read " + path);
-    groups.push_back({path, analysis::AnalyzeProgramText(world, text)});
+    groups.push_back(
+        {path, analysis::AnalyzeProgramText(world, text, options)});
   }
   if (!deps_path.empty()) {
     std::string text;
@@ -432,7 +461,9 @@ int Usage() {
                "  floq query <kb.fl> '<query>'\n"
                "  floq consistency <kb.fl>\n"
                "  floq lint [--json] [--deps <deps.fl>] [<file.fl>]\n"
-               "  floq repl [kb.fl]\n");
+               "  floq repl [kb.fl]\n"
+               "global flags: --jobs N, --timeout-ms N, --hom-steps N\n"
+               "(a tripped budget renders as UNKNOWN and exits 3)\n");
   return 64;
 }
 
@@ -443,27 +474,39 @@ int main(int argc, char** argv) {
   if (args.empty()) return Usage();
   const std::string& command = args[0];
 
-  // `--jobs N` (anywhere after the command): homomorphism fan-out width
-  // for the batch commands. 0 = hardware concurrency (the default).
-  int jobs = 0;
+  // Global value flags (anywhere after the command): `--jobs N` sets the
+  // homomorphism fan-out width for the batch commands (0 = hardware
+  // concurrency, the default); `--timeout-ms N` and `--hom-steps N` set
+  // the resource budget for the governed commands.
+  int64_t jobs64 = 0, timeout_ms = 0, hom_steps = 0;
   for (size_t i = 1; i + 1 < args.size();) {
-    if (args[i] == "--jobs") {
-      char* end = nullptr;
-      long value = std::strtol(args[i + 1].c_str(), &end, 10);
-      if (end == args[i + 1].c_str() || *end != '\0' || value < 0) {
-        return Fail("--jobs needs a non-negative integer, got '" +
-                    args[i + 1] + "'");
-      }
-      jobs = int(value);
-      args.erase(args.begin() + long(i), args.begin() + long(i) + 2);
-    } else {
+    int64_t* slot = args[i] == "--jobs"         ? &jobs64
+                    : args[i] == "--timeout-ms" ? &timeout_ms
+                    : args[i] == "--hom-steps"  ? &hom_steps
+                                                : nullptr;
+    if (slot == nullptr) {
       ++i;
+      continue;
     }
+    char* end = nullptr;
+    long long value = std::strtoll(args[i + 1].c_str(), &end, 10);
+    if (end == args[i + 1].c_str() || *end != '\0' || value < 0) {
+      return Fail(args[i] + " needs a non-negative integer, got '" +
+                  args[i + 1] + "'");
+    }
+    *slot = value;
+    args.erase(args.begin() + long(i), args.begin() + long(i) + 2);
   }
+  int jobs = int(jobs64);
+  ResourceBudget budget;
+  budget.timeout_ms = timeout_ms;
+  budget.hom_step_budget = uint64_t(hom_steps);
 
-  if (command == "check" && args.size() == 2) return CmdCheck(args[1]);
+  if (command == "check" && args.size() == 2) {
+    return CmdCheck(args[1], budget);
+  }
   if (command == "classify" && args.size() == 2) {
-    return CmdClassify(args[1], jobs);
+    return CmdClassify(args[1], jobs, budget);
   }
   if ((command == "chase" || command == "dot") &&
       (args.size() == 2 || args.size() == 3)) {
@@ -473,7 +516,7 @@ int main(int argc, char** argv) {
   if (command == "minimize" && args.size() == 2) return CmdMinimize(args[1]);
   if (command == "core" && args.size() == 2) return CmdCore(args[1]);
   if (command == "check-under" && args.size() == 3) {
-    return CmdCheckUnder(args[1], args[2]);
+    return CmdCheckUnder(args[1], args[2], budget);
   }
   if (command == "views" && args.size() == 2) return CmdViews(args[1]);
   if (command == "query" && args.size() == 3) {
@@ -498,7 +541,7 @@ int main(int argc, char** argv) {
       }
     }
     if (bad || (file_path.empty() && deps_path.empty())) return Usage();
-    return CmdLint(file_path, deps_path, json);
+    return CmdLint(file_path, deps_path, json, budget);
   }
   if (command == "repl" && args.size() <= 2) {
     return CmdRepl(args.size() == 2 ? args[1] : std::string());

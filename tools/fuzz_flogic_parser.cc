@@ -1,0 +1,31 @@
+// libFuzzer target for the F-logic surface parser (FLOQ_FUZZ=ON, Clang
+// only). Seeds: the .fl files under testdata/. Any assertion failure,
+// sanitizer report, or hang on arbitrary bytes is a finding.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "flogic/parser.h"
+#include "term/world.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  {
+    floq::World world;
+    (void)floq::flogic::ParseProgram(world, text);
+  }
+  {
+    floq::World world;
+    (void)floq::flogic::ParseProgramLenient(world, text);
+  }
+  {
+    floq::World world;
+    (void)floq::flogic::ParseQuery(world, text);
+  }
+  {
+    floq::World world;
+    (void)floq::flogic::ParseFormula(world, text);
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// libFuzzer target for the predicate-notation query parser (FLOQ_FUZZ=ON,
+// Clang only). Every entry point must return a clean Status on arbitrary
+// bytes — any assertion failure, sanitizer report, or hang is a finding.
+//
+//   clang++ -fsanitize=fuzzer,address ...   (via -DFLOQ_FUZZ=ON)
+//   ./fuzz_query_parser testdata/ -max_total_time=60
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "query/parser.h"
+#include "term/world.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  {
+    floq::World world;
+    (void)floq::ParseQuery(world, text);
+  }
+  {
+    floq::World world;
+    (void)floq::ParseQueryAllowUnsafeHead(world, text);
+  }
+  {
+    floq::World world;
+    (void)floq::ParseQueries(world, text);
+  }
+  {
+    floq::World world;
+    (void)floq::ParseAtoms(world, text);
+  }
+  return 0;
+}
