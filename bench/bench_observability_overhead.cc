@@ -1,0 +1,295 @@
+// Experiment E13 — cost of the observability layer (DESIGN.md §12). The
+// instrumentation contract is "zero overhead when off": every metrics
+// site is gated on one relaxed atomic load (MetricsRegistry::enabled())
+// and every trace span on one relaxed pointer load
+// (TraceSession::Current()), so a build with the layer compiled in but
+// the sinks disarmed must run at the seed's speed. This benchmark
+// measures that claim — and the armed-sink tax, for the record — on the
+// hom-search corpus of E12 plus a per-pass chase (the two instrumented
+// hot paths):
+//
+//   * off        — sinks disarmed: the production default. Run twice;
+//                  the run-to-run ratio is the headline number, since
+//                  inside one binary "disabled instrumentation" can only
+//                  be distinguished from "no instrumentation" by noise.
+//   * metrics    — MetricsRegistry armed (what --metrics-out does).
+//   * metrics+trace — registry armed and a TraceSession installed (what
+//                  --metrics-out --trace-out does).
+//
+// Per configuration the report records best-of-N wall times and the
+// arm/off ratios; the headline geomean_overhead_ratio (off run-to-run)
+// targets < 1.02, and CI fails the build past 1.05 (E13). Results go to
+// BENCH_observability.json and stdout.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chase/chase.h"
+#include "containment/homomorphism.h"
+#include "datalog/match.h"
+#include "gen/generators.h"
+#include "term/world.h"
+#include "util/check.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+#include "util/trace.h"
+
+namespace {
+
+using namespace floq;
+
+struct CorpusConfig {
+  const char* name;
+  int target_atoms;   // size of the random q1 whose chase is the target
+  int target_pool;    // q1 variable pool (smaller => denser target)
+  int probe_atoms;    // size of each probe body
+  int probe_pool;     // probe variable pool (random probes only)
+  bool subquery_probes;  // sample probes from the target's own body
+  bool enumerate_all;    // count every match instead of stopping at one
+  int probes;            // probes per pass
+};
+
+// The E12 axes, minus the widest config (four arms instead of two keep
+// the wall budget of a CI run). short failing searches stress the
+// per-call fold (one MatchConjunction = one fold); full enumerations
+// stress the per-event cost inside a single fold window.
+constexpr CorpusConfig kCorpus[] = {
+    {"random_sparse_first", 24, 10, 8, 5, false, false, 64},
+    {"random_dense_first", 24, 6, 12, 4, false, false, 64},
+    {"subquery_small_all", 24, 8, 5, 0, true, true, 24},
+    {"subquery_mid_all", 48, 10, 7, 0, true, true, 16},
+    {"subquery_deep_all", 64, 8, 9, 0, true, true, 8},
+};
+
+enum class Arm { kOff, kMetrics, kMetricsAndTrace };
+
+struct RunMetrics {
+  double wall_ms = 0;  // best pass
+  uint64_t nodes = 0;  // of one pass, for cross-arm agreement
+  uint64_t found = 0;
+};
+
+struct Workload {
+  World world;
+  gen::RandomQuerySpec target_spec;
+  ChaseResult chase;
+  std::vector<ConjunctiveQuery> probes;
+};
+
+// Fills a caller-owned Workload (World is neither copyable nor movable).
+void MakeWorkload(const CorpusConfig& config, Workload& w) {
+  gen::RandomQuerySpec& target_spec = w.target_spec;
+  target_spec.seed = 977;
+  target_spec.atoms = config.target_atoms;
+  target_spec.variable_pool = config.target_pool;
+  target_spec.constant_pool = 3;
+  target_spec.constant_probability = 0.0;
+  target_spec.arity = 0;
+  target_spec.with_constraints = false;
+  ConjunctiveQuery q1 = gen::MakeRandomQuery(w.world, target_spec, "target");
+  w.chase = ChaseLevelZero(w.world, q1);
+
+  Rng rng(4242);
+  for (int t = 0; t < config.probes; ++t) {
+    if (config.subquery_probes) {
+      std::vector<Atom> body = q1.body();
+      for (size_t i = body.size(); i > 1; --i) {
+        std::swap(body[i - 1], body[rng.Below(i)]);
+      }
+      body.resize(size_t(config.probe_atoms));
+      ConjunctiveQuery probe("probe", {}, std::move(body));
+      w.probes.push_back(probe.RenameApart(w.world));
+    } else {
+      gen::RandomQuerySpec spec;
+      spec.seed = uint64_t(t) * 131 + 17;
+      spec.atoms = config.probe_atoms;
+      spec.variable_pool = config.probe_pool;
+      spec.constant_pool = 3;
+      spec.constant_probability = 0.0;
+      spec.arity = 0;
+      spec.with_constraints = false;
+      w.probes.push_back(
+          gen::MakeRandomQuery(w.world, spec, "probe").RenameApart(w.world));
+    }
+  }
+}
+
+// One pass: a level-0 chase of the target (exercises the chase driver's
+// span + stats fold) followed by every probe search (one MatchConjunction
+// fold each). The sinks are armed by the caller, not here, so the pass
+// body is identical across arms. The chase runs in a scratch world so no
+// arm inherits symbol-table growth from the arms timed before it.
+RunMetrics OnePass(const Workload& workload, const CorpusConfig& config) {
+  RunMetrics metrics;
+  {
+    World scratch;
+    ConjunctiveQuery q =
+        gen::MakeRandomQuery(scratch, workload.target_spec, "target");
+    ChaseResult chase = ChaseLevelZero(scratch, q);
+    metrics.nodes += chase.size();
+  }
+  for (const ConjunctiveQuery& probe : workload.probes) {
+    MatchStats stats;
+    if (config.enumerate_all) {
+      constexpr uint64_t kMatchCap = 20000;
+      uint64_t matches = 0;
+      MatchConjunction(
+          probe.body(), workload.chase.conjuncts(), Substitution(),
+          [&](const Substitution&) { return ++matches < kMatchCap; }, &stats);
+      metrics.found += matches;
+    } else {
+      if (FindQueryHomomorphism(probe, workload.chase.conjuncts(), {},
+                                &stats)) {
+        ++metrics.found;
+      }
+    }
+    metrics.nodes += stats.nodes_visited;
+  }
+  return metrics;
+}
+
+RunMetrics TimedRun(const Workload& workload, const CorpusConfig& config,
+                    Arm arm) {
+  MetricsRegistry::set_enabled(arm != Arm::kOff);
+  std::optional<TraceSession> trace;
+  // A per-thread ring big enough that no pass wraps it (wrap bookkeeping
+  // is the same cost, but keep the arms comparable).
+  if (arm == Arm::kMetricsAndTrace) trace.emplace(size_t{1} << 16);
+
+  OnePass(workload, config);  // warm-up
+  RunMetrics best;
+  constexpr int kPasses = 7;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    auto start = std::chrono::steady_clock::now();
+    RunMetrics metrics = OnePass(workload, config);
+    auto stop = std::chrono::steady_clock::now();
+    metrics.wall_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (pass == 0 || metrics.wall_ms < best.wall_ms) best = metrics;
+  }
+
+  MetricsRegistry::set_enabled(false);
+  MetricsRegistry::Get().Reset();
+  return best;
+}
+
+void WriteObservabilityReport() {
+  std::string json;
+  json += "{\n  \"experiment\": \"observability_overhead\",\n";
+  json += "  \"passes\": 7,\n  \"arms\": [\"off\", \"off_repeat\", "
+          "\"metrics\", \"metrics_trace\"],\n  \"configs\": [\n";
+
+  double log_noise_sum = 0;
+  double log_metrics_sum = 0;
+  double log_trace_sum = 0;
+  int config_count = 0;
+  bool all_agree = true;
+
+  for (const CorpusConfig& config : kCorpus) {
+    Workload workload;
+    MakeWorkload(config, workload);
+
+    RunMetrics off = TimedRun(workload, config, Arm::kOff);
+    RunMetrics off_repeat = TimedRun(workload, config, Arm::kOff);
+    RunMetrics with_metrics = TimedRun(workload, config, Arm::kMetrics);
+    RunMetrics with_trace = TimedRun(workload, config, Arm::kMetricsAndTrace);
+
+    // Armed sinks must not change the search or the chase.
+    bool agree = off.found == with_metrics.found &&
+                 off.nodes == with_metrics.nodes &&
+                 off.found == with_trace.found &&
+                 off.nodes == with_trace.nodes &&
+                 off.nodes == off_repeat.nodes;
+    all_agree = all_agree && agree;
+
+    double noise = off.wall_ms > 0 ? off_repeat.wall_ms / off.wall_ms : 1.0;
+    double metrics_ratio =
+        off.wall_ms > 0 ? with_metrics.wall_ms / off.wall_ms : 1.0;
+    double trace_ratio =
+        off.wall_ms > 0 ? with_trace.wall_ms / off.wall_ms : 1.0;
+    log_noise_sum += std::log(noise);
+    log_metrics_sum += std::log(metrics_ratio);
+    log_trace_sum += std::log(trace_ratio);
+    ++config_count;
+
+    char buffer[640];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "    {\"name\": \"%s\", \"target_conjuncts\": %u, "
+        "\"probe_atoms\": %d, \"mode\": \"%s\", \"probes\": %d, "
+        "\"nodes_per_pass\": %llu,\n"
+        "      \"off_wall_ms\": %.3f, \"off_repeat_wall_ms\": %.3f, "
+        "\"metrics_wall_ms\": %.3f, \"metrics_trace_wall_ms\": %.3f,\n"
+        "      \"off_ratio\": %.4f, \"metrics_ratio\": %.4f, "
+        "\"metrics_trace_ratio\": %.4f, \"verdicts_agree\": %s}",
+        config.name, workload.chase.size(), config.probe_atoms,
+        config.enumerate_all ? "all_matches" : "first_match", config.probes,
+        (unsigned long long)off.nodes, off.wall_ms, off_repeat.wall_ms,
+        with_metrics.wall_ms, with_trace.wall_ms, noise, metrics_ratio,
+        trace_ratio, agree ? "true" : "false");
+    json += buffer;
+    json += (&config == &kCorpus[std::size(kCorpus) - 1]) ? "\n" : ",\n";
+  }
+
+  double geomean_noise = std::exp(log_noise_sum / config_count);
+  double geomean_metrics = std::exp(log_metrics_sum / config_count);
+  double geomean_trace = std::exp(log_trace_sum / config_count);
+  char buffer[384];
+  std::snprintf(buffer, sizeof(buffer),
+                "  ],\n  \"geomean_overhead_ratio\": %.4f,\n"
+                "  \"geomean_metrics_ratio\": %.4f,\n"
+                "  \"geomean_trace_ratio\": %.4f,\n"
+                "  \"target_ratio\": 1.02,\n"
+                "  \"all_verdicts_agree\": %s\n}\n",
+                geomean_noise, geomean_metrics, geomean_trace,
+                all_agree ? "true" : "false");
+  json += buffer;
+
+  std::printf(
+      "== E13: observability overhead (off / metrics / metrics+trace) ==\n"
+      "%s\n",
+      json.c_str());
+  std::FILE* file = std::fopen("BENCH_observability.json", "w");
+  FLOQ_CHECK(file != nullptr);
+  std::fputs(json.c_str(), file);
+  std::fclose(file);
+  std::printf("(report written to BENCH_observability.json)\n\n");
+}
+
+// ---- google-benchmark timers ------------------------------------------------
+
+void BM_InstrumentedHomSearch(benchmark::State& state) {
+  const Arm arm = Arm(state.range(0));
+  const CorpusConfig& config = kCorpus[3];  // subquery_mid_all
+  Workload workload;
+  MakeWorkload(config, workload);
+  MetricsRegistry::set_enabled(arm != Arm::kOff);
+  std::optional<TraceSession> trace;
+  if (arm == Arm::kMetricsAndTrace) trace.emplace(size_t{1} << 16);
+  for (auto _ : state) {
+    RunMetrics metrics = OnePass(workload, config);
+    benchmark::DoNotOptimize(metrics.found);
+  }
+  MetricsRegistry::set_enabled(false);
+  MetricsRegistry::Get().Reset();
+}
+BENCHMARK(BM_InstrumentedHomSearch)
+    ->ArgNames({"arm"})
+    ->Args({0})
+    ->Args({1})
+    ->Args({2});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  WriteObservabilityReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -8,7 +8,9 @@
 #include "chase/term_union_find.h"
 #include "datalog/evaluator.h"
 #include "datalog/match.h"
+#include "util/metrics.h"
 #include "util/strings.h"
+#include "util/trace.h"
 
 namespace floq {
 
@@ -52,15 +54,18 @@ class ChaseEngine {
       : world_(world), options_(options), sigma_(MakeSigmaFL(world)) {}
 
   void Run(const ConjunctiveQuery& query, ExecGovernor* governor = nullptr) {
+    TraceSpan span("chase.run");
+    const ChaseStats before = result_.stats_;
     // Initial conjuncts: body(q) at level 0. Inserted before the governor
     // is armed: a resumed run cannot re-seed them, so they must all be
     // present before any trip can stop the engine.
     for (const Atom& atom : query.body()) {
-      if (!InsertNode(atom, 0, kRho0, {})) return Seal();
+      if (!InsertNode(atom, 0, kRho0, {})) return Finish(span, before);
     }
     result_.head_ = query.head();
     SetGovernor(governor);
     Advance();
+    Finish(span, before);
   }
 
   /// Resumes a kLevelCapped chase with a deeper level cap, or an
@@ -76,11 +81,14 @@ class ChaseEngine {
     } else if (outcome != ChaseOutcome::kInterrupted) {
       return;
     }
+    TraceSpan span("chase.deepen");
+    const ChaseStats before = result_.stats_;
     options_.max_level = std::max(options_.max_level, new_max_level);
     SetGovernor(governor);
     full_recheck_ = true;
     delta_.clear();
     Advance();
+    Finish(span, before);
   }
 
   const ChaseResult& result() const { return result_; }
@@ -212,6 +220,9 @@ class ChaseEngine {
     result_.max_level_ = std::max(result_.max_level_, level);
     delta_.push_back(atom);
     if (rule != kRho0) ++result_.stats_.tgd_applications;
+    if (rule > kRho0 && rule <= kRho12) {
+      ++result_.stats_.rule_fired[size_t(rule)];
+    }
     if (index().size() > options_.max_atoms) {
       result_.outcome_ = ChaseOutcome::kBudgetExceeded;
       return false;
@@ -493,6 +504,21 @@ class ChaseEngine {
 
   void Seal() { result_.stats_.egd_merges = uf_.merge_count(); }
 
+  // End-of-run observability: annotates the surrounding span with the
+  // final shape and folds the stats delta of this Run/Deepen call into
+  // the registry. Both are no-ops with no sink installed.
+  void Finish(TraceSpan& span, const ChaseStats& before) {
+    Seal();  // idempotent; covers early returns that bypass Advance()
+    if (span.active()) {
+      span.Arg("outcome", ChaseOutcomeName(result_.outcome_))
+          .Arg("conjuncts", int64_t(result_.conjuncts_.size()))
+          .Arg("max_level", int64_t(result_.max_level_))
+          .Arg("level_cap", int64_t(options_.max_level));
+    }
+    FoldChaseMetrics(before, result_.stats_, result_,
+                     /*generic_driver=*/false);
+  }
+
   World& world_;
   ChaseOptions options_;
   SigmaFL sigma_;
@@ -508,6 +534,55 @@ class ChaseEngine {
   // (object, attribute) pairs rho_5 has fired for (oblivious mode).
   std::set<std::pair<Term, Term>> rho5_fired_;
 };
+
+void FoldChaseMetrics(const ChaseStats& before, const ChaseStats& after,
+                      const ChaseResult& result, bool generic_driver) {
+  if (!MetricsRegistry::enabled()) return;
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  // All twelve rule counters are registered eagerly (not on first firing)
+  // so a metrics export always carries the full rho_1..rho_12 series,
+  // zeros included.
+  static const std::array<Counter*, 13>& rules = *[] {
+    auto* out = new std::array<Counter*, 13>{};
+    for (int k = 1; k <= 12; ++k) {
+      (*out)[size_t(k)] =
+          &MetricsRegistry::Get().counter(StrCat("chase.rule.rho", k));
+    }
+    return out;
+  }();
+  for (int k = 1; k <= 12; ++k) {
+    uint64_t fired =
+        after.rule_fired[size_t(k)] - before.rule_fired[size_t(k)];
+    if (fired > 0) rules[size_t(k)]->Add(fired);
+  }
+
+  static Counter& runs = registry.counter("chase.runs");
+  static Counter& generic_runs = registry.counter("generic_chase.runs");
+  static Counter& rounds = registry.counter("chase.rounds");
+  static Counter& applications = registry.counter("chase.tgd_applications");
+  static Counter& nulls = registry.counter("chase.fresh_nulls");
+  static Counter& merges = registry.counter("chase.egd_merges");
+  static Counter& rebuilds = registry.counter("chase.rebuilds");
+  (generic_driver ? generic_runs : runs).Add(1);
+  if (after.rounds > before.rounds) rounds.Add(after.rounds - before.rounds);
+  if (after.tgd_applications > before.tgd_applications) {
+    applications.Add(after.tgd_applications - before.tgd_applications);
+  }
+  if (after.fresh_nulls > before.fresh_nulls) {
+    nulls.Add(after.fresh_nulls - before.fresh_nulls);
+  }
+  if (after.egd_merges > before.egd_merges) {
+    merges.Add(after.egd_merges - before.egd_merges);
+  }
+  if (after.rebuilds > before.rebuilds) {
+    rebuilds.Add(after.rebuilds - before.rebuilds);
+  }
+
+  static Histogram& level = registry.histogram("chase.max_level");
+  static Histogram& conjuncts = registry.histogram("chase.conjuncts");
+  level.Record(uint64_t(std::max(result.max_level(), 0)));
+  conjuncts.Record(result.size());
+}
 
 uint32_t ChaseResult::CountUpToLevel(int level) const {
   uint32_t count = 0;

@@ -1,6 +1,7 @@
 #ifndef FLOQ_CHASE_CHASE_H_
 #define FLOQ_CHASE_CHASE_H_
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -100,7 +101,21 @@ struct ChaseStats {
   uint64_t fresh_nulls = 0;
   uint64_t egd_merges = 0;
   uint64_t rebuilds = 0;
+  /// Applications per Sigma_FL rule, indexed by RuleId (kRho1..kRho12;
+  /// slot 0 is unused — initial conjuncts are not rule firings). The
+  /// generic driver's user TGDs carry synthetic ids >= 1000 and are
+  /// counted in tgd_applications only.
+  std::array<uint64_t, 13> rule_fired{};
 };
+
+class ChaseResult;
+
+/// Folds the difference between two stats snapshots (plus the run's final
+/// shape) into the process-wide MetricsRegistry. No-op when metrics are
+/// disabled. Called by both chase drivers at the end of every run/resume;
+/// exposed so external chase-like drivers can report the same series.
+void FoldChaseMetrics(const ChaseStats& before, const ChaseStats& after,
+                      const ChaseResult& result, bool generic_driver);
 
 /// The materialized (prefix of the) chase, with the chase graph.
 class ChaseResult {

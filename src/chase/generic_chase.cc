@@ -6,6 +6,8 @@
 #include "chase/term_union_find.h"
 #include "datalog/evaluator.h"
 #include "datalog/match.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace floq {
 
@@ -32,15 +34,16 @@ class GenericChaseEngine {
 
   ChaseResult Run(const std::vector<Atom>& initial,
                   const std::vector<Term>& head) {
+    TraceSpan span("generic_chase.run");
     for (const Atom& atom : initial) {
-      if (!InsertNode(atom, 0, kRho0, {})) return Finish();
+      if (!InsertNode(atom, 0, kRho0, {})) return Finish(span);
     }
     result_.head_ = head;
 
     bool saw_beyond_cap = false;
     for (;;) {
-      if (Interrupted()) return Finish();
-      if (!EgdFixpoint()) return Finish();
+      if (Interrupted()) return Finish(span);
+      if (!EgdFixpoint()) return Finish(span);
 
       DeltaWindow window = TakeDelta();
       std::vector<PendingGenericTgd> pending = Collect(window);
@@ -56,13 +59,13 @@ class GenericChaseEngine {
       if (now.empty()) {
         // A trip during collection truncates the pending set; re-check
         // before declaring quiescence.
-        if (Interrupted()) return Finish();
+        if (Interrupted()) return Finish(span);
         result_.outcome_ = saw_beyond_cap ? ChaseOutcome::kLevelCapped
                                           : ChaseOutcome::kCompleted;
-        return Finish();
+        return Finish(span);
       }
       for (const PendingGenericTgd& p : now) {
-        if (!Apply(p)) return Finish();
+        if (!Apply(p)) return Finish(span);
       }
       ++result_.stats_.rounds;
     }
@@ -297,8 +300,18 @@ class GenericChaseEngine {
     full_recheck_ = true;
   }
 
-  ChaseResult Finish() {
+  ChaseResult Finish(TraceSpan& span) {
     result_.stats_.egd_merges = uf_.merge_count();
+    if (span.active()) {
+      span.Arg("outcome", ChaseOutcomeName(result_.outcome_))
+          .Arg("conjuncts", int64_t(result_.conjuncts_.size()))
+          .Arg("max_level", int64_t(result_.max_level_))
+          .Arg("tgds", int64_t(dependencies_.tgds.size()));
+    }
+    // One-shot engine: stats start from zero, so the "before" snapshot is
+    // the default-constructed ChaseStats.
+    FoldChaseMetrics(ChaseStats{}, result_.stats_, result_,
+                     /*generic_driver=*/true);
     return std::move(result_);
   }
 

@@ -1,10 +1,20 @@
 #include "containment/containment.h"
 
+#include <chrono>
+
 #include "util/strings.h"
+#include "util/trace.h"
 
 namespace floq {
 
 namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double MsSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() - start)
+      .count();
+}
 
 Status ValidatePair(const World& world, const ConjunctiveQuery& q1,
                     const ConjunctiveQuery& q2) {
@@ -80,16 +90,30 @@ Result<ContainmentResult> CheckContainment(World& world,
   ChaseOptions chase_options;
   chase_options.max_level = level_bound;
   chase_options.max_atoms = options.max_chase_atoms;
+  chase_options.record_cross_arcs = options.record_cross_arcs;
   if (governed) chase_options.governor = &chase_governor;
   ContainmentResult result;
   result.level_bound = level_bound;
+  TraceSpan span("check.containment");
+  const SteadyClock::time_point chase_start = SteadyClock::now();
   result.chase = ChaseQuery(world, q1, chase_options);
+  result.chase_ms = MsSince(chase_start);
+  FoldGovernorMetrics(chase_governor);
+
+  auto annotate = [&]() {
+    if (span.active()) {
+      span.Arg("resolution", ResolutionName(result.resolution))
+          .Arg("level_bound", int64_t(result.level_bound))
+          .Arg("chase_conjuncts", int64_t(result.chase.size()));
+    }
+  };
 
   if (result.chase.failed()) {
     // q1 has no answers on any database satisfying Sigma_FL, so it is
     // contained in every query of the same arity.
     MarkContained(result);
     result.q1_unsatisfiable = true;
+    annotate();
     return result;
   }
 
@@ -101,6 +125,7 @@ Result<ContainmentResult> CheckContainment(World& world,
     // the prefix — a positive would be sound, but the caller's clock has
     // already run out.
     MarkUnknown(result, chase_trip);
+    annotate();
     return result;
   }
 
@@ -117,15 +142,22 @@ Result<ContainmentResult> CheckContainment(World& world,
   // witness in terms of q2's original variables.
   Substitution renaming;
   ConjunctiveQuery q2_fresh = q2.RenameApart(world, &renaming);
+  const SteadyClock::time_point hom_start = SteadyClock::now();
   std::optional<Substitution> hom =
       FindQueryHomomorphism(q2_fresh, result.chase.conjuncts(),
                             result.chase.head(), &result.hom_stats, match);
+  result.hom_ms = MsSince(hom_start);
+  // Only the stage-local governor is folded: a caller-supplied shared
+  // governor accumulates steps across calls and would double-count.
+  if (match.governor == &hom_governor) FoldGovernorMetrics(hom_governor);
   if (hom.has_value()) {
     result.witness = renaming.ComposeWith(*hom);
     MarkContained(result);
+    annotate();
     return result;
   }
   ResolveNegative(result, chase_trip, match.governor);
+  annotate();
   return result;
 }
 
@@ -145,11 +177,15 @@ Result<ContainmentResult> CheckClassicalContainment(
 
   ContainmentResult result;
   result.level_bound = -1;
+  TraceSpan span("check.classical");
   Substitution renaming;
   ConjunctiveQuery q2_fresh = q2.RenameApart(world, &renaming);
+  const SteadyClock::time_point hom_start = SteadyClock::now();
   std::optional<Substitution> hom =
       FindQueryHomomorphism(q2_fresh, target, q1.head(), &result.hom_stats,
                             match);
+  result.hom_ms = MsSince(hom_start);
+  if (match.governor == &hom_governor) FoldGovernorMetrics(hom_governor);
   if (hom.has_value()) {
     result.witness = renaming.ComposeWith(*hom);
     MarkContained(result);
@@ -274,7 +310,11 @@ Result<ContainmentResult> CheckContainmentUnderDependencies(
 
   ContainmentResult result;
   result.level_bound = level_bound;
+  TraceSpan span("check.under_dependencies");
+  const SteadyClock::time_point chase_start = SteadyClock::now();
   result.chase = GenericChase(world, q1, dependencies, chase_options);
+  result.chase_ms = MsSince(chase_start);
+  FoldGovernorMetrics(chase_governor);
 
   if (result.chase.failed()) {
     MarkContained(result);
@@ -297,9 +337,12 @@ Result<ContainmentResult> CheckContainmentUnderDependencies(
 
   Substitution renaming;
   ConjunctiveQuery q2_fresh = q2.RenameApart(world, &renaming);
+  const SteadyClock::time_point hom_start = SteadyClock::now();
   std::optional<Substitution> hom =
       FindQueryHomomorphism(q2_fresh, result.chase.conjuncts(),
                             result.chase.head(), &result.hom_stats, match);
+  result.hom_ms = MsSince(hom_start);
+  if (match.governor == &hom_governor) FoldGovernorMetrics(hom_governor);
   if (hom.has_value()) {
     result.witness = renaming.ComposeWith(*hom);
     MarkContained(result);

@@ -57,6 +57,10 @@ struct ContainmentOptions {
   /// Resolution::kUnknown with a typed reason instead of a spurious
   /// "not contained" (see governor.h for the soundness argument).
   ResourceBudget budget;
+  /// Record chase-graph cross-arcs (Definition 3(4)) in result.chase so a
+  /// DOT export shows the full graph. Extra bookkeeping; off by default.
+  /// Used by `floq explain --chase-dot`.
+  bool record_cross_arcs = false;
 };
 
 struct ContainmentResult {
@@ -99,6 +103,11 @@ struct ContainmentResult {
 
   /// Homomorphism search effort.
   MatchStats hom_stats;
+
+  /// Wall-clock cost of each stage of this check (zero for stages that
+  /// never ran). Surfaced by `floq explain --profile`.
+  double chase_ms = 0.0;
+  double hom_ms = 0.0;
 };
 
 /// Decides q1 ⊆_Sigma_FL q2. Fails with kInvalidArgument if the queries

@@ -1,13 +1,27 @@
 #include "containment/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 
 #include "containment/homomorphism.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace floq {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double MsSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 // Per-query cache slot. `chase` (or `body_index` in kNone mode) is built
 // the first time the query appears as a left-hand side and reused — and
@@ -66,6 +80,18 @@ void MarkPairUnknown(PairVerdict& verdict, TripReason reason) {
   verdict.unknown_reason = reason;
 }
 
+// Writes the elapsed milliseconds since construction into *out at scope
+// exit — times a per-pair stage across its early `continue`s / `return`s.
+class StageTimer {
+ public:
+  explicit StageTimer(double* out) : out_(out) {}
+  ~StageTimer() { *out_ = MsSince(start_); }
+
+ private:
+  double* out_;
+  SteadyClock::time_point start_ = SteadyClock::now();
+};
+
 }  // namespace
 
 void ContainmentEngine::Cancel() { cancel_source_.Cancel(); }
@@ -94,6 +120,14 @@ Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
     }
   }
 
+  TraceSpan batch_span("engine.check_pairs");
+  if (batch_span.active()) {
+    batch_span.Arg("pairs", int64_t(pairs.size()));
+  }
+  // Snapshot for the per-batch metrics fold at the end (stats_ is
+  // cumulative across batches).
+  const BatchStats stats_before = stats_;
+
   std::vector<PairVerdict> verdicts(pairs.size());
   std::vector<uint8_t> needs_search(pairs.size(), 0);
   // Why this pair's chase prefix cannot refute containment (kNone when it
@@ -114,6 +148,11 @@ Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
     Entry& l = *entries_[lhs];
     PairVerdict& verdict = verdicts[k];
     ++stats_.chase_requests;
+    TraceSpan span("engine.chase_stage");
+    if (span.active()) {
+      span.Arg("lhs", int64_t(lhs)).Arg("rhs", int64_t(rhs));
+    }
+    StageTimer timer(&verdict.chase_ms);
 
     if (copts.depth == ChaseDepth::kNone) {
       verdict.level_bound = -1;
@@ -133,6 +172,7 @@ Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
     if (!chase_governor.CheckNow()) {
       // Already cancelled (or the absolute deadline has passed) before
       // this pair started: skip its chase entirely.
+      FoldGovernorMetrics(chase_governor);
       MarkPairUnknown(verdict, chase_governor.trip());
       continue;
     }
@@ -154,6 +194,11 @@ Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
     uint64_t deepenings_before = l.chase->deepen_count();
     const ChaseResult& chase = l.chase->EnsureLevel(level, &chase_governor);
     stats_.chase_deepenings += l.chase->deepen_count() - deepenings_before;
+    FoldGovernorMetrics(chase_governor);
+    if (span.active()) {
+      span.Arg("level", int64_t(level))
+          .Arg("outcome", ChaseOutcomeName(chase.outcome()));
+    }
 
     if (chase.failed()) {
       // lhs has no answers on any database satisfying Sigma_FL: contained
@@ -184,12 +229,13 @@ Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
   // Workers read frozen chase results directly (never EnsureLevel — an
   // interrupted frozen handle must not resume here) and run under a
   // per-pair hom governor with its own anchored timeout.
-  auto run_pair = [&](size_t k) {
-    if (needs_search[k] == 0) return;
+  const SteadyClock::time_point fanout_start = SteadyClock::now();
+  auto run_pair_inner = [&](size_t k) {
     PairVerdict& verdict = verdicts[k];
     ExecGovernor hom_governor = MakeHomGovernor(budget);
     hom_governor.AddCancellation(engine_token);
     if (!hom_governor.CheckNow()) {
+      FoldGovernorMetrics(hom_governor);
       MarkPairUnknown(verdict,
                       hom_governor.trip() == TripReason::kCancelled
                           ? TripReason::kCancelled
@@ -209,9 +255,11 @@ Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
                                                : l.chase->result().head();
     MatchOptions match = copts.match;
     match.governor = &hom_governor;
-    if (FindQueryHomomorphism(r.renamed, target, target_head,
-                              &verdict.hom_stats, match)
-            .has_value()) {
+    bool found = FindQueryHomomorphism(r.renamed, target, target_head,
+                                       &verdict.hom_stats, match)
+                     .has_value();
+    FoldGovernorMetrics(hom_governor);
+    if (found) {
       // Sound even into a truncated prefix (see governor.h).
       MarkPairContained(verdict);
       return;
@@ -223,6 +271,25 @@ Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
     } else {
       verdict.contained = false;
       verdict.resolution = Resolution::kNotContained;
+    }
+  };
+  auto run_pair = [&](size_t k) {
+    if (needs_search[k] == 0) return;
+    PairVerdict& verdict = verdicts[k];
+    verdict.queue_wait_ms = MsSince(fanout_start);
+    TraceSpan span("engine.hom_stage");
+    {
+      StageTimer timer(&verdict.hom_ms);
+      run_pair_inner(k);
+    }
+    if (span.active()) {
+      const auto& [lhs, rhs] = pairs[k];
+      span.Arg("lhs", int64_t(lhs))
+          .Arg("rhs", int64_t(rhs))
+          .Arg("resolution", ResolutionName(verdict.resolution));
+      if (verdict.resolution == Resolution::kUnknown) {
+        span.Arg("trip", TripReasonName(verdict.unknown_reason));
+      }
     }
   };
 
@@ -243,16 +310,62 @@ Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
   }
 
   stats_.pairs_checked += pairs.size();
-  for (const PairVerdict& verdict : verdicts) {
-    stats_.hom.Accumulate(verdict.hom_stats);
+  const bool metrics = MetricsRegistry::enabled();
+  for (size_t k = 0; k < verdicts.size(); ++k) {
+    const PairVerdict& verdict = verdicts[k];
     if (verdict.resolution == Resolution::kUnknown) {
+      // Degraded pairs: their search was cut off mid-flight, so their
+      // effort and stage times stay out of the throughput aggregates
+      // (hom / chase_stage / hom_stage / queue_wait) and land in their
+      // own bucket instead.
+      stats_.hom_degraded.Accumulate(verdict.hom_stats);
       ++stats_.unknown_pairs;
       if (verdict.unknown_reason == TripReason::kDeadlineExceeded) {
         ++stats_.timed_out_pairs;
       } else if (verdict.unknown_reason == TripReason::kCancelled) {
         ++stats_.cancelled_pairs;
       }
+      continue;
     }
+    stats_.hom.Accumulate(verdict.hom_stats);
+    if (copts.depth != ChaseDepth::kNone) {
+      stats_.chase_stage.Record(verdict.chase_ms);
+    }
+    if (needs_search[k] != 0) {
+      stats_.hom_stage.Record(verdict.hom_ms);
+      stats_.queue_wait.Record(verdict.queue_wait_ms);
+    }
+    if (metrics) {
+      MetricsRegistry& registry = MetricsRegistry::Get();
+      static Histogram& chase_us = registry.histogram("engine.chase_stage_us");
+      static Histogram& hom_us = registry.histogram("engine.hom_stage_us");
+      static Histogram& wait_us = registry.histogram("engine.queue_wait_us");
+      if (copts.depth != ChaseDepth::kNone) {
+        chase_us.Record(uint64_t(verdict.chase_ms * 1000.0));
+      }
+      if (needs_search[k] != 0) {
+        hom_us.Record(uint64_t(verdict.hom_ms * 1000.0));
+        wait_us.Record(uint64_t(verdict.queue_wait_ms * 1000.0));
+      }
+    }
+  }
+  if (metrics) {
+    MetricsRegistry& registry = MetricsRegistry::Get();
+    static Counter& pairs_checked = registry.counter("engine.pairs_checked");
+    static Counter& unknown = registry.counter("engine.unknown_pairs");
+    static Counter& requests = registry.counter("engine.chase_requests");
+    static Counter& cache_hits = registry.counter("engine.chase_cache_hits");
+    static Counter& chases = registry.counter("engine.chases_run");
+    static Counter& deepenings = registry.counter("engine.chase_deepenings");
+    auto fold = [](Counter& c, uint64_t before, uint64_t after) {
+      if (after > before) c.Add(after - before);
+    };
+    fold(pairs_checked, stats_before.pairs_checked, stats_.pairs_checked);
+    fold(unknown, stats_before.unknown_pairs, stats_.unknown_pairs);
+    fold(requests, stats_before.chase_requests, stats_.chase_requests);
+    fold(cache_hits, stats_before.chase_cache_hits, stats_.chase_cache_hits);
+    fold(chases, stats_before.chases_run, stats_.chases_run);
+    fold(deepenings, stats_before.chase_deepenings, stats_.chase_deepenings);
   }
   return verdicts;
 }

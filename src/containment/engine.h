@@ -45,6 +45,27 @@ struct BatchContainmentOptions {
   int jobs = 0;
 };
 
+/// Wall-clock accounting for one pipeline stage across a batch. Only
+/// *decided* pairs are recorded: a cancelled or timed-out pair's time
+/// reflects where its budget tripped, not the cost of the work, and
+/// folding it in would skew every throughput-style aggregate. Degraded
+/// pairs are counted separately (unknown_pairs / timed_out_pairs /
+/// cancelled_pairs and BatchStats::hom_degraded).
+struct StageMetrics {
+  uint64_t samples = 0;
+  double total_ms = 0.0;
+  double max_ms = 0.0;
+
+  void Record(double ms) {
+    ++samples;
+    total_ms += ms;
+    if (ms > max_ms) max_ms = ms;
+  }
+  double mean_ms() const {
+    return samples == 0 ? 0.0 : total_ms / double(samples);
+  }
+};
+
 /// Cache and fan-out accounting for one engine.
 struct BatchStats {
   /// One request per checked pair (the pair's left-hand side needs a
@@ -63,8 +84,18 @@ struct BatchStats {
   uint64_t timed_out_pairs = 0;
   /// Unknown pairs whose reason was cancellation (engine or user token).
   uint64_t cancelled_pairs = 0;
-  /// Aggregated homomorphism search effort across all pairs.
+  /// Aggregated homomorphism search effort across *decided* pairs.
   MatchStats hom;
+  /// Hom effort of pairs that degraded to Resolution::kUnknown — kept out
+  /// of `hom` so decided-pair averages are not polluted by searches that
+  /// were cut off mid-flight.
+  MatchStats hom_degraded;
+  /// Per-stage wall time, decided pairs only (see StageMetrics).
+  StageMetrics chase_stage;
+  StageMetrics hom_stage;
+  /// Delay between the hom fan-out opening and each pair's search actually
+  /// starting on a worker (scheduling / queueing latency).
+  StageMetrics queue_wait;
 };
 
 /// Verdict for one ordered pair lhs ⊆ rhs.
@@ -84,6 +115,13 @@ struct PairVerdict {
   int level_bound = -1;
   /// Search effort of this pair's homomorphism search.
   MatchStats hom_stats;
+  /// Wall-clock stage costs for this pair. chase_ms covers the EnsureLevel
+  /// call (near zero on a cache hit that needs no deepening); hom_ms the
+  /// homomorphism search; queue_wait_ms the delay before a worker picked
+  /// the pair up. All zero for stages the pair never reached.
+  double chase_ms = 0.0;
+  double hom_ms = 0.0;
+  double queue_wait_ms = 0.0;
 };
 
 class ContainmentEngine {

@@ -1,5 +1,8 @@
 #include "containment/governor.h"
 
+#include "util/metrics.h"
+#include "util/strings.h"
+
 namespace floq {
 
 const char* ResolutionName(Resolution resolution) {
@@ -42,6 +45,18 @@ TripReason ChaseTripReason(ChaseOutcome outcome,
     default:
       return TripReason::kNone;
   }
+}
+
+void FoldGovernorMetrics(const ExecGovernor& governor) {
+  if (!MetricsRegistry::enabled()) return;
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  static Counter& ticks = registry.counter("governor.ticks");
+  if (governor.steps() > 0) ticks.Add(governor.steps());
+  if (!governor.tripped()) return;
+  // Resolved through the registry map (not a cached static) because the
+  // label varies per call; trips are rare, so the lock is off the hot path.
+  registry.counter(StrCat("governor.trip.", TripReasonName(governor.trip())))
+      .Add(1);
 }
 
 }  // namespace floq

@@ -74,6 +74,12 @@ ExecGovernor MakeHomGovernor(const ResourceBudget& budget);
 /// the governor the chase ran under.
 TripReason ChaseTripReason(ChaseOutcome outcome, const ExecGovernor& governor);
 
+/// Folds one finished governed stage into the MetricsRegistry:
+/// `governor.ticks` grows by the stage's step count, and a trip bumps the
+/// per-reason counter `governor.trip.<reason>`. No-op when metrics are
+/// disabled. Thread-safe — the hom fan-out calls this from workers.
+void FoldGovernorMetrics(const ExecGovernor& governor);
+
 }  // namespace floq
 
 #endif  // FLOQ_CONTAINMENT_GOVERNOR_H_

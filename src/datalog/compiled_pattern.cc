@@ -332,6 +332,7 @@ class CompiledMatcher {
         cursors[num_others] = 0;
         ++num_others;
       }
+      if (stats_ != nullptr && num_others > 0) ++stats_->intersect_nodes;
     }
 
     // Tick per driver iteration: the leapfrog loop can gallop through
@@ -370,6 +371,7 @@ class CompiledMatcher {
           // scan-and-let-unification-reject loop.
           present = false;
           di = GallopToLowerBound(candidates, di + 1, list[cursors[i]]);
+          if (stats_ != nullptr) ++stats_->gallop_skips;
           break;
         }
       }
@@ -421,6 +423,7 @@ bool MatchCompiled(std::span<const Atom> pattern, const FactIndex& index,
 
   scratch.pattern.Compile(pattern, index, initial, stats);
   if (scratch.pattern.impossible()) {
+    if (stats != nullptr) ++stats->reject_prepass_hits;
     return true;  // no matches, not stopped early
   }
   return CompiledMatcher(scratch.pattern, index, initial, on_match, stats,

@@ -28,11 +28,23 @@ struct MatchStats {
   /// is the metric the kernel's selectivity cache attacks; reported by
   /// bench_hom_search.
   uint64_t index_probes = 0;
+  /// Backtracking nodes where the kernel ran a k-way posting-list
+  /// intersection (vs scanning the single driver list). Kernel path only.
+  uint64_t intersect_nodes = 0;
+  /// Galloping skips taken inside those intersections: each is a binary
+  /// search that advanced a non-driver list past a candidate.
+  uint64_t gallop_skips = 0;
+  /// Patterns rejected by the kernel's compile-time pre-pass (a constant
+  /// or predicate with no posting list) before any search node expanded.
+  uint64_t reject_prepass_hits = 0;
 
   void Accumulate(const MatchStats& other) {
     nodes_visited += other.nodes_visited;
     matches_found += other.matches_found;
     index_probes += other.index_probes;
+    intersect_nodes += other.intersect_nodes;
+    gallop_skips += other.gallop_skips;
+    reject_prepass_hits += other.reject_prepass_hits;
   }
 };
 

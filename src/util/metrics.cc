@@ -1,0 +1,206 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace floq {
+
+namespace {
+
+// Round-robin shard assignment: each thread draws one index for its whole
+// lifetime, so a fixed thread pool spreads evenly and a single-threaded
+// process always hits slot 0 (cache-friendly).
+size_t NextThreadSlot() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace
+
+size_t Counter::ShardIndex() { return NextThreadSlot() % kShards; }
+size_t Histogram::ShardIndex() { return NextThreadSlot() % kShards; }
+
+int Histogram::BucketOf(uint64_t value) {
+  if (value == 0) return 0;
+  int width = std::bit_width(value);
+  return width < kBuckets ? width : kBuckets - 1;
+}
+
+uint64_t Histogram::BucketLowerBound(int bucket) {
+  if (bucket <= 0) return 0;
+  return uint64_t{1} << (bucket - 1);
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::Sum() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::array<uint64_t, Histogram::kBuckets> Histogram::Buckets() const {
+  std::array<uint64_t, kBuckets> out{};
+  for (const Shard& shard : shards_) {
+    for (int i = 0; i < kBuckets; ++i) {
+      out[size_t(i)] += shard.buckets[size_t(i)].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::atomic<bool> MetricsRegistry::enabled_{false};
+
+// Instrument storage: deques never move elements, so the references the
+// instrumentation sites cache in statics stay valid forever. The maps are
+// only touched under the mutex (creation and snapshots).
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  std::deque<Counter> counters;
+  std::deque<Histogram> histograms;
+  std::unordered_map<std::string, Counter*> counter_by_name;
+  std::unordered_map<std::string, Histogram*> histogram_by_name;
+};
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl* impl = new Impl();  // leaked: outlives static destructors
+  return *impl;
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.counter_by_name.find(std::string(name));
+  if (it != i.counter_by_name.end()) return *it->second;
+  i.counters.emplace_back();
+  Counter* c = &i.counters.back();
+  i.counter_by_name.emplace(std::string(name), c);
+  return *c;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.histogram_by_name.find(std::string(name));
+  if (it != i.histogram_by_name.end()) return *it->second;
+  i.histograms.emplace_back();
+  Histogram* h = &i.histograms.back();
+  i.histogram_by_name.emplace(std::string(name), h);
+  return *h;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  Impl& i = impl();
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(i.mu);
+  snapshot.counters.reserve(i.counter_by_name.size());
+  for (const auto& [name, counter] : i.counter_by_name) {
+    snapshot.counters.push_back({name, counter->Value()});
+  }
+  snapshot.histograms.reserve(i.histogram_by_name.size());
+  for (const auto& [name, histogram] : i.histogram_by_name) {
+    MetricsSnapshot::HistogramValue value;
+    value.name = name;
+    value.count = histogram->Count();
+    value.sum = histogram->Sum();
+    value.buckets = histogram->Buckets();
+    snapshot.histograms.push_back(std::move(value));
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(), by_name);
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  for (Counter& counter : i.counters) counter.Reset();
+  for (Histogram& histogram : i.histograms) histogram.Reset();
+}
+
+namespace {
+
+// Metric names are dotted identifiers, but escape defensively anyway so
+// the export is valid JSON for any registered name.
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += StrCat(i == 0 ? "\n" : ",\n", "    \"",
+                  JsonEscape(counters[i].name), "\": ", counters[i].value);
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramValue& h = histograms[i];
+    out += StrCat(i == 0 ? "\n" : ",\n", "    \"", JsonEscape(h.name),
+                  "\": {\"count\": ", h.count, ", \"sum\": ", h.sum,
+                  ", \"buckets\": [");
+    bool first = true;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.buckets[size_t(b)] == 0) continue;
+      out += StrCat(first ? "" : ", ", "[", Histogram::BucketLowerBound(b),
+                    ", ", h.buckets[size_t(b)], "]");
+      first = false;
+    }
+    out += "]}";
+  }
+  out += histograms.empty() ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace floq

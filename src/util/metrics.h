@@ -1,0 +1,183 @@
+#ifndef FLOQ_UTIL_METRICS_H_
+#define FLOQ_UTIL_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Process-wide metrics registry (DESIGN.md §12): named monotonic counters
+// and log-scale latency histograms, collected from the chase drivers, the
+// homomorphism matchers, the batch engine, and the resource governor.
+//
+// Design constraints, in priority order:
+//
+//   1. Zero overhead when off. Collection is gated by one process-wide
+//      flag; every instrumentation site is `if (MetricsRegistry::enabled())`
+//      around the update, so the disabled path costs one relaxed atomic
+//      load and a predictable branch. Verified by
+//      bench_observability_overhead (EXPERIMENTS.md E13).
+//   2. No locks on the hot path. Counters and histograms are sharded into
+//      cache-line-sized slots; each thread picks a slot once (round-robin
+//      over its lifetime) and updates it with plain relaxed atomics.
+//      Contention only appears when two threads hash to one slot, and even
+//      then it is a single fetch_add. The registry mutex guards only
+//      name -> instrument creation, which instrumentation sites amortize
+//      through function-local statics.
+//   3. TSan-clean. Every cross-thread access is an atomic; Snapshot() sums
+//      the shards with relaxed loads, so a snapshot taken while workers
+//      run is a consistent-enough lower bound and a snapshot taken at a
+//      quiescent point (the only way the CLI uses it) is exact.
+//
+// Relaxed ordering is sufficient throughout: the values are monotonic
+// event counts with no cross-variable invariants, and every reader that
+// needs exactness synchronizes externally (thread join) first.
+
+namespace floq {
+
+/// A named monotonic counter with per-thread sharded slots.
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  void Add(uint64_t n = 1) {
+    shards_[ShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards (exact once writers have quiesced).
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Zeroes every shard. Only meaningful while writers are quiescent.
+  void Reset() {
+    for (Shard& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+
+  static size_t ShardIndex();
+
+  std::array<Shard, kShards> shards_;
+};
+
+/// A log2-bucketed histogram for latencies and sizes: bucket 0 holds the
+/// value 0, bucket i >= 1 holds [2^(i-1), 2^i). 64 buckets cover the full
+/// uint64 range (the last bucket absorbs the tail). Units are up to the
+/// site; the registry convention is microseconds for *_us names and plain
+/// counts otherwise.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+  static constexpr size_t kShards = 8;
+
+  /// Bucket index of `value`: 0 -> 0, otherwise bit_width(value) capped at
+  /// kBuckets - 1 (so bucket i >= 1 covers [2^(i-1), 2^i)).
+  static int BucketOf(uint64_t value);
+  /// Smallest value landing in `bucket` (0 for buckets 0 and 1).
+  static uint64_t BucketLowerBound(int bucket);
+
+  void Record(uint64_t value) {
+    Shard& shard = shards_[ShardIndex()];
+    shard.buckets[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const;
+  uint64_t Sum() const;
+  /// Aggregated per-bucket counts.
+  std::array<uint64_t, kBuckets> Buckets() const;
+
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+  };
+
+  static size_t ShardIndex();
+
+  std::array<Shard, kShards> shards_;
+};
+
+/// A point-in-time aggregation of every registered instrument.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    std::array<uint64_t, Histogram::kBuckets> buckets{};
+  };
+
+  std::vector<CounterValue> counters;      // sorted by name
+  std::vector<HistogramValue> histograms;  // sorted by name
+
+  /// {"counters": {...}, "histograms": {...}} — see DESIGN.md §12 for the
+  /// schema. Histogram buckets are emitted sparsely as
+  /// [[lower_bound, count], ...].
+  std::string ToJson() const;
+};
+
+/// The process-wide registry. Instruments are created on first use and
+/// live forever (references stay valid; node-stable storage), so sites can
+/// cache them in function-local statics:
+///
+///   if (MetricsRegistry::enabled()) {
+///     static Counter& fired = MetricsRegistry::Get().counter("chase.rounds");
+///     fired.Add(1);
+///   }
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+
+  /// The process-wide collection switch. Off by default; the CLI arms it
+  /// for --metrics-out, tests and benches arm it explicitly.
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  static void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Finds or creates the named instrument. Takes the registry mutex; hot
+  /// paths must cache the returned reference.
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+  std::string ToJson() const { return Snapshot().ToJson(); }
+
+  /// Zeroes every instrument (names stay registered). For tests and the
+  /// overhead bench; only meaningful at a quiescent point.
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  static std::atomic<bool> enabled_;
+
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace floq
+
+#endif  // FLOQ_UTIL_METRICS_H_

@@ -2,6 +2,9 @@
 //
 //   floq check <queries.fl>            decide q1 ⊆ q2 for the first two
 //                                      rules in the file, with explanation
+//   floq explain <queries.fl> [--profile] [--chase-dot FILE]
+//                                      like check, plus a per-stage cost
+//                                      table and a chase-graph DOT export
 //   floq classify <queries.fl>         containment taxonomy of all rules
 //   floq chase <queries.fl> [N]        chase the first rule to level N
 //                                      (default 12) and dump the graph
@@ -18,12 +21,17 @@
 // the F-logic Lite semantics Sigma_FL of Calì & Kifer (VLDB'06).
 //
 // Global flags (anywhere after the command):
-//   --jobs N         worker threads for the batch commands (0 = cores)
-//   --timeout-ms N   wall-clock budget per containment check; a tripped
-//                    budget renders as UNKNOWN (exit 3), never as a
-//                    wrong definite verdict
-//   --hom-steps N    cap on homomorphism-search steps per check
+//   --jobs N           worker threads for the batch commands (0 = cores)
+//   --timeout-ms N     wall-clock budget per containment check; a tripped
+//                      budget renders as UNKNOWN (exit 3), never as a
+//                      wrong definite verdict
+//   --hom-steps N      cap on homomorphism-search steps per check
+//   --metrics-out F    enable the metrics registry and write its JSON
+//                      snapshot to F when the command finishes
+//   --trace-out F      record scoped spans and write Chrome trace_event
+//                      JSON to F (loads in chrome://tracing / Perfetto)
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -44,8 +52,12 @@
 #include "flogic/parser.h"
 #include "flogic/printer.h"
 #include "kb/knowledge_base.h"
+#include "util/metrics.h"
 #include "util/strings.h"
+#include "util/trace.h"
 #include "term/world.h"
+
+#include <optional>
 
 namespace {
 
@@ -63,6 +75,13 @@ bool ReadFile(const std::string& path, std::string& out) {
   buffer << in.rdbuf();
   out = buffer.str();
   return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
+  return bool(out);
 }
 
 Result<std::vector<ConjunctiveQuery>> LoadRules(World& world,
@@ -95,6 +114,72 @@ int CmdCheck(const std::string& path, const ResourceBudget& budget) {
   Result<ContainmentResult> result = CheckContainment(world, q1, q2, options);
   if (!result.ok()) return Fail(result.status().ToString());
   std::printf("%s", ExplainContainment(world, q1, q2, *result).c_str());
+  if (result->resolution == Resolution::kUnknown) return 3;
+  return result->contained ? 0 : 2;
+}
+
+// check, plus introspection: `--profile` appends a per-stage cost table
+// (wall time and effort counters for the chase and the hom search) and
+// `--chase-dot FILE` writes the chase graph — cross-arcs included — as
+// Graphviz DOT. Exit codes mirror `check`.
+int CmdExplain(const std::string& path, const ResourceBudget& budget,
+               bool profile, const std::string& chase_dot) {
+  World world;
+  Result<std::vector<ConjunctiveQuery>> rules = LoadRules(world, path);
+  if (!rules.ok()) return Fail(rules.status().ToString());
+  if (rules->size() < 2) return Fail("explain needs at least two rules");
+  const ConjunctiveQuery& q1 = (*rules)[0];
+  const ConjunctiveQuery& q2 = (*rules)[1];
+  ContainmentOptions options;
+  options.budget = budget;
+  options.record_cross_arcs = !chase_dot.empty();
+  Result<ContainmentResult> result = CheckContainment(world, q1, q2, options);
+  if (!result.ok()) return Fail(result.status().ToString());
+  std::printf("%s", ExplainContainment(world, q1, q2, *result).c_str());
+
+  if (profile) {
+    const ChaseStats& cs = result->chase.stats();
+    const MatchStats& hs = result->hom_stats;
+    std::printf("\nprofile (per-stage cost):\n");
+    std::printf("  %-12s %10s  %s\n", "stage", "wall_ms", "detail");
+    std::printf("  %-12s %10.3f  level_bound=%d conjuncts=%u max_level=%d "
+                "rounds=%llu fresh_nulls=%llu egd_merges=%llu\n",
+                "chase", result->chase_ms, result->level_bound,
+                result->chase.size(), result->chase.max_level(),
+                static_cast<unsigned long long>(cs.rounds),
+                static_cast<unsigned long long>(cs.fresh_nulls),
+                static_cast<unsigned long long>(cs.egd_merges));
+    std::printf("  %-12s %10.3f  nodes=%llu matches=%llu probes=%llu "
+                "intersections=%llu gallops=%llu prepass_rejects=%llu\n",
+                "hom-search", result->hom_ms,
+                static_cast<unsigned long long>(hs.nodes_visited),
+                static_cast<unsigned long long>(hs.matches_found),
+                static_cast<unsigned long long>(hs.index_probes),
+                static_cast<unsigned long long>(hs.intersect_nodes),
+                static_cast<unsigned long long>(hs.gallop_skips),
+                static_cast<unsigned long long>(hs.reject_prepass_hits));
+    std::printf("  rule firings:");
+    bool any = false;
+    for (int k = 1; k <= 12; ++k) {
+      if (cs.rule_fired[size_t(k)] == 0) continue;
+      std::printf(" rho%d=%llu", k,
+                  static_cast<unsigned long long>(cs.rule_fired[size_t(k)]));
+      any = true;
+    }
+    std::printf("%s\n", any ? "" : " (none)");
+  }
+
+  if (!chase_dot.empty()) {
+    DotOptions dot_options;
+    dot_options.max_level = std::max(result->chase.max_level(), 0);
+    dot_options.title = "chase of " + q1.ToString(world);
+    if (!WriteFile(chase_dot,
+                   ChaseGraphToDot(result->chase, world, dot_options))) {
+      return Fail("cannot write " + chase_dot);
+    }
+    std::printf("chase graph written to %s\n", chase_dot.c_str());
+  }
+
   if (result->resolution == Resolution::kUnknown) return 3;
   return result->contained ? 0 : 2;
 }
@@ -428,6 +513,15 @@ int CmdLint(const std::string& path, const std::string& deps_path,
       first = false;
     }
     out += first ? "]" : "\n]";
+    if (MetricsRegistry::enabled()) {
+      // With --metrics-out the array is wrapped in an object that also
+      // embeds the collected metrics (the semantic probes run chases and
+      // hom searches); the bare-array shape is kept otherwise for
+      // compatibility.
+      std::string snapshot = MetricsRegistry::Get().ToJson();
+      while (!snapshot.empty() && snapshot.back() == '\n') snapshot.pop_back();
+      out = "{\"diagnostics\": " + out + ",\n\"metrics\": " + snapshot + "}";
+    }
     std::printf("%s\n", out.c_str());
   } else {
     int error_count = 0, warning_count = 0;
@@ -451,6 +545,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  floq check <queries.fl>\n"
+               "  floq explain <queries.fl> [--profile] [--chase-dot FILE]\n"
                "  floq classify [--jobs N] <queries.fl>\n"
                "  floq chase <queries.fl> [max_level]\n"
                "  floq dot <queries.fl> [max_level]\n"
@@ -462,48 +557,34 @@ int Usage() {
                "  floq consistency <kb.fl>\n"
                "  floq lint [--json] [--deps <deps.fl>] [<file.fl>]\n"
                "  floq repl [kb.fl]\n"
-               "global flags: --jobs N, --timeout-ms N, --hom-steps N\n"
+               "global flags: --jobs N, --timeout-ms N, --hom-steps N,\n"
+               "              --metrics-out <m.json>, --trace-out <t.json>\n"
                "(a tripped budget renders as UNKNOWN and exits 3)\n");
   return 64;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::vector<std::string> args(argv + 1, argv + argc);
-  if (args.empty()) return Usage();
-  const std::string& command = args[0];
-
-  // Global value flags (anywhere after the command): `--jobs N` sets the
-  // homomorphism fan-out width for the batch commands (0 = hardware
-  // concurrency, the default); `--timeout-ms N` and `--hom-steps N` set
-  // the resource budget for the governed commands.
-  int64_t jobs64 = 0, timeout_ms = 0, hom_steps = 0;
-  for (size_t i = 1; i + 1 < args.size();) {
-    int64_t* slot = args[i] == "--jobs"         ? &jobs64
-                    : args[i] == "--timeout-ms" ? &timeout_ms
-                    : args[i] == "--hom-steps"  ? &hom_steps
-                                                : nullptr;
-    if (slot == nullptr) {
-      ++i;
-      continue;
-    }
-    char* end = nullptr;
-    long long value = std::strtoll(args[i + 1].c_str(), &end, 10);
-    if (end == args[i + 1].c_str() || *end != '\0' || value < 0) {
-      return Fail(args[i] + " needs a non-negative integer, got '" +
-                  args[i + 1] + "'");
-    }
-    *slot = value;
-    args.erase(args.begin() + long(i), args.begin() + long(i) + 2);
-  }
-  int jobs = int(jobs64);
-  ResourceBudget budget;
-  budget.timeout_ms = timeout_ms;
-  budget.hom_step_budget = uint64_t(hom_steps);
-
+int RunCommand(const std::string& command, std::vector<std::string>& args,
+               int jobs, const ResourceBudget& budget) {
   if (command == "check" && args.size() == 2) {
     return CmdCheck(args[1], budget);
+  }
+  if (command == "explain" && args.size() >= 2) {
+    bool profile = false;
+    std::string chase_dot, file_path;
+    bool bad = false;
+    for (size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--profile") {
+        profile = true;
+      } else if (args[i] == "--chase-dot" && i + 1 < args.size()) {
+        chase_dot = args[++i];
+      } else if (!StartsWith(args[i], "--") && file_path.empty()) {
+        file_path = args[i];
+      } else {
+        bad = true;
+      }
+    }
+    if (bad || file_path.empty()) return Usage();
+    return CmdExplain(file_path, budget, profile, chase_dot);
   }
   if (command == "classify" && args.size() == 2) {
     return CmdClassify(args[1], jobs, budget);
@@ -547,4 +628,75 @@ int main(int argc, char** argv) {
     return CmdRepl(args.size() == 2 ? args[1] : std::string());
   }
   return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return Usage();
+  const std::string& command = args[0];
+
+  // Global value flags (anywhere after the command): `--jobs N` sets the
+  // homomorphism fan-out width for the batch commands (0 = hardware
+  // concurrency, the default); `--timeout-ms N` and `--hom-steps N` set
+  // the resource budget for the governed commands; `--metrics-out F` and
+  // `--trace-out F` arm the observability sinks (DESIGN.md §12).
+  int64_t jobs64 = 0, timeout_ms = 0, hom_steps = 0;
+  std::string metrics_out, trace_out;
+  for (size_t i = 1; i + 1 < args.size();) {
+    std::string* text_slot = args[i] == "--metrics-out" ? &metrics_out
+                             : args[i] == "--trace-out" ? &trace_out
+                                                        : nullptr;
+    if (text_slot != nullptr) {
+      *text_slot = args[i + 1];
+      args.erase(args.begin() + long(i), args.begin() + long(i) + 2);
+      continue;
+    }
+    int64_t* slot = args[i] == "--jobs"         ? &jobs64
+                    : args[i] == "--timeout-ms" ? &timeout_ms
+                    : args[i] == "--hom-steps"  ? &hom_steps
+                                                : nullptr;
+    if (slot == nullptr) {
+      ++i;
+      continue;
+    }
+    char* end = nullptr;
+    long long value = std::strtoll(args[i + 1].c_str(), &end, 10);
+    if (end == args[i + 1].c_str() || *end != '\0' || value < 0) {
+      return Fail(args[i] + " needs a non-negative integer, got '" +
+                  args[i + 1] + "'");
+    }
+    *slot = value;
+    args.erase(args.begin() + long(i), args.begin() + long(i) + 2);
+  }
+  int jobs = int(jobs64);
+  ResourceBudget budget;
+  budget.timeout_ms = timeout_ms;
+  budget.hom_step_budget = uint64_t(hom_steps);
+
+  // Arm the sinks before dispatch; flush them after the command returns
+  // (a quiescent point — every command joins its fan-out before exiting).
+  if (!metrics_out.empty()) MetricsRegistry::set_enabled(true);
+  std::optional<TraceSession> trace_session;
+  if (!trace_out.empty()) trace_session.emplace();
+
+  int exit_code = RunCommand(command, args, jobs, budget);
+
+  if (!metrics_out.empty() &&
+      !WriteFile(metrics_out, MetricsRegistry::Get().ToJson())) {
+    return Fail("cannot write " + metrics_out);
+  }
+  if (trace_session.has_value()) {
+    if (trace_session->dropped() > 0) {
+      std::fprintf(stderr,
+                   "floq: trace ring overflowed; %llu oldest event(s) "
+                   "dropped\n",
+                   static_cast<unsigned long long>(trace_session->dropped()));
+    }
+    if (!WriteFile(trace_out, trace_session->ToJson())) {
+      return Fail("cannot write " + trace_out);
+    }
+  }
+  return exit_code;
 }
