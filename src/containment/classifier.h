@@ -35,7 +35,8 @@ struct QueryTaxonomy {
   /// Transitively closed strict containment between classes.
   std::vector<std::vector<bool>> contains;  // contains[sub][super]
 
-  /// Number of pairwise containment checks performed.
+  /// Number of pairwise containment checks that ran the full chase + hom
+  /// pipeline.
   int checks = 0;
 
   /// Pairwise checks that returned Resolution::kUnknown (a resource
@@ -44,7 +45,20 @@ struct QueryTaxonomy {
   /// *merges* classes on an unproven containment — so a nonzero count
   /// means some edges/classes may be missing, never wrong.
   int unknown_checks = 0;
+
+  /// Pairs discharged as definite kNotContained by the signature
+  /// prefilter (signature.h) without running the pipeline. checks +
+  /// pruned_checks covers every ordered pair the classification needed.
+  int pruned_checks = 0;
 };
+
+/// Builds the taxonomy (equivalence classes, strict containment, Hasse
+/// diagram) from a reflexive pairwise containment matrix; `checks`,
+/// `unknown_checks` and `pruned_checks` seed the counters. Shared by the
+/// one-shot classifier below and the incremental ContainmentIndex.
+QueryTaxonomy TaxonomyFromContainment(
+    const std::vector<std::vector<bool>>& contained, int checks,
+    int unknown_checks, int pruned_checks);
 
 /// Classifies `queries` (all must have equal arity) under Sigma_FL. The
 /// n(n-1) pairwise checks run through a ContainmentEngine: each query is

@@ -61,6 +61,18 @@ struct ContainmentOptions {
   /// DOT export shows the full graph. Extra bookkeeping; off by default.
   /// Used by `floq explain --chase-dot`.
   bool record_cross_arcs = false;
+  /// Run the signature prefilter (signature.h) as stage 0 of the batch
+  /// engine's per-pair pipeline: pairs whose predicate/constant subset
+  /// test fails are discharged kNotContained with zero chase or hom work.
+  /// Consulted by ContainmentEngine / ContainmentIndex / the classifier
+  /// and view analysis; the one-shot checkers below ignore it. `floq
+  /// classify --no-prune` turns it off.
+  bool use_signature_index = true;
+  /// Chase levels the engine's registration-time signature probe
+  /// materializes (ChaseDepth::kPaperBound only; level-0 mode probes
+  /// level 0). A completed probe makes the closure signature exact; an
+  /// inconclusive one falls back to the static Sigma_FL closure.
+  int signature_probe_levels = 2;
 };
 
 struct ContainmentResult {

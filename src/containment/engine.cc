@@ -36,6 +36,9 @@ struct ContainmentEngine::Entry {
   std::optional<ResumableChase> chase;
   // ChaseDepth::kNone target: body(q) as a plain fact index.
   std::optional<FactIndex> body_index;
+  // Stage-0 prefilter signature, computed once at registration from the
+  // probe chase (absent when use_signature_index is off).
+  std::optional<ClosureSignature> signature;
 };
 
 ContainmentEngine::ContainmentEngine(World& world,
@@ -49,6 +52,32 @@ Result<size_t> ContainmentEngine::AddQuery(const ConjunctiveQuery& query) {
   auto entry = std::make_unique<Entry>();
   entry->query = query;
   entry->renamed = query.RenameApart(world_);
+  const ContainmentOptions& copts = options_.containment;
+  if (copts.use_signature_index) {
+    const ChaseResult* probe = nullptr;
+    if (copts.depth != ChaseDepth::kNone) {
+      // The probe IS the pair pipeline's cached chase handle: whatever it
+      // materializes here is reused — and deepened, never rebuilt — by
+      // every later pair with this query on the left. It runs under the
+      // same governed budget as a pair's chase stage, so a runaway query
+      // cannot stall registration; an inconclusive probe just degrades
+      // the signature to the static closure.
+      ChaseOptions chase_options;
+      chase_options.max_atoms = copts.max_chase_atoms;
+      ExecGovernor governor = MakeChaseGovernor(copts.budget);
+      governor.AddCancellation(cancel_source_.token());
+      const int probe_level =
+          copts.depth == ChaseDepth::kLevelZero
+              ? 0
+              : std::max(copts.signature_probe_levels, 0);
+      ++stats_.chases_run;
+      entry->chase.emplace(world_, entry->query, chase_options);
+      probe = &entry->chase->EnsureLevel(probe_level, &governor);
+      FoldGovernorMetrics(governor);
+    }
+    entry->signature =
+        ComputeClosureSignature(entry->query, copts.depth, probe);
+  }
   entries_.push_back(std::move(entry));
   return entries_.size() - 1;
 }
@@ -64,6 +93,12 @@ const ChaseResult* ContainmentEngine::chase_of(size_t id) const {
   FLOQ_CHECK_LT(id, entries_.size());
   const Entry& entry = *entries_[id];
   return entry.chase.has_value() ? &entry.chase->result() : nullptr;
+}
+
+const ClosureSignature* ContainmentEngine::signature_of(size_t id) const {
+  FLOQ_CHECK_LT(id, entries_.size());
+  const Entry& entry = *entries_[id];
+  return entry.signature.has_value() ? &*entry.signature : nullptr;
 }
 
 namespace {
@@ -98,8 +133,9 @@ void ContainmentEngine::Cancel() { cancel_source_.Cancel(); }
 
 void ContainmentEngine::ResetCancel() { cancel_source_.Reset(); }
 
-Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
-    std::span<const std::pair<size_t, size_t>> pairs) {
+template <class OutFn>
+Status ContainmentEngine::CheckPairsCore(
+    std::span<const std::pair<size_t, size_t>> pairs, OutFn&& out) {
   const ContainmentOptions& copts = options_.containment;
   const ResourceBudget& budget = copts.budget;
   // Snapshot the token once: worker threads copy it concurrently below,
@@ -107,16 +143,22 @@ Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
   // batches.
   const CancellationToken engine_token = cancel_source_.token();
 
+  // Validate against dense per-query arities: chasing pointers through
+  // entries_ for every one of n(n-1) pairs costs more than the whole
+  // signature stage.
+  const size_t num_queries = entries_.size();
+  std::vector<int> arities(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    arities[i] = entries_[i]->query.arity();
+  }
   for (const auto& [lhs, rhs] : pairs) {
-    if (lhs >= entries_.size() || rhs >= entries_.size()) {
+    if (lhs >= num_queries || rhs >= num_queries) {
       return InvalidArgumentError("pair refers to an unregistered query id");
     }
-    const Entry& l = *entries_[lhs];
-    const Entry& r = *entries_[rhs];
-    if (l.query.arity() != r.query.arity()) {
+    if (arities[lhs] != arities[rhs]) {
       return InvalidArgumentError(
           StrCat("containment requires equal arities; got ",
-                 l.query.arity(), " and ", r.query.arity()));
+                 arities[lhs], " and ", arities[rhs]));
     }
   }
 
@@ -128,11 +170,57 @@ Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
   // cumulative across batches).
   const BatchStats stats_before = stats_;
 
-  std::vector<PairVerdict> verdicts(pairs.size());
   std::vector<uint8_t> needs_search(pairs.size(), 0);
+  std::vector<uint8_t> pruned(pairs.size(), 0);
   // Why this pair's chase prefix cannot refute containment (kNone when it
   // can): consumed by the hom phase to settle negatives.
   std::vector<TripReason> chase_trips(pairs.size(), TripReason::kNone);
+
+  // ---- stage 0: signature prefilter --------------------------------------
+  //
+  // A failed subset test (signature.h) is a sound definite kNotContained:
+  // the pair skips both expensive stages entirely. One governor covers the
+  // whole stage — each test is a few word ops, so per-pair re-anchoring
+  // would cost more than the work it guards. Once the governor trips,
+  // pruning STOPS and every remaining pair falls through to the governed
+  // chase/hom stages, which degrade it to kUnknown: a tripped stage-0
+  // deadline must never manufacture a definite verdict.
+  if (copts.use_signature_index && !pairs.empty()) {
+    TraceSpan sig_span("engine.signature_stage");
+    const SteadyClock::time_point sig_start = SteadyClock::now();
+    uint64_t pruned_here = 0;
+    ExecGovernor sig_governor = MakeChaseGovernor(budget);
+    sig_governor.AddCancellation(engine_token);
+    // Dense signature pointers: one pointer chase per query instead of
+    // two per pair.
+    std::vector<const ClosureSignature*> sigs(num_queries, nullptr);
+    for (size_t i = 0; i < num_queries; ++i) {
+      if (entries_[i]->signature.has_value()) {
+        sigs[i] = &*entries_[i]->signature;
+      }
+    }
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      // A subset test is a few word ops; polling the governor every pair
+      // would double the stage's cost. A 64-pair stride still bounds the
+      // deadline overshoot to a couple of microseconds — and k == 0 is
+      // polled, so an already-tripped budget prunes nothing.
+      if ((k & 63) == 0 && !sig_governor.CheckNow()) break;
+      const ClosureSignature* l = sigs[pairs[k].first];
+      const ClosureSignature* r = sigs[pairs[k].second];
+      if (l == nullptr || r == nullptr) continue;
+      if (MayContain(*l, r->base)) continue;
+      pruned[k] = 1;
+      out(k).pruned = true;
+      ++pruned_here;
+    }
+    FoldGovernorMetrics(sig_governor);
+    stats_.pruned_pairs += pruned_here;
+    stats_.signature_us += MsSince(sig_start) * 1000.0;
+    if (sig_span.active()) {
+      sig_span.Arg("pairs", int64_t(pairs.size()))
+          .Arg("pruned", int64_t(pruned_here));
+    }
+  }
 
   // ---- sequential phase: build / deepen the shared targets ---------------
   //
@@ -144,9 +232,10 @@ Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
   ChaseOptions chase_options;
   chase_options.max_atoms = copts.max_chase_atoms;
   for (size_t k = 0; k < pairs.size(); ++k) {
+    if (pruned[k] != 0) continue;  // discharged in stage 0
     const auto& [lhs, rhs] = pairs[k];
     Entry& l = *entries_[lhs];
-    PairVerdict& verdict = verdicts[k];
+    PairVerdict& verdict = out(k);
     ++stats_.chase_requests;
     TraceSpan span("engine.chase_stage");
     if (span.active()) {
@@ -231,7 +320,7 @@ Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
   // per-pair hom governor with its own anchored timeout.
   const SteadyClock::time_point fanout_start = SteadyClock::now();
   auto run_pair_inner = [&](size_t k) {
-    PairVerdict& verdict = verdicts[k];
+    PairVerdict& verdict = out(k);
     ExecGovernor hom_governor = MakeHomGovernor(budget);
     hom_governor.AddCancellation(engine_token);
     if (!hom_governor.CheckNow()) {
@@ -275,7 +364,7 @@ Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
   };
   auto run_pair = [&](size_t k) {
     if (needs_search[k] == 0) return;
-    PairVerdict& verdict = verdicts[k];
+    PairVerdict& verdict = out(k);
     verdict.queue_wait_ms = MsSince(fanout_start);
     TraceSpan span("engine.hom_stage");
     {
@@ -311,8 +400,12 @@ Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
 
   stats_.pairs_checked += pairs.size();
   const bool metrics = MetricsRegistry::enabled();
-  for (size_t k = 0; k < verdicts.size(); ++k) {
-    const PairVerdict& verdict = verdicts[k];
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    // Pruned pairs ran neither stage: nothing to record, and folding
+    // their zero times in would deflate every mean — skip on the dense
+    // flag so the pruned fast path never touches the verdict memory.
+    if (pruned[k] != 0) continue;
+    const PairVerdict& verdict = out(k);
     if (verdict.resolution == Resolution::kUnknown) {
       // Degraded pairs: their search was cut off mid-flight, so their
       // effort and stage times stay out of the throughput aggregates
@@ -352,6 +445,7 @@ Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
   if (metrics) {
     MetricsRegistry& registry = MetricsRegistry::Get();
     static Counter& pairs_checked = registry.counter("engine.pairs_checked");
+    static Counter& pruned_pairs = registry.counter("engine.pruned_pairs");
     static Counter& unknown = registry.counter("engine.unknown_pairs");
     static Counter& requests = registry.counter("engine.chase_requests");
     static Counter& cache_hits = registry.counter("engine.chase_cache_hits");
@@ -361,35 +455,47 @@ Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
       if (after > before) c.Add(after - before);
     };
     fold(pairs_checked, stats_before.pairs_checked, stats_.pairs_checked);
+    fold(pruned_pairs, stats_before.pruned_pairs, stats_.pruned_pairs);
     fold(unknown, stats_before.unknown_pairs, stats_.unknown_pairs);
+    if (copts.use_signature_index && !pairs.empty()) {
+      static Histogram& sig_us =
+          registry.histogram("engine.signature_stage_us");
+      sig_us.Record(
+          uint64_t(stats_.signature_us - stats_before.signature_us));
+    }
     fold(requests, stats_before.chase_requests, stats_.chase_requests);
     fold(cache_hits, stats_before.chase_cache_hits, stats_.chase_cache_hits);
     fold(chases, stats_before.chases_run, stats_.chases_run);
     fold(deepenings, stats_before.chase_deepenings, stats_.chase_deepenings);
   }
+  return Status::Ok();
+}
+
+Result<std::vector<PairVerdict>> ContainmentEngine::CheckPairs(
+    std::span<const std::pair<size_t, size_t>> pairs) {
+  std::vector<PairVerdict> verdicts(pairs.size());
+  FLOQ_RETURN_IF_ERROR(CheckPairsCore(
+      pairs, [&](size_t k) -> PairVerdict& { return verdicts[k]; }));
   return verdicts;
 }
 
 Result<std::vector<std::vector<PairVerdict>>> ContainmentEngine::CheckAll() {
   const size_t n = entries_.size();
   std::vector<std::pair<size_t, size_t>> pairs;
-  pairs.reserve(n * n);
+  pairs.reserve(n * (n - 1));
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < n; ++j) {
       if (i != j) pairs.emplace_back(i, j);
     }
   }
-  Result<std::vector<PairVerdict>> verdicts = CheckPairs(pairs);
-  if (!verdicts.ok()) return verdicts.status();
-
-  std::vector<std::vector<PairVerdict>> matrix(
-      n, std::vector<PairVerdict>(n));
-  size_t k = 0;
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < n; ++j) {
-      if (i != j) matrix[i][j] = (*verdicts)[k++];
-    }
-  }
+  // Verdicts land directly in their matrix cells (the diagonal stays
+  // defaulted): no flat intermediate vector, no n^2 copy.
+  std::vector<std::vector<PairVerdict>> matrix(n,
+                                               std::vector<PairVerdict>(n));
+  FLOQ_RETURN_IF_ERROR(CheckPairsCore(pairs, [&](size_t k) -> PairVerdict& {
+    const auto& [i, j] = pairs[k];
+    return matrix[i][j];
+  }));
   return matrix;
 }
 

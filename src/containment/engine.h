@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "containment/containment.h"
+#include "containment/signature.h"
 #include "query/conjunctive_query.h"
 #include "term/world.h"
 #include "util/status.h"
@@ -21,6 +22,13 @@
 // |q2| * 2|q1| any requested pair demands (a deeper chase prefix is still
 // a universal-model prefix, so homomorphism verdicts are unchanged), and
 // then fans the pairwise homomorphism searches out across a thread pool.
+//
+// With options.containment.use_signature_index on (the default), a stage-0
+// signature filter runs first: registration computes a closure signature
+// per query (signature.h) from a bounded probe chase, and any pair whose
+// predicate/constant subset test fails is discharged as a definite
+// kNotContained before either expensive stage — typically the vast
+// majority of a dense N^2 matrix (DESIGN.md §13).
 //
 // Concurrency model (see DESIGN.md §8): all chase construction, deepening,
 // and query renaming happen sequentially on the calling thread (they draw
@@ -78,6 +86,14 @@ struct BatchStats {
   /// Times an existing handle had to resume its chase to a deeper level.
   uint64_t chase_deepenings = 0;
   uint64_t pairs_checked = 0;
+  /// Pairs discharged by the stage-0 signature filter: definite
+  /// kNotContained with zero chase or hom work (never counted in
+  /// chase_requests). pruned_pairs + chase_requests == pairs checked in
+  /// every depth mode when the filter is on.
+  uint64_t pruned_pairs = 0;
+  /// Cumulative microseconds spent in the stage-0 signature subset tests
+  /// (registration-time probe chases are accounted to chases_run).
+  double signature_us = 0.0;
   /// Pairs whose verdict degraded to Resolution::kUnknown (any reason).
   uint64_t unknown_pairs = 0;
   /// Unknown pairs whose reason was a tripped deadline.
@@ -107,6 +123,10 @@ struct PairVerdict {
   /// unaffected); `unknown_reason` names the budget that tripped first.
   Resolution resolution = Resolution::kNotContained;
   TripReason unknown_reason = TripReason::kNone;
+  /// The stage-0 signature filter discharged this pair (a sound definite
+  /// kNotContained; see signature.h): no chase or hom stage ran, and
+  /// chase_ms / hom_ms / hom_stats stay zero.
+  bool pruned = false;
   /// Containment holds vacuously: chase(lhs) failed (rho_4 equated two
   /// distinct constants), so lhs is unsatisfiable under Sigma_FL.
   bool lhs_unsatisfiable = false;
@@ -155,8 +175,16 @@ class ContainmentEngine {
   Result<std::vector<std::vector<PairVerdict>>> CheckAll();
 
   /// The materialized chase of a query, if one was built (nullptr before
-  /// any check used `id` as a left-hand side, or in kNone mode).
+  /// any check used `id` as a left-hand side, or in kNone mode). With the
+  /// signature index on, registration already runs a bounded probe chase,
+  /// so this is non-null for every id right after AddQuery.
   const ChaseResult* chase_of(size_t id) const;
+
+  /// The closure signature computed at registration, or nullptr when
+  /// options.containment.use_signature_index is off. Incremental callers
+  /// (ContainmentIndex) use it to prefilter candidate pairs before ever
+  /// building a CheckPairs batch.
+  const ClosureSignature* signature_of(size_t id) const;
 
   const BatchStats& stats() const { return stats_; }
 
@@ -174,6 +202,16 @@ class ContainmentEngine {
 
  private:
   struct Entry;
+
+  /// The batch pipeline behind CheckPairs and CheckAll. `out(k)` returns
+  /// the verdict slot for pairs[k]; templating the output lets CheckAll
+  /// write each verdict straight into its final matrix cell instead of
+  /// filling a flat vector and copying — on an n-thousand-query registry
+  /// that copy (and its second allocation) would dominate the pruned-pair
+  /// fast path. Instantiated only in engine.cc.
+  template <class OutFn>
+  Status CheckPairsCore(std::span<const std::pair<size_t, size_t>> pairs,
+                        OutFn&& out);
 
   World& world_;
   BatchContainmentOptions options_;

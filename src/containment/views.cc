@@ -44,6 +44,7 @@ Result<ViewAnalysis> AnalyzeViews(World& world, const ConjunctiveQuery& query,
   Result<std::vector<PairVerdict>> verdicts = engine.CheckPairs(pairs);
   if (!verdicts.ok()) return verdicts.status();
   analysis.containment_checks = int(engine.stats().pairs_checked);
+  analysis.pruned_checks = int(engine.stats().pruned_pairs);
 
   for (size_t k = 0; k + 1 < verdicts->size(); k += 2) {
     const size_t i = pair_view[k];

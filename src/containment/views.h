@@ -49,7 +49,12 @@ struct ViewAnalysis {
   std::vector<size_t> complete_views;
   /// Indexes of SOUND (or EXACT) views: safe contributors to Q's answers.
   std::vector<size_t> sound_views;
+  /// Ordered pairs the analysis submitted to the engine (2 per usable
+  /// view), including pairs the signature prefilter discharged.
   int containment_checks = 0;
+  /// Of those, pairs discharged by the signature prefilter (signature.h)
+  /// as definite kNotContained with no chase or hom work.
+  int pruned_checks = 0;
 };
 
 /// Classifies every view against the query under Sigma_FL. All queries

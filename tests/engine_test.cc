@@ -107,10 +107,41 @@ TEST(ContainmentEngineTest, EachQueryChasedExactlyOnce) {
   }
   ASSERT_TRUE(engine.CheckAll().ok());
 
+  // With the signature index on (the default), registration probes each
+  // query once, stage 0 discharges the signature-incompatible pairs (e.g.
+  // q3 = {data} can never contain q0 = {member}), and every surviving
+  // pair's chase request hits the probe's cached handle.
   const BatchStats& stats = engine.stats();
   EXPECT_EQ(stats.pairs_checked, n * (n - 1));
-  EXPECT_EQ(stats.chase_requests, n * (n - 1));
+  EXPECT_GT(stats.pruned_pairs, 0u);
+  EXPECT_EQ(stats.pruned_pairs + stats.chase_requests, n * (n - 1));
   EXPECT_EQ(stats.chases_run, n);  // one chase per query, not per pair
+  EXPECT_EQ(stats.chase_cache_hits, stats.chase_requests);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NE(engine.chase_of(i), nullptr) << "query " << i;
+  }
+}
+
+TEST(ContainmentEngineTest, EachQueryChasedExactlyOnceWithoutIndex) {
+  World world;
+  std::vector<ConjunctiveQuery> queries = Workload(world);
+  const size_t n = queries.size();
+
+  BatchContainmentOptions options;
+  options.containment.use_signature_index = false;
+  ContainmentEngine engine(world, options);
+  for (const ConjunctiveQuery& q : queries) {
+    ASSERT_TRUE(engine.AddQuery(q).ok());
+  }
+  ASSERT_TRUE(engine.CheckAll().ok());
+
+  // Legacy path: no probes, no pruning — the first pair per lhs chases,
+  // the rest hit the cache.
+  const BatchStats& stats = engine.stats();
+  EXPECT_EQ(stats.pairs_checked, n * (n - 1));
+  EXPECT_EQ(stats.pruned_pairs, 0u);
+  EXPECT_EQ(stats.chase_requests, n * (n - 1));
+  EXPECT_EQ(stats.chases_run, n);
   EXPECT_EQ(stats.chase_cache_hits, n * (n - 1) - n);
   for (size_t i = 0; i < n; ++i) {
     EXPECT_NE(engine.chase_of(i), nullptr) << "query " << i;
@@ -132,12 +163,17 @@ TEST(ContainmentEngineTest, SecondCheckReusesAndDeepensHandles) {
     ASSERT_TRUE(engine.AddQuery(q).ok());
   }
 
+  // Registration already probed each query once for its signature (the
+  // probe handle IS the pair pipeline's cache entry).
+  EXPECT_EQ(engine.stats().chases_run, 3u);
+
   // First round: cycle ⊆ short_probe.
   std::vector<std::pair<size_t, size_t>> first = {{0, 1}};
   Result<std::vector<PairVerdict>> r1 = engine.CheckPairs(first);
   ASSERT_TRUE(r1.ok()) << r1.status().ToString();
   EXPECT_TRUE((*r1)[0].contained);
-  EXPECT_EQ(engine.stats().chases_run, 1u);
+  EXPECT_EQ(engine.stats().chases_run, 3u);      // served from the probe
+  EXPECT_EQ(engine.stats().chase_cache_hits, 1u);
   int first_level = (*r1)[0].level_bound;
 
   // Second round needs a deeper chase of the same lhs (longer probe =>
@@ -148,8 +184,8 @@ TEST(ContainmentEngineTest, SecondCheckReusesAndDeepensHandles) {
   ASSERT_TRUE(r2.ok()) << r2.status().ToString();
   EXPECT_TRUE((*r2)[0].contained);
   EXPECT_GT((*r2)[0].level_bound, first_level);
-  EXPECT_EQ(engine.stats().chases_run, 1u);      // still the one chase
-  EXPECT_EQ(engine.stats().chase_cache_hits, 1u);
+  EXPECT_EQ(engine.stats().chases_run, 3u);      // still no rebuild
+  EXPECT_EQ(engine.stats().chase_cache_hits, 2u);
   EXPECT_GE(engine.stats().chase_deepenings, 1u);
   ASSERT_NE(engine.chase_of(0), nullptr);
   EXPECT_GE(engine.chase_of(0)->max_level(), first_level);
@@ -477,6 +513,12 @@ TEST(GovernedEngineTest, ChaseAtomBudgetYieldsUnknownOnlyWhereInconclusive) {
   // Far below what the cycle's Theorem 12 bound materializes, but enough
   // for the small member queries to chase to completion.
   options.containment.max_chase_atoms = 10;
+  // The signature filter would discharge (cycle, sub_probe) outright (sub
+  // is never derivable from the cycle's predicates) — sound, but this
+  // test is specifically about inconclusive truncated prefixes, so keep
+  // the pair on the chase path. Stage-0/governor interplay has its own
+  // tests below.
+  options.containment.use_signature_index = false;
   ContainmentEngine engine(world, options);
 
   Result<size_t> cycle =
@@ -557,6 +599,10 @@ TEST(GovernedEngineTest, CancelFromAnotherThreadStopsTheBatchPromptly) {
   options.jobs = 1;
   // Make the atom budget a non-factor: only cancellation may stop this.
   options.containment.max_chase_atoms = 10'000'000;
+  // No signature filter: it would discharge the pair before the chase
+  // starts (and its registration probe would front-load the ~2M-atom
+  // closure before the canceller thread exists).
+  options.containment.use_signature_index = false;
   ContainmentEngine engine(world, options);
   Result<size_t> chain = engine.AddQuery(MakeSubChainQuery(world, 2000, "cn"));
   Result<size_t> probe = engine.AddQuery(Q(world, "p() :- member(X, C)."));
@@ -592,6 +638,10 @@ TEST(GovernedEngineTest, DeadlineTripIsolatedToPathologicalPair) {
   options.jobs = 1;
   options.containment.max_chase_atoms = 10'000'000;
   options.containment.budget.timeout_ms = 200;
+  // The signature filter would settle (chain, probe) definitively from
+  // the static closure (member is never derivable from sub atoms); this
+  // test needs the pair to actually hit its deadline.
+  options.containment.use_signature_index = false;
   ContainmentEngine engine(world, options);
 
   Result<size_t> chain = engine.AddQuery(MakeSubChainQuery(world, 2000, "cn"));
@@ -629,6 +679,67 @@ TEST(GovernedEngineTest, DeadlineTripIsolatedToPathologicalPair) {
   // Bounded: the pathological pair consumes at most ~2x its 200ms budget
   // (chase slice + hom slice); the rest of the batch is trivial.
   EXPECT_LT(elapsed.count(), 10'000);
+}
+
+// ---- signature stage / governor interplay --------------------------------
+
+TEST(GovernedEngineTest, PrunedPairConsumesNoHomStepBudget) {
+  World world;
+  BatchContainmentOptions options;
+  options.jobs = 1;
+  // A budget so small that ANY homomorphism search would trip it into
+  // kUnknown at its first stride check.
+  options.containment.budget.hom_step_budget = 1;
+  ContainmentEngine engine(world, options);
+
+  // funct is never derivable from member atoms, so the signature filter
+  // discharges (lhs, rhs) before either stage.
+  Result<size_t> lhs = engine.AddQuery(Q(world, "a() :- member(X, C)."));
+  Result<size_t> rhs = engine.AddQuery(Q(world, "b() :- funct(A, O)."));
+  ASSERT_TRUE(lhs.ok() && rhs.ok());
+
+  std::vector<std::pair<size_t, size_t>> pairs = {{*lhs, *rhs}};
+  Result<std::vector<PairVerdict>> verdicts = engine.CheckPairs(pairs);
+  ASSERT_TRUE(verdicts.ok()) << verdicts.status().ToString();
+
+  // Definite kNotContained — not kUnknown(hom-steps) — with zero search
+  // effort: the pair never reached the hom stage, so the one-step budget
+  // was never consumed.
+  EXPECT_TRUE((*verdicts)[0].pruned);
+  EXPECT_EQ((*verdicts)[0].resolution, Resolution::kNotContained);
+  EXPECT_EQ((*verdicts)[0].unknown_reason, TripReason::kNone);
+  EXPECT_EQ((*verdicts)[0].hom_stats.nodes_visited, 0u);
+  EXPECT_EQ(engine.stats().pruned_pairs, 1u);
+  EXPECT_EQ(engine.stats().chase_requests, 0u);
+  EXPECT_EQ(engine.stats().unknown_pairs, 0u);
+}
+
+TEST(GovernedEngineTest, SignatureStageDeadlineDegradesToUnknown) {
+  World world;
+  BatchContainmentOptions options;
+  options.jobs = 1;
+  // An already-expired deadline: every stage's governor trips on its
+  // first CheckNow.
+  options.containment.budget.deadline = Deadline::AfterMillis(0);
+  ContainmentEngine engine(world, options);
+
+  // Absent the trip this pair WOULD be discharged (funct never derivable
+  // from member): a tripped stage-0 governor must degrade it to kUnknown,
+  // never cash in the (still sound, but unattempted) definite verdict.
+  Result<size_t> lhs = engine.AddQuery(Q(world, "a() :- member(X, C)."));
+  Result<size_t> rhs = engine.AddQuery(Q(world, "b() :- funct(A, O)."));
+  ASSERT_TRUE(lhs.ok() && rhs.ok());
+
+  std::vector<std::pair<size_t, size_t>> pairs = {{*lhs, *rhs}};
+  Result<std::vector<PairVerdict>> verdicts = engine.CheckPairs(pairs);
+  ASSERT_TRUE(verdicts.ok()) << verdicts.status().ToString();
+
+  EXPECT_FALSE((*verdicts)[0].pruned);
+  EXPECT_EQ((*verdicts)[0].resolution, Resolution::kUnknown);
+  EXPECT_EQ((*verdicts)[0].unknown_reason, TripReason::kDeadlineExceeded);
+  EXPECT_EQ(engine.stats().pruned_pairs, 0u);
+  EXPECT_EQ(engine.stats().unknown_pairs, 1u);
+  EXPECT_EQ(engine.stats().timed_out_pairs, 1u);
 }
 
 }  // namespace

@@ -22,6 +22,9 @@
 //
 // Global flags (anywhere after the command):
 //   --jobs N           worker threads for the batch commands (0 = cores)
+//   --no-prune         disable the stage-0 signature prefilter in the
+//                      batch commands (classify, views); verdicts are
+//                      identical either way, only slower
 //   --timeout-ms N     wall-clock budget per containment check; a tripped
 //                      budget renders as UNKNOWN (exit 3), never as a
 //                      wrong definite verdict
@@ -185,17 +188,24 @@ int CmdExplain(const std::string& path, const ResourceBudget& budget,
 }
 
 int CmdClassify(const std::string& path, int jobs,
-                const ResourceBudget& budget) {
+                const ResourceBudget& budget, bool no_prune) {
   World world;
   Result<std::vector<ConjunctiveQuery>> rules = LoadRules(world, path);
   if (!rules.ok()) return Fail(rules.status().ToString());
   BatchContainmentOptions options;
   options.jobs = jobs;  // 0 = hardware concurrency
   options.containment.budget = budget;
+  options.containment.use_signature_index = !no_prune;
   Result<QueryTaxonomy> taxonomy = ClassifyQueries(world, *rules, options);
   if (!taxonomy.ok()) return Fail(taxonomy.status().ToString());
   std::printf("%zu queries, %zu equivalence classes, %d checks\n",
               rules->size(), taxonomy->classes.size(), taxonomy->checks);
+  const int pairs = taxonomy->checks + taxonomy->pruned_checks;
+  if (pairs > 0) {
+    std::printf("signature index: %d of %d pairs pruned (ratio %.3f)\n",
+                taxonomy->pruned_checks, pairs,
+                double(taxonomy->pruned_checks) / double(pairs));
+  }
   if (taxonomy->unknown_checks > 0) {
     std::printf("%d check(s) returned UNKNOWN (resource budget tripped); "
                 "the taxonomy may be coarser than the true preorder\n",
@@ -312,14 +322,16 @@ int CmdCore(const std::string& path) {
 }
 
 // View usability: first rule = the query, remaining rules = views.
-int CmdViews(const std::string& path) {
+int CmdViews(const std::string& path, bool no_prune) {
   World world;
   Result<std::vector<ConjunctiveQuery>> rules = LoadRules(world, path);
   if (!rules.ok()) return Fail(rules.status().ToString());
   if (rules->size() < 2) return Fail("views needs a query plus views");
   ConjunctiveQuery query = (*rules)[0];
   std::vector<ConjunctiveQuery> views(rules->begin() + 1, rules->end());
-  Result<ViewAnalysis> analysis = AnalyzeViews(world, query, views);
+  BatchContainmentOptions options;
+  options.containment.use_signature_index = !no_prune;
+  Result<ViewAnalysis> analysis = AnalyzeViews(world, query, views, options);
   if (!analysis.ok()) return Fail(analysis.status().ToString());
   std::printf("%s", ViewAnalysisToString(*analysis, query, views,
                                          world).c_str());
@@ -546,7 +558,7 @@ int Usage() {
                "usage:\n"
                "  floq check <queries.fl>\n"
                "  floq explain <queries.fl> [--profile] [--chase-dot FILE]\n"
-               "  floq classify [--jobs N] <queries.fl>\n"
+               "  floq classify [--jobs N] [--no-prune] <queries.fl>\n"
                "  floq chase <queries.fl> [max_level]\n"
                "  floq dot <queries.fl> [max_level]\n"
                "  floq minimize <queries.fl>\n"
@@ -558,13 +570,14 @@ int Usage() {
                "  floq lint [--json] [--deps <deps.fl>] [<file.fl>]\n"
                "  floq repl [kb.fl]\n"
                "global flags: --jobs N, --timeout-ms N, --hom-steps N,\n"
+               "              --no-prune (disable the signature prefilter),\n"
                "              --metrics-out <m.json>, --trace-out <t.json>\n"
                "(a tripped budget renders as UNKNOWN and exits 3)\n");
   return 64;
 }
 
 int RunCommand(const std::string& command, std::vector<std::string>& args,
-               int jobs, const ResourceBudget& budget) {
+               int jobs, const ResourceBudget& budget, bool no_prune) {
   if (command == "check" && args.size() == 2) {
     return CmdCheck(args[1], budget);
   }
@@ -587,7 +600,7 @@ int RunCommand(const std::string& command, std::vector<std::string>& args,
     return CmdExplain(file_path, budget, profile, chase_dot);
   }
   if (command == "classify" && args.size() == 2) {
-    return CmdClassify(args[1], jobs, budget);
+    return CmdClassify(args[1], jobs, budget, no_prune);
   }
   if ((command == "chase" || command == "dot") &&
       (args.size() == 2 || args.size() == 3)) {
@@ -599,7 +612,9 @@ int RunCommand(const std::string& command, std::vector<std::string>& args,
   if (command == "check-under" && args.size() == 3) {
     return CmdCheckUnder(args[1], args[2], budget);
   }
-  if (command == "views" && args.size() == 2) return CmdViews(args[1]);
+  if (command == "views" && args.size() == 2) {
+    return CmdViews(args[1], no_prune);
+  }
   if (command == "query" && args.size() == 3) {
     return CmdQuery(args[1], args[2]);
   }
@@ -644,6 +659,16 @@ int main(int argc, char** argv) {
   // `--trace-out F` arm the observability sinks (DESIGN.md §12).
   int64_t jobs64 = 0, timeout_ms = 0, hom_steps = 0;
   std::string metrics_out, trace_out;
+  // Boolean flags first (the loop below consumes flag+value pairs).
+  bool no_prune = false;
+  for (size_t i = 1; i < args.size();) {
+    if (args[i] == "--no-prune") {
+      no_prune = true;
+      args.erase(args.begin() + long(i));
+      continue;
+    }
+    ++i;
+  }
   for (size_t i = 1; i + 1 < args.size();) {
     std::string* text_slot = args[i] == "--metrics-out" ? &metrics_out
                              : args[i] == "--trace-out" ? &trace_out
@@ -681,7 +706,7 @@ int main(int argc, char** argv) {
   std::optional<TraceSession> trace_session;
   if (!trace_out.empty()) trace_session.emplace();
 
-  int exit_code = RunCommand(command, args, jobs, budget);
+  int exit_code = RunCommand(command, args, jobs, budget, no_prune);
 
   if (!metrics_out.empty() &&
       !WriteFile(metrics_out, MetricsRegistry::Get().ToJson())) {
