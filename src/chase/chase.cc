@@ -245,7 +245,7 @@ class ChaseEngine {
       // Re-check the restriction against the current instance: an earlier
       // application in this batch may have supplied the data conjunct.
       if (uint32_t blocker = FindDataFor(p.object, p.attr);
-          blocker != UINT32_MAX) {
+          blocker != kInvalidFactId) {
         RecordCrossArcs({p.parent}, blocker, kRho5);
         return true;
       }
@@ -257,20 +257,18 @@ class ChaseEngine {
                       {p.parent});
   }
 
-  // Id of some data(object, attr, ·) conjunct, or UINT32_MAX.
+  // Id of some data(object, attr, ·) conjunct, or kInvalidFactId.
   uint32_t FindDataFor(Term object, Term attr) const {
     const FactIndex& idx = result_.conjuncts_;
-    const std::vector<uint32_t>& by_object =
-        idx.WithArgument(pfl::kData, 0, object);
-    const std::vector<uint32_t>& by_attr =
-        idx.WithArgument(pfl::kData, 1, attr);
-    const std::vector<uint32_t>& scan =
+    const PostingView by_object = idx.WithArgument(pfl::kData, 0, object);
+    const PostingView by_attr = idx.WithArgument(pfl::kData, 1, attr);
+    const PostingView& scan =
         by_object.size() <= by_attr.size() ? by_object : by_attr;
     for (uint32_t id : scan) {
       const Atom& atom = idx.at(id);
       if (atom.arg(0) == object && atom.arg(1) == attr) return id;
     }
-    return UINT32_MAX;
+    return kInvalidFactId;
   }
 
   void RecordCrossArcs(const std::vector<uint32_t>& from, uint32_t to,
@@ -319,7 +317,7 @@ class ChaseEngine {
       for (const Atom& body_atom : tgd.rule.body) {
         Atom ground = match.Apply(body_atom);
         uint32_t id = index().IdOf(ground);
-        FLOQ_CHECK_NE(id, UINT32_MAX);
+        FLOQ_CHECK_NE(id, kInvalidFactId);
         parents.push_back(id);
         level = std::max(level, result_.meta_[id].level);
       }
@@ -379,7 +377,7 @@ class ChaseEngine {
       if (!seen.insert({object, attr}).second) return;
       if (options_.restricted_rho5) {
         uint32_t blocker = FindDataFor(object, attr);
-        if (blocker != UINT32_MAX) {
+        if (blocker != kInvalidFactId) {
           RecordCrossArcs({id}, blocker, kRho5);
           return;
         }
@@ -396,7 +394,7 @@ class ChaseEngine {
       for (const Atom& atom : window.atoms) {
         if (atom.predicate() != pfl::kMandatory) continue;
         uint32_t id = index().IdOf(atom);
-        if (id != UINT32_MAX) consider(id);
+        if (id != kInvalidFactId) consider(id);
       }
     }
     return pending;
@@ -421,11 +419,11 @@ class ChaseEngine {
         const Atom& funct = index().at(fid);
         Term attr = funct.arg(0);
         Term object = funct.arg(1);
-        const std::vector<uint32_t>& by_object =
+        const PostingView by_object =
             index().WithArgument(pfl::kData, 0, object);
-        const std::vector<uint32_t>& by_attr =
+        const PostingView by_attr =
             index().WithArgument(pfl::kData, 1, attr);
-        const std::vector<uint32_t>& scan =
+        const PostingView& scan =
             by_object.size() <= by_attr.size() ? by_object : by_attr;
         Term first;
         for (uint32_t id : scan) {

@@ -128,6 +128,14 @@ class ChaseResult {
   const FactIndex& conjuncts() const { return conjuncts_; }
   uint32_t size() const { return conjuncts_.size(); }
   const Atom& conjunct(uint32_t id) const { return conjuncts_.at(id); }
+
+  /// Compacts the conjunct posting lists into the block-compressed frozen
+  /// tier (FactIndex::Freeze). Call at the chase/search phase boundary:
+  /// the hom search re-reads the same lists at every backtracking node, so
+  /// it should stream the frozen tier, while outstanding PostingViews are
+  /// invalidated. Further chase rounds still work — inserts append to
+  /// fresh tails.
+  void FreezeConjuncts() { conjuncts_.Freeze(); }
   const ChaseNodeMeta& meta(uint32_t id) const { return meta_[id]; }
   int LevelOf(uint32_t id) const { return meta_[id].level; }
 

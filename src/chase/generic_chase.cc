@@ -134,16 +134,15 @@ class GenericChaseEngine {
       return false;
     };
 
-    const std::vector<uint32_t>* candidates =
-        &index().WithPredicate(partial_head.predicate());
+    PostingView candidates = index().WithPredicate(partial_head.predicate());
     for (int i = 0; i < partial_head.arity(); ++i) {
       Term t = partial_head.arg(i);
       if (is_existential(t)) continue;
-      const std::vector<uint32_t>& ids =
+      const PostingView ids =
           index().WithArgument(partial_head.predicate(), i, t);
-      if (ids.size() < candidates->size()) candidates = &ids;
+      if (ids.size() < candidates.size()) candidates = ids;
     }
-    for (uint32_t id : *candidates) {
+    for (uint32_t id : candidates) {
       const Atom& fact = index().at(id);
       Substitution extension;
       bool matches = true;
@@ -174,7 +173,7 @@ class GenericChaseEngine {
       int level = 0;
       for (const Atom& body_atom : tgd.body) {
         uint32_t id = index().IdOf(match.Apply(body_atom));
-        FLOQ_CHECK_NE(id, UINT32_MAX);
+        FLOQ_CHECK_NE(id, kInvalidFactId);
         parents.push_back(id);
         level = std::max(level, result_.meta_[id].level);
       }

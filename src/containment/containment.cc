@@ -132,6 +132,11 @@ Result<ContainmentResult> CheckContainment(World& world,
   // chase_trip is kNone or kChaseAtomBudget here. Search even a truncated
   // prefix: a homomorphism into any prefix composes into the universal
   // model, so kContained remains sound (governor.h).
+  //
+  // The chase is done mutating: compact its posting lists into the
+  // block-compressed frozen tier so the search leapfrogs compressed
+  // blocks instead of plain vectors.
+  result.chase.FreezeConjuncts();
   ExecGovernor hom_governor(anchored, options.budget.cancel,
                             options.budget.hom_step_budget);
   MatchOptions match = options.match;
@@ -254,6 +259,7 @@ Result<std::optional<size_t>> CheckUcqContainment(
 
   // All disjunct searches draw on one governor: the hom budget spans the
   // whole stage, not each disjunct.
+  chase.FreezeConjuncts();
   ExecGovernor hom_governor(anchored, options.budget.cancel,
                             options.budget.hom_step_budget);
   MatchOptions match = options.match;
@@ -330,6 +336,7 @@ Result<ContainmentResult> CheckContainmentUnderDependencies(
     return result;
   }
 
+  result.chase.FreezeConjuncts();
   ExecGovernor hom_governor(anchored, options.budget.cancel,
                             options.budget.hom_step_budget);
   MatchOptions match = options.match;

@@ -106,7 +106,7 @@ std::string ExplainContainment(const World& world,
     out += StrCat("  ", atom.ToString(world), "  ->  ",
                   image.ToString(world), "\n");
     uint32_t id = result.chase.conjuncts().IdOf(image);
-    if (id != UINT32_MAX) {
+    if (id != kInvalidFactId) {
       std::string derivation = ExplainDerivation(world, result.chase, id);
       // Indent the derivation under the mapping line.
       for (const std::string& line : Split(derivation, '\n')) {

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "datalog/binding_trail.h"
-#include "datalog/posting_intersect.h"
+#include "datalog/posting_block.h"
 #include "util/check.h"
 
 namespace floq {
@@ -56,8 +56,8 @@ void CompiledPattern::Compile(std::span<const Atom> pattern,
     CompiledAtom ca;
     ca.predicate = p.predicate();
     ca.arity = uint8_t(p.arity());
-    const std::vector<uint32_t>& bucket = index.WithPredicate(p.predicate());
-    ca.static_best = &bucket;
+    ca.static_best = index.WithPredicate(p.predicate());
+    ca.static_best_const_index = -1;
     for (int i = 0; i < p.arity(); ++i) {
       Term arg = p.arg(i);
       CompiledArg& slot_arg = ca.args[i];
@@ -87,12 +87,16 @@ void CompiledPattern::Compile(std::span<const Atom> pattern,
         // The reject pass proved it nonempty.
         slot_arg.kind = CompiledArg::Kind::kConstant;
         slot_arg.value = initial.Apply(arg);
-        const std::vector<uint32_t>& ids =
+        const PostingView ids =
             index.WithArgument(p.predicate(), i, slot_arg.value);
-        ca.const_lists[ca.num_const_lists++] = &ids;
+        ca.const_lists[ca.num_const_lists] = ids;
         // <= so ties prefer the argument list: it is a subset of the
         // predicate bucket, so unification rejects fewer candidates.
-        if (ids.size() <= ca.static_best->size()) ca.static_best = &ids;
+        if (ids.size() <= ca.static_best.size()) {
+          ca.static_best = ids;
+          ca.static_best_const_index = int8_t(ca.num_const_lists);
+        }
+        ++ca.num_const_lists;
       }
     }
     atoms_.push_back(ca);
@@ -112,15 +116,20 @@ namespace {
 struct AtomCache {
   uint64_t version = ~uint64_t{0};  // sentinel: always stale initially
   uint32_t best_size = 0;
-  const std::vector<uint32_t>* best = nullptr;
-  // All constraining posting lists (constant + bound-slot positions),
-  // the intersection input. At most one list per argument position.
+  PostingView best;
+  // Which lists[] entry best is, or -1 when best is the predicate bucket
+  // (then it participates in no intersection skip).
+  int8_t best_index = -1;
+  // All constraining posting views (constant + bound-slot positions),
+  // the intersection input. At most one view per argument position.
   uint8_t num_lists = 0;
-  std::array<const std::vector<uint32_t>*, kMaxArity> lists;
+  std::array<PostingView, kMaxArity> lists;
   // Per-slot-position memo, indexed like CompiledAtom::slot_positions:
-  // the list probed for that position and the slot version it was
-  // probed at (list is null when the slot was unbound then).
-  std::array<const std::vector<uint32_t>*, kMaxArity> pos_list{};
+  // the view probed for that position and the slot version it was probed
+  // at (pos_has_list marks positions whose slot was unbound then — a
+  // PostingView has no null state, so boundness needs its own flag).
+  std::array<PostingView, kMaxArity> pos_list{};
+  std::array<bool, kMaxArity> pos_has_list{};
   std::array<uint64_t, kMaxArity> pos_version{};
 };
 
@@ -190,31 +199,39 @@ class CompiledMatcher {
     AtomCache& cache = cache_[atom_index];
     cache.version = version;
     cache.num_lists = 0;
-    const std::vector<uint32_t>* best = atom.static_best;
+    const PostingView* best = &atom.static_best;
+    // const_lists land at the same indexes in cache.lists, so the compile-
+    // time best index carries over directly.
+    int8_t best_index = atom.static_best_const_index;
     for (uint8_t i = 0; i < atom.num_const_lists; ++i) {
       cache.lists[cache.num_lists++] = atom.const_lists[i];
     }
     for (uint8_t i = 0; i < atom.num_slot_positions; ++i) {
       auto [position, slot] = atom.slot_positions[i];
       // The zero-initialized memo is already valid: slot version 0 means
-      // "never bound", and the memo's default list for it is null.
+      // "never bound", and the memo's default for it is "no list".
       uint64_t slot_version = slot_version_[slot];
       if (cache.pos_version[i] != slot_version) {
         cache.pos_version[i] = slot_version;
         if (trail_.Bound(slot)) {
           if (stats_ != nullptr) ++stats_->index_probes;
-          cache.pos_list[i] = &index_.WithArgument(atom.predicate, position,
-                                                   trail_.Get(slot));
+          cache.pos_list[i] = index_.WithArgument(atom.predicate, position,
+                                                  trail_.Get(slot));
+          cache.pos_has_list[i] = true;
         } else {
-          cache.pos_list[i] = nullptr;
+          cache.pos_has_list[i] = false;
         }
       }
-      const std::vector<uint32_t>* ids = cache.pos_list[i];
-      if (ids == nullptr) continue;
+      if (!cache.pos_has_list[i]) continue;
+      const PostingView& ids = cache.pos_list[i];
+      if (ids.size() < best->size()) {
+        best = &ids;
+        best_index = int8_t(cache.num_lists);
+      }
       cache.lists[cache.num_lists++] = ids;
-      if (ids->size() < best->size()) best = ids;
     }
-    cache.best = best;
+    cache.best = *best;
+    cache.best_index = best_index;
     cache.best_size = uint32_t(best->size());
   }
 
@@ -313,24 +330,21 @@ class CompiledMatcher {
     const CompiledAtom& atom = pattern_.atoms()[atom_index];
     const AtomCache& cache = cache_[atom_index];
 
-    // Lazy k-way intersection: drive the smallest list and gallop a
+    // Lazy k-way intersection: drive the smallest list and leapfrog a
     // monotone cursor through each other constraining list, skipping
     // candidates absent from any of them. Lazy (instead of materializing
     // the full intersection up front) because first-match searches and
     // callback-stopped enumerations break out of the loop early — work
     // spent intersecting ids the loop never reaches is pure waste. When
     // any other list runs out, no later driver id can qualify either.
-    const std::vector<uint32_t>& candidates = *cache.best;
-    std::array<const std::vector<uint32_t>*, kMaxArity> others;
-    std::array<size_t, kMaxArity> cursors;
+    PostingCursor driver(cache.best);
+    std::array<PostingCursor, kMaxArity> others;
     size_t num_others = 0;
     if (options_.use_list_intersection && cache.num_lists >= 2 &&
         cache.best_size > kIntersectCutoff) {
       for (uint8_t i = 0; i < cache.num_lists; ++i) {
-        if (cache.lists[i] == cache.best) continue;
-        others[num_others] = cache.lists[i];
-        cursors[num_others] = 0;
-        ++num_others;
+        if (int8_t(i) == cache.best_index) continue;
+        others[num_others++] = PostingCursor(cache.lists[i]);
       }
       if (stats_ != nullptr && num_others > 0) ++stats_->intersect_nodes;
     }
@@ -345,8 +359,7 @@ class CompiledMatcher {
     ExecGovernor* const governor = options_.governor;
     uint32_t governor_countdown = kGovernorBatch;
     bool keep_going = true;
-    size_t di = 0;
-    while (di < candidates.size()) {
+    while (!driver.AtEnd()) {
       if (governor != nullptr && --governor_countdown == 0) {
         governor_countdown = kGovernorBatch;
         if (!governor->TickBatch(kGovernorBatch)) {
@@ -354,26 +367,29 @@ class CompiledMatcher {
           break;
         }
       }
-      uint32_t fact_id = candidates[di];
+      uint32_t fact_id = driver.value();
       bool present = true;
       bool exhausted = false;
       for (size_t i = 0; i < num_others; ++i) {
-        const std::vector<uint32_t>& list = *others[i];
-        cursors[i] = GallopToLowerBound(list, cursors[i], fact_id);
-        if (cursors[i] == list.size()) {
+        PostingCursor& other = others[i];
+        if (!other.SeekGE(fact_id)) {
           exhausted = true;
           break;
         }
-        if (list[cursors[i]] != fact_id) {
+        const uint32_t found = other.value();
+        if (found != fact_id) {
           // Leapfrog: every driver id below the other list's next value
           // fails membership too, so jump the driver cursor straight to
           // it. This run-skipping is what lets intersection beat a plain
-          // scan-and-let-unification-reject loop.
+          // scan-and-let-unification-reject loop — over the frozen tier
+          // both seeks skip whole compressed blocks via their max-ids.
           present = false;
-          di = GallopToLowerBound(candidates, di + 1, list[cursors[i]]);
+          driver.Next();
+          if (!driver.SeekGE(found)) exhausted = true;
           if (stats_ != nullptr) ++stats_->gallop_skips;
           break;
         }
+        other.Next();
       }
       if (exhausted) break;
       if (!present) continue;
@@ -383,7 +399,7 @@ class CompiledMatcher {
         UndoToMark(mark);
       }
       if (!keep_going) break;
-      ++di;
+      driver.Next();
     }
 
     remaining_.insert(remaining_.begin() + best_slot, atom_index);

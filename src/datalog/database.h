@@ -34,11 +34,14 @@ class Database {
   bool Contains(const Atom& fact) const { return index_.Contains(fact); }
 
   const FactIndex& index() const { return index_; }
-  const std::vector<Atom>& facts() const { return index_.atoms(); }
+  /// Mutable access for storage maintenance (Freeze, snapshot load); the
+  /// engines only ever read through index().
+  FactIndex& mutable_index() { return index_; }
+  FactIndex::AtomRange facts() const { return index_.atoms(); }
   uint32_t size() const { return index_.size(); }
 
   /// Facts of one predicate (ids into facts()).
-  const std::vector<uint32_t>& FactsWith(PredicateId pred) const {
+  PostingView FactsWith(PredicateId pred) const {
     return index_.WithPredicate(pred);
   }
 

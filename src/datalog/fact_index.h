@@ -2,10 +2,12 @@
 #define FLOQ_DATALOG_FACT_INDEX_H_
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "datalog/posting_block.h"
 #include "term/atom.h"
 
 // An append-only, duplicate-free collection of atoms with hash indexes by
@@ -13,11 +15,31 @@
 // storage shared by the Datalog engine (ground facts), the chase (conjuncts
 // of chase_Sigma(q), where query variables are treated as values), and the
 // homomorphism search (candidate lookup).
+//
+// Storage is two-tier (DESIGN.md §14): every posting list is an immutable
+// block-compressed frozen prefix inside one flat PostingArena plus a
+// mutable append tail. Freeze() compacts tails into the frozen tier;
+// lookups hand out PostingView values that consumers stream with
+// PostingCursor, oblivious to the tier split. The frozen tier (and the
+// atom array) can be serialized to a snapshot file and mmap-ed back —
+// see datalog/snapshot.h.
 
 namespace floq {
 
+/// Sentinel id returned by IdOf for absent atoms.
+inline constexpr uint32_t kInvalidFactId = UINT32_MAX;
+
+class SnapshotIO;  // snapshot.cc: serialized access to the private tiers
+
 class FactIndex {
  public:
+  /// Freeze() leaves lists shorter than this as plain tails: below it the
+  /// block header + metadata outweigh the delta savings, and — worse — a
+  /// first-match search that reads two or three ids of a short list would
+  /// pay a whole 128-id block decode for them. Half a block keeps the
+  /// frozen tier to lists whose decodes amortize.
+  static constexpr uint32_t kDefaultFreezeThreshold = 64;
+
   FactIndex() = default;
 
   FactIndex(const FactIndex&) = delete;
@@ -29,27 +51,87 @@ class FactIndex {
   /// whether it was newly inserted.
   std::pair<uint32_t, bool> Insert(const Atom& atom);
 
-  bool Contains(const Atom& atom) const { return ids_.count(atom) > 0; }
-
-  /// Id lookup; returns UINT32_MAX if absent.
-  uint32_t IdOf(const Atom& atom) const {
-    auto it = ids_.find(atom);
-    return it == ids_.end() ? UINT32_MAX : it->second;
+  bool Contains(const Atom& atom) const {
+    EnsureIds();
+    return ids_.count(atom) > 0;
   }
 
-  const Atom& at(uint32_t id) const { return atoms_[id]; }
-  const std::vector<Atom>& atoms() const { return atoms_; }
-  uint32_t size() const { return uint32_t(atoms_.size()); }
-  bool empty() const { return atoms_.empty(); }
+  /// Id lookup; returns kInvalidFactId if absent.
+  uint32_t IdOf(const Atom& atom) const {
+    EnsureIds();
+    auto it = ids_.find(atom);
+    return it == ids_.end() ? kInvalidFactId : it->second;
+  }
+
+  const Atom& at(uint32_t id) const {
+    return id < mapped_count_ ? mapped_atoms_[id] : atoms_[id - mapped_count_];
+  }
+
+  uint32_t size() const { return mapped_count_ + uint32_t(atoms_.size()); }
+  bool empty() const { return size() == 0; }
+
+  /// Random-access range over all atoms in id order (the atom array may be
+  /// split between an mmap-ed snapshot prefix and the in-memory suffix, so
+  /// there is no single contiguous vector to return).
+  class AtomRange {
+   public:
+    class iterator {
+     public:
+      using value_type = Atom;
+      using difference_type = std::ptrdiff_t;
+      using reference = const Atom&;
+      using pointer = const Atom*;
+      using iterator_category = std::forward_iterator_tag;
+
+      iterator() = default;
+      iterator(const FactIndex* index, uint32_t id) : index_(index), id_(id) {}
+      const Atom& operator*() const { return index_->at(id_); }
+      const Atom* operator->() const { return &index_->at(id_); }
+      iterator& operator++() {
+        ++id_;
+        return *this;
+      }
+      iterator operator++(int) {
+        iterator old = *this;
+        ++id_;
+        return old;
+      }
+      bool operator==(const iterator& o) const { return id_ == o.id_; }
+      bool operator!=(const iterator& o) const { return id_ != o.id_; }
+
+     private:
+      const FactIndex* index_ = nullptr;
+      uint32_t id_ = 0;
+    };
+
+    explicit AtomRange(const FactIndex* index) : index_(index) {}
+    uint32_t size() const { return index_->size(); }
+    bool empty() const { return index_->empty(); }
+    const Atom& operator[](uint32_t id) const { return index_->at(id); }
+    iterator begin() const { return iterator(index_, 0); }
+    iterator end() const { return iterator(index_, index_->size()); }
+
+   private:
+    const FactIndex* index_;
+  };
+
+  AtomRange atoms() const { return AtomRange(this); }
 
   /// Ids of all atoms with the given predicate.
-  const std::vector<uint32_t>& WithPredicate(PredicateId pred) const;
+  PostingView WithPredicate(PredicateId pred) const;
 
   /// Ids of all atoms with `pred` whose argument `position` equals `value`.
-  const std::vector<uint32_t>& WithArgument(PredicateId pred, int position,
-                                            Term value) const;
+  PostingView WithArgument(PredicateId pred, int position, Term value) const;
 
-  /// Removes everything.
+  /// Compacts every posting tail of at least `min_list_size` ids into the
+  /// block-compressed frozen tier (already-frozen prefixes are re-encoded
+  /// together with their tails). Outstanding PostingViews are invalidated;
+  /// callers freeze between searches, never during one.
+  void Freeze(uint32_t min_list_size = kDefaultFreezeThreshold);
+
+  /// Removes everything and releases all heap capacity (swap-clear: a
+  /// long-lived process that resets its registry must actually return the
+  /// bucket arrays and posting vectors to the allocator).
   void Clear();
 
   /// True iff every WithPredicate/WithArgument posting list is strictly
@@ -59,7 +141,31 @@ class FactIndex {
   /// it per append, and this full scan backs the unit test.
   bool PostingListsSorted() const;
 
+  /// Posting-storage accounting for benches and the snapshot writer.
+  struct StorageStats {
+    uint64_t postings = 0;         // ids across all posting lists
+    uint64_t frozen_postings = 0;  // of which live in the frozen tier
+    uint64_t arena_bytes = 0;      // frozen-tier bytes (heap or mapped)
+    uint64_t tail_bytes = 0;       // capacity bytes of the mutable tails
+  };
+  StorageStats Stats() const;
+
+  /// Approximate heap bytes owned by the index (atoms, id map, posting
+  /// slots, arena). Mapped snapshot bytes are excluded — they are shared
+  /// pages, the point of mmap loading.
+  size_t MemoryFootprint() const;
+
  private:
+  friend class SnapshotIO;
+
+  /// One posting list: immutable frozen prefix (offset into arena_, count
+  /// of ids there) + mutable append tail.
+  struct PostingSlot {
+    uint32_t frozen_offset = 0;
+    uint32_t frozen_count = 0;
+    std::vector<uint32_t> tail;
+  };
+
   // Packs (predicate, position, term) into one hash key: term in the low
   // 32 bits, position in the next 4, predicate above. An earlier packing
   // gave position only 2 bits, so position 4 of a wide predicate aliased
@@ -71,10 +177,32 @@ class FactIndex {
            uint64_t(value.raw());
   }
 
+  PostingView ViewOf(const PostingSlot& slot) const {
+    return PostingView(arena_.data(), slot.frozen_offset, slot.frozen_count,
+                       slot.tail);
+  }
+
+  void AppendPosting(PostingSlot& slot, uint32_t id);
+
+  // The atom -> id map is rebuilt lazily after a snapshot load (building
+  // it eagerly would touch every mapped page up front, defeating the
+  // mmap). First touch is not thread-safe; snapshot loads happen on the
+  // single-threaded CLI path before any search starts.
+  void EnsureIds() const;
+
+  // Atoms in id order: an optional mmap-ed prefix (ids [0, mapped_count_))
+  // followed by the in-memory suffix.
+  std::span<const Atom> mapped_atoms_;
+  uint32_t mapped_count_ = 0;
+  std::shared_ptr<const void> mapped_owner_;
   std::vector<Atom> atoms_;
-  std::unordered_map<Atom, uint32_t, AtomHash> ids_;
-  std::unordered_map<PredicateId, std::vector<uint32_t>> by_predicate_;
-  std::unordered_map<uint64_t, std::vector<uint32_t>> by_argument_;
+
+  mutable std::unordered_map<Atom, uint32_t, AtomHash> ids_;
+  mutable bool ids_built_ = true;
+
+  std::unordered_map<PredicateId, PostingSlot> by_predicate_;
+  std::unordered_map<uint64_t, PostingSlot> by_argument_;
+  PostingArena arena_;
 };
 
 }  // namespace floq

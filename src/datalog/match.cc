@@ -65,8 +65,8 @@ class Matcher {
   // Candidate fact ids for pattern atom `p` under the current bindings:
   // the smallest index list over the bound argument positions, or the
   // whole predicate bucket if no argument is bound.
-  const std::vector<uint32_t>& Candidates(const Atom& p) const {
-    const std::vector<uint32_t>* best = &index_.WithPredicate(p.predicate());
+  PostingView Candidates(const Atom& p) const {
+    PostingView best = index_.WithPredicate(p.predicate());
     for (int i = 0; i < p.arity(); ++i) {
       Term arg = p.arg(i);
       // Unbound pattern variables constrain nothing; anything else (a
@@ -76,11 +76,11 @@ class Matcher {
       const Term* image = subst_.Lookup(arg);
       if (arg.IsVariable() && image == nullptr) continue;
       if (stats_ != nullptr) ++stats_->index_probes;
-      const std::vector<uint32_t>& ids = index_.WithArgument(
+      const PostingView ids = index_.WithArgument(
           p.predicate(), i, image != nullptr ? *image : arg);
-      if (ids.size() < best->size()) best = &ids;
+      if (ids.size() < best.size()) best = ids;
     }
-    return *best;
+    return best;
   }
 
   bool Recurse() {
@@ -98,20 +98,20 @@ class Matcher {
     // Most-constrained-first: pick the remaining atom with the fewest
     // candidates (or just the first one in the ablation configuration).
     size_t best_slot = 0;
-    const std::vector<uint32_t>* best_candidates = nullptr;
+    PostingView best_candidates;
+    bool have_best = false;
     if (options_.most_constrained_first) {
       for (size_t slot = 0; slot < remaining_.size(); ++slot) {
-        const std::vector<uint32_t>& ids =
-            Candidates(pattern_[remaining_[slot]]);
-        if (best_candidates == nullptr ||
-            ids.size() < best_candidates->size()) {
-          best_candidates = &ids;
+        const PostingView ids = Candidates(pattern_[remaining_[slot]]);
+        if (!have_best || ids.size() < best_candidates.size()) {
+          best_candidates = ids;
+          have_best = true;
           best_slot = slot;
           if (ids.empty()) return true;  // dead end, enumerate siblings
         }
       }
     } else {
-      best_candidates = &Candidates(pattern_[remaining_[0]]);
+      best_candidates = Candidates(pattern_[remaining_[0]]);
     }
 
     uint32_t atom_index = remaining_[best_slot];
@@ -119,9 +119,10 @@ class Matcher {
     const Atom& p = pattern_[atom_index];
 
     bool keep_going = true;
-    // Iterate over a copy: candidate lists are stable (FactIndex is not
-    // mutated during matching), but be defensive about re-entrancy.
-    for (uint32_t fact_id : *best_candidates) {
+    // The view is a value: candidate lists are stable (FactIndex is not
+    // mutated during matching), and the cursor-backed iteration holds no
+    // pointer into mutable index state.
+    for (uint32_t fact_id : best_candidates) {
       if (options_.governor != nullptr && !options_.governor->Tick()) {
         keep_going = false;
         break;

@@ -31,12 +31,12 @@ size_t GallopToLowerBound(std::span<const uint32_t> list, size_t begin,
   return lo;
 }
 
-void IntersectPostingLists(std::span<const std::vector<uint32_t>* const> lists,
+void IntersectPostingLists(std::span<const PostingView> lists,
                            std::vector<uint32_t>& out) {
   out.clear();
   FLOQ_CHECK(!lists.empty());
   if (lists.size() == 1) {
-    out.assign(lists[0]->begin(), lists[0]->end());
+    lists[0].Materialize(out);
     return;
   }
 
@@ -44,32 +44,41 @@ void IntersectPostingLists(std::span<const std::vector<uint32_t>* const> lists,
   // ordered by size so the most selective lists reject candidates first.
   constexpr size_t kMaxLists = 16;
   FLOQ_CHECK_LE(lists.size(), kMaxLists);
-  const std::vector<uint32_t>* ordered[kMaxLists];
-  std::copy(lists.begin(), lists.end(), ordered);
+  const PostingView* ordered[kMaxLists];
+  for (size_t i = 0; i < lists.size(); ++i) ordered[i] = &lists[i];
   std::sort(ordered, ordered + lists.size(),
-            [](const std::vector<uint32_t>* a, const std::vector<uint32_t>* b) {
+            [](const PostingView* a, const PostingView* b) {
               return a->size() < b->size();
             });
 
-  const std::vector<uint32_t>& driver = *ordered[0];
-  if (driver.empty()) return;
-  out.reserve(driver.size());
+  if (ordered[0]->empty()) return;
+  out.reserve(ordered[0]->size());
 
-  size_t cursors[kMaxLists] = {0};
-  for (uint32_t id : driver) {
+  PostingCursor driver(*ordered[0]);
+  PostingCursor others[kMaxLists];
+  for (size_t k = 1; k < lists.size(); ++k) {
+    others[k] = PostingCursor(*ordered[k]);
+  }
+
+  while (!driver.AtEnd()) {
+    const uint32_t id = driver.value();
     bool in_all = true;
     for (size_t k = 1; k < lists.size(); ++k) {
-      std::span<const uint32_t> other(*ordered[k]);
-      size_t pos = GallopToLowerBound(other, cursors[k], id);
-      cursors[k] = pos;
-      if (pos == other.size()) return;  // other list exhausted: done
-      if (other[pos] != id) {
+      if (!others[k].SeekGE(id)) return;  // other list exhausted: done
+      const uint32_t found = others[k].value();
+      if (found != id) {
+        // Leapfrog: jump the driver to the other list's next value — no
+        // id in between can be in the intersection either.
         in_all = false;
+        if (!driver.SeekGE(found)) return;
         break;
       }
-      ++cursors[k];  // id consumed; ids are strictly increasing
+      others[k].Next();  // id consumed; ids are strictly increasing
     }
-    if (in_all) out.push_back(id);
+    if (in_all) {
+      out.push_back(id);
+      driver.Next();
+    }
   }
 }
 

@@ -6,15 +6,18 @@
 #include <span>
 #include <vector>
 
+#include "datalog/posting_block.h"
+
 // Sorted posting-list intersection for the homomorphism kernel. FactIndex
 // posting lists are append-only and therefore strictly increasing in fact
 // id (FLOQ_DCHECKed at insert time); candidate computation for a pattern
 // atom with several bound argument positions is then a k-way intersection
 // of sorted uint32 lists — the same primitive search engines use for
 // conjunctive keyword queries. The driver iterates the smallest list and
-// gallops (exponential probe + binary search, Bentley–Yao) through the
-// others, so the cost is O(|smallest| * k * log(skip)) rather than the
-// sum of the list lengths.
+// leapfrogs PostingCursors through the others, so the cost is
+// O(|smallest| * k * log(skip)) rather than the sum of the list lengths —
+// and over the frozen tier a seek skips whole compressed blocks via their
+// max-id metadata without decoding them.
 
 namespace floq {
 
@@ -25,12 +28,11 @@ namespace floq {
 size_t GallopToLowerBound(std::span<const uint32_t> list, size_t begin,
                           uint32_t target);
 
-/// Intersects k >= 1 ascending id lists into `out` (cleared first). The
-/// pointers must be non-null; `out` receives the ids present in every
-/// list, ascending. The smallest list drives; cursors into the other
-/// lists advance monotonically via GallopToLowerBound, so each list is
-/// traversed at most once per call.
-void IntersectPostingLists(std::span<const std::vector<uint32_t>* const> lists,
+/// Intersects k >= 1 ascending posting views into `out` (cleared first):
+/// `out` receives the ids present in every view, ascending. The smallest
+/// view drives; cursors into the other views advance monotonically via
+/// SeekGE, so each view is traversed at most once per call.
+void IntersectPostingLists(std::span<const PostingView> lists,
                            std::vector<uint32_t>& out);
 
 }  // namespace floq

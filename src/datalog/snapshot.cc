@@ -1,0 +1,369 @@
+#include "datalog/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace floq {
+
+namespace {
+
+// File layout (all offsets from file start, little-endian):
+//   SnapshotHeader
+//   atoms    : Atom[atom_count]              (64-aligned)
+//   arena    : uint8[arena_size]             (64-aligned)
+//   preds    : PredTableEntry[pred_count]    (64-aligned)
+//   args     : ArgTableEntry[arg_count]      (64-aligned)
+//   symbols  : length-prefixed blob          (64-aligned)
+constexpr char kMagic[8] = {'F', 'L', 'O', 'Q', 'S', 'N', 'A', 'P'};
+
+struct SnapshotHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t flags;
+  uint32_t atom_count;
+  uint32_t pred_count;
+  uint32_t arg_count;
+  uint32_t reserved;
+  uint64_t atoms_offset;
+  uint64_t arena_offset;
+  uint64_t arena_size;
+  uint64_t preds_offset;
+  uint64_t args_offset;
+  uint64_t symbols_offset;
+  uint64_t symbols_size;
+};
+static_assert(std::is_trivially_copyable_v<SnapshotHeader>);
+static_assert(sizeof(SnapshotHeader) == 88);
+
+struct PredTableEntry {
+  uint32_t predicate;
+  uint32_t frozen_offset;
+  uint32_t frozen_count;
+  uint32_t reserved;
+};
+static_assert(sizeof(PredTableEntry) == 16);
+
+struct ArgTableEntry {
+  uint64_t key;
+  uint32_t frozen_offset;
+  uint32_t frozen_count;
+};
+static_assert(sizeof(ArgTableEntry) == 16);
+
+static_assert(std::is_trivially_copyable_v<Atom>,
+              "atoms are stored as raw bytes");
+
+// Read-only private mapping of a whole file, kept alive by shared_ptr
+// from everything that points into it (FactIndex atom span and arena).
+struct MappedFile {
+  const uint8_t* data = nullptr;
+  size_t size = 0;
+
+  ~MappedFile() {
+    if (data != nullptr) {
+      ::munmap(const_cast<uint8_t*>(data), size);
+    }
+  }
+};
+
+constexpr uint64_t kSectionAlign = 64;
+
+// Buffered whole-file writer; sections are appended with alignment pads.
+class FileWriter {
+ public:
+  void Pad() {
+    while (bytes_.size() % kSectionAlign != 0) bytes_.push_back(0);
+  }
+
+  uint64_t offset() const { return bytes_.size(); }
+
+  void Append(const void* data, size_t size) {
+    if (size == 0) return;
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + size);
+  }
+
+  void AppendU32(uint32_t v) { Append(&v, sizeof v); }
+
+  void AppendString(const std::string& s) {
+    AppendU32(uint32_t(s.size()));
+    Append(s.data(), s.size());
+  }
+
+  void PatchHeader(const SnapshotHeader& header) {
+    std::memcpy(bytes_.data(), &header, sizeof header);
+  }
+
+  Status WriteTo(const std::string& path) {
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+      return InvalidArgumentError("cannot open snapshot file for writing: " +
+                                  tmp);
+    }
+    const size_t written = std::fwrite(bytes_.data(), 1, bytes_.size(), f);
+    const bool flushed = std::fclose(f) == 0 && written == bytes_.size();
+    if (!flushed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return InternalError("short write while saving snapshot: " + path);
+    }
+    return Status::Ok();
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+// Bounds-checked reader over the symbol blob of a mapped snapshot.
+class BlobReader {
+ public:
+  BlobReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool ReadU32(uint32_t& out) {
+    if (pos_ + 4 > size_) return false;
+    std::memcpy(&out, data_ + pos_, 4);
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadString(std::string& out) {
+    uint32_t len = 0;
+    if (!ReadU32(len) || pos_ + len > size_) return false;
+    out.assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+// Privileged access to FactIndex storage (friend; see fact_index.h).
+class SnapshotIO {
+ public:
+  static Status Write(FactIndex& index, const World& world,
+                      const std::string& path, uint32_t flags) {
+    // Freeze everything, tails included: the file stores only the frozen
+    // tier, so after this pass every posting list is (offset, count).
+    index.Freeze(/*min_list_size=*/1);
+
+    FileWriter out;
+    SnapshotHeader header{};
+    std::memcpy(header.magic, kMagic, sizeof kMagic);
+    header.version = kSnapshotFormatVersion;
+    header.flags = flags;
+    header.atom_count = index.size();
+    header.pred_count = uint32_t(index.by_predicate_.size());
+    header.arg_count = uint32_t(index.by_argument_.size());
+    out.Append(&header, sizeof header);
+
+    out.Pad();
+    header.atoms_offset = out.offset();
+    if (index.mapped_count_ > 0) {
+      out.Append(index.mapped_atoms_.data(),
+                 size_t(index.mapped_count_) * sizeof(Atom));
+    }
+    out.Append(index.atoms_.data(), index.atoms_.size() * sizeof(Atom));
+
+    out.Pad();
+    header.arena_offset = out.offset();
+    header.arena_size = index.arena_.size();
+    out.Append(index.arena_.data(), index.arena_.size());
+
+    out.Pad();
+    header.preds_offset = out.offset();
+    for (const auto& [pred, slot] : index.by_predicate_) {
+      FLOQ_CHECK(slot.tail.empty());
+      const PredTableEntry entry{pred, slot.frozen_offset, slot.frozen_count,
+                                 0};
+      out.Append(&entry, sizeof entry);
+    }
+
+    out.Pad();
+    header.args_offset = out.offset();
+    for (const auto& [key, slot] : index.by_argument_) {
+      FLOQ_CHECK(slot.tail.empty());
+      const ArgTableEntry entry{key, slot.frozen_offset, slot.frozen_count};
+      out.Append(&entry, sizeof entry);
+    }
+
+    out.Pad();
+    header.symbols_offset = out.offset();
+    out.AppendU32(world.constant_count());
+    for (uint32_t i = 0; i < world.constant_count(); ++i) {
+      out.AppendString(world.NameOf(Term::Constant(i)));
+    }
+    out.AppendU32(world.variable_count());
+    for (uint32_t i = 0; i < world.variable_count(); ++i) {
+      out.AppendString(world.NameOf(Term::Variable(i)));
+    }
+    out.AppendU32(world.predicates().size());
+    for (uint32_t i = 0; i < world.predicates().size(); ++i) {
+      out.AppendString(world.predicates().NameOf(i));
+      out.AppendU32(uint32_t(world.predicates().ArityOf(i)));
+    }
+    out.AppendU32(world.null_count());
+    header.symbols_size = out.offset() - header.symbols_offset;
+
+    out.PatchHeader(header);
+    return out.WriteTo(path);
+  }
+
+  static Result<SnapshotInfo> Load(const std::string& path, World& world,
+                                   FactIndex& index) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return NotFoundError("cannot open snapshot: " + path);
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size < off_t(sizeof(SnapshotHeader))) {
+      ::close(fd);
+      return InvalidArgumentError("snapshot too small: " + path);
+    }
+    const size_t file_size = size_t(st.st_size);
+    void* raw = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (raw == MAP_FAILED) {
+      return InternalError("mmap failed for snapshot: " + path);
+    }
+    auto mapping = std::make_shared<MappedFile>();
+    mapping->data = static_cast<const uint8_t*>(raw);
+    mapping->size = file_size;
+    const uint8_t* base = mapping->data;
+
+    SnapshotHeader header;
+    std::memcpy(&header, base, sizeof header);
+    if (std::memcmp(header.magic, kMagic, sizeof kMagic) != 0) {
+      return InvalidArgumentError("not a floq snapshot: " + path);
+    }
+    if (header.version != kSnapshotFormatVersion) {
+      return InvalidArgumentError(
+          "snapshot version " + std::to_string(header.version) +
+          " unsupported (expected " +
+          std::to_string(kSnapshotFormatVersion) + "): " + path);
+    }
+    auto section_ok = [&](uint64_t offset, uint64_t size) {
+      return offset <= file_size && size <= file_size - offset;
+    };
+    if (!section_ok(header.atoms_offset,
+                    uint64_t(header.atom_count) * sizeof(Atom)) ||
+        !section_ok(header.arena_offset, header.arena_size) ||
+        !section_ok(header.preds_offset,
+                    uint64_t(header.pred_count) * sizeof(PredTableEntry)) ||
+        !section_ok(header.args_offset,
+                    uint64_t(header.arg_count) * sizeof(ArgTableEntry)) ||
+        !section_ok(header.symbols_offset, header.symbols_size)) {
+      return InvalidArgumentError("snapshot sections out of bounds: " + path);
+    }
+
+    // Restore the symbol tables. Interning must reproduce the stored ids
+    // exactly — the Term encodings in the atom array depend on them — so
+    // the target world must be fresh or already identical.
+    BlobReader blob(base + header.symbols_offset, header.symbols_size);
+    uint32_t count = 0;
+    std::string name;
+    auto corrupt = [&]() {
+      return InvalidArgumentError("snapshot symbol table corrupt: " + path);
+    };
+    if (!blob.ReadU32(count)) return corrupt();
+    for (uint32_t i = 0; i < count; ++i) {
+      if (!blob.ReadString(name)) return corrupt();
+      if (world.MakeConstant(name) != Term::Constant(i)) {
+        return FailedPreconditionError(
+            "snapshot constant '" + name +
+            "' does not intern at its stored id; load into a fresh World");
+      }
+    }
+    if (!blob.ReadU32(count)) return corrupt();
+    for (uint32_t i = 0; i < count; ++i) {
+      if (!blob.ReadString(name)) return corrupt();
+      if (world.MakeVariable(name) != Term::Variable(i)) {
+        return FailedPreconditionError(
+            "snapshot variable '" + name +
+            "' does not intern at its stored id; load into a fresh World");
+      }
+    }
+    if (!blob.ReadU32(count)) return corrupt();
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t arity = 0;
+      if (!blob.ReadString(name) || !blob.ReadU32(arity)) return corrupt();
+      if (world.predicates().Intern(name, int(arity)) != PredicateId(i)) {
+        return FailedPreconditionError(
+            "snapshot predicate '" + name +
+            "' does not intern at its stored id; load into a fresh World");
+      }
+    }
+    uint32_t null_count = 0;
+    if (!blob.ReadU32(null_count)) return corrupt();
+    world.AdvanceNullCounter(null_count);
+
+    // Validate posting tables before mutating the index, so an error
+    // leaves the caller's index untouched.
+    const auto* preds =
+        reinterpret_cast<const PredTableEntry*>(base + header.preds_offset);
+    const auto* args =
+        reinterpret_cast<const ArgTableEntry*>(base + header.args_offset);
+    for (uint32_t i = 0; i < header.pred_count; ++i) {
+      if (preds[i].frozen_count > 0 &&
+          preds[i].frozen_offset >= header.arena_size) {
+        return InvalidArgumentError("snapshot posting offset out of bounds: " +
+                                    path);
+      }
+    }
+    for (uint32_t i = 0; i < header.arg_count; ++i) {
+      if (args[i].frozen_count > 0 &&
+          args[i].frozen_offset >= header.arena_size) {
+        return InvalidArgumentError("snapshot posting offset out of bounds: " +
+                                    path);
+      }
+    }
+
+    // Point the index at the mapping. The id map is rebuilt lazily (see
+    // FactIndex::EnsureIds) so a load touches no atom pages up front.
+    index.Clear();
+    index.mapped_atoms_ = std::span<const Atom>(
+        reinterpret_cast<const Atom*>(base + header.atoms_offset),
+        header.atom_count);
+    index.mapped_count_ = header.atom_count;
+    index.mapped_owner_ = mapping;
+    index.arena_.AdoptMapped(base + header.arena_offset, header.arena_size,
+                             mapping);
+    index.ids_built_ = header.atom_count == 0;
+
+    for (uint32_t i = 0; i < header.pred_count; ++i) {
+      index.by_predicate_[preds[i].predicate] = FactIndex::PostingSlot{
+          preds[i].frozen_offset, preds[i].frozen_count, {}};
+    }
+    for (uint32_t i = 0; i < header.arg_count; ++i) {
+      index.by_argument_[args[i].key] = FactIndex::PostingSlot{
+          args[i].frozen_offset, args[i].frozen_count, {}};
+    }
+
+    SnapshotInfo info;
+    info.version = header.version;
+    info.flags = header.flags;
+    info.atom_count = header.atom_count;
+    return info;
+  }
+};
+
+Status WriteFactIndexSnapshot(FactIndex& index, const World& world,
+                              const std::string& path, uint32_t flags) {
+  return SnapshotIO::Write(index, world, path, flags);
+}
+
+Result<SnapshotInfo> LoadFactIndexSnapshot(const std::string& path,
+                                           World& world, FactIndex& index) {
+  return SnapshotIO::Load(path, world, index);
+}
+
+}  // namespace floq

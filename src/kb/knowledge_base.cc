@@ -5,6 +5,7 @@
 #include "chase/sigma_fl.h"
 #include "chase/term_union_find.h"
 #include "datalog/evaluator.h"
+#include "datalog/snapshot.h"
 #include "flogic/parser.h"
 #include "flogic/printer.h"
 #include "util/strings.h"
@@ -279,6 +280,19 @@ Result<std::vector<std::vector<Term>>> KnowledgeBase::Answer(
     }
   }
   return Answer(ConjunctiveQuery("goal", std::move(head), std::move(*atoms)));
+}
+
+Status KnowledgeBase::SaveSnapshot(const std::string& path) {
+  return WriteFactIndexSnapshot(database_.mutable_index(), world_, path,
+                                saturated_ ? kSnapshotFlagSaturated : 0);
+}
+
+Status KnowledgeBase::LoadSnapshot(const std::string& path) {
+  Result<SnapshotInfo> info =
+      LoadFactIndexSnapshot(path, world_, database_.mutable_index());
+  if (!info.ok()) return info.status();
+  saturated_ = (info->flags & kSnapshotFlagSaturated) != 0;
+  return Status::Ok();
 }
 
 }  // namespace floq

@@ -103,6 +103,13 @@ class World {
   uint32_t variable_count() const { return variables_.size(); }
   uint32_t null_count() const { return null_count_; }
 
+  /// Fast-forwards the fresh-null supply so the next MakeFreshNull() is at
+  /// least Null(count). Snapshot loading restores a saved World's null
+  /// watermark this way; never rewinds.
+  void AdvanceNullCounter(uint32_t count) {
+    if (count > null_count_) null_count_ = count;
+  }
+
  private:
   StringInterner constants_;
   StringInterner variables_;

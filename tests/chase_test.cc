@@ -220,7 +220,8 @@ TEST(ChaseRho5Test, MandatoryInventsValue) {
   ConjunctiveQuery q = Q(world, "q() :- mandatory(A, O).");
   ChaseResult chase = ChaseQuery(world, q, {.max_level = 5});
   EXPECT_EQ(chase.outcome(), ChaseOutcome::kCompleted);
-  const std::vector<uint32_t>& data = chase.conjuncts().WithPredicate(pfl::kData);
+  const std::vector<uint32_t> data =
+      chase.conjuncts().WithPredicate(pfl::kData).ToVector();
   ASSERT_EQ(data.size(), 1u);
   const Atom& atom = chase.conjunct(data[0]);
   EXPECT_EQ(atom.arg(0), world.MakeVariable("O"));

@@ -43,9 +43,10 @@ TEST(FactIndexTest, PostingListsAreStrictlyIncreasing) {
   index.Insert(Atom::Sub(b, c));  // duplicate: must not re-append
   EXPECT_TRUE(index.PostingListsSorted());
 
-  const std::vector<uint32_t>& subs = index.WithPredicate(pfl::kSub);
+  const std::vector<uint32_t> subs = index.WithPredicate(pfl::kSub).ToVector();
   EXPECT_EQ(subs, (std::vector<uint32_t>{0, 1, 2}));
-  const std::vector<uint32_t>& from_a = index.WithArgument(pfl::kSub, 0, a);
+  const std::vector<uint32_t> from_a =
+      index.WithArgument(pfl::kSub, 0, a).ToVector();
   EXPECT_EQ(from_a, (std::vector<uint32_t>{0, 2}));
 }
 
@@ -108,15 +109,15 @@ TEST(FactIndexTest, WideArityPositionsDoNotCollide) {
   // Old packing: key(wide_a, 4, v) == key(wide_b, 0, v), so both lookups
   // saw a two-element bucket.
   ASSERT_EQ(index.WithArgument(wide_a, 4, v).size(), 1u);
-  EXPECT_EQ(index.at(index.WithArgument(wide_a, 4, v)[0]), a);
+  EXPECT_EQ(index.at(index.WithArgument(wide_a, 4, v).ToVector()[0]), a);
   ASSERT_EQ(index.WithArgument(wide_b, 0, v).size(), 1u);
-  EXPECT_EQ(index.at(index.WithArgument(wide_b, 0, v)[0]), b);
+  EXPECT_EQ(index.at(index.WithArgument(wide_b, 0, v).ToVector()[0]), b);
 
   // And key(wide_a, 5, w) == key(wide_b, 1, w).
   ASSERT_EQ(index.WithArgument(wide_a, 5, w).size(), 1u);
-  EXPECT_EQ(index.at(index.WithArgument(wide_a, 5, w)[0]), a);
+  EXPECT_EQ(index.at(index.WithArgument(wide_a, 5, w).ToVector()[0]), a);
   ASSERT_EQ(index.WithArgument(wide_b, 1, w).size(), 1u);
-  EXPECT_EQ(index.at(index.WithArgument(wide_b, 1, w)[0]), b);
+  EXPECT_EQ(index.at(index.WithArgument(wide_b, 1, w).ToVector()[0]), b);
 
   EXPECT_TRUE(index.WithArgument(wide_a, 0, v).empty());
   EXPECT_TRUE(index.WithArgument(wide_b, 4, v).empty());
@@ -127,7 +128,7 @@ TEST(FactIndexTest, IdOfMissingAtom) {
   FactIndex index;
   EXPECT_EQ(index.IdOf(Atom::Sub(world.MakeConstant("x"),
                                  world.MakeConstant("y"))),
-            UINT32_MAX);
+            kInvalidFactId);
 }
 
 // ---- MatchConjunction -------------------------------------------------------

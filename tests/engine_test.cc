@@ -383,8 +383,10 @@ bool ChasesIsomorphic(const ChaseResult& a, const ChaseResult& b) {
     rev.emplace(y, x);
   }
 
-  const std::vector<Atom>& as = a.conjuncts().atoms();
-  const std::vector<Atom>& bs = b.conjuncts().atoms();
+  const std::vector<Atom> as(a.conjuncts().atoms().begin(),
+                             a.conjuncts().atoms().end());
+  const std::vector<Atom> bs(b.conjuncts().atoms().begin(),
+                             b.conjuncts().atoms().end());
   std::vector<std::vector<size_t>> candidates(as.size());
   for (size_t i = 0; i < as.size(); ++i) {
     for (size_t j = 0; j < bs.size(); ++j) {

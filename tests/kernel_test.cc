@@ -99,10 +99,9 @@ TEST(IntersectTest, AgreesWithSetIntersection) {
       expected = std::move(next);
     }
 
-    std::vector<const std::vector<uint32_t>*> pointers;
-    for (const auto& list : lists) pointers.push_back(&list);
+    std::vector<PostingView> views(lists.begin(), lists.end());
     std::vector<uint32_t> actual;
-    IntersectPostingLists(pointers, actual);
+    IntersectPostingLists(views, actual);
     EXPECT_EQ(actual, expected) << "k=" << k << " trial=" << trial;
   }
 }
@@ -111,12 +110,12 @@ TEST(IntersectTest, EmptyAndDisjointLists) {
   std::vector<uint32_t> a = {1, 3, 5};
   std::vector<uint32_t> b;
   std::vector<uint32_t> out = {99};
-  std::vector<const std::vector<uint32_t>*> lists = {&a, &b};
+  std::vector<PostingView> lists = {PostingView(a), PostingView(b)};
   IntersectPostingLists(lists, out);
   EXPECT_TRUE(out.empty());
 
   std::vector<uint32_t> c = {2, 4, 6};
-  lists = {&a, &c};
+  lists = {PostingView(a), PostingView(c)};
   IntersectPostingLists(lists, out);
   EXPECT_TRUE(out.empty());
 }
@@ -157,8 +156,11 @@ TEST(CompiledPatternTest, ClassifiesArgumentPositions) {
   EXPECT_EQ(member.args[1].value, world.MakeConstant("person"));
   // The constant position's posting list was resolved at compile time.
   EXPECT_EQ(member.num_const_lists, 1);
-  EXPECT_EQ(member.const_lists[0]->size(), 1u);
-  EXPECT_EQ(member.static_best, member.const_lists[0]);
+  EXPECT_EQ(member.const_lists[0].size(), 1u);
+  // static_best is the constant list (views have no identity, so the
+  // compiled atom records which input won).
+  EXPECT_EQ(member.static_best_const_index, 0);
+  EXPECT_EQ(member.static_best.size(), member.const_lists[0].size());
   EXPECT_FALSE(compiled.impossible());
   EXPECT_EQ(stats.index_probes, 1u);
 }
@@ -215,7 +217,8 @@ TEST(CompiledPatternTest, InitialBindingsBecomeConstants) {
   EXPECT_EQ(sub.args[1].kind, CompiledArg::Kind::kSlot);
   EXPECT_FALSE(compiled.impossible());
   // static_best is the resolved sub(b, _) list: exactly one fact.
-  EXPECT_EQ(sub.static_best->size(), 1u);
+  EXPECT_EQ(sub.static_best.size(), 1u);
+  EXPECT_EQ(sub.static_best_const_index, 0);
 }
 
 // ---- differential property: identical match sets ----------------------------

@@ -33,6 +33,12 @@
 //                      snapshot to F when the command finishes
 //   --trace-out F      record scoped spans and write Chrome trace_event
 //                      JSON to F (loads in chrome://tracing / Perfetto)
+//   --kb-snapshot F    for the KB commands (query, consistency): when F
+//                      exists, restore the knowledge base from it (one
+//                      mmap — parsing is skipped, and saturation too if
+//                      the snapshot recorded a saturated store);
+//                      otherwise build the KB from <kb.fl> as usual and
+//                      write F afterwards. See DESIGN.md §14.3.
 
 #include <algorithm>
 #include <cstdio>
@@ -338,13 +344,60 @@ int CmdViews(const std::string& path, bool no_prune) {
   return 0;
 }
 
-int CmdQuery(const std::string& kb_path, const std::string& query_text) {
+bool FileExists(const std::string& path) {
+  std::ifstream in(path);
+  return bool(in);
+}
+
+// Restores `kb` from `snapshot_path` when the file exists (returning true),
+// otherwise parses `kb_path` into it (returning false). Fail()s inline on
+// errors via the returned optional being empty.
+std::optional<bool> LoadKbOrSnapshot(KnowledgeBase& kb,
+                                     const std::string& kb_path,
+                                     const std::string& snapshot_path) {
+  if (!snapshot_path.empty() && FileExists(snapshot_path)) {
+    Status loaded = kb.LoadSnapshot(snapshot_path);
+    if (!loaded.ok()) {
+      Fail(loaded.ToString());
+      return std::nullopt;
+    }
+    std::fprintf(stderr, "floq: restored %u facts from snapshot %s%s\n",
+                 kb.size(), snapshot_path.c_str(),
+                 kb.saturated() ? " (saturated)" : "");
+    return true;
+  }
+  std::string text;
+  if (!ReadFile(kb_path, text)) {
+    Fail("cannot read " + kb_path);
+    return std::nullopt;
+  }
+  Status loaded = kb.Load(text);
+  if (!loaded.ok()) {
+    Fail(loaded.ToString());
+    return std::nullopt;
+  }
+  return false;
+}
+
+// Writes `snapshot_path` after a fresh build (never after a load — the
+// store would be byte-identical anyway).
+int SaveKbSnapshot(KnowledgeBase& kb, const std::string& snapshot_path,
+                   bool from_snapshot) {
+  if (snapshot_path.empty() || from_snapshot) return 0;
+  Status saved = kb.SaveSnapshot(snapshot_path);
+  if (!saved.ok()) return Fail(saved.ToString());
+  std::fprintf(stderr, "floq: snapshot written to %s\n",
+               snapshot_path.c_str());
+  return 0;
+}
+
+int CmdQuery(const std::string& kb_path, const std::string& query_text,
+             const std::string& snapshot_path) {
   World world;
   KnowledgeBase kb(world);
-  std::string text;
-  if (!ReadFile(kb_path, text)) return Fail("cannot read " + kb_path);
-  Status loaded = kb.Load(text);
-  if (!loaded.ok()) return Fail(loaded.ToString());
+  std::optional<bool> from_snapshot =
+      LoadKbOrSnapshot(kb, kb_path, snapshot_path);
+  if (!from_snapshot.has_value()) return 1;
   Result<std::vector<std::vector<Term>>> answers = kb.Answer(query_text);
   if (!answers.ok()) return Fail(answers.status().ToString());
   for (const auto& tuple : *answers) {
@@ -356,16 +409,30 @@ int CmdQuery(const std::string& kb_path, const std::string& query_text) {
     std::printf("%s\n", line.empty() ? "true" : line.c_str());
   }
   if (answers->empty()) std::printf("(no answers)\n");
-  return 0;
+  return SaveKbSnapshot(kb, snapshot_path, *from_snapshot);
 }
 
-int CmdConsistency(const std::string& kb_path) {
+int CmdConsistency(const std::string& kb_path,
+                   const std::string& snapshot_path) {
   World world;
   KnowledgeBase kb(world);
-  std::string text;
-  if (!ReadFile(kb_path, text)) return Fail("cannot read " + kb_path);
-  Status loaded = kb.Load(text);
-  if (!loaded.ok()) return Fail(loaded.ToString());
+  std::optional<bool> from_snapshot =
+      LoadKbOrSnapshot(kb, kb_path, snapshot_path);
+  if (!from_snapshot.has_value()) return 1;
+  // On a snapshot-restored saturated store the fixpoint converges in one
+  // delta-less scan; the report (rho_4 repairs, rho_5 gaps) is recomputed
+  // either way — it is the point of the command.
+  //
+  // The snapshot (fresh builds only) is taken at the plain fixpoint,
+  // BEFORE the completion pass below: rho_5 completion invents fresh
+  // nulls that `floq query` must never see as answers, so the cached
+  // store has to be exactly what CmdQuery's own saturation would build.
+  if (!*from_snapshot) {
+    Result<ConsistencyReport> base = kb.Saturate();
+    if (!base.ok()) return Fail(base.status().ToString());
+    int save_failed = SaveKbSnapshot(kb, snapshot_path, *from_snapshot);
+    if (save_failed != 0) return save_failed;
+  }
   SaturateOptions options;
   options.mandatory_completion_rounds = 8;
   Result<ConsistencyReport> report = kb.Saturate(options);
@@ -571,13 +638,17 @@ int Usage() {
                "  floq repl [kb.fl]\n"
                "global flags: --jobs N, --timeout-ms N, --hom-steps N,\n"
                "              --no-prune (disable the signature prefilter),\n"
-               "              --metrics-out <m.json>, --trace-out <t.json>\n"
+               "              --metrics-out <m.json>, --trace-out <t.json>,\n"
+               "              --kb-snapshot <kb.snap> (query/consistency:\n"
+               "                load the KB from the snapshot if it exists,\n"
+               "                else build it and write the snapshot)\n"
                "(a tripped budget renders as UNKNOWN and exits 3)\n");
   return 64;
 }
 
 int RunCommand(const std::string& command, std::vector<std::string>& args,
-               int jobs, const ResourceBudget& budget, bool no_prune) {
+               int jobs, const ResourceBudget& budget, bool no_prune,
+               const std::string& kb_snapshot) {
   if (command == "check" && args.size() == 2) {
     return CmdCheck(args[1], budget);
   }
@@ -616,10 +687,10 @@ int RunCommand(const std::string& command, std::vector<std::string>& args,
     return CmdViews(args[1], no_prune);
   }
   if (command == "query" && args.size() == 3) {
-    return CmdQuery(args[1], args[2]);
+    return CmdQuery(args[1], args[2], kb_snapshot);
   }
   if (command == "consistency" && args.size() == 2) {
-    return CmdConsistency(args[1]);
+    return CmdConsistency(args[1], kb_snapshot);
   }
   if (command == "lint") {
     bool json = false;
@@ -658,7 +729,7 @@ int main(int argc, char** argv) {
   // the resource budget for the governed commands; `--metrics-out F` and
   // `--trace-out F` arm the observability sinks (DESIGN.md §12).
   int64_t jobs64 = 0, timeout_ms = 0, hom_steps = 0;
-  std::string metrics_out, trace_out;
+  std::string metrics_out, trace_out, kb_snapshot;
   // Boolean flags first (the loop below consumes flag+value pairs).
   bool no_prune = false;
   for (size_t i = 1; i < args.size();) {
@@ -670,9 +741,10 @@ int main(int argc, char** argv) {
     ++i;
   }
   for (size_t i = 1; i + 1 < args.size();) {
-    std::string* text_slot = args[i] == "--metrics-out" ? &metrics_out
-                             : args[i] == "--trace-out" ? &trace_out
-                                                        : nullptr;
+    std::string* text_slot = args[i] == "--metrics-out"  ? &metrics_out
+                             : args[i] == "--trace-out"  ? &trace_out
+                             : args[i] == "--kb-snapshot" ? &kb_snapshot
+                                                          : nullptr;
     if (text_slot != nullptr) {
       *text_slot = args[i + 1];
       args.erase(args.begin() + long(i), args.begin() + long(i) + 2);
@@ -706,7 +778,8 @@ int main(int argc, char** argv) {
   std::optional<TraceSession> trace_session;
   if (!trace_out.empty()) trace_session.emplace();
 
-  int exit_code = RunCommand(command, args, jobs, budget, no_prune);
+  int exit_code =
+      RunCommand(command, args, jobs, budget, no_prune, kb_snapshot);
 
   if (!metrics_out.empty() &&
       !WriteFile(metrics_out, MetricsRegistry::Get().ToJson())) {
