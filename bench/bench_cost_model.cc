@@ -1,0 +1,360 @@
+// Experiment E16 — the static cost model behind cost-ordered scheduling.
+// A registry of n small queries asks n(n-1) containment questions; with
+// ContainmentOptions::use_cost_scheduling the engine prices every
+// unpruned pair with analysis::EstimatePairCost and walks the batch
+// cheapest-first. This benchmark classifies the same generated registries
+// twice — scheduling on and off — and emits a machine-checkable JSON
+// report:
+//
+//   * rank_correlation   — Spearman correlation between the scheduler's
+//                          predicted_cost and the pair's measured search
+//                          work (hom nodes + index probes), per registry;
+//                          gate: >= 0.6 on the structured mix.
+//   * wall_correlation   — the same prediction against wall time
+//                          (chase_ms + hom_ms); reported, not gated —
+//                          sub-microsecond pairs make wall clocks noisy.
+//   * time_to_half_ms    — when the first half of the searched pairs had
+//                          a verdict (queue_wait + hom wall), per arm.
+//                          Cheapest-first should not lose to index order.
+//   * parity_mismatches  — any pair whose verdict differs between the
+//                          two arms (scheduling only reorders); gate: 0.
+//
+// The mixes mirror bench_containment_index (E14) so the cost model is
+// exercised on the same populations the signature filter sees: a
+// structured mix (chain probes + mandatory cycles, heterogeneous chase
+// depth — the regime cost ordering exists for), a predicate-diverse
+// random mix, and a homogeneous adversarial mix whose pairs all cost
+// about the same. Only the structured mix carries the correlation gate:
+// the signature filter discharges nearly every predicate-diverse pair
+// before the scheduler prices it (priced_pairs ~ 0 there is expected,
+// and E14's job), and in the equal-cost adversarial mix rank order is
+// meaningless by construction. Both still feed the parity gate.
+//
+// FLOQ_BENCH_SMALL=1 in the environment shrinks the registries ~4x for
+// CI smoke runs; the parity gate is size-independent.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "containment/engine.h"
+#include "gen/generators.h"
+#include "term/world.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace floq;
+
+bool SmallMode() {
+  const char* env = std::getenv("FLOQ_BENCH_SMALL");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+enum class Mix { kStructured, kPredicateDiverse, kAdversarial };
+
+const char* MixName(Mix mix) {
+  switch (mix) {
+    case Mix::kStructured:
+      return "structured_mixed_depth";
+    case Mix::kPredicateDiverse:
+      return "predicate_diverse";
+    case Mix::kAdversarial:
+      return "adversarial_homogeneous";
+  }
+  return "?";
+}
+
+// All queries are boolean so every ordered pair is checkable. The
+// structured mix is half chain probes / mandatory cycles (wildly varying
+// chase and search cost — exactly what a cost order can exploit), padded
+// with cheap random queries; the other two mixes reuse the E14 recipes.
+std::vector<ConjunctiveQuery> MakeRegistry(World& world, Mix mix, int n) {
+  std::vector<ConjunctiveQuery> queries;
+  queries.reserve(size_t(n));
+
+  const int spine = mix == Mix::kStructured ? n / 2 : n / 50;
+  for (int i = 0; i < spine; ++i) {
+    if (i % 2 == 1) {
+      queries.push_back(gen::MakeMandatoryCycleQuery(
+          world, 1 + i % 3, "cycle" + std::to_string(i)));
+    } else {
+      queries.push_back(gen::MakeDataChainProbe(world, 1 + i % 6,
+                                                "probe" + std::to_string(i)));
+    }
+  }
+
+  gen::RandomQuerySpec spec;
+  spec.arity = 0;
+  spec.variable_pool = 4;
+  switch (mix) {
+    case Mix::kStructured:
+      spec.atoms = 8;
+      spec.constant_pool = 24;
+      spec.constant_probability = 0.45;
+      spec.with_constraints = false;
+      break;
+    case Mix::kPredicateDiverse:
+      spec.atoms = 14;
+      spec.constant_pool = 56;
+      spec.constant_probability = 0.60;
+      spec.with_constraints = true;
+      break;
+    case Mix::kAdversarial:
+      spec.atoms = 6;
+      spec.constant_pool = 4;
+      spec.constant_probability = 0.30;
+      spec.with_constraints = false;
+      break;
+  }
+  for (int i = int(queries.size()); i < n; ++i) {
+    spec.seed = uint64_t(9000 + 31 * i + int(mix));
+    queries.push_back(
+        gen::MakeRandomQuery(world, spec, "q" + std::to_string(i)));
+  }
+  return queries;
+}
+
+// Per-pair sample for the correlation and latency metrics; only pairs
+// the scheduler actually priced (unpruned, search ran) participate.
+struct PairSample {
+  double predicted = 0;
+  double work = 0;     // hom nodes + index probes (deterministic)
+  double wall_ms = 0;  // chase_ms + hom_ms (noisy at microsecond scale)
+  double done_ms = 0;  // queue_wait_ms + hom_ms: verdict arrival time
+};
+
+struct ArmResult {
+  double wall_ms = 0;
+  BatchStats stats;
+  std::vector<uint8_t> codes;  // n*n, row-major: resolution | pruned<<2
+  std::vector<PairSample> samples;
+};
+
+ArmResult RunArm(Mix mix, int n, bool use_scheduling) {
+  World world;
+  std::vector<ConjunctiveQuery> queries = MakeRegistry(world, mix, n);
+
+  BatchContainmentOptions options;
+  options.jobs = 1;  // arrival order below assumes one worker
+  options.containment.use_cost_scheduling = use_scheduling;
+
+  ArmResult arm;
+  auto start = std::chrono::steady_clock::now();
+  ContainmentEngine engine(world, options);
+  for (const ConjunctiveQuery& q : queries) {
+    auto id = engine.AddQuery(q);
+    FLOQ_CHECK(id.ok());
+  }
+  auto matrix = engine.CheckAll();
+  auto stop = std::chrono::steady_clock::now();
+  FLOQ_CHECK(matrix.ok());
+
+  arm.wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
+  arm.stats = engine.stats();
+  arm.codes.assign(size_t(n) * size_t(n), 0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const PairVerdict& v = (*matrix)[size_t(i)][size_t(j)];
+      arm.codes[size_t(i) * size_t(n) + size_t(j)] =
+          uint8_t(uint8_t(v.resolution) | (v.pruned ? 4u : 0u));
+      if (v.pruned || v.lhs_unsatisfiable) continue;
+      const double work =
+          double(v.hom_stats.nodes_visited) + double(v.hom_stats.index_probes);
+      if (work <= 0) continue;
+      PairSample sample;
+      sample.predicted = v.predicted_cost;
+      sample.work = work;
+      sample.wall_ms = v.chase_ms + v.hom_ms;
+      sample.done_ms = v.queue_wait_ms + v.hom_ms;
+      arm.samples.push_back(sample);
+    }
+  }
+  return arm;
+}
+
+// Average ranks with midranks for ties, then Pearson on the ranks —
+// standard Spearman.
+std::vector<double> Ranks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double mid = 0.5 * double(i + j) + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = mid;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double Spearman(const std::vector<double>& x, const std::vector<double>& y) {
+  const size_t n = x.size();
+  if (n < 3 || y.size() != n) return 0;
+  std::vector<double> rx = Ranks(x), ry = Ranks(y);
+  double mx = 0, my = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += rx[i];
+    my += ry[i];
+  }
+  mx /= double(n);
+  my /= double(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sxy += (rx[i] - mx) * (ry[i] - my);
+    sxx += (rx[i] - mx) * (rx[i] - mx);
+    syy += (ry[i] - my) * (ry[i] - my);
+  }
+  if (sxx <= 0 || syy <= 0) return 0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+// The k-th smallest verdict-arrival time, k = half the searched pairs:
+// how long a consumer draining results cheapest-first waits for 50%
+// coverage of the hard pairs.
+double TimeToHalf(const ArmResult& arm) {
+  std::vector<double> done;
+  done.reserve(arm.samples.size());
+  for (const PairSample& s : arm.samples) done.push_back(s.done_ms);
+  if (done.empty()) return 0;
+  const size_t k = done.size() / 2;
+  std::nth_element(done.begin(), done.begin() + ptrdiff_t(k), done.end());
+  return done[k];
+}
+
+struct RegistryReport {
+  double rank_correlation = 0;
+  double wall_correlation = 0;
+  double time_to_half_sched_ms = 0;
+  double time_to_half_base_ms = 0;
+  uint64_t parity_mismatches = 0;
+  size_t samples = 0;
+};
+
+RegistryReport CompareArms(const ArmResult& sched, const ArmResult& base) {
+  RegistryReport report;
+  std::vector<double> predicted, work, wall;
+  predicted.reserve(sched.samples.size());
+  work.reserve(sched.samples.size());
+  wall.reserve(sched.samples.size());
+  for (const PairSample& s : sched.samples) {
+    if (s.predicted <= 0) continue;
+    predicted.push_back(s.predicted);
+    work.push_back(s.work);
+    wall.push_back(s.wall_ms);
+  }
+  report.samples = predicted.size();
+  report.rank_correlation = Spearman(predicted, work);
+  report.wall_correlation = Spearman(predicted, wall);
+  report.time_to_half_sched_ms = TimeToHalf(sched);
+  report.time_to_half_base_ms = TimeToHalf(base);
+  for (size_t k = 0; k < sched.codes.size(); ++k) {
+    if ((sched.codes[k] & 3u) != (base.codes[k] & 3u)) {
+      ++report.parity_mismatches;
+    }
+  }
+  return report;
+}
+
+void PrintArmJson(const char* key, const ArmResult& arm) {
+  const BatchStats& s = arm.stats;
+  std::printf(
+      "      \"%s\": {\"wall_ms\": %.3f, \"cost_model_ms\": %.3f, "
+      "\"chases_run\": %llu, \"hom_nodes_visited\": %llu, "
+      "\"budget_calibrated_pairs\": %llu}",
+      key, arm.wall_ms, s.cost_us / 1000.0, (unsigned long long)s.chases_run,
+      (unsigned long long)s.hom.nodes_visited,
+      (unsigned long long)s.budget_calibrated_pairs);
+}
+
+void PrintReport() {
+  const bool small = SmallMode();
+  const int n = small ? 48 : 192;
+  const Mix mixes[] = {Mix::kStructured, Mix::kPredicateDiverse,
+                       Mix::kAdversarial};
+
+  std::printf("{\n");
+  std::printf("  \"experiment\": \"cost_model\",\n");
+  std::printf("  \"small_mode\": %s,\n", small ? "true" : "false");
+  std::printf("  \"queries_per_registry\": %d,\n", n);
+  std::printf("  \"registries\": {\n");
+
+  // See the file comment: only the structured mix carries the
+  // correlation gate; all mixes feed the parity gate.
+  double gated_correlation = 0.0;
+  uint64_t mismatches = 0;
+  bool first = true;
+  for (Mix mix : mixes) {
+    ArmResult sched = RunArm(mix, n, /*use_scheduling=*/true);
+    ArmResult base = RunArm(mix, n, /*use_scheduling=*/false);
+    RegistryReport report = CompareArms(sched, base);
+    mismatches += report.parity_mismatches;
+    if (mix == Mix::kStructured) gated_correlation = report.rank_correlation;
+
+    if (!first) std::printf(",\n");
+    first = false;
+    std::printf("    \"%s\": {\n", MixName(mix));
+    std::printf("      \"priced_pairs\": %llu,\n",
+                (unsigned long long)report.samples);
+    PrintArmJson("scheduled", sched);
+    std::printf(",\n");
+    PrintArmJson("baseline", base);
+    std::printf(",\n");
+    std::printf("      \"rank_correlation\": %.4f,\n", report.rank_correlation);
+    std::printf("      \"wall_correlation\": %.4f,\n", report.wall_correlation);
+    std::printf("      \"time_to_half_scheduled_ms\": %.3f,\n",
+                report.time_to_half_sched_ms);
+    std::printf("      \"time_to_half_baseline_ms\": %.3f,\n",
+                report.time_to_half_base_ms);
+    std::printf("      \"parity_mismatches\": %llu\n",
+                (unsigned long long)report.parity_mismatches);
+    std::printf("    }");
+  }
+  std::printf("\n  },\n");
+
+  std::printf("  \"gated_rank_correlation\": %.4f,\n", gated_correlation);
+  std::printf("  \"parity_mismatches\": %llu,\n",
+              (unsigned long long)mismatches);
+  std::printf("  \"gates\": {\"rank_correlation_min\": 0.60, "
+              "\"parity_mismatches_max\": 0},\n");
+  std::printf("  \"gates_pass\": %s\n",
+              (gated_correlation >= 0.60 && mismatches == 0) ? "true"
+                                                             : "false");
+  std::printf("}\n");
+}
+
+// Wall time of one classify arm for --benchmark_filter runs: arg 0 is
+// index order, arg 1 the cost-ordered schedule.
+void BM_ClassifyStructured(benchmark::State& state) {
+  const int n = SmallMode() ? 48 : 128;
+  const bool use_scheduling = state.range(0) != 0;
+  for (auto _ : state) {
+    ArmResult arm = RunArm(Mix::kStructured, n, use_scheduling);
+    benchmark::DoNotOptimize(arm.codes.size());
+  }
+}
+BENCHMARK(BM_ClassifyStructured)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

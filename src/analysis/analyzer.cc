@@ -1,5 +1,7 @@
 #include "analysis/analyzer.h"
 
+#include "analysis/cost_model.h"
+
 namespace floq::analysis {
 
 std::vector<Diagnostic> AnalyzeProgram(World& world,
@@ -37,6 +39,11 @@ std::vector<Diagnostic> AnalyzeProgramText(World& world, std::string_view text,
 std::vector<Diagnostic> AnalyzeDependencySet(const DependencySet& dependencies,
                                              const World& world) {
   std::vector<Diagnostic> out = LintDependencySet(dependencies, world);
+  // FLD201 (cost_model.h): polynomial-blowup grading refines the binary
+  // FLD101/102 verdict for sets that terminate but can still blow up.
+  std::vector<Diagnostic> cost = LintDependencyCost(dependencies, world);
+  out.insert(out.end(), std::make_move_iterator(cost.begin()),
+             std::make_move_iterator(cost.end()));
   SortDiagnostics(out);
   return out;
 }

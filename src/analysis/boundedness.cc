@@ -1,0 +1,386 @@
+#include "analysis/boundedness.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "term/predicate.h"
+#include "util/strings.h"
+
+namespace floq::analysis {
+
+namespace {
+
+// Same packing AnalyzeWeakAcyclicity and dependency_lints use for a
+// (predicate, position) node.
+uint64_t PositionKey(const DependencyPosition& pos) {
+  return (uint64_t(pos.pred) << 8) | uint64_t(pos.index);
+}
+
+std::string EdgeLabel(const DependencyEdge& edge,
+                      const DependencySet& dependencies) {
+  std::string name =
+      edge.tgd_index >= 0 &&
+              size_t(edge.tgd_index) < dependencies.tgds.size() &&
+              !dependencies.tgds[edge.tgd_index].name.empty()
+          ? dependencies.tgds[edge.tgd_index].name
+          : StrCat("tgd", edge.tgd_index);
+  if (edge.special) name += "*";
+  return name;
+}
+
+}  // namespace
+
+const char* NullDegreeName(NullDegree degree) {
+  switch (degree) {
+    case NullDegree::kNone:
+      return "none";
+    case NullDegree::kLinear:
+      return "linear";
+    case NullDegree::kPolynomial:
+      return "polynomial";
+    case NullDegree::kUnbounded:
+      return "unbounded";
+  }
+  return "unknown";
+}
+
+std::string WitnessPathToString(const std::vector<DependencyEdge>& witness,
+                                const DependencySet& dependencies,
+                                const World& world) {
+  if (witness.empty()) return "";
+  std::string out = witness.front().from.ToString(world);
+  for (const DependencyEdge& edge : witness) {
+    out = StrCat(out, " --", EdgeLabel(edge, dependencies), "--> ",
+                 edge.to.ToString(world));
+  }
+  return out;
+}
+
+BoundednessReport AnalyzeBoundedness(const DependencySet& dependencies,
+                                     const World& world) {
+  WeakAcyclicityResult wa = AnalyzeWeakAcyclicity(dependencies, world);
+
+  // Collect the node set and a dense numbering.
+  std::map<uint64_t, int> node_of;
+  std::vector<DependencyPosition> positions;
+  auto intern = [&](const DependencyPosition& pos) {
+    auto [it, fresh] = node_of.insert({PositionKey(pos), int(positions.size())});
+    if (fresh) positions.push_back(pos);
+    return it->second;
+  };
+  struct Arc {
+    int from, to;
+    size_t edge;  // index into wa.edges
+  };
+  std::vector<Arc> arcs;
+  arcs.reserve(wa.edges.size());
+  for (size_t e = 0; e < wa.edges.size(); ++e) {
+    arcs.push_back({intern(wa.edges[e].from), intern(wa.edges[e].to), e});
+  }
+  const int n = int(positions.size());
+  std::vector<std::vector<size_t>> out_arcs(n);
+  for (size_t a = 0; a < arcs.size(); ++a) out_arcs[arcs[a].from].push_back(a);
+
+  // Tarjan SCC (iterative).
+  std::vector<int> scc_of(n, -1), low(n, 0), disc(n, -1);
+  std::vector<int> tarjan_stack;
+  std::vector<bool> on_stack(n, false);
+  int timer = 0, scc_count = 0;
+  struct Frame {
+    int node;
+    size_t next = 0;
+  };
+  for (int start = 0; start < n; ++start) {
+    if (disc[start] != -1) continue;
+    std::vector<Frame> stack{{start}};
+    disc[start] = low[start] = timer++;
+    tarjan_stack.push_back(start);
+    on_stack[start] = true;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      int u = frame.node;
+      if (frame.next < out_arcs[u].size()) {
+        int v = arcs[out_arcs[u][frame.next++]].to;
+        if (disc[v] == -1) {
+          disc[v] = low[v] = timer++;
+          tarjan_stack.push_back(v);
+          on_stack[v] = true;
+          stack.push_back({v});
+        } else if (on_stack[v]) {
+          low[u] = std::min(low[u], disc[v]);
+        }
+      } else {
+        if (low[u] == disc[u]) {
+          while (true) {
+            int w = tarjan_stack.back();
+            tarjan_stack.pop_back();
+            on_stack[w] = false;
+            scc_of[w] = scc_count;
+            if (w == u) break;
+          }
+          ++scc_count;
+        }
+        stack.pop_back();
+        if (!stack.empty()) {
+          low[stack.back().node] = std::min(low[stack.back().node], low[u]);
+        }
+      }
+    }
+  }
+
+  // An SCC holding a special edge diverges (the weak-acyclicity
+  // refutation), and so does everything null flow can reach from it.
+  std::vector<bool> scc_unbounded(scc_count, false);
+  for (const Arc& arc : arcs) {
+    if (wa.edges[arc.edge].special && scc_of[arc.from] == scc_of[arc.to]) {
+      scc_unbounded[scc_of[arc.from]] = true;
+    }
+  }
+  std::vector<bool> unbounded(n, false);
+  {
+    std::vector<int> work;
+    for (int u = 0; u < n; ++u) {
+      if (scc_unbounded[scc_of[u]]) {
+        unbounded[u] = true;
+        work.push_back(u);
+      }
+    }
+    while (!work.empty()) {
+      int u = work.back();
+      work.pop_back();
+      for (size_t a : out_arcs[u]) {
+        int v = arcs[a].to;
+        if (!unbounded[v]) {
+          unbounded[v] = true;
+          work.push_back(v);
+        }
+      }
+    }
+  }
+
+  // Longest special-edge chain into each bounded position: work-list
+  // relaxation depth(to) = max(depth(to), depth(from) + special). Bounded
+  // positions sit in special-free SCCs, so strict improvements are capped
+  // by the special-edge count and the loop terminates; predecessor edges
+  // recorded at each strict improvement reconstruct an acyclic witness
+  // (each pred reached its depth strictly before the node it improved).
+  std::vector<int> depth(n, 0);
+  std::vector<int> pred(n, -1);  // arc index of the recorded improvement
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t a = 0; a < arcs.size(); ++a) {
+      const Arc& arc = arcs[a];
+      if (unbounded[arc.from] || unbounded[arc.to]) continue;
+      int cand = depth[arc.from] + (wa.edges[arc.edge].special ? 1 : 0);
+      if (cand > depth[arc.to]) {
+        depth[arc.to] = cand;
+        pred[arc.to] = int(a);
+        changed = true;
+      }
+    }
+  }
+
+  auto witness_path = [&](int node) {
+    std::vector<DependencyEdge> path;
+    for (int u = node; pred[u] != -1; u = arcs[pred[u]].from) {
+      path.push_back(wa.edges[arcs[pred[u]].edge]);
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  };
+
+  BoundednessReport report;
+  for (int u = 0; u < n; ++u) {
+    PositionBoundedness pb;
+    pb.position = positions[u];
+    if (unbounded[u]) {
+      pb.degree = NullDegree::kUnbounded;
+      pb.witness_degree = depth[u];
+      pb.witness = wa.witness;
+    } else if (depth[u] == 0) {
+      continue;  // never holds an invented value
+    } else {
+      pb.degree = depth[u] == 1 ? NullDegree::kLinear : NullDegree::kPolynomial;
+      pb.witness_degree = depth[u];
+      pb.witness = witness_path(u);
+    }
+    report.positions.push_back(std::move(pb));
+  }
+  std::sort(report.positions.begin(), report.positions.end(),
+            [](const PositionBoundedness& a, const PositionBoundedness& b) {
+              if (a.degree != b.degree) return a.degree > b.degree;
+              return a.witness_degree > b.witness_degree;
+            });
+
+  if (!wa.weakly_acyclic) {
+    report.degree = NullDegree::kUnbounded;
+    report.witness = wa.witness;
+    for (const PositionBoundedness& pb : report.positions) {
+      report.witness_degree = std::max(report.witness_degree, pb.witness_degree);
+    }
+  } else if (!report.positions.empty()) {
+    const PositionBoundedness& worst = report.positions.front();
+    report.degree = worst.degree;
+    report.witness_degree = worst.witness_degree;
+    report.witness = worst.witness;
+  }
+  return report;
+}
+
+SigmaBoundedness AnalyzeSigmaBoundedness(const World& world,
+                                         const std::vector<Atom>& facts) {
+  (void)world;
+  SigmaBoundedness result;
+
+  // Mandatory-attribute class graph, indexed as in FindMandatoryCycle —
+  // except the walk starts from *every* term, variables included: the
+  // chase treats query variables as plain values, so a variable typed
+  // into a mandatory-cycle class triggers the same rho_5 cascade a
+  // constant would.
+  std::map<uint32_t, std::vector<Term>> supers;
+  std::map<uint32_t, std::vector<std::pair<Term, uint32_t>>> mandatory_of;
+  std::map<uint32_t, std::vector<std::tuple<Term, Term, uint32_t>>> type_of;
+  for (const Atom& fact : facts) {
+    if (fact.predicate() == pfl::kSub && fact.arity() == 2) {
+      supers[fact.arg(0).raw()].push_back(fact.arg(1));
+    } else if (fact.predicate() == pfl::kMandatory && fact.arity() == 2) {
+      mandatory_of[fact.arg(1).raw()].push_back(
+          {fact.arg(0), fact.provenance()});
+    } else if (fact.predicate() == pfl::kType && fact.arity() == 3) {
+      type_of[fact.arg(0).raw()].push_back(
+          {fact.arg(1), fact.arg(2), fact.provenance()});
+    }
+  }
+
+  auto upward_closure = [&](Term c) {
+    std::vector<Term> closure = {c};
+    std::set<uint32_t> seen = {c.raw()};
+    for (size_t i = 0; i < closure.size(); ++i) {
+      auto it = supers.find(closure[i].raw());
+      if (it == supers.end()) continue;
+      for (Term super : it->second) {
+        if (seen.insert(super.raw()).second) closure.push_back(super);
+      }
+    }
+    return closure;
+  };
+
+  auto edges_of = [&](Term c) {
+    std::vector<MandatoryEdge> edges;
+    std::set<std::pair<uint32_t, uint32_t>> seen;  // (attr, target)
+    std::vector<Term> closure = upward_closure(c);
+    for (Term d : closure) {
+      auto mand = mandatory_of.find(d.raw());
+      if (mand == mandatory_of.end()) continue;
+      for (const auto& [attr, mand_span] : mand->second) {
+        for (Term e : closure) {
+          auto typed = type_of.find(e.raw());
+          if (typed == type_of.end()) continue;
+          for (const auto& [type_attr, target, type_span] : typed->second) {
+            if (!(type_attr == attr)) continue;
+            if (!seen.insert({attr.raw(), target.raw()}).second) continue;
+            edges.push_back(
+                MandatoryEdge{c, attr, target, mand_span, type_span});
+          }
+        }
+      }
+    }
+    return edges;
+  };
+
+  // Memoized longest-path DFS with gray-node cycle extraction: depth(c) is
+  // the longest mandatory chain out of c, i.e. how deep the rho_5 cascade
+  // nests values invented under c.
+  std::map<uint32_t, int> color;  // missing = white, 1 gray, 2 black
+  std::map<uint32_t, int> memo_depth;
+  std::map<uint32_t, MandatoryEdge> best_edge;  // the deepest child per node
+  struct Frame {
+    Term node;
+    std::vector<MandatoryEdge> edges;
+    size_t next = 0;
+    int depth = 0;
+  };
+
+  std::set<uint32_t> starts_seen;
+  std::vector<Term> starts;
+  for (const Atom& fact : facts) {
+    for (Term t : fact) {
+      if (starts_seen.insert(t.raw()).second) starts.push_back(t);
+    }
+  }
+
+  for (Term start : starts) {
+    if (color.count(start.raw()) != 0) continue;
+    std::vector<Frame> stack;
+    stack.push_back({start, edges_of(start)});
+    color[start.raw()] = 1;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next >= frame.edges.size()) {
+        color[frame.node.raw()] = 2;
+        memo_depth[frame.node.raw()] = frame.depth;
+        int child_depth = frame.depth;
+        Term done = frame.node;
+        stack.pop_back();
+        if (!stack.empty()) {
+          Frame& parent = stack.back();
+          if (child_depth + 1 > parent.depth) {
+            parent.depth = child_depth + 1;
+            best_edge[parent.node.raw()] = parent.edges[parent.next - 1];
+          }
+        }
+        (void)done;
+        continue;
+      }
+      MandatoryEdge edge = frame.edges[frame.next++];
+      auto it = color.find(edge.target.raw());
+      if (it != color.end() && it->second == 1) {
+        // Cycle: extract it from the gray path, as FindMandatoryCycle does.
+        size_t from = 0;
+        while (!(stack[from].node == edge.target)) ++from;
+        for (size_t i = from; i + 1 < stack.size(); ++i) {
+          result.witness.push_back(stack[i].edges[stack[i].next - 1]);
+        }
+        result.witness.push_back(edge);
+        result.degree = NullDegree::kUnbounded;
+        return result;
+      }
+      if (it != color.end()) {
+        // Black: reuse the memoized depth.
+        int cand = memo_depth[edge.target.raw()] + 1;
+        if (cand > frame.depth) {
+          frame.depth = cand;
+          best_edge[frame.node.raw()] = edge;
+        }
+        continue;
+      }
+      color[edge.target.raw()] = 1;
+      stack.push_back({edge.target, edges_of(edge.target)});
+    }
+  }
+
+  Term deepest;
+  for (Term start : starts) {
+    auto it = memo_depth.find(start.raw());
+    if (it != memo_depth.end() && it->second > result.mandatory_depth) {
+      result.mandatory_depth = it->second;
+      deepest = start;
+    }
+  }
+  if (result.mandatory_depth > 0) {
+    result.degree = NullDegree::kLinear;
+    Term walk = deepest;
+    for (int i = 0; i < result.mandatory_depth; ++i) {
+      auto it = best_edge.find(walk.raw());
+      if (it == best_edge.end()) break;
+      result.witness.push_back(it->second);
+      walk = it->second.target;
+    }
+  }
+  return result;
+}
+
+}  // namespace floq::analysis

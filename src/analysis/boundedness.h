@@ -1,0 +1,121 @@
+#ifndef FLOQ_ANALYSIS_BOUNDEDNESS_H_
+#define FLOQ_ANALYSIS_BOUNDEDNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/dependency_lints.h"
+#include "chase/dependencies.h"
+#include "term/atom.h"
+#include "term/world.h"
+
+// Null-generation boundedness — the abstract-interpretation layer under
+// the cost model (DESIGN.md §15). FLD101/102 grade a dependency set
+// *binarily* (does the chase terminate?); the analyses here refine that
+// verdict into a degree: how fast can the number of invented nulls grow
+// as a function of the instance size?
+//
+// The abstract domain is the four-point lattice
+//
+//   kNone  <  kLinear  <  kPolynomial(k)  <  kUnbounded
+//
+// ordered by growth rate. For a dependency set the grading reads off the
+// Fagin-et-al. labeled dependency graph: positions reachable through k
+// chained special edges hold nulls nested k deep — O(n^k) of them on an
+// n-element instance (Fagin, Kolaitis, Miller, Popa 2003, Thm. 3.9's
+// counting argument) — and a cycle through a special edge removes every
+// bound (exactly the weak-acyclicity refutation). Every verdict except
+// kUnbounded is a sound upper bound on null growth; kUnbounded is a
+// may-diverge verdict (the chase of a *particular* instance can still
+// terminate).
+//
+// For a Sigma_FL instance (a KB fact base, or a query body whose
+// variables the chase treats as values) the positional graph is useless —
+// Sigma_FL itself is not weakly acyclic — so AnalyzeSigmaBoundedness
+// grades the *instance-level* mandatory-attribute class graph instead
+// (the FLD103 graph): an acyclic graph of depth d means the rho_5 cascade
+// dies out after d nesting levels (degree kLinear with witness_degree d),
+// while a cycle forces invention forever (kUnbounded, FLD103's verdict).
+
+namespace floq::analysis {
+
+/// How fast the chase can invent nulls, worst case over instances.
+enum class NullDegree {
+  /// No existential TGD can ever fire transitively: zero fresh nulls.
+  kNone,
+  /// Nulls are invented, but no invented value can transitively trigger
+  /// another invention chain: O(n) nulls.
+  kLinear,
+  /// Special edges chain to depth k >= 2 without closing a cycle:
+  /// O(n^k) nulls.
+  kPolynomial,
+  /// A cycle through a special edge: null generation has no bound in the
+  /// instance size (the weak-acyclicity refutation).
+  kUnbounded,
+};
+
+/// "none" / "linear" / "polynomial" / "unbounded".
+const char* NullDegreeName(NullDegree degree);
+
+/// Grading of one predicate position with its witness through the labeled
+/// dependency graph.
+struct PositionBoundedness {
+  DependencyPosition position;
+  NullDegree degree = NullDegree::kNone;
+  /// The count of special edges on the worst path into the position: the
+  /// exponent of the polynomial null bound (0 for kNone, 1 for kLinear).
+  /// For kUnbounded positions it is the depth at which the cycle was
+  /// entered, not a bound.
+  int witness_degree = 0;
+  /// The worst path (consecutive edges chain: witness[i].to ==
+  /// witness[i+1].from), or for kUnbounded a cycle through a special
+  /// edge.
+  std::vector<DependencyEdge> witness;
+};
+
+/// Whole-set grading: the worst position plus the per-position table.
+struct BoundednessReport {
+  NullDegree degree = NullDegree::kNone;
+  /// Max special-edge chain depth over all positions (the degree k of the
+  /// polynomial bound when degree == kPolynomial).
+  int witness_degree = 0;
+  /// The worst position's witness path/cycle.
+  std::vector<DependencyEdge> witness;
+  /// Every position that can hold an invented value (degree > kNone),
+  /// worst first.
+  std::vector<PositionBoundedness> positions;
+
+  bool bounded() const { return degree != NullDegree::kUnbounded; }
+};
+
+/// Grades `dependencies` over the labeled dependency graph. Consistent
+/// with AnalyzeWeakAcyclicity: degree == kUnbounded iff the set is not
+/// weakly acyclic.
+BoundednessReport AnalyzeBoundedness(const DependencySet& dependencies,
+                                     const World& world);
+
+/// Instance-level Sigma_FL grading of a fact base or query body (the
+/// chase treats query variables as values, so they count as class nodes
+/// too — unlike FindMandatoryCycle, which only walks ground terms).
+struct SigmaBoundedness {
+  NullDegree degree = NullDegree::kNone;
+  /// Longest mandatory-attribute chain: the nesting depth of invented
+  /// values, and (plus the terminating level-0 phase) a bound on the
+  /// level where the rho_5 cascade stabilizes. Meaningless when
+  /// kUnbounded.
+  int mandatory_depth = 0;
+  /// The deepest chain (kLinear) or the invention cycle (kUnbounded).
+  std::vector<MandatoryEdge> witness;
+};
+
+SigmaBoundedness AnalyzeSigmaBoundedness(const World& world,
+                                         const std::vector<Atom>& facts);
+
+/// "P[2] --tgd1*--> Q[0] --tgd2--> P[2]"-style rendering of a witness.
+std::string WitnessPathToString(const std::vector<DependencyEdge>& witness,
+                                const DependencySet& dependencies,
+                                const World& world);
+
+}  // namespace floq::analysis
+
+#endif  // FLOQ_ANALYSIS_BOUNDEDNESS_H_

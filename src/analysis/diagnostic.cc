@@ -29,6 +29,15 @@ const std::vector<LintCodeInfo>& LintCodes() {
        "not weakly acyclic but jointly acyclic: the chase still terminates"},
       {"FLD103", "cyclic-mandatory", Severity::kError,
        "a mandatory-attribute cycle makes the Sigma_FL chase infinite"},
+      {"FLD201", "polynomial-blowup", Severity::kWarning,
+       "null generation is polynomial of degree >= 2: the chase terminates "
+       "but can blow up polynomially"},
+      {"FLD202", "cross-join-fanout", Severity::kWarning,
+       "variable-disjoint body components multiply the homomorphism-search "
+       "fan-out"},
+      {"FLD203", "chase-over-budget", Severity::kWarning,
+       "the estimated chase exceeds the default governor budget; checks "
+       "will degrade to UNKNOWN"},
       {"FLQ000", "parse-error", Severity::kError,
        "the input does not parse"},
       {"FLQ001", "unsafe-head-variable", Severity::kError,

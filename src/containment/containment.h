@@ -73,6 +73,18 @@ struct ContainmentOptions {
   /// level 0). A completed probe makes the closure signature exact; an
   /// inconclusive one falls back to the static Sigma_FL closure.
   int signature_probe_levels = 2;
+  /// Schedule the batch engine's per-pair pipeline cheapest-predicted
+  /// first (analysis/cost_model.h): registration profiles each query from
+  /// its probe chase, every pair gets a static cost estimate, and both
+  /// the sequential chase phase and the hom fan-out run in ascending
+  /// predicted-cost order, so early verdicts land on the cheap pairs and
+  /// a runaway pair cannot starve them. Also calibrates the per-pair hom
+  /// step budget (ResourceBudget::FromEstimate) when one is set. Verdicts
+  /// are estimate-independent: reordering never changes a
+  /// CONTAINED/NOT_CONTAINED answer, and calibration only raises budgets,
+  /// so kUnknowns can only decrease. `floq classify --cost-schedule`
+  /// turns it on.
+  bool use_cost_scheduling = false;
 };
 
 struct ContainmentResult {

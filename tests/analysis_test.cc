@@ -10,10 +10,15 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/boundedness.h"
+#include "analysis/cost_model.h"
 #include "analysis/dependency_lints.h"
 #include "analysis/diagnostic.h"
 #include "analysis/query_lints.h"
+#include "chase/chase.h"
 #include "chase/dependencies.h"
+#include "containment/governor.h"
+#include "datalog/fact_index.h"
 #include "flogic/parser.h"
 #include "query/parser.h"
 #include "term/world.h"
@@ -440,6 +445,316 @@ john[name -> 'John Smith'].
 q(X) :- X : person, X[name -> N], N : string.
 )");
   EXPECT_TRUE(all.empty()) << FormatDiagnostics(all);
+}
+
+// ---- null-generation boundedness (DESIGN.md §15) -------------------------
+
+Result<DependencySet> Deps(World& world, const char* text) {
+  return ParseDependencies(world, text);
+}
+
+TEST(BoundednessTest, DatalogOnlySetGeneratesNoNulls) {
+  World world;
+  Result<DependencySet> deps = Deps(world, "p(X) :- q(X, Y).");
+  ASSERT_TRUE(deps.ok());
+  BoundednessReport report = AnalyzeBoundedness(*deps, world);
+  EXPECT_EQ(report.degree, NullDegree::kNone);
+  EXPECT_EQ(report.witness_degree, 0);
+  EXPECT_TRUE(report.positions.empty());
+  EXPECT_TRUE(report.bounded());
+}
+
+TEST(BoundednessTest, SingleInventionIsLinear) {
+  World world;
+  Result<DependencySet> deps = Deps(world, "q(X, Y) :- p(X).");
+  ASSERT_TRUE(deps.ok());
+  BoundednessReport report = AnalyzeBoundedness(*deps, world);
+  EXPECT_EQ(report.degree, NullDegree::kLinear);
+  EXPECT_EQ(report.witness_degree, 1);
+  ASSERT_EQ(report.witness.size(), 1u);
+  EXPECT_TRUE(report.witness[0].special);
+  // The per-position table carries the graded position q[1].
+  ASSERT_FALSE(report.positions.empty());
+  EXPECT_EQ(report.positions[0].degree, NullDegree::kLinear);
+  EXPECT_EQ(report.positions[0].position.ToString(world), "q[1]");
+}
+
+TEST(BoundednessTest, ChainedInventionIsPolynomialWithChainedWitness) {
+  World world;
+  // p[0] -*-> q[1] (invent Y), then q's frontier feeds r[1] (invent Z):
+  // special edges chain to depth 2 without closing a cycle — O(n^2)
+  // nulls, FLD201 territory.
+  Result<DependencySet> deps = Deps(world, R"(
+    q(X, Y) :- p(X).
+    r(Y, Z) :- q(X, Y).
+  )");
+  ASSERT_TRUE(deps.ok());
+  BoundednessReport report = AnalyzeBoundedness(*deps, world);
+  EXPECT_EQ(report.degree, NullDegree::kPolynomial);
+  EXPECT_EQ(report.witness_degree, 2);
+  ASSERT_GE(report.witness.size(), 2u);
+  for (size_t i = 1; i < report.witness.size(); ++i) {
+    EXPECT_TRUE(report.witness[i - 1].to == report.witness[i].from)
+        << WitnessPathToString(report.witness, *deps, world);
+  }
+  // Worst position first, and the whole-set grade is its grade.
+  ASSERT_FALSE(report.positions.empty());
+  EXPECT_EQ(report.positions[0].degree, NullDegree::kPolynomial);
+  EXPECT_EQ(report.positions[0].witness_degree, report.witness_degree);
+}
+
+TEST(BoundednessTest, SpecialCycleIsUnbounded) {
+  World world;
+  Result<DependencySet> deps = Deps(world, R"(
+    q(X, Y) :- p(X).
+    p(Y) :- q(X, Y).
+  )");
+  ASSERT_TRUE(deps.ok());
+  BoundednessReport report = AnalyzeBoundedness(*deps, world);
+  EXPECT_EQ(report.degree, NullDegree::kUnbounded);
+  EXPECT_FALSE(report.bounded());
+  // Consistent with the weak-acyclicity test by construction.
+  EXPECT_FALSE(IsWeaklyAcyclic(*deps, world));
+  ASSERT_FALSE(report.witness.empty());
+  bool has_special = false;
+  for (const DependencyEdge& edge : report.witness) has_special |= edge.special;
+  EXPECT_TRUE(has_special);
+}
+
+TEST(BoundednessTest, Fld201FiresOnPolynomialSetsOnly) {
+  World world;
+  Result<DependencySet> poly = Deps(world, R"(
+    q(X, Y) :- p(X).
+    r(Y, Z) :- q(X, Y).
+  )");
+  ASSERT_TRUE(poly.ok());
+  std::vector<Diagnostic> found = LintDependencyCost(*poly, world);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].code, "FLD201");
+  EXPECT_EQ(found[0].severity, Severity::kWarning);
+  EXPECT_NE(found[0].message.find("degree 2"), std::string::npos);
+  bool witness_note = false;
+  for (const std::string& note : found[0].notes) {
+    witness_note |= note.find("*-->") != std::string::npos;
+  }
+  EXPECT_TRUE(witness_note);
+  // It folds into the dependency analyzer next to FLD101/102.
+  std::vector<Diagnostic> all = AnalyzeDependencySet(*poly, world);
+  EXPECT_TRUE(HasCode(all, "FLD201"));
+
+  World world2;
+  Result<DependencySet> linear = Deps(world2, "q(X, Y) :- p(X).");
+  ASSERT_TRUE(linear.ok());
+  EXPECT_TRUE(LintDependencyCost(*linear, world2).empty());
+  World world3;
+  Result<DependencySet> cyclic = Deps(world3, R"(
+    q(X, Y) :- p(X).
+    p(Y) :- q(X, Y).
+  )");
+  ASSERT_TRUE(cyclic.ok());
+  // kUnbounded is FLD101's finding, not FLD201's.
+  EXPECT_TRUE(LintDependencyCost(*cyclic, world3).empty());
+}
+
+TEST(SigmaBoundednessTest, MandatoryChainDepthBoundsTheCascade) {
+  World world;
+  // a -[f]-> b -[g]-> c: the rho_5 cascade nests two levels deep and
+  // stops — linear null generation with mandatory depth 2.
+  Result<flogic::Program> program = flogic::ParseProgram(world, R"(
+a[f {1:1} *=> b].
+b[g {1:1} *=> c].
+x : a.
+)");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  SigmaBoundedness grade = AnalyzeSigmaBoundedness(world, program->facts);
+  EXPECT_EQ(grade.degree, NullDegree::kLinear);
+  EXPECT_EQ(grade.mandatory_depth, 2);
+  ASSERT_EQ(grade.witness.size(), 2u);
+  EXPECT_TRUE(grade.witness[0].target == grade.witness[1].cls);
+}
+
+TEST(SigmaBoundednessTest, CyclicKbIsUnboundedWithWitness) {
+  World world;
+  // The testdata/cyclic_kb.fl schema: spouse mandatory on person, typed
+  // back into person.
+  Result<flogic::Program> program = flogic::ParseProgram(world, R"(
+person[spouse {1:1} *=> person].
+john : person.
+)");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  SigmaBoundedness grade = AnalyzeSigmaBoundedness(world, program->facts);
+  EXPECT_EQ(grade.degree, NullDegree::kUnbounded);
+  ASSERT_FALSE(grade.witness.empty());
+  EXPECT_EQ(grade.witness[0].ToString(world), "person -[spouse]-> person");
+  // The witness closes: each edge's target is the next edge's class.
+  for (size_t i = 0; i < grade.witness.size(); ++i) {
+    const MandatoryEdge& edge = grade.witness[i];
+    const MandatoryEdge& next = grade.witness[(i + 1) % grade.witness.size()];
+    EXPECT_TRUE(edge.target == next.cls);
+  }
+}
+
+TEST(SigmaBoundednessTest, QueryVariablesParticipateInTheWalk) {
+  World world;
+  // The chase treats query variables as values: X's membership in class a
+  // starts the same cascade a ground member would.
+  Result<ConjunctiveQuery> query = ParseQuery(
+      world,
+      "q(X) :- member(X, a), mandatory(f, a), type(a, f, b), "
+      "mandatory(g, b), type(b, g, c).");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  SigmaBoundedness grade = AnalyzeSigmaBoundedness(world, query->body());
+  EXPECT_EQ(grade.degree, NullDegree::kLinear);
+  EXPECT_EQ(grade.mandatory_depth, 2);
+}
+
+// ---- chase growth model and pair cost ------------------------------------
+
+TEST(CostModelTest, CompletedProbeIsExactWithFullConfidence) {
+  World world;
+  Result<ConjunctiveQuery> query = ParseQuery(world, "q(X) :- member(X, c).");
+  ASSERT_TRUE(query.ok());
+  ChaseOptions options;
+  options.max_level = 8;
+  ChaseResult probe = ChaseQuery(world, *query, options);
+  ASSERT_EQ(probe.outcome(), ChaseOutcome::kCompleted);
+  ChaseGrowthModel model = FitChaseGrowth(probe);
+  EXPECT_TRUE(model.completed);
+  // Exact at every level: the fixpoint adds nothing deeper.
+  EXPECT_EQ(model.AtomsAtLevel(100, 1'000'000), probe.size());
+  EXPECT_EQ(model.ConfidenceAtLevel(100), 1.0);
+}
+
+TEST(CostModelTest, GrowingProbeExtrapolatesAndDecaysConfidence) {
+  World world;
+  // The mandatory cycle: every level invents a fresh spouse, so a level-2
+  // probe is still growing and deeper levels are extrapolated.
+  Result<ConjunctiveQuery> query = ParseQuery(
+      world,
+      "q() :- member(j, person), mandatory(spouse, person), "
+      "type(person, spouse, person).");
+  ASSERT_TRUE(query.ok());
+  ChaseOptions options;
+  options.max_level = 2;
+  ChaseResult probe = ChaseQuery(world, *query, options);
+  ChaseGrowthModel model = FitChaseGrowth(probe);
+  EXPECT_FALSE(model.completed);
+  EXPECT_GT(model.per_level, 1.0);
+  const uint64_t cap = 1u << 20;
+  uint64_t prev = model.AtomsAtLevel(2, cap);
+  for (int level : {4, 8, 16}) {
+    uint64_t at = model.AtomsAtLevel(level, cap);
+    EXPECT_GE(at, prev);
+    prev = at;
+  }
+  EXPECT_EQ(model.AtomsAtLevel(1000, cap), cap);  // saturates at the budget
+  EXPECT_LT(model.ConfidenceAtLevel(8), 1.0);
+  EXPECT_LT(model.ConfidenceAtLevel(16), model.ConfidenceAtLevel(8));
+  EXPECT_EQ(model.ConfidenceAtLevel(2), 1.0);  // within the probe: exact
+}
+
+TEST(CostModelTest, ConstantSelectivityOrdersPatterns) {
+  World world;
+  FactIndex index;
+  Term c1 = world.MakeConstant("c1");
+  Term c2 = world.MakeConstant("c2");
+  for (int i = 0; i < 50; ++i) {
+    index.Insert(Atom::Member(
+        world.MakeConstant("x" + std::to_string(i)), c1));
+  }
+  index.Insert(Atom::Member(world.MakeConstant("y"), c2));
+  TargetProfile target = ProfileFacts(index);
+  EXPECT_EQ(target.PredicateCount(pfl::kMember), 51u);
+  EXPECT_EQ(target.ConstantCount(pfl::kMember, 1, c1), 50u);
+  EXPECT_EQ(target.ConstantCount(pfl::kMember, 1, c2), 1u);
+
+  Result<ConjunctiveQuery> common = ParseQuery(world, "a() :- member(X, c1).");
+  Result<ConjunctiveQuery> rare = ParseQuery(world, "b() :- member(X, c2).");
+  ASSERT_TRUE(common.ok() && rare.ok());
+  CostEstimate common_cost =
+      EstimatePairCost(target, ProfilePattern(*common), 0, 1'000'000);
+  CostEstimate rare_cost =
+      EstimatePairCost(target, ProfilePattern(*rare), 0, 1'000'000);
+  EXPECT_GT(common_cost.hom_fanout_bound, rare_cost.hom_fanout_bound);
+
+  // A constant absent from the (completed) target can never match: the
+  // chase invents only nulls, so the fan-out collapses.
+  Result<ConjunctiveQuery> absent =
+      ParseQuery(world, "c() :- member(X, nowhere).");
+  ASSERT_TRUE(absent.ok());
+  CostEstimate absent_cost =
+      EstimatePairCost(target, ProfilePattern(*absent), 0, 1'000'000);
+  EXPECT_LT(absent_cost.hom_fanout_bound, rare_cost.hom_fanout_bound);
+}
+
+TEST(CostModelTest, Fld202FiresOnVariableDisjointBodies) {
+  World world;
+  Result<ConjunctiveQuery> query =
+      ParseQuery(world, "q() :- member(X, c1), member(Y, c2).");
+  ASSERT_TRUE(query.ok());
+  QueryCostReport report = AnalyzeQueryCost(world, *query);
+  EXPECT_TRUE(HasCode(report.diagnostics, "FLD202"));
+
+  World world2;
+  Result<ConjunctiveQuery> joined =
+      ParseQuery(world2, "q() :- member(X, C), sub(C, D).");
+  ASSERT_TRUE(joined.ok());
+  QueryCostReport clean = AnalyzeQueryCost(world2, *joined);
+  EXPECT_FALSE(HasCode(clean.diagnostics, "FLD202"));
+}
+
+TEST(CostModelTest, Fld203FiresWhenTheEstimateExceedsTheBudget) {
+  World world;
+  Result<ConjunctiveQuery> query = ParseQuery(
+      world,
+      "q() :- member(j, person), mandatory(spouse, person), "
+      "type(person, spouse, person).");
+  ASSERT_TRUE(query.ok());
+  CostAnalysisOptions options;
+  options.chase_atom_budget = 64;  // tiny: the spouse cascade blows past it
+  QueryCostReport report = AnalyzeQueryCost(world, *query, options);
+  auto found = WithCode(report.diagnostics, "FLD203");
+  ASSERT_EQ(found.size(), 1u);
+  // The mandatory cycle is named in the supporting notes.
+  EXPECT_EQ(report.boundedness.degree, NullDegree::kUnbounded);
+  bool cycle_note = false;
+  for (const std::string& note : found[0]->notes) {
+    cycle_note |= note.find("person -[spouse]-> person") != std::string::npos;
+  }
+  EXPECT_TRUE(cycle_note);
+
+  // A bounded query under the default budget stays silent.
+  World world2;
+  Result<ConjunctiveQuery> small =
+      ParseQuery(world2, "q(X) :- member(X, c).");
+  ASSERT_TRUE(small.ok());
+  EXPECT_FALSE(HasCode(AnalyzeQueryCost(world2, *small).diagnostics,
+                       "FLD203"));
+}
+
+TEST(CostModelTest, FromEstimateOnlyEverRaisesTheBudget) {
+  ResourceBudget base;
+  base.hom_step_budget = 100;
+  // Cheap pairs keep the base budget.
+  EXPECT_EQ(ResourceBudget::FromEstimate(base, 50.0, 100.0).hom_step_budget,
+            100u);
+  EXPECT_EQ(ResourceBudget::FromEstimate(base, 100.0, 100.0).hom_step_budget,
+            100u);
+  // Expensive pairs scale linearly with the cost ratio...
+  EXPECT_EQ(ResourceBudget::FromEstimate(base, 400.0, 100.0).hom_step_budget,
+            400u);
+  // ...up to the 64x cap.
+  EXPECT_EQ(ResourceBudget::FromEstimate(base, 1e9, 1.0).hom_step_budget,
+            6400u);
+  // An unlimited budget stays unlimited; degenerate means stay put.
+  ResourceBudget unlimited;
+  EXPECT_EQ(ResourceBudget::FromEstimate(unlimited, 400.0, 100.0)
+                .hom_step_budget,
+            0u);
+  EXPECT_EQ(ResourceBudget::FromEstimate(base, 400.0, 0.0).hom_step_budget,
+            100u);
+  EXPECT_EQ(ResourceBudget::FromEstimate(base, 0.0, 100.0).hom_step_budget,
+            100u);
 }
 
 }  // namespace

@@ -12,10 +12,24 @@
 //   floq minimize <queries.fl>         minimize every rule under Sigma_FL
 //   floq query <kb.fl> <query text>    answer a query over a knowledge base
 //   floq consistency <kb.fl>           saturate and report rho_4/rho_5
-//   floq lint [--json] [--deps d.fl] [file.fl]
+//   floq lint [--json] [--deps d.fl] [--fail-on SEV] [file.fl]
 //                                      static diagnostics: query lints,
 //                                      termination analyses (FLD103 finds
-//                                      mandatory-attribute cycles)
+//                                      mandatory-attribute cycles);
+//                                      --fail-on {error,warn,note} sets
+//                                      the severity that exits 2 (default
+//                                      error); with --kb-snapshot the
+//                                      file is treated as a knowledge
+//                                      base and FLD103 runs against the
+//                                      (possibly snapshot-restored) store
+//   floq analyze [--json] [--deps d.fl] [file.fl]
+//                                      static cost & boundedness report
+//                                      (DESIGN.md §15): per-query chase
+//                                      growth and hom fan-out estimates
+//                                      (FLD202/FLD203), fact-base
+//                                      null-generation grade, and — with
+//                                      --deps — the dependency set's
+//                                      degree table (FLD101/102/201)
 //
 // Files use the F-logic surface syntax (see README). Everything runs under
 // the F-logic Lite semantics Sigma_FL of Calì & Kifer (VLDB'06).
@@ -33,10 +47,14 @@
 //                      snapshot to F when the command finishes
 //   --trace-out F      record scoped spans and write Chrome trace_event
 //                      JSON to F (loads in chrome://tracing / Perfetto)
-//   --kb-snapshot F    for the KB commands (query, consistency): when F
-//                      exists, restore the knowledge base from it (one
-//                      mmap — parsing is skipped, and saturation too if
-//                      the snapshot recorded a saturated store);
+//   --cost-schedule    classify: run the batch pipeline in ascending
+//                      predicted-cost order with calibrated hom budgets
+//                      (analysis/cost_model.h); verdicts are unchanged,
+//                      only the schedule
+//   --kb-snapshot F    for the KB commands (query, consistency, lint):
+//                      when F exists, restore the knowledge base from it
+//                      (one mmap — parsing is skipped, and saturation
+//                      too if the snapshot recorded a saturated store);
 //                      otherwise build the KB from <kb.fl> as usual and
 //                      write F afterwards. See DESIGN.md §14.3.
 
@@ -50,6 +68,9 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/boundedness.h"
+#include "analysis/cost_model.h"
+#include "analysis/dependency_lints.h"
 #include "chase/chase.h"
 #include "chase/dependencies.h"
 #include "chase/graph_dot.h"
@@ -194,7 +215,8 @@ int CmdExplain(const std::string& path, const ResourceBudget& budget,
 }
 
 int CmdClassify(const std::string& path, int jobs,
-                const ResourceBudget& budget, bool no_prune) {
+                const ResourceBudget& budget, bool no_prune,
+                bool cost_schedule) {
   World world;
   Result<std::vector<ConjunctiveQuery>> rules = LoadRules(world, path);
   if (!rules.ok()) return Fail(rules.status().ToString());
@@ -202,6 +224,7 @@ int CmdClassify(const std::string& path, int jobs,
   options.jobs = jobs;  // 0 = hardware concurrency
   options.containment.budget = budget;
   options.containment.use_signature_index = !no_prune;
+  options.containment.use_cost_scheduling = cost_schedule;
   Result<QueryTaxonomy> taxonomy = ClassifyQueries(world, *rules, options);
   if (!taxonomy.ok()) return Fail(taxonomy.status().ToString());
   std::printf("%zu queries, %zu equivalence classes, %d checks\n",
@@ -547,12 +570,31 @@ int CmdRepl(const std::string& kb_path) {
   return 0;
 }
 
+// True when any diagnostic is at least as severe as `threshold`
+// (Severity orders kError < kWarning < kNote).
+bool ReachesSeverity(
+    const std::vector<std::pair<std::string,
+                                std::vector<analysis::Diagnostic>>>& groups,
+    analysis::Severity threshold) {
+  for (const auto& [file, diagnostics] : groups) {
+    for (const analysis::Diagnostic& d : diagnostics) {
+      if (d.severity <= threshold) return true;
+    }
+  }
+  return false;
+}
+
 // Static diagnostics: program lints (FLQ0xx, FLD103) on `path`,
-// dependency-set termination analyses (FLD101/FLD102) on `deps_path`.
-// Exits 0 when clean or warnings only, 2 when an error-severity
-// diagnostic fired, 1 on operational failure (unreadable file).
+// dependency-set termination analyses (FLD101/FLD102/FLD201) on
+// `deps_path`. With `snapshot_path` set, `path` names a knowledge base:
+// the store is restored from the snapshot when it exists (else built from
+// the file, writing the snapshot), and FLD103 runs against the loaded
+// facts — the store a `floq query` against the same snapshot would see.
+// Exits 0 when below `fail_on`, 2 when a diagnostic at or above it fired,
+// 1 on operational failure (unreadable file).
 int CmdLint(const std::string& path, const std::string& deps_path,
-            bool json, const ResourceBudget& budget) {
+            const std::string& snapshot_path, bool json,
+            analysis::Severity fail_on, const ResourceBudget& budget) {
   World world;
   analysis::AnalyzeOptions options;
   // A tripped budget keeps the semantic probes silent (never wrong).
@@ -560,7 +602,21 @@ int CmdLint(const std::string& path, const std::string& deps_path,
   // (filename, diagnostics) per linted source.
   std::vector<std::pair<std::string, std::vector<analysis::Diagnostic>>>
       groups;
-  if (!path.empty()) {
+  std::optional<KnowledgeBase> kb;
+  if (!path.empty() && !snapshot_path.empty()) {
+    kb.emplace(world);
+    std::optional<bool> from_snapshot =
+        LoadKbOrSnapshot(*kb, path, snapshot_path);
+    if (!from_snapshot.has_value()) return 1;
+    std::vector<Atom> facts(kb->database().facts().begin(),
+                            kb->database().facts().end());
+    std::vector<analysis::Diagnostic> diagnostics =
+        analysis::LintFacts(world, facts);
+    analysis::SortDiagnostics(diagnostics);
+    groups.push_back({path, std::move(diagnostics)});
+    int save_failed = SaveKbSnapshot(*kb, snapshot_path, *from_snapshot);
+    if (save_failed != 0) return save_failed;
+  } else if (!path.empty()) {
     std::string text;
     if (!ReadFile(path, text)) return Fail("cannot read " + path);
     groups.push_back(
@@ -573,10 +629,8 @@ int CmdLint(const std::string& path, const std::string& deps_path,
         {deps_path, analysis::AnalyzeDependencyText(world, text)});
   }
 
-  bool errors = false;
   size_t total = 0;
   for (const auto& [file, diagnostics] : groups) {
-    errors |= analysis::HasErrors(diagnostics);
     total += diagnostics.size();
   }
 
@@ -617,7 +671,194 @@ int CmdLint(const std::string& path, const std::string& deps_path,
       std::printf("no diagnostics\n");
     }
   }
-  return errors ? 2 : 0;
+  return ReachesSeverity(groups, fail_on) ? 2 : 0;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// "linear(depth 2)" / "unbounded" — a query or fact base's Sigma_FL
+// null-generation grade for the analyze table.
+std::string SigmaGradeToString(const analysis::SigmaBoundedness& grade) {
+  std::string out = analysis::NullDegreeName(grade.degree);
+  if (grade.degree == analysis::NullDegree::kLinear &&
+      grade.mandatory_depth > 0) {
+    out += "(depth " + std::to_string(grade.mandatory_depth) + ")";
+  }
+  return out;
+}
+
+// Static cost & boundedness analysis (DESIGN.md §15). For each rule/goal
+// of `path`: the probe-fitted chase growth estimate at the query's own
+// Theorem-12 level, the predicted hom-search fan-out, the confidence tag,
+// and the instance-level Sigma_FL boundedness grade, plus any FLD202 /
+// FLD203 diagnostics. The program's fact base gets its own grade (the
+// mandatory-attribute chain depth that bounds the rho_5 cascade). With
+// --deps, the dependency set is graded over the labeled dependency graph
+// (FLD101/102/201) with its per-position degree table. Exit codes mirror
+// `lint` with the default threshold: 2 when an error-severity diagnostic
+// fired, else 0.
+int CmdAnalyze(const std::string& path, const std::string& deps_path,
+               bool json) {
+  using analysis::NullDegree;
+  World world;
+  std::vector<std::pair<std::string, std::vector<analysis::Diagnostic>>>
+      groups;
+  std::vector<ConjunctiveQuery> queries;
+  std::vector<analysis::QueryCostReport> reports;
+  std::optional<analysis::SigmaBoundedness> facts_grade;
+  size_t fact_count = 0;
+
+  if (!path.empty()) {
+    std::string text;
+    if (!ReadFile(path, text)) return Fail("cannot read " + path);
+    Result<flogic::Program> program = flogic::ParseProgram(world, text);
+    if (!program.ok()) return Fail(program.status().ToString());
+    queries = program->rules;
+    queries.insert(queries.end(), program->goals.begin(),
+                   program->goals.end());
+    std::vector<analysis::Diagnostic> diagnostics;
+    for (const ConjunctiveQuery& query : queries) {
+      analysis::QueryCostReport report =
+          analysis::AnalyzeQueryCost(world, query);
+      diagnostics.insert(diagnostics.end(), report.diagnostics.begin(),
+                         report.diagnostics.end());
+      reports.push_back(std::move(report));
+    }
+    if (!program->facts.empty()) {
+      fact_count = program->facts.size();
+      facts_grade = analysis::AnalyzeSigmaBoundedness(world, program->facts);
+    }
+    analysis::SortDiagnostics(diagnostics);
+    groups.push_back({path, std::move(diagnostics)});
+  }
+
+  std::optional<analysis::BoundednessReport> deps_report;
+  std::optional<DependencySet> deps;
+  if (!deps_path.empty()) {
+    std::string text;
+    if (!ReadFile(deps_path, text)) return Fail("cannot read " + deps_path);
+    Result<DependencySet> parsed = ParseDependencies(world, text);
+    if (!parsed.ok()) return Fail(parsed.status().ToString());
+    deps = std::move(*parsed);
+    deps_report = analysis::AnalyzeBoundedness(*deps, world);
+    groups.push_back({deps_path, analysis::AnalyzeDependencySet(*deps, world)});
+  }
+
+  if (json) {
+    std::string out = "{";
+    if (!queries.empty()) {
+      out += "\"queries\": [";
+      for (size_t i = 0; i < queries.size(); ++i) {
+        const analysis::CostEstimate& e = reports[i].estimate;
+        char buffer[256];
+        std::snprintf(buffer, sizeof buffer,
+                      "{\"chase_atoms_bound\": %llu, "
+                      "\"chase_levels_bound\": %d, "
+                      "\"hom_fanout_bound\": %.6g, \"confidence\": %.4f, "
+                      "\"boundedness\": \"%s\", \"mandatory_depth\": %d}",
+                      static_cast<unsigned long long>(e.chase_atoms_bound),
+                      e.chase_levels_bound, e.hom_fanout_bound, e.confidence,
+                      analysis::NullDegreeName(reports[i].boundedness.degree),
+                      reports[i].boundedness.mandatory_depth);
+        out += (i > 0 ? ",\n  " : "\n  ");
+        out += "{\"query\": \"" +
+               JsonEscape(flogic::QueryToSurface(queries[i], world)) +
+               "\", \"estimate\": " + buffer + "}";
+      }
+      out += "\n],\n";
+    }
+    if (facts_grade.has_value()) {
+      out += "\"fact_base\": {\"facts\": " + std::to_string(fact_count) +
+             ", \"boundedness\": \"";
+      out += analysis::NullDegreeName(facts_grade->degree);
+      out += "\", \"mandatory_depth\": " +
+             std::to_string(facts_grade->mandatory_depth) + "},\n";
+    }
+    if (deps_report.has_value()) {
+      out += "\"dependencies\": {\"degree\": \"";
+      out += analysis::NullDegreeName(deps_report->degree);
+      out += "\", \"witness_degree\": " +
+             std::to_string(deps_report->witness_degree) + "},\n";
+    }
+    out += "\"diagnostics\": [";
+    bool first = true;
+    for (const auto& [file, diagnostics] : groups) {
+      if (diagnostics.empty()) continue;
+      std::string array = analysis::DiagnosticsToJson(diagnostics, file);
+      if (!first) out += ",";
+      out.append(array, 1, array.size() - 3);  // strip "[" and "\n]"
+      first = false;
+    }
+    out += first ? "]}" : "\n]}";
+    std::printf("%s\n", out.c_str());
+  } else {
+    if (!queries.empty()) {
+      std::printf("query cost estimates (%s):\n", path.c_str());
+      std::printf("  %12s %7s %12s %6s %-16s %s\n", "chase_atoms", "levels",
+                  "hom_nodes", "conf", "boundedness", "query");
+      for (size_t i = 0; i < queries.size(); ++i) {
+        const analysis::CostEstimate& e = reports[i].estimate;
+        std::printf("  %12llu %7d %12.4g %6.2f %-16s %s\n",
+                    static_cast<unsigned long long>(e.chase_atoms_bound),
+                    e.chase_levels_bound, e.hom_fanout_bound, e.confidence,
+                    SigmaGradeToString(reports[i].boundedness).c_str(),
+                    flogic::QueryToSurface(queries[i], world).c_str());
+      }
+    }
+    if (facts_grade.has_value()) {
+      std::printf("fact base: %zu facts, null generation %s\n", fact_count,
+                  SigmaGradeToString(*facts_grade).c_str());
+      for (const analysis::MandatoryEdge& edge : facts_grade->witness) {
+        std::printf("    %s\n", edge.ToString(world).c_str());
+      }
+    }
+    if (deps_report.has_value()) {
+      std::printf("dependency set (%s): null generation %s",
+                  deps_path.c_str(),
+                  analysis::NullDegreeName(deps_report->degree));
+      if (deps_report->degree == NullDegree::kPolynomial) {
+        std::printf(" (degree %d)", deps_report->witness_degree);
+      }
+      std::printf("\n");
+      for (const analysis::PositionBoundedness& position :
+           deps_report->positions) {
+        std::printf("  %-12s %-12s %s\n",
+                    position.position.ToString(world).c_str(),
+                    analysis::NullDegreeName(position.degree),
+                    analysis::WitnessPathToString(position.witness, *deps,
+                                                  world).c_str());
+      }
+    }
+    bool any = false;
+    for (const auto& [file, diagnostics] : groups) {
+      for (const analysis::Diagnostic& d : diagnostics) {
+        std::printf("%s\n", analysis::FormatDiagnostic(d, file).c_str());
+        any = true;
+      }
+    }
+    if (!any) std::printf("no diagnostics\n");
+  }
+  return ReachesSeverity(groups, analysis::Severity::kError) ? 2 : 0;
 }
 
 int Usage() {
@@ -625,7 +866,8 @@ int Usage() {
                "usage:\n"
                "  floq check <queries.fl>\n"
                "  floq explain <queries.fl> [--profile] [--chase-dot FILE]\n"
-               "  floq classify [--jobs N] [--no-prune] <queries.fl>\n"
+               "  floq classify [--jobs N] [--no-prune] [--cost-schedule] "
+               "<queries.fl>\n"
                "  floq chase <queries.fl> [max_level]\n"
                "  floq dot <queries.fl> [max_level]\n"
                "  floq minimize <queries.fl>\n"
@@ -634,12 +876,17 @@ int Usage() {
                "  floq views <query_then_views.fl>\n"
                "  floq query <kb.fl> '<query>'\n"
                "  floq consistency <kb.fl>\n"
-               "  floq lint [--json] [--deps <deps.fl>] [<file.fl>]\n"
+               "  floq lint [--json] [--deps <deps.fl>] "
+               "[--fail-on error|warn|note] [<file.fl>]\n"
+               "  floq analyze [--json] [--deps <deps.fl>] [<file.fl>]\n"
                "  floq repl [kb.fl]\n"
                "global flags: --jobs N, --timeout-ms N, --hom-steps N,\n"
                "              --no-prune (disable the signature prefilter),\n"
+               "              --cost-schedule (classify: cheapest-predicted-"
+               "first order),\n"
                "              --metrics-out <m.json>, --trace-out <t.json>,\n"
-               "              --kb-snapshot <kb.snap> (query/consistency:\n"
+               "              --kb-snapshot <kb.snap> (query/consistency/"
+               "lint:\n"
                "                load the KB from the snapshot if it exists,\n"
                "                else build it and write the snapshot)\n"
                "(a tripped budget renders as UNKNOWN and exits 3)\n");
@@ -648,7 +895,7 @@ int Usage() {
 
 int RunCommand(const std::string& command, std::vector<std::string>& args,
                int jobs, const ResourceBudget& budget, bool no_prune,
-               const std::string& kb_snapshot) {
+               bool cost_schedule, const std::string& kb_snapshot) {
   if (command == "check" && args.size() == 2) {
     return CmdCheck(args[1], budget);
   }
@@ -671,7 +918,7 @@ int RunCommand(const std::string& command, std::vector<std::string>& args,
     return CmdExplain(file_path, budget, profile, chase_dot);
   }
   if (command == "classify" && args.size() == 2) {
-    return CmdClassify(args[1], jobs, budget, no_prune);
+    return CmdClassify(args[1], jobs, budget, no_prune, cost_schedule);
   }
   if ((command == "chase" || command == "dot") &&
       (args.size() == 2 || args.size() == 3)) {
@@ -692,15 +939,29 @@ int RunCommand(const std::string& command, std::vector<std::string>& args,
   if (command == "consistency" && args.size() == 2) {
     return CmdConsistency(args[1], kb_snapshot);
   }
-  if (command == "lint") {
+  if (command == "lint" || command == "analyze") {
     bool json = false;
     std::string deps_path, file_path;
+    analysis::Severity fail_on = analysis::Severity::kError;
     bool bad = false;
     for (size_t i = 1; i < args.size(); ++i) {
       if (args[i] == "--json") {
         json = true;
       } else if (args[i] == "--deps" && i + 1 < args.size()) {
         deps_path = args[++i];
+      } else if (command == "lint" && args[i] == "--fail-on" &&
+                 i + 1 < args.size()) {
+        const std::string& level = args[++i];
+        if (level == "error") {
+          fail_on = analysis::Severity::kError;
+        } else if (level == "warn" || level == "warning") {
+          fail_on = analysis::Severity::kWarning;
+        } else if (level == "note") {
+          fail_on = analysis::Severity::kNote;
+        } else {
+          return Fail("--fail-on needs error, warn, or note, got '" + level +
+                      "'");
+        }
       } else if (!StartsWith(args[i], "--") && file_path.empty()) {
         file_path = args[i];
       } else {
@@ -708,7 +969,8 @@ int RunCommand(const std::string& command, std::vector<std::string>& args,
       }
     }
     if (bad || (file_path.empty() && deps_path.empty())) return Usage();
-    return CmdLint(file_path, deps_path, json, budget);
+    if (command == "analyze") return CmdAnalyze(file_path, deps_path, json);
+    return CmdLint(file_path, deps_path, kb_snapshot, json, fail_on, budget);
   }
   if (command == "repl" && args.size() <= 2) {
     return CmdRepl(args.size() == 2 ? args[1] : std::string());
@@ -731,10 +993,15 @@ int main(int argc, char** argv) {
   int64_t jobs64 = 0, timeout_ms = 0, hom_steps = 0;
   std::string metrics_out, trace_out, kb_snapshot;
   // Boolean flags first (the loop below consumes flag+value pairs).
-  bool no_prune = false;
+  bool no_prune = false, cost_schedule = false;
   for (size_t i = 1; i < args.size();) {
     if (args[i] == "--no-prune") {
       no_prune = true;
+      args.erase(args.begin() + long(i));
+      continue;
+    }
+    if (args[i] == "--cost-schedule") {
+      cost_schedule = true;
       args.erase(args.begin() + long(i));
       continue;
     }
@@ -778,8 +1045,8 @@ int main(int argc, char** argv) {
   std::optional<TraceSession> trace_session;
   if (!trace_out.empty()) trace_session.emplace();
 
-  int exit_code =
-      RunCommand(command, args, jobs, budget, no_prune, kb_snapshot);
+  int exit_code = RunCommand(command, args, jobs, budget, no_prune,
+                             cost_schedule, kb_snapshot);
 
   if (!metrics_out.empty() &&
       !WriteFile(metrics_out, MetricsRegistry::Get().ToJson())) {
