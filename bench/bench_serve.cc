@@ -1,0 +1,345 @@
+// Experiment E17 — the `floq serve` daemon (DESIGN.md §16). Three
+// questions, one JSON report (stdout; CI captures BENCH_serve.json):
+//
+//   * daemon_contain    — round-trip latency (p50/p99) and throughput of
+//                         cached `contain` requests against a warm
+//                         registry over the AF_UNIX socket. The lattice
+//                         answer itself is a matrix lookup, so this arm
+//                         prices the whole serving stack: framing, JSON,
+//                         admission gate, epoch snapshot.
+//   * oneshot_contain   — the same containment question answered the
+//                         pre-daemon way: re-parse both queries and run
+//                         CheckContainment from scratch per request,
+//                         i.e. what every `floq check` invocation pays.
+//                         speedup = oneshot_p50 / daemon_p50.
+//   * recovery          — QueryRegistry::Open wall time on a registry
+//                         whose state lives entirely in an N-record WAL
+//                         (no checkpoint), and on the same state after a
+//                         checkpoint: the price of crash recovery, and
+//                         what checkpointing buys.
+//
+// FLOQ_BENCH_SMALL=1 shrinks the registry and request counts ~8x for CI
+// smoke runs.
+
+#include <benchmark/benchmark.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "containment/containment.h"
+#include "flogic/parser.h"
+#include "server/daemon.h"
+#include "server/protocol.h"
+#include "server/registry.h"
+#include "term/world.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace floq;
+using namespace floq::server;
+
+bool SmallMode() {
+  const char* env = std::getenv("FLOQ_BENCH_SMALL");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Registered queries: pairwise-related class-membership shapes so the
+// maintained lattice holds real verdicts, not just signature discharges.
+std::string QueryText(int i) {
+  switch (i % 3) {
+    case 0:
+      return "q(X) :- X : c" + std::to_string(i / 3) + ".";
+    case 1:
+      return "q(X) :- X : c" + std::to_string(i / 3) +
+             ", X[advisor -> Y].";
+    default:
+      return "q(X) :- X : c" + std::to_string(i / 3) +
+             ", X[advisor -> Y], Y : c" + std::to_string(i / 3) + ".";
+  }
+}
+
+int ConnectUnix(const std::string& path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  FLOQ_CHECK(fd >= 0);
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  FLOQ_CHECK(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                       sizeof(addr)) == 0);
+  return fd;
+}
+
+Json RoundTrip(int fd, const Json& request) {
+  Status written =
+      WriteFrame(fd, request.Serialize(), Deadline::AfterMillis(10'000));
+  FLOQ_CHECK(written.ok());
+  FrameDecoder decoder;
+  Result<std::string> payload =
+      ReadFrame(fd, decoder, Deadline::AfterMillis(60'000));
+  FLOQ_CHECK(payload.ok());
+  Result<Json> reply = ParseJson(*payload);
+  FLOQ_CHECK(reply.ok());
+  return *std::move(reply);
+}
+
+struct LatencyStats {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double req_per_s = 0.0;
+};
+
+LatencyStats Summarize(std::vector<double>& samples_us, double wall_ms) {
+  std::sort(samples_us.begin(), samples_us.end());
+  LatencyStats out;
+  out.p50_us = samples_us[samples_us.size() / 2];
+  out.p99_us = samples_us[size_t(double(samples_us.size() - 1) * 0.99)];
+  out.req_per_s = double(samples_us.size()) / (wall_ms / 1000.0);
+  return out;
+}
+
+struct Report {
+  int queries = 0;
+  int requests = 0;
+  double register_ms = 0.0;
+  LatencyStats daemon;
+  LatencyStats oneshot;
+  double speedup_p50 = 0.0;
+  double wal_records = 0;
+  double recovery_wal_ms = 0.0;
+  double recovery_checkpoint_ms = 0.0;
+};
+
+std::string MakeBenchDir() {
+  char tmpl[] = "/tmp/floqbenchXXXXXX";
+  char* dir = ::mkdtemp(tmpl);
+  FLOQ_CHECK(dir != nullptr);
+  return dir;
+}
+
+void RunDaemonArms(Report& report) {
+  const std::string dir = MakeBenchDir();
+  DaemonOptions options;
+  options.dir = dir;
+  options.socket_path = dir + "/s.sock";
+  options.workers = 2;
+  std::thread daemon([options] {
+    Status status = RunDaemon(options);
+    FLOQ_CHECK(status.ok());
+  });
+
+  // Wait for the socket, then register the working set.
+  int fd = -1;
+  for (int i = 0; i < 500 && fd < 0; ++i) {
+    ::usleep(20'000);
+    int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, options.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(probe, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      fd = probe;
+    } else {
+      ::close(probe);
+    }
+  }
+  FLOQ_CHECK(fd >= 0);
+
+  double start = NowMs();
+  for (int i = 0; i < report.queries; ++i) {
+    Json request = Json::Object();
+    request.Set("cmd", Json::String("register"));
+    request.Set("name", Json::String("q" + std::to_string(i)));
+    request.Set("query", Json::String(QueryText(i)));
+    Json reply = RoundTrip(fd, request);
+    { Result<bool> ok = reply.GetBool("ok"); FLOQ_CHECK(ok.ok() && *ok); }
+  }
+  report.register_ms = NowMs() - start;
+
+  // Warm cached contain round-trips, cycling over related name pairs.
+  std::vector<double> samples_us;
+  samples_us.reserve(size_t(report.requests));
+  start = NowMs();
+  for (int i = 0; i < report.requests; ++i) {
+    Json request = Json::Object();
+    request.Set("cmd", Json::String("contain"));
+    request.Set("lhs",
+                Json::String("q" + std::to_string((3 * i + 1) %
+                                                  report.queries)));
+    request.Set("rhs",
+                Json::String("q" + std::to_string((3 * i) %
+                                                  report.queries)));
+    double t0 = NowMs();
+    Json reply = RoundTrip(fd, request);
+    samples_us.push_back((NowMs() - t0) * 1000.0);
+    { Result<bool> ok = reply.GetBool("ok"); FLOQ_CHECK(ok.ok() && *ok); }
+    { Result<bool> cached = reply.GetBool("cached"); FLOQ_CHECK(cached.ok() && *cached); }
+  }
+  report.daemon = Summarize(samples_us, NowMs() - start);
+
+  Json shutdown = Json::Object();
+  shutdown.Set("cmd", Json::String("shutdown"));
+  (void)RoundTrip(fd, shutdown);
+  ::close(fd);
+  daemon.join();
+
+  // One-shot baseline: the same questions with no resident state.
+  samples_us.clear();
+  start = NowMs();
+  for (int i = 0; i < report.requests; ++i) {
+    double t0 = NowMs();
+    World world;
+    Result<ConjunctiveQuery> lhs = flogic::ParseQuery(
+        world, QueryText((3 * i + 1) % report.queries));
+    Result<ConjunctiveQuery> rhs =
+        flogic::ParseQuery(world, QueryText((3 * i) % report.queries));
+    FLOQ_CHECK(lhs.ok() && rhs.ok());
+    Result<ContainmentResult> verdict =
+        CheckContainment(world, *lhs, *rhs, ContainmentOptions{});
+    FLOQ_CHECK(verdict.ok());
+    benchmark::DoNotOptimize(verdict->resolution);
+    samples_us.push_back((NowMs() - t0) * 1000.0);
+  }
+  report.oneshot = Summarize(samples_us, NowMs() - start);
+  report.speedup_p50 = report.oneshot.p50_us / report.daemon.p50_us;
+}
+
+void RunRecoveryArm(Report& report) {
+  const std::string dir = MakeBenchDir();
+  RegistryOptions options;
+  options.dir = dir;
+  options.checkpoint_every = 0;  // keep every mutation in the WAL
+  {
+    QueryRegistry registry(options);
+    FLOQ_CHECK(registry.Open().ok());
+    for (int i = 0; i < report.queries; ++i) {
+      FLOQ_CHECK(
+          registry.Register("q" + std::to_string(i), QueryText(i)).ok());
+    }
+    report.wal_records = double(registry.mutations_since_checkpoint());
+  }
+  {
+    double start = NowMs();
+    QueryRegistry recovered(options);
+    FLOQ_CHECK(recovered.Open().ok());
+    report.recovery_wal_ms = NowMs() - start;
+    FLOQ_CHECK(recovered.Snapshot()->entries.size() ==
+               size_t(report.queries));
+    FLOQ_CHECK(recovered.Checkpoint().ok());
+  }
+  {
+    double start = NowMs();
+    QueryRegistry recovered(options);
+    FLOQ_CHECK(recovered.Open().ok());
+    report.recovery_checkpoint_ms = NowMs() - start;
+    FLOQ_CHECK(recovered.Snapshot()->entries.size() ==
+               size_t(report.queries));
+  }
+}
+
+void PrintReport() {
+  Report report;
+  report.queries = SmallMode() ? 24 : 96;
+  report.requests = SmallMode() ? 250 : 2000;
+  RunDaemonArms(report);
+  RunRecoveryArm(report);
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"serve\",\n");
+  std::printf("  \"small_mode\": %s,\n", SmallMode() ? "true" : "false");
+  std::printf("  \"queries\": %d,\n", report.queries);
+  std::printf("  \"register_ms\": %.2f,\n", report.register_ms);
+  std::printf("  \"contain_requests\": %d,\n", report.requests);
+  std::printf(
+      "  \"daemon_contain\": {\"p50_us\": %.1f, \"p99_us\": %.1f, "
+      "\"req_per_s\": %.0f},\n",
+      report.daemon.p50_us, report.daemon.p99_us, report.daemon.req_per_s);
+  std::printf(
+      "  \"oneshot_contain\": {\"p50_us\": %.1f, \"p99_us\": %.1f, "
+      "\"req_per_s\": %.0f},\n",
+      report.oneshot.p50_us, report.oneshot.p99_us,
+      report.oneshot.req_per_s);
+  std::printf("  \"speedup_p50\": %.2f,\n", report.speedup_p50);
+  std::printf(
+      "  \"recovery\": {\"wal_records\": %.0f, \"wal_open_ms\": %.2f, "
+      "\"checkpoint_open_ms\": %.2f}\n",
+      report.wal_records, report.recovery_wal_ms,
+      report.recovery_checkpoint_ms);
+  std::printf("}\n");
+}
+
+// Interactive arm: one cached contain round-trip per iteration against a
+// resident daemon (spun up once per benchmark run).
+void BM_DaemonCachedContain(benchmark::State& state) {
+  const std::string dir = MakeBenchDir();
+  DaemonOptions options;
+  options.dir = dir;
+  options.socket_path = dir + "/s.sock";
+  std::thread daemon([options] { (void)RunDaemon(options); });
+  int fd = -1;
+  for (int i = 0; i < 500 && fd < 0; ++i) {
+    ::usleep(20'000);
+    int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, options.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(probe, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      fd = probe;
+    } else {
+      ::close(probe);
+    }
+  }
+  FLOQ_CHECK(fd >= 0);
+  for (int i = 0; i < 8; ++i) {
+    Json request = Json::Object();
+    request.Set("cmd", Json::String("register"));
+    request.Set("name", Json::String("q" + std::to_string(i)));
+    request.Set("query", Json::String(QueryText(i)));
+    (void)RoundTrip(fd, request);
+  }
+  Json request = Json::Object();
+  request.Set("cmd", Json::String("contain"));
+  request.Set("lhs", Json::String("q1"));
+  request.Set("rhs", Json::String("q0"));
+  for (auto _ : state) {
+    Json reply = RoundTrip(fd, request);
+    benchmark::DoNotOptimize(reply);
+  }
+  Json shutdown = Json::Object();
+  shutdown.Set("cmd", Json::String("shutdown"));
+  (void)RoundTrip(fd, shutdown);
+  ::close(fd);
+  daemon.join();
+}
+BENCHMARK(BM_DaemonCachedContain)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

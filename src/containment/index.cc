@@ -64,6 +64,22 @@ Result<size_t> ContainmentIndex::Insert(const ConjunctiveQuery& query) {
   return id;
 }
 
+QueryTaxonomy ContainmentIndex::TaxonomyOf(
+    std::span<const size_t> ids) const {
+  const size_t n = ids.size();
+  std::vector<std::vector<bool>> contained(n, std::vector<bool>(n, false));
+  for (size_t i = 0; i < n; ++i) {
+    FLOQ_CHECK_LT(ids[i], size());
+    for (size_t j = 0; j < n; ++j) {
+      contained[i][j] =
+          resolution_[ids[i]][ids[j]] == Resolution::kContained;
+    }
+  }
+  return TaxonomyFromContainment(contained, int(stats_.checked_pairs),
+                                 int(stats_.unknown_pairs),
+                                 int(stats_.pruned_pairs));
+}
+
 QueryTaxonomy ContainmentIndex::Taxonomy() const {
   const size_t n = size();
   std::vector<std::vector<bool>> contained(n, std::vector<bool>(n, false));

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "containment/classifier.h"
@@ -72,6 +73,13 @@ class ContainmentIndex {
   /// Hasse diagram), built from the maintained matrix without any further
   /// containment checks.
   QueryTaxonomy Taxonomy() const;
+
+  /// Taxonomy restricted to `ids` (dense ids in any order; `class_of` and
+  /// `classes` index into `ids` positionally). Lets a caller that
+  /// tombstones entries — the serve registry, where unregister removes a
+  /// query from the live set but not from the engine — classify just the
+  /// live subset from the maintained matrix, again with no new checks.
+  QueryTaxonomy TaxonomyOf(std::span<const size_t> ids) const;
 
   const IndexStats& index_stats() const { return stats_; }
   /// The underlying engine's cache/fan-out stats (chases run, cache hits,

@@ -11,6 +11,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/crc32.h"
+
 namespace floq {
 
 namespace {
@@ -31,7 +33,9 @@ struct SnapshotHeader {
   uint32_t atom_count;
   uint32_t pred_count;
   uint32_t arg_count;
-  uint32_t reserved;
+  // CRC-32 of this header with the field itself zeroed: catches a torn
+  // or bit-flipped header before any offset is trusted.
+  uint32_t header_crc;
   uint64_t atoms_offset;
   uint64_t arena_offset;
   uint64_t arena_size;
@@ -39,9 +43,13 @@ struct SnapshotHeader {
   uint64_t args_offset;
   uint64_t symbols_offset;
   uint64_t symbols_size;
+  // CRC-32 of the symbols section (low 32 bits; the section every load
+  // reads eagerly — the mmap-ed atom/arena sections stay lazily faulted
+  // and rely on the bounds checks).
+  uint64_t symbols_crc;
 };
 static_assert(std::is_trivially_copyable_v<SnapshotHeader>);
-static_assert(sizeof(SnapshotHeader) == 88);
+static_assert(sizeof(SnapshotHeader) == 96);
 
 struct PredTableEntry {
   uint32_t predicate;
@@ -109,11 +117,30 @@ class FileWriter {
       return InvalidArgumentError("cannot open snapshot file for writing: " +
                                   tmp);
     }
+    // fsync before close *and* rename: a crash between rename and the
+    // data reaching disk would otherwise leave a live snapshot full of
+    // zero pages — exactly the torn state the CRCs exist to catch, but
+    // better never to create it.
     const size_t written = std::fwrite(bytes_.data(), 1, bytes_.size(), f);
-    const bool flushed = std::fclose(f) == 0 && written == bytes_.size();
+    bool flushed = written == bytes_.size() && std::fflush(f) == 0 &&
+                   ::fsync(fileno(f)) == 0;
+    flushed = std::fclose(f) == 0 && flushed;
     if (!flushed || std::rename(tmp.c_str(), path.c_str()) != 0) {
       std::remove(tmp.c_str());
       return InternalError("short write while saving snapshot: " + path);
+    }
+    // Make the rename itself durable: fsync the parent directory.
+    size_t slash = path.rfind('/');
+    std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+    if (dir.empty()) dir = "/";
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd < 0) {
+      return InternalError("cannot open snapshot directory for fsync: " + dir);
+    }
+    const bool dir_synced = ::fsync(dfd) == 0;
+    ::close(dfd);
+    if (!dir_synced) {
+      return InternalError("fsync failed on snapshot directory: " + dir);
     }
     return Status::Ok();
   }
@@ -216,6 +243,10 @@ class SnapshotIO {
     out.AppendU32(world.null_count());
     header.symbols_size = out.offset() - header.symbols_offset;
 
+    header.symbols_crc = Crc32(out.bytes_.data() + header.symbols_offset,
+                               size_t(header.symbols_size));
+    header.header_crc = 0;
+    header.header_crc = Crc32(&header, sizeof header);
     out.PatchHeader(header);
     return out.WriteTo(path);
   }
@@ -251,6 +282,14 @@ class SnapshotIO {
           " unsupported (expected " +
           std::to_string(kSnapshotFormatVersion) + "): " + path);
     }
+    {
+      SnapshotHeader checked = header;
+      const uint32_t stored = checked.header_crc;
+      checked.header_crc = 0;
+      if (Crc32(&checked, sizeof checked) != stored) {
+        return InvalidArgumentError("snapshot header CRC mismatch: " + path);
+      }
+    }
     auto section_ok = [&](uint64_t offset, uint64_t size) {
       return offset <= file_size && size <= file_size - offset;
     };
@@ -263,6 +302,11 @@ class SnapshotIO {
                     uint64_t(header.arg_count) * sizeof(ArgTableEntry)) ||
         !section_ok(header.symbols_offset, header.symbols_size)) {
       return InvalidArgumentError("snapshot sections out of bounds: " + path);
+    }
+    if (Crc32(base + header.symbols_offset, size_t(header.symbols_size)) !=
+        uint32_t(header.symbols_crc)) {
+      return InvalidArgumentError("snapshot symbol table CRC mismatch: " +
+                                  path);
     }
 
     // Restore the symbol tables. Interning must reproduce the stored ids

@@ -25,7 +25,10 @@
 namespace floq {
 
 /// Bumped on any layout change; loaders reject other versions.
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+/// v2: header CRC-32 + symbols-section CRC-32 (the sections that every
+/// load reads eagerly; the mmap-ed atom/arena sections stay lazily
+/// faulted and are covered by bounds checks), fsync'd tmp+rename writes.
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
 
 /// Snapshot flag: the stored facts are already chase-saturated, so a
 /// loader can skip Saturate() (KnowledgeBase records this).

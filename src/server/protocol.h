@@ -1,0 +1,152 @@
+#ifndef FLOQ_SERVER_PROTOCOL_H_
+#define FLOQ_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/deadline.h"
+#include "util/status.h"
+
+// Wire protocol for `floq serve`: length-prefixed JSON frames over a
+// local (AF_UNIX) stream socket.
+//
+//   frame   := u32-LE payload-length, payload bytes
+//   payload := one JSON object (UTF-8, no trailing bytes)
+//
+// Requests carry {"cmd": "...", ...}; responses carry {"ok": true, ...}
+// or {"ok": false, "code": "...", "error": "..."} where `code` is one of
+// the typed degradation categories (BAD_REQUEST, INVALID, NOT_FOUND,
+// OVERLOADED, UNKNOWN, INTERNAL). The frame length is capped at
+// kMaxFrameBytes; an oversized prefix is a protocol error and the server
+// closes the connection after a typed reply.
+//
+// The JSON layer below is deliberately minimal (objects, arrays,
+// strings, doubles, bools, null; no \u escapes beyond Latin-1, no
+// numeric edge pedantry) — it frames small control messages, not data.
+
+namespace floq::server {
+
+inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
+// Parser recursion cap: frames are flat command objects, so anything
+// deeper than this is hostile input, not a real request.
+inline constexpr int kMaxJsonDepth = 32;
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  static Json Null() { return Json(); }
+  static Json Bool(bool b) {
+    Json j;
+    j.type_ = Type::kBool;
+    j.bool_ = b;
+    return j;
+  }
+  static Json Number(double d) {
+    Json j;
+    j.type_ = Type::kNumber;
+    j.number_ = d;
+    return j;
+  }
+  static Json String(std::string s) {
+    Json j;
+    j.type_ = Type::kString;
+    j.string_ = std::move(s);
+    return j;
+  }
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<Json>& items() const { return items_; }
+  // Insertion-ordered so serialized responses are deterministic and the
+  // crash-recovery suite can compare them as strings.
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  void Append(Json value) { items_.push_back(std::move(value)); }
+  // Overwrites an existing key in place (keeps first-insertion order).
+  void Set(std::string_view key, Json value);
+
+  // Object lookup; nullptr when absent or not an object.
+  const Json* Find(std::string_view key) const;
+  // Typed member accessors: error Status when absent or wrong type.
+  Result<std::string> GetString(std::string_view key) const;
+  Result<int64_t> GetInt(std::string_view key) const;
+  Result<bool> GetBool(std::string_view key) const;
+
+  // Compact serialization (no whitespace). Deterministic for a given
+  // construction order.
+  std::string Serialize() const;
+
+ private:
+  void SerializeTo(std::string* out) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+// Parses exactly one JSON value spanning all of `text` (surrounding
+// whitespace allowed). Depth-capped at kMaxJsonDepth.
+Result<Json> ParseJson(std::string_view text);
+
+// Incremental frame decoder. Feed raw socket bytes with Append; Next()
+// yields complete payloads in order. Returns an error Status (and is
+// then poisoned) when a frame header announces more than kMaxFrameBytes.
+class FrameDecoder {
+ public:
+  void Append(const char* data, size_t size) {
+    buffer_.append(data, size);
+  }
+  // One decoded payload, std::nullopt if more bytes are needed.
+  Result<std::optional<std::string>> Next();
+  // Bytes buffered but not yet decoded (tail of a partial frame).
+  size_t pending_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;
+  bool poisoned_ = false;
+};
+
+// Prepends the u32-LE length header.
+std::string EncodeFrame(std::string_view payload);
+
+// Blocking frame I/O over a socket fd with a poll(2)-based deadline.
+// ReadFrame: NotFound on clean EOF between frames, DeadlineExceeded on
+// timeout, InvalidArgument on protocol violations (oversized frame,
+// EOF mid-frame). WriteFrame mirrors the deadline handling.
+Result<std::string> ReadFrame(int fd, FrameDecoder& decoder,
+                              Deadline deadline);
+Status WriteFrame(int fd, std::string_view payload, Deadline deadline);
+
+}  // namespace floq::server
+
+#endif  // FLOQ_SERVER_PROTOCOL_H_

@@ -1,0 +1,425 @@
+#include "server/registry.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <stdio.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "flogic/parser.h"
+#include "server/protocol.h"
+#include "util/crc32.h"
+#include "util/fault.h"
+
+namespace floq::server {
+
+namespace {
+
+constexpr char kCheckpointMagic[8] = {'F', 'L', 'O', 'Q',
+                                      'R', 'E', 'G', '1'};
+
+Status Errno(const char* op) {
+  return InternalError(std::string(op) + ": " + std::strerror(errno));
+}
+
+Status ValidateName(const std::string& name) {
+  if (name.empty() || name.size() > 256) {
+    return InvalidArgumentError("query name must be 1..256 bytes");
+  }
+  for (char c : name) {
+    if (static_cast<unsigned char>(c) < 0x21 || c == 0x7F) {
+      return InvalidArgumentError(
+          "query name must not contain spaces or control bytes");
+    }
+  }
+  return Status::Ok();
+}
+
+Status SyncParentDir(const std::string& path) {
+  size_t slash = path.rfind('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return Errno("open(dir)");
+  int rc = ::fsync(dfd);
+  int saved = errno;
+  ::close(dfd);
+  if (rc != 0) {
+    errno = saved;
+    return Errno("fsync(dir)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+QueryRegistry::QueryRegistry(RegistryOptions options)
+    : options_(std::move(options)),
+      checkpoint_path_(options_.dir + "/registry.floqreg"),
+      wal_path_(options_.dir + "/registry.wal"),
+      index_(world_, options_.containment) {}
+
+Status QueryRegistry::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fault::Armed("registry.load.io_error")) {
+    return InternalError("injected: registry.load.io_error");
+  }
+
+  std::vector<RegistryEntryView> checkpointed;
+  bool have_checkpoint = false;
+  FLOQ_RETURN_IF_ERROR(LoadCheckpoint(&checkpointed, &have_checkpoint));
+  for (const RegistryEntryView& entry : checkpointed) {
+    bool applied = false;
+    Status st = ApplyRegister(entry.name, entry.text, &applied);
+    if (!st.ok()) {
+      return InternalError("checkpoint entry '" + entry.name +
+                           "' failed to re-apply: " + st.ToString());
+    }
+  }
+
+  WalReplay replay;
+  FLOQ_RETURN_IF_ERROR(wal_.Open(wal_path_, &replay));
+  for (const std::string& record : replay.records) {
+    FLOQ_RETURN_IF_ERROR(ApplyWalRecord(record));
+  }
+  // Recovery state is in memory only; the files already encode it, so no
+  // checkpoint is forced here — mutation counting starts fresh.
+  dirty_ = uint64_t(replay.records.size());
+  PublishLocked();
+  return Status::Ok();
+}
+
+Status QueryRegistry::LoadCheckpoint(std::vector<RegistryEntryView>* entries,
+                                     bool* found) {
+  *found = false;
+  int fd = ::open(checkpoint_path_.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::Ok();
+    return Errno("open(checkpoint)");
+  }
+  struct stat sb;
+  if (::fstat(fd, &sb) != 0) {
+    Status st = Errno("fstat(checkpoint)");
+    ::close(fd);
+    return st;
+  }
+  std::string bytes(size_t(sb.st_size), '\0');
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::pread(fd, bytes.data() + off, bytes.size() - off,
+                        off_t(off));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Errno("pread(checkpoint)");
+      ::close(fd);
+      return st;
+    }
+    if (n == 0) break;
+    off += size_t(n);
+  }
+  ::close(fd);
+  bytes.resize(off);
+
+  // The checkpoint only becomes live via rename, so a torn or corrupt
+  // live checkpoint is real corruption, never an interrupted write.
+  if (bytes.size() < sizeof(kCheckpointMagic) + 8 ||
+      std::memcmp(bytes.data(), kCheckpointMagic,
+                  sizeof(kCheckpointMagic)) != 0) {
+    return InvalidArgumentError("registry checkpoint corrupt (header): " +
+                                checkpoint_path_);
+  }
+  uint32_t len = 0;
+  uint32_t crc = 0;
+  std::memcpy(&len, bytes.data() + 8, 4);
+  std::memcpy(&crc, bytes.data() + 12, 4);
+  if (bytes.size() != 16 + size_t(len)) {
+    return InvalidArgumentError("registry checkpoint corrupt (size): " +
+                                checkpoint_path_);
+  }
+  std::string_view payload(bytes.data() + 16, len);
+  if (Crc32(payload) != crc) {
+    return InvalidArgumentError("registry checkpoint corrupt (CRC): " +
+                                checkpoint_path_);
+  }
+  Result<Json> doc = ParseJson(payload);
+  if (!doc.ok()) {
+    return InvalidArgumentError("registry checkpoint corrupt (JSON): " +
+                                doc.status().message());
+  }
+  const Json* list = doc->Find("entries");
+  if (list == nullptr || !list->is_array()) {
+    return InvalidArgumentError(
+        "registry checkpoint corrupt (no entries array)");
+  }
+  for (const Json& item : list->items()) {
+    Result<std::string> name = item.GetString("name");
+    Result<std::string> text = item.GetString("query");
+    if (!name.ok() || !text.ok()) {
+      return InvalidArgumentError("registry checkpoint corrupt (entry)");
+    }
+    RegistryEntryView entry;
+    entry.name = *name;
+    entry.text = *text;
+    entries->push_back(std::move(entry));
+  }
+  *found = true;
+  return Status::Ok();
+}
+
+Status QueryRegistry::ApplyRegister(const std::string& name,
+                                    const std::string& text, bool* applied) {
+  *applied = false;
+  FLOQ_RETURN_IF_ERROR(ValidateName(name));
+  auto it = live_.find(name);
+  if (it != live_.end()) {
+    if (it->second.text == text) return Status::Ok();  // idempotent replay
+    return FailedPreconditionError("query '" + name +
+                                   "' already registered with a "
+                                   "different definition");
+  }
+  Result<ConjunctiveQuery> query = flogic::ParseQuery(world_, text);
+  if (!query.ok()) return query.status();
+  Result<size_t> id = index_.Insert(*query);
+  if (!id.ok()) return id.status();
+  RegistryEntryView entry;
+  entry.name = name;
+  entry.text = text;
+  entry.id = *id;
+  live_.emplace(name, std::move(entry));
+  order_.push_back(name);
+  *applied = true;
+  return Status::Ok();
+}
+
+Status QueryRegistry::ApplyUnregister(const std::string& name,
+                                      bool* applied) {
+  *applied = false;
+  auto it = live_.find(name);
+  if (it == live_.end()) return Status::Ok();  // idempotent replay
+  live_.erase(it);
+  for (auto order_it = order_.begin(); order_it != order_.end(); ++order_it) {
+    if (*order_it == name) {
+      order_.erase(order_it);
+      break;
+    }
+  }
+  *applied = true;
+  return Status::Ok();
+}
+
+Status QueryRegistry::ApplyWalRecord(const std::string& payload) {
+  Result<Json> doc = ParseJson(payload);
+  if (!doc.ok()) {
+    return InvalidArgumentError("WAL record is not JSON: " +
+                                doc.status().message());
+  }
+  Result<std::string> op = doc->GetString("op");
+  if (!op.ok()) return op.status();
+  bool applied = false;
+  if (*op == "register") {
+    Result<std::string> name = doc->GetString("name");
+    Result<std::string> text = doc->GetString("query");
+    if (!name.ok()) return name.status();
+    if (!text.ok()) return text.status();
+    return ApplyRegister(*name, *text, &applied);
+  }
+  if (*op == "unregister") {
+    Result<std::string> name = doc->GetString("name");
+    if (!name.ok()) return name.status();
+    return ApplyUnregister(*name, &applied);
+  }
+  return InvalidArgumentError("WAL record has unknown op '" + *op + "'");
+}
+
+Result<QueryRegistry::RegisterOutcome> QueryRegistry::Register(
+    const std::string& name, const std::string& text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FLOQ_RETURN_IF_ERROR(ValidateName(name));
+  if (auto it = live_.find(name); it != live_.end()) {
+    if (it->second.text != text) {
+      return FailedPreconditionError("query '" + name +
+                                     "' already registered with a "
+                                     "different definition");
+    }
+    RegisterOutcome outcome;
+    outcome.epoch = epoch_;
+    outcome.already_registered = true;
+    return outcome;
+  }
+  // Validate before logging: the WAL must only ever hold records that
+  // re-apply cleanly on recovery.
+  {
+    World probe;
+    Result<ConjunctiveQuery> query = flogic::ParseQuery(probe, text);
+    if (!query.ok()) return query.status();
+  }
+
+  Json record = Json::Object();
+  record.Set("op", Json::String("register"));
+  record.Set("name", Json::String(name));
+  record.Set("query", Json::String(text));
+  FLOQ_RETURN_IF_ERROR(wal_.Append(record.Serialize()));
+
+  // Durable from here: even if this process dies before the in-memory
+  // apply below, recovery replays the record.
+  bool applied = false;
+  FLOQ_RETURN_IF_ERROR(ApplyRegister(name, text, &applied));
+  ++epoch_;
+  ++dirty_;
+  MaybeCheckpointLocked();
+  PublishLocked();
+  RegisterOutcome outcome;
+  outcome.epoch = epoch_;
+  return outcome;
+}
+
+Result<uint64_t> QueryRegistry::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (live_.find(name) == live_.end()) {
+    return NotFoundError("no registered query named '" + name + "'");
+  }
+  Json record = Json::Object();
+  record.Set("op", Json::String("unregister"));
+  record.Set("name", Json::String(name));
+  FLOQ_RETURN_IF_ERROR(wal_.Append(record.Serialize()));
+  bool applied = false;
+  FLOQ_RETURN_IF_ERROR(ApplyUnregister(name, &applied));
+  ++epoch_;
+  ++dirty_;
+  MaybeCheckpointLocked();
+  PublishLocked();
+  return epoch_;
+}
+
+Status QueryRegistry::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CheckpointLocked();
+}
+
+// The mutation is already fsync'd in the WAL when this runs, so a failed
+// cadence checkpoint must not fail (or worse, un-ack) the mutation:
+// recovery just replays a longer log. The error is reported and the next
+// mutation retries (dirty_ keeps counting).
+void QueryRegistry::MaybeCheckpointLocked() {
+  if (options_.checkpoint_every <= 0 ||
+      dirty_ < uint64_t(options_.checkpoint_every)) {
+    return;
+  }
+  if (Status checkpointed = CheckpointLocked(); !checkpointed.ok()) {
+    std::fprintf(stderr,
+                 "floq serve: checkpoint failed (WAL remains "
+                 "authoritative): %s\n",
+                 checkpointed.ToString().c_str());
+  }
+}
+
+Status QueryRegistry::CheckpointLocked() {
+  if (fault::Armed("checkpoint.io_error")) {
+    // The WAL still holds every mutation: recovery without this
+    // checkpoint reaches the same state, so the daemon reports the error
+    // and keeps serving.
+    return InternalError("injected: checkpoint.io_error");
+  }
+
+  Json doc = Json::Object();
+  Json entries = Json::Array();
+  for (const std::string& name : order_) {
+    const RegistryEntryView& entry = live_.find(name)->second;
+    Json item = Json::Object();
+    item.Set("name", Json::String(entry.name));
+    item.Set("query", Json::String(entry.text));
+    entries.Append(std::move(item));
+  }
+  doc.Set("entries", std::move(entries));
+  std::string payload = doc.Serialize();
+
+  uint32_t len = uint32_t(payload.size());
+  uint32_t crc = Crc32(payload);
+  std::string bytes(kCheckpointMagic, sizeof(kCheckpointMagic));
+  bytes.append(reinterpret_cast<const char*>(&len), 4);
+  bytes.append(reinterpret_cast<const char*>(&crc), 4);
+  bytes.append(payload);
+
+  const std::string tmp = checkpoint_path_ + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open(checkpoint.tmp)");
+  if (fault::Armed("checkpoint.tmp.torn_write")) {
+    // Half a checkpoint in the tmp file, then death: the live checkpoint
+    // and WAL are untouched, so recovery must not even notice.
+    (void)!::write(fd, bytes.data(), bytes.size() / 2);
+    (void)::fsync(fd);
+    _exit(fault::kCrashExitCode);
+  }
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Errno("write(checkpoint.tmp)");
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return st;
+    }
+    off += size_t(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status st = Errno("fsync(checkpoint.tmp)");
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  ::close(fd);
+
+  fault::MaybeCrash("checkpoint.before_rename");
+  if (::rename(tmp.c_str(), checkpoint_path_.c_str()) != 0) {
+    Status st = Errno("rename(checkpoint)");
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  // Make the rename itself durable before truncating the WAL — reversing
+  // the order could lose the registry to a crash between the two.
+  FLOQ_RETURN_IF_ERROR(SyncParentDir(checkpoint_path_));
+  fault::MaybeCrash("checkpoint.after_rename");
+  FLOQ_RETURN_IF_ERROR(wal_.Reset());
+  dirty_ = 0;
+  return Status::Ok();
+}
+
+void QueryRegistry::PublishLocked() {
+  auto view = std::make_shared<RegistrySnapshotView>();
+  view->epoch = epoch_;
+  view->entries.reserve(order_.size());
+  std::vector<size_t> ids;
+  ids.reserve(order_.size());
+  for (const std::string& name : order_) {
+    const RegistryEntryView& entry = live_.find(name)->second;
+    view->by_name.emplace(entry.name, view->entries.size());
+    view->entries.push_back(entry);
+    ids.push_back(entry.id);
+  }
+  const size_t n = ids.size();
+  view->resolution.assign(n, std::vector<Resolution>(n));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      view->resolution[i][j] = index_.ResolutionOf(ids[i], ids[j]);
+    }
+  }
+  view->taxonomy = index_.TaxonomyOf(ids);
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(view);
+}
+
+std::shared_ptr<const RegistrySnapshotView> QueryRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+uint64_t QueryRegistry::mutations_since_checkpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dirty_;
+}
+
+}  // namespace floq::server

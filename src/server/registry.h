@@ -1,0 +1,135 @@
+#ifndef FLOQ_SERVER_REGISTRY_H_
+#define FLOQ_SERVER_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "containment/index.h"
+#include "server/wal.h"
+#include "term/world.h"
+#include "util/status.h"
+
+// The durable query registry behind `floq serve`.
+//
+// State = a World + ContainmentIndex (the in-memory containment lattice)
+// plus two files under the registry directory:
+//
+//   registry.floqreg   checkpoint: magic "FLOQREG1" + one CRC-framed JSON
+//                      record {"entries":[{"name":..,"query":..},...]}
+//                      in registration order, written tmp + fsync +
+//                      rename + fsync(parent) (the FLOQSNAP discipline,
+//                      hardened per DESIGN.md §16)
+//   registry.wal       append-only CRC-framed log of mutations since the
+//                      checkpoint (see wal.h)
+//
+// Durability contract: Register/Unregister append to the WAL (fsync'd)
+// *before* mutating in-memory state or acknowledging, so any mutation a
+// client saw acked is replayed identically after kill -9 at any instant.
+// Replay is idempotent (re-registering an identical name/query is a
+// no-op, unregistering an absent name is a no-op), which makes the
+// checkpoint.after_rename crash — checkpoint live, WAL not yet reset —
+// recover cleanly too.
+//
+// Reads are epoch-based: every mutation publishes a new immutable
+// RegistrySnapshotView; `contain`/`classify`/`status` grab the current
+// shared_ptr and never block behind a registration in progress.
+
+namespace floq::server {
+
+struct RegistryOptions {
+  std::string dir;
+  // Engine options for the maintained index (jobs, budgets, signatures).
+  BatchContainmentOptions containment;
+  // Mutations between automatic checkpoints; Checkpoint() can always be
+  // called explicitly (graceful drain does).
+  int checkpoint_every = 32;
+};
+
+struct RegistryEntryView {
+  std::string name;
+  std::string text;  // original surface syntax, re-parsed on recovery
+  size_t id = 0;     // dense id in the underlying ContainmentIndex
+};
+
+struct RegistrySnapshotView {
+  uint64_t epoch = 0;
+  // Live entries in registration order; `resolution` and `taxonomy` are
+  // positional over this vector.
+  std::vector<RegistryEntryView> entries;
+  std::map<std::string, size_t, std::less<>> by_name;
+  std::vector<std::vector<Resolution>> resolution;
+  QueryTaxonomy taxonomy;
+
+  const RegistryEntryView* Find(std::string_view name) const {
+    auto it = by_name.find(name);
+    return it == by_name.end() ? nullptr : &entries[it->second];
+  }
+};
+
+class QueryRegistry {
+ public:
+  explicit QueryRegistry(RegistryOptions options);
+
+  // Recovers from the registry directory: load checkpoint (if any),
+  // replay the WAL, rebuild the containment lattice by re-inserting
+  // every live query in registration order.
+  Status Open();
+
+  struct RegisterOutcome {
+    uint64_t epoch = 0;
+    bool already_registered = false;  // identical name+query: no-op ack
+  };
+  Result<RegisterOutcome> Register(const std::string& name,
+                                   const std::string& text);
+  // NotFound when `name` is not live. The engine entry is tombstoned,
+  // not destroyed: verdicts already paid for stay cached.
+  Result<uint64_t> Unregister(const std::string& name);
+
+  // Writes a checkpoint and truncates the WAL. Also invoked internally
+  // every `checkpoint_every` mutations and by the daemon's drain path.
+  Status Checkpoint();
+
+  // Current immutable view; never nullptr after a successful Open.
+  std::shared_ptr<const RegistrySnapshotView> Snapshot() const;
+
+  const IndexStats& index_stats() const { return index_.index_stats(); }
+  uint64_t mutations_since_checkpoint() const;
+
+ private:
+  Status ApplyRegister(const std::string& name, const std::string& text,
+                       bool* applied);
+  Status ApplyUnregister(const std::string& name, bool* applied);
+  Status ApplyWalRecord(const std::string& payload);
+  Status LoadCheckpoint(std::vector<RegistryEntryView>* entries,
+                        bool* found);
+  Status CheckpointLocked();
+  // Cadence checkpoint after a mutation: a failure here is reported, not
+  // returned — the mutation is already durable in the WAL.
+  void MaybeCheckpointLocked();
+  void PublishLocked();
+
+  const RegistryOptions options_;
+  const std::string checkpoint_path_;
+  const std::string wal_path_;
+
+  mutable std::mutex mu_;       // serializes mutations + file I/O
+  World world_;
+  ContainmentIndex index_;
+  std::vector<std::string> order_;  // live names in registration order
+  std::map<std::string, RegistryEntryView, std::less<>> live_;
+  Wal wal_;
+  uint64_t epoch_ = 0;
+  uint64_t dirty_ = 0;  // mutations since the last checkpoint
+
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const RegistrySnapshotView> snapshot_;
+};
+
+}  // namespace floq::server
+
+#endif  // FLOQ_SERVER_REGISTRY_H_

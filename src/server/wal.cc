@@ -1,0 +1,242 @@
+#include "server/wal.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/fault.h"
+
+namespace floq::server {
+
+namespace {
+
+Status Errno(const char* op) {
+  return InternalError(std::string(op) + ": " + std::strerror(errno));
+}
+
+Status WriteAll(int fd, const char* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    off += size_t(n);
+  }
+  return Status::Ok();
+}
+
+// fsync the directory containing `path` so a freshly created or renamed
+// entry survives a crash of the directory inode itself.
+Status SyncParentDir(const std::string& path) {
+  size_t slash = path.rfind('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return Errno("open(dir)");
+  int rc = ::fsync(dfd);
+  int saved = errno;
+  ::close(dfd);
+  if (rc != 0) {
+    errno = saved;
+    return Errno("fsync(dir)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Wal::~Wal() { Close(); }
+
+void Wal::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Wal::Open(const std::string& path, WalReplay* replay) {
+  Close();
+  replay->records.clear();
+  replay->valid_bytes = 0;
+  replay->truncated_tail = false;
+
+  bool existed = ::access(path.c_str(), F_OK) == 0;
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return Errno("open(wal)");
+  fd_ = fd;
+  path_ = path;
+
+  if (!existed) {
+    Status st = WriteAll(fd_, kWalMagic, sizeof(kWalMagic));
+    if (st.ok() && ::fsync(fd_) != 0) st = Errno("fsync(wal)");
+    if (st.ok()) st = SyncParentDir(path_);
+    if (!st.ok()) {
+      Close();
+      return st;
+    }
+    replay->valid_bytes = sizeof(kWalMagic);
+    return Status::Ok();
+  }
+
+  // Replay. Read the whole log (registration logs are small; checkpoints
+  // keep them so).
+  struct stat sb;
+  if (::fstat(fd_, &sb) != 0) {
+    Status st = Errno("fstat(wal)");
+    Close();
+    return st;
+  }
+  std::string bytes(size_t(sb.st_size), '\0');
+  size_t off = 0;
+  while (off < bytes.size()) {
+    if (fault::Armed("wal.replay.io_error")) {
+      Close();
+      return InternalError("injected: wal.replay.io_error");
+    }
+    ssize_t n = ::pread(fd_, bytes.data() + off, bytes.size() - off,
+                        off_t(off));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Errno("pread(wal)");
+      Close();
+      return st;
+    }
+    if (n == 0) break;
+    off += size_t(n);
+  }
+  bytes.resize(off);
+
+  if (bytes.size() < sizeof(kWalMagic) ||
+      std::memcmp(bytes.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    Close();
+    return InvalidArgumentError("WAL header missing or corrupt: " + path);
+  }
+
+  uint64_t pos = sizeof(kWalMagic);
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 8) break;  // torn header
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    std::memcpy(&len, bytes.data() + pos, 4);
+    std::memcpy(&crc, bytes.data() + pos + 4, 4);
+    if (len > kMaxWalRecordBytes) {
+      // A garbage length is indistinguishable from a torn header write;
+      // treat it as the tail only if nothing follows that parses.
+      break;
+    }
+    if (bytes.size() - pos - 8 < len) break;  // torn payload
+    std::string_view payload(bytes.data() + pos + 8, len);
+    if (Crc32(payload) != crc) break;  // torn or corrupt record
+    replay->records.emplace_back(payload);
+    pos += 8 + len;
+  }
+
+  if (pos < bytes.size()) {
+    // Tail repair is only sound for the *final* record: any valid record
+    // after the mismatch would mean mid-log corruption. Scan forward for
+    // a parseable record; finding one fails recovery.
+    uint64_t probe = pos + 1;
+    while (probe + 8 <= bytes.size()) {
+      uint32_t len = 0;
+      uint32_t crc = 0;
+      std::memcpy(&len, bytes.data() + probe, 4);
+      std::memcpy(&crc, bytes.data() + probe + 4, 4);
+      if (len <= kMaxWalRecordBytes && bytes.size() - probe - 8 >= len &&
+          Crc32(std::string_view(bytes.data() + probe + 8, len)) == crc) {
+        Close();
+        return InvalidArgumentError(
+            "WAL corrupt mid-log (valid record follows a bad one): " + path);
+      }
+      ++probe;
+    }
+    if (::ftruncate(fd_, off_t(pos)) != 0) {
+      Status st = Errno("ftruncate(wal)");
+      Close();
+      return st;
+    }
+    if (::fsync(fd_) != 0) {
+      Status st = Errno("fsync(wal)");
+      Close();
+      return st;
+    }
+    replay->truncated_tail = true;
+  }
+  replay->valid_bytes = pos;
+
+  if (::lseek(fd_, off_t(pos), SEEK_SET) < 0) {
+    Status st = Errno("lseek(wal)");
+    Close();
+    return st;
+  }
+  return Status::Ok();
+}
+
+Status Wal::Append(std::string_view payload) {
+  if (fd_ < 0) return FailedPreconditionError("WAL not open");
+  if (payload.size() > kMaxWalRecordBytes) {
+    return InvalidArgumentError("WAL record too large");
+  }
+  fault::MaybeCrash("wal.append.before_write");
+  if (fault::Armed("wal.append.io_error")) {
+    Close();
+    return InternalError("injected: wal.append.io_error");
+  }
+
+  uint32_t len = uint32_t(payload.size());
+  uint32_t crc = Crc32(payload);
+  std::string record(8, '\0');
+  std::memcpy(record.data(), &len, 4);
+  std::memcpy(record.data() + 4, &crc, 4);
+  record.append(payload);
+
+  if (fault::Armed("wal.append.torn_write")) {
+    // Persist half the record — header plus a payload prefix — and die.
+    // Recovery must truncate this tail and match a run where the append
+    // never happened (it was never acked).
+    size_t half = record.size() / 2;
+    (void)WriteAll(fd_, record.data(), half);
+    (void)::fsync(fd_);
+    _exit(fault::kCrashExitCode);
+  }
+
+  Status st = WriteAll(fd_, record.data(), record.size());
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  fault::MaybeCrash("wal.append.before_fsync");
+  if (::fsync(fd_) != 0) {
+    st = Errno("fsync(wal)");
+    Close();
+    return st;
+  }
+  return Status::Ok();
+}
+
+Status Wal::Reset() {
+  if (fd_ < 0) return FailedPreconditionError("WAL not open");
+  if (::ftruncate(fd_, off_t(sizeof(kWalMagic))) != 0) {
+    Status st = Errno("ftruncate(wal)");
+    Close();
+    return st;
+  }
+  if (::fsync(fd_) != 0) {
+    Status st = Errno("fsync(wal)");
+    Close();
+    return st;
+  }
+  if (::lseek(fd_, off_t(sizeof(kWalMagic)), SEEK_SET) < 0) {
+    Status st = Errno("lseek(wal)");
+    Close();
+    return st;
+  }
+  return Status::Ok();
+}
+
+}  // namespace floq::server

@@ -1,0 +1,75 @@
+#ifndef FLOQ_SERVER_WAL_H_
+#define FLOQ_SERVER_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+// Append-only write-ahead log backing the `floq serve` registry.
+//
+// On-disk layout:
+//
+//   header  := "FLOQWAL1" (8 bytes)
+//   record  := u32-LE payload-length, u32-LE CRC-32(payload), payload
+//
+// Records are appended with write(2) + fsync(2) before the registry
+// acknowledges the mutation, so an acked register/unregister survives
+// kill -9 at any later instant. Recovery replays records in order and
+// repairs a torn tail: a final record whose bytes are incomplete or
+// whose CRC mismatches is truncated away (it was never acked — the
+// crash interrupted the append before the fsync ack fence), while a
+// CRC mismatch *followed by* more valid bytes is real corruption and
+// fails recovery loudly.
+//
+// Fault points (util/fault.h) are threaded through Append so the
+// crash-recovery suite can kill the process before the write, between a
+// half-written record and its tail, and after the write but before the
+// fsync.
+
+namespace floq::server {
+
+inline constexpr char kWalMagic[8] = {'F', 'L', 'O', 'Q', 'W', 'A', 'L', '1'};
+inline constexpr uint32_t kMaxWalRecordBytes = 1u << 20;
+
+struct WalReplay {
+  std::vector<std::string> records;
+  // Offset just past the last valid record; anything beyond was a torn
+  // tail that Open truncated away.
+  uint64_t valid_bytes = 0;
+  bool truncated_tail = false;
+};
+
+class Wal {
+ public:
+  Wal() = default;
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // Opens (creating if absent) the log at `path`, replays every valid
+  // record into `replay`, and truncates any torn tail so the next
+  // Append lands on a clean boundary.
+  Status Open(const std::string& path, WalReplay* replay);
+
+  // Durably appends one record: write, fsync, then return. An error
+  // leaves the log closed (the daemon must not ack after a failed
+  // append, and a reopened log re-runs tail repair).
+  Status Append(std::string_view payload);
+
+  // Truncates back to the bare header after a successful checkpoint.
+  Status Reset();
+
+  void Close();
+  bool open() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace floq::server
+
+#endif  // FLOQ_SERVER_WAL_H_

@@ -1,0 +1,80 @@
+#include "util/fault.h"
+
+#ifdef FLOQ_FAULT_INJECT
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+namespace floq::fault {
+namespace {
+
+struct ArmedPoint {
+  std::string name;
+  long nth = 1;  // fire on the nth hit, 1-based
+  std::atomic<long> hits{0};
+  bool valid = false;
+};
+
+void Initialize(ArmedPoint& a) {
+  const char* env = std::getenv("FLOQ_FAULT");
+  if (env == nullptr || env[0] == '\0') return;
+  std::string spec(env);
+  if (size_t colon = spec.rfind(':'); colon != std::string::npos) {
+    a.nth = std::strtol(spec.c_str() + colon + 1, nullptr, 10);
+    spec.resize(colon);
+  }
+  if (a.nth < 1) a.nth = 1;
+  bool known = false;
+  for (const PointInfo& p : kPoints) {
+    if (spec == p.name) {
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    std::fprintf(stderr, "floq: FLOQ_FAULT names unknown point '%s'\n",
+                 spec.c_str());
+    _exit(kBadPointExitCode);
+  }
+  a.name = std::move(spec);
+  a.valid = true;
+}
+
+ArmedPoint& Armed_() {
+  static ArmedPoint armed;
+  static std::once_flag once;
+  std::call_once(once, [] { Initialize(armed); });
+  return armed;
+}
+
+}  // namespace
+
+bool Armed(const char* point) {
+  ArmedPoint& armed = Armed_();
+  if (!armed.valid || armed.name != point) return false;
+  return armed.hits.fetch_add(1, std::memory_order_relaxed) + 1 == armed.nth;
+}
+
+void MaybeCrash(const char* point) {
+  if (Armed(point)) {
+    // _exit, not exit: no stream flush, no atexit — indistinguishable
+    // from the process being killed at this instruction.
+    _exit(kCrashExitCode);
+  }
+}
+
+void MaybeStall(const char* point, int millis) {
+  if (Armed(point)) {
+    ::usleep(useconds_t(millis) * 1000);
+  }
+}
+
+}  // namespace floq::fault
+
+#endif  // FLOQ_FAULT_INJECT

@@ -1,0 +1,97 @@
+#ifndef FLOQ_UTIL_FAULT_H_
+#define FLOQ_UTIL_FAULT_H_
+
+#include <cstddef>
+
+// Deterministic fault injection for crash-recovery testing.
+//
+// A fault *point* is a named location in a durability-critical code path
+// (WAL append, checkpoint write, snapshot load, request handling). The
+// crash-recovery suite arms exactly one point per daemon run through the
+// environment:
+//
+//   FLOQ_FAULT=<point>            fire on the first hit
+//   FLOQ_FAULT=<point>:<nth>      fire on the nth hit (1-based)
+//
+// Crash-type points call fault::CrashNow(), which terminates the process
+// with _exit(kCrashExitCode) — no atexit handlers, no buffered-IO flush,
+// exactly like a kill -9 from the kernel's point of view. Error-type
+// points only consult fault::Armed() and turn the hit into an ordinary
+// Status error so typed-degradation paths can be tested without dying.
+//
+// Everything compiles to a no-op unless FLOQ_FAULT_INJECT is defined
+// (CMake option of the same name, default ON): Armed() is a constant
+// false the optimizer deletes, so production binaries built with the
+// option OFF carry zero overhead and no env-var behavior.
+//
+// The catalog below is compiled unconditionally so tests can assert its
+// shape even in a no-inject build.
+
+namespace floq::fault {
+
+// Exit status used by CrashNow; the harness asserts the child died with
+// this code to distinguish an injected crash from a real one.
+inline constexpr int kCrashExitCode = 42;
+// Exit status when FLOQ_FAULT names an unknown point: a misspelled test
+// must fail loudly, not silently run fault-free.
+inline constexpr int kBadPointExitCode = 41;
+
+// Catalog of every registered point. Names are dot-paths grouped by
+// subsystem; `crash` marks points that kill the process when armed,
+// the rest surface as injected I/O errors.
+struct PointInfo {
+  const char* name;
+  bool crash;
+};
+
+inline constexpr PointInfo kPoints[] = {
+    // WAL append path (registry.cc -> wal.cc).
+    {"wal.append.before_write", true},   // ack not sent, record absent
+    {"wal.append.torn_write", true},     // half a record reaches the disk
+    {"wal.append.before_fsync", true},   // record written, not yet durable
+    {"wal.append.io_error", false},      // write(2) fails, daemon survives
+    {"wal.replay.io_error", false},      // read(2) fails during recovery
+    // Checkpoint (tmp + rename) path.
+    {"checkpoint.tmp.torn_write", true},   // tmp file half-written
+    {"checkpoint.before_rename", true},    // tmp complete, not yet live
+    {"checkpoint.after_rename", true},     // live, WAL not yet reset
+    {"checkpoint.io_error", false},        // checkpoint fails, WAL keeps it safe
+    // Snapshot / checkpoint load during recovery.
+    {"registry.load.io_error", false},
+    // Request handling inside the daemon.
+    {"serve.request.before_execute", true},  // request parsed, nothing ran
+    {"serve.request.before_reply", true},    // executed, reply never sent
+    {"serve.contain.stall", false},  // contain holds its worker permit
+};
+
+inline constexpr size_t kPointCount = sizeof(kPoints) / sizeof(kPoints[0]);
+
+#ifdef FLOQ_FAULT_INJECT
+
+// True when `point` is armed via FLOQ_FAULT and this hit is the armed
+// occurrence. Each call for the armed point bumps its hit counter, so
+// `point:3` fires on the third call only. Thread-safe.
+bool Armed(const char* point);
+
+// Terminate the process via _exit(kCrashExitCode) if `point` is armed.
+// Place at crash-type points; a plain `if (Armed(p)) CrashNow();` split
+// is wrong because it would double-count the hit.
+void MaybeCrash(const char* point);
+
+// Sleep for `millis` if `point` is armed. Stall-type points let tests
+// pin a request inside its critical section (e.g. holding an admission
+// permit) for a deterministic window, without depending on any query
+// being expensive for the engine.
+void MaybeStall(const char* point, int millis);
+
+#else
+
+inline bool Armed(const char* /*point*/) { return false; }
+inline void MaybeCrash(const char* /*point*/) {}
+inline void MaybeStall(const char* /*point*/, int /*millis*/) {}
+
+#endif  // FLOQ_FAULT_INJECT
+
+}  // namespace floq::fault
+
+#endif  // FLOQ_UTIL_FAULT_H_

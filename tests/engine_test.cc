@@ -565,6 +565,104 @@ TEST(GovernedEngineTest, ChaseAtomBudgetYieldsUnknownOnlyWhereInconclusive) {
   EXPECT_EQ(engine.stats().cancelled_pairs, 0u);
 }
 
+// The fixed random graph behind testdata/hard_3col.fl, regenerated with
+// the same Park–Miller LCG: finding a homomorphism into the K3 query's
+// canonical database means 3-coloring a 40-vertex graph at the chromatic
+// phase transition — minutes of backtracking, far beyond any test-scale
+// budget, yet fully deterministic.
+std::string HardGraphQuery(uint64_t seed) {
+  constexpr int kVertices = 40;
+  constexpr int kEdges = 95;
+  auto next = [&seed] {
+    seed = seed * 16807 % 2147483647;
+    return uint32_t(seed);
+  };
+  std::map<std::pair<int, int>, bool> used;
+  std::string text = "g(V0) :- ";
+  int count = 0;
+  while (count < kEdges) {
+    int u = int(next() % kVertices);
+    int v = int(next() % kVertices);
+    if (u == v) continue;
+    std::pair<int, int> key = u < v ? std::pair{u, v} : std::pair{v, u};
+    if (used[key]) continue;
+    used[key] = true;
+    if (count > 0) text += ", ";
+    text += "e(V" + std::to_string(u) + ", V" + std::to_string(v) +
+            "), e(V" + std::to_string(v) + ", V" + std::to_string(u) + ")";
+    ++count;
+  }
+  text += ".";
+  return text;
+}
+
+// Governor promptness: a pair whose budget trips must free its worker
+// slot for the rest of the batch — two runaway pairs on a two-worker
+// fan-out degrade to typed UNKNOWNs within their own slices while every
+// cheap pair still gets decided, and the cheap pairs' queue wait stays
+// bounded by the runaway pairs' budget, not their true (minutes-scale)
+// cost.
+TEST(GovernedEngineTest, TimedOutPairsFreeWorkersPromptly) {
+  World world;
+  BatchContainmentOptions options;
+  options.jobs = 2;
+  // Worst-case order on purpose: no cost model to float the cheap pairs
+  // ahead, no signature filter to discharge anything before the governed
+  // stages (it would also skew the queue_wait sample count below).
+  options.containment.use_cost_scheduling = false;
+  options.containment.use_signature_index = false;
+  options.containment.budget.timeout_ms = 500;
+  ContainmentEngine engine(world, options);
+
+  Result<size_t> k3 = engine.AddQuery(
+      Q(world,
+        "h(A) :- e(A, B), e(B, A), e(B, C), e(C, B), e(C, A), e(A, C)."));
+  Result<size_t> g1 = engine.AddQuery(Q(world, HardGraphQuery(7).c_str()));
+  Result<size_t> g2 = engine.AddQuery(Q(world, HardGraphQuery(11).c_str()));
+  ASSERT_TRUE(k3.ok() && g1.ok() && g2.ok());
+  std::vector<ConjunctiveQuery> cheap = Workload(world);
+  std::vector<size_t> ids;
+  for (const ConjunctiveQuery& query : cheap) {
+    Result<size_t> id = engine.AddQuery(query);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+
+  // Both runaway pairs first, so they grab both workers before any cheap
+  // pair is picked up.
+  std::vector<std::pair<size_t, size_t>> pairs = {{*k3, *g1}, {*k3, *g2}};
+  const size_t n_hard = pairs.size();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    pairs.push_back({ids[i], ids[(i + 1) % ids.size()]});
+  }
+  const size_t n_cheap = pairs.size() - n_hard;
+
+  Result<std::vector<PairVerdict>> verdicts = engine.CheckPairs(pairs);
+  ASSERT_TRUE(verdicts.ok()) << verdicts.status().ToString();
+
+  for (size_t i = 0; i < n_hard; ++i) {
+    EXPECT_EQ((*verdicts)[i].resolution, Resolution::kUnknown) << i;
+    EXPECT_EQ((*verdicts)[i].unknown_reason, TripReason::kDeadlineExceeded)
+        << i;
+  }
+  for (size_t i = n_hard; i < pairs.size(); ++i) {
+    EXPECT_NE((*verdicts)[i].resolution, Resolution::kUnknown) << i;
+  }
+
+  const BatchStats& stats = engine.stats();
+  EXPECT_EQ(stats.timed_out_pairs, n_hard);
+  EXPECT_EQ(stats.cancelled_pairs, 0u);
+  EXPECT_EQ(stats.unknown_pairs, n_hard);
+  // Decided pairs only: exactly the cheap ones.
+  EXPECT_EQ(stats.queue_wait.samples, n_cheap);
+  // Each runaway pair holds a worker for at most ~2x timeout_ms (the
+  // budget re-anchors per stage); behind that the queue drains in
+  // microseconds. 2500 ms of headroom keeps this robust on loaded CI
+  // machines while still proving the slot was freed by the governor, not
+  // by the search finishing.
+  EXPECT_LT(stats.queue_wait.max_ms, 2500.0);
+}
+
 TEST(GovernedEngineTest, CancelLatchesAcrossBatchesUntilReset) {
   World world;
   BatchContainmentOptions options;

@@ -547,6 +547,82 @@ TEST(SnapshotTest, RejectsCorruptAndTruncatedFiles) {
   std::remove(path.c_str());
 }
 
+// v2 hardening (DESIGN.md §14.3): the header carries a CRC-32 over
+// itself and one over the eagerly-read symbols section, so a torn or
+// bit-flipped snapshot is rejected before any offset is trusted — the
+// daemon recovery path must never chase pointers from a half-written
+// header.
+TEST(SnapshotTest, RejectsHeaderAndSymbolsCorruption) {
+  World world;
+  FactIndex index;
+  for (int i = 0; i < 50; ++i) {
+    index.Insert(Atom::Sub(world.MakeConstant("h" + std::to_string(i)),
+                           world.MakeConstant("t")));
+  }
+  const std::string path = TempPath("crc.snap");
+
+  auto rewrite = [&] {
+    ASSERT_TRUE(WriteFactIndexSnapshot(index, world, path).ok());
+  };
+  auto load_fails = [&](const char* what) {
+    World w;
+    FactIndex idx;
+    EXPECT_FALSE(LoadFactIndexSnapshot(path, w, idx).ok()) << what;
+  };
+  auto flip_byte = [&](long offset) {
+    FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    std::fputc(c ^ 0x40, f);
+    std::fclose(f);
+  };
+  auto read_u64 = [&](long offset) {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::fseek(f, offset, SEEK_SET);
+    uint64_t value = 0;
+    EXPECT_EQ(std::fread(&value, sizeof value, 1, f), 1u);
+    std::fclose(f);
+    return value;
+  };
+
+  // Shorter than one 96-byte header: rejected before any field is read.
+  rewrite();
+  ASSERT_EQ(truncate(path.c_str(), 64), 0);
+  load_fails("truncated header");
+
+  // A flipped count field breaks the header CRC even though magic and
+  // version still read clean.
+  rewrite();
+  flip_byte(16);  // atom_count
+  load_fails("bad header CRC");
+
+  // A flipped byte inside the symbols blob breaks the symbols CRC; the
+  // header itself is intact, so this is the second line of defense.
+  rewrite();
+  const long symbols_offset = long(read_u64(72));
+  const long symbols_size = long(read_u64(80));
+  ASSERT_GT(symbols_size, 16);
+  flip_byte(symbols_offset + 16);
+  load_fails("bad symbols CRC");
+
+  // File ends mid-symbols-section: bounds check, not a crash.
+  rewrite();
+  ASSERT_EQ(truncate(path.c_str(), symbols_offset + 4), 0);
+  load_fails("truncated symbols section");
+
+  // Untouched rewrite still loads: the harness flips real bytes, not a
+  // format quirk.
+  rewrite();
+  World w;
+  FactIndex idx;
+  EXPECT_TRUE(LoadFactIndexSnapshot(path, w, idx).ok());
+  std::remove(path.c_str());
+}
+
 TEST(SnapshotTest, KbSaveLoadPreservesAnswersAndSaturation) {
   const char* kProgram =
       "alice : student. bob : student. carol : professor.\n"

@@ -30,6 +30,28 @@
 //                                      null-generation grade, and — with
 //                                      --deps — the dependency set's
 //                                      degree table (FLD101/102/201)
+//   floq serve <dir> [--socket PATH] [--workers N] [--queue-limit N]
+//                                      crash-safe containment daemon
+//                                      (DESIGN.md §16): durable query
+//                                      registry in <dir>, length-prefixed
+//                                      JSON protocol over an AF_UNIX
+//                                      socket; SIGTERM drains gracefully
+//   floq client --socket PATH <sub> [args]
+//                                      one request against a running
+//                                      daemon: register/unregister/
+//                                      contain/classify/lint/status/
+//                                      metrics/ping/shutdown; prints the
+//                                      raw JSON response
+//
+// Exit codes (uniform across commands, DESIGN.md §16.5):
+//   0   success: contained / consistent / no lint findings / request ok
+//   2   definite negative: NOT_CONTAINED, inconsistent, or a diagnostic
+//       at or above --fail-on fired — never an error
+//   3   UNKNOWN: a resource budget tripped (or the daemon shed the
+//       request as OVERLOADED) before the check was decided
+//   4   operational failure: unreadable file, parse error, I/O or
+//       protocol error — never a verdict
+//   64  usage error
 //
 // Files use the F-logic surface syntax (see README). Everything runs under
 // the F-logic Lite semantics Sigma_FL of Calì & Kifer (VLDB'06).
@@ -58,13 +80,20 @@
 //                      otherwise build the KB from <kb.fl> as usual and
 //                      write F afterwards. See DESIGN.md §14.3.
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "analysis/analyzer.h"
@@ -82,6 +111,8 @@
 #include "flogic/parser.h"
 #include "flogic/printer.h"
 #include "kb/knowledge_base.h"
+#include "server/daemon.h"
+#include "server/protocol.h"
 #include "util/metrics.h"
 #include "util/strings.h"
 #include "util/trace.h"
@@ -93,9 +124,22 @@ namespace {
 
 using namespace floq;
 
+// Uniform exit codes (documented in README "Exit codes"):
+//   0  success / contained / no lint findings
+//   2  definite negative: not contained, or a lint diagnostic at or above
+//      the --fail-on severity fired
+//   3  UNKNOWN: a resource budget tripped before the check was decided
+//   4  operational failure: unreadable file, parse error, I/O or
+//      protocol error (never a verdict)
+//   64 usage error
+constexpr int kExitOk = 0;
+constexpr int kExitNo = 2;
+constexpr int kExitUnknown = 3;
+constexpr int kExitIo = 4;
+
 int Fail(const std::string& message) {
   std::fprintf(stderr, "floq: %s\n", message.c_str());
-  return 1;
+  return kExitIo;
 }
 
 bool ReadFile(const std::string& path, std::string& out) {
@@ -144,8 +188,8 @@ int CmdCheck(const std::string& path, const ResourceBudget& budget) {
   Result<ContainmentResult> result = CheckContainment(world, q1, q2, options);
   if (!result.ok()) return Fail(result.status().ToString());
   std::printf("%s", ExplainContainment(world, q1, q2, *result).c_str());
-  if (result->resolution == Resolution::kUnknown) return 3;
-  return result->contained ? 0 : 2;
+  if (result->resolution == Resolution::kUnknown) return kExitUnknown;
+  return result->contained ? kExitOk : kExitNo;
 }
 
 // check, plus introspection: `--profile` appends a per-stage cost table
@@ -210,8 +254,8 @@ int CmdExplain(const std::string& path, const ResourceBudget& budget,
     std::printf("chase graph written to %s\n", chase_dot.c_str());
   }
 
-  if (result->resolution == Resolution::kUnknown) return 3;
-  return result->contained ? 0 : 2;
+  if (result->resolution == Resolution::kUnknown) return kExitUnknown;
+  return result->contained ? kExitOk : kExitNo;
 }
 
 int CmdClassify(const std::string& path, int jobs,
@@ -322,12 +366,12 @@ int CmdCheckUnder(const std::string& deps_path, const std::string& path,
     std::printf("q1 ⊆ q2 under the dependencies?  UNKNOWN (%s budget "
                 "tripped)\n",
                 TripReasonName(result->unknown_reason));
-    return 3;
+    return kExitUnknown;
   }
   std::printf("q1 ⊆ q2 under the dependencies?  %s%s\n",
               result->contained ? "YES" : "no",
               result->conclusive ? "" : "  (inconclusive)");
-  return result->contained ? 0 : 2;
+  return result->contained ? kExitOk : kExitNo;
 }
 
 int CmdCore(const std::string& path) {
@@ -420,7 +464,7 @@ int CmdQuery(const std::string& kb_path, const std::string& query_text,
   KnowledgeBase kb(world);
   std::optional<bool> from_snapshot =
       LoadKbOrSnapshot(kb, kb_path, snapshot_path);
-  if (!from_snapshot.has_value()) return 1;
+  if (!from_snapshot.has_value()) return kExitIo;
   Result<std::vector<std::vector<Term>>> answers = kb.Answer(query_text);
   if (!answers.ok()) return Fail(answers.status().ToString());
   for (const auto& tuple : *answers) {
@@ -441,7 +485,7 @@ int CmdConsistency(const std::string& kb_path,
   KnowledgeBase kb(world);
   std::optional<bool> from_snapshot =
       LoadKbOrSnapshot(kb, kb_path, snapshot_path);
-  if (!from_snapshot.has_value()) return 1;
+  if (!from_snapshot.has_value()) return kExitIo;
   // On a snapshot-restored saturated store the fixpoint converges in one
   // delta-less scan; the report (rho_4 repairs, rho_5 gaps) is recomputed
   // either way — it is the point of the command.
@@ -468,7 +512,7 @@ int CmdConsistency(const std::string& kb_path,
   for (const std::string& pending : report->unsatisfied_mandatory) {
     std::printf("  unsatisfied mandatory: %s\n", pending.c_str());
   }
-  return report->consistent ? 0 : 2;
+  return report->consistent ? kExitOk : kExitNo;
 }
 
 // Interactive shell: F-logic statements are asserted, goals are answered,
@@ -607,7 +651,7 @@ int CmdLint(const std::string& path, const std::string& deps_path,
     kb.emplace(world);
     std::optional<bool> from_snapshot =
         LoadKbOrSnapshot(*kb, path, snapshot_path);
-    if (!from_snapshot.has_value()) return 1;
+    if (!from_snapshot.has_value()) return kExitIo;
     std::vector<Atom> facts(kb->database().facts().begin(),
                             kb->database().facts().end());
     std::vector<analysis::Diagnostic> diagnostics =
@@ -671,7 +715,7 @@ int CmdLint(const std::string& path, const std::string& deps_path,
       std::printf("no diagnostics\n");
     }
   }
-  return ReachesSeverity(groups, fail_on) ? 2 : 0;
+  return ReachesSeverity(groups, fail_on) ? kExitNo : kExitOk;
 }
 
 std::string JsonEscape(std::string_view text) {
@@ -858,7 +902,197 @@ int CmdAnalyze(const std::string& path, const std::string& deps_path,
     }
     if (!any) std::printf("no diagnostics\n");
   }
-  return ReachesSeverity(groups, analysis::Severity::kError) ? 2 : 0;
+  return ReachesSeverity(groups, analysis::Severity::kError) ? kExitNo : kExitOk;
+}
+
+// --- serve / client -------------------------------------------------------
+
+int Usage();  // forward: the daemon commands share the usage epilogue.
+
+// `floq serve <dir>`: run the crash-safe containment daemon (DESIGN.md
+// §16) until a drain signal. The global --jobs/--timeout-ms/--hom-steps
+// flags become the daemon-wide defaults (requests may lower but never
+// raise the budget). Exits 0 after a graceful drain, 4 on startup or
+// fatal I/O failure.
+int CmdServe(std::vector<std::string>& args, int jobs,
+             const ResourceBudget& budget) {
+  server::DaemonOptions options;
+  bool bad = false;
+  for (size_t i = 1; i < args.size(); ++i) {
+    auto int_flag = [&](const char* name, auto* slot) -> bool {
+      if (args[i] != name) return false;
+      if (i + 1 >= args.size()) {
+        bad = true;
+        return true;
+      }
+      char* end = nullptr;
+      long long value = std::strtoll(args[i + 1].c_str(), &end, 10);
+      if (end == args[i + 1].c_str() || *end != '\0' || value < 0) {
+        bad = true;
+        return true;
+      }
+      *slot = static_cast<std::remove_reference_t<decltype(*slot)>>(value);
+      ++i;
+      return true;
+    };
+    if (args[i] == "--socket" && i + 1 < args.size()) {
+      options.socket_path = args[++i];
+    } else if (int_flag("--workers", &options.workers) ||
+               int_flag("--queue-limit", &options.queue_limit) ||
+               int_flag("--max-connections", &options.max_connections) ||
+               int_flag("--idle-timeout-ms", &options.idle_timeout_ms) ||
+               int_flag("--io-timeout-ms", &options.io_timeout_ms) ||
+               int_flag("--checkpoint-every", &options.checkpoint_every)) {
+      if (bad) break;
+    } else if (!StartsWith(args[i], "--") && options.dir.empty()) {
+      options.dir = args[i];
+    } else {
+      bad = true;
+      break;
+    }
+  }
+  if (bad || options.dir.empty()) return Usage();
+  options.request_timeout_ms = budget.timeout_ms;
+  options.hom_step_budget = budget.hom_step_budget;
+  if (jobs > 0) options.jobs = jobs;
+  Status status = server::RunDaemon(options);
+  if (!status.ok()) return Fail(status.ToString());
+  return kExitOk;
+}
+
+// Connects to the daemon's AF_UNIX socket; -1 + errno message on failure.
+int ConnectUnix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    *error = "socket path too long: " + path;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    *error = "connect " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// `floq client --socket PATH <sub> [args]`: one request, one reply. The
+// raw JSON response goes to stdout; the exit code maps the reply onto the
+// uniform table (CONTAINED 0 / NOT_CONTAINED 2 / UNKNOWN or OVERLOADED 3
+// / any other failure 4) so shell scripts branch on verdicts without a
+// JSON parser.
+int CmdClient(std::vector<std::string>& args, const ResourceBudget& budget) {
+  std::string socket_path, lhs_query, rhs_query;
+  std::vector<std::string> rest;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--socket" && i + 1 < args.size()) {
+      socket_path = args[++i];
+    } else if (args[i] == "--lhs-query" && i + 1 < args.size()) {
+      lhs_query = args[++i];
+    } else if (args[i] == "--rhs-query" && i + 1 < args.size()) {
+      rhs_query = args[++i];
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+  if (socket_path.empty() || rest.empty()) return Usage();
+  const std::string& sub = rest[0];
+
+  using server::Json;
+  Json request = Json::Object();
+  request.Set("cmd", Json::String(sub));
+  if (sub == "register" && rest.size() == 3) {
+    request.Set("name", Json::String(rest[1]));
+    request.Set("query", Json::String(rest[2]));
+  } else if (sub == "unregister" && rest.size() == 2) {
+    request.Set("name", Json::String(rest[1]));
+  } else if (sub == "contain") {
+    // Sides: positional args are registered names; --lhs-query /
+    // --rhs-query supply ad-hoc surface text instead.
+    size_t positional = 1;
+    if (lhs_query.empty()) {
+      if (positional >= rest.size()) return Usage();
+      request.Set("lhs", Json::String(rest[positional++]));
+    } else {
+      request.Set("lhs_query", Json::String(lhs_query));
+    }
+    if (rhs_query.empty()) {
+      if (positional >= rest.size()) return Usage();
+      request.Set("rhs", Json::String(rest[positional++]));
+    } else {
+      request.Set("rhs_query", Json::String(rhs_query));
+    }
+    if (positional != rest.size()) return Usage();
+    if (budget.timeout_ms > 0) {
+      request.Set("timeout_ms", Json::Number(double(budget.timeout_ms)));
+    }
+  } else if (sub == "lint" && rest.size() == 2) {
+    std::string text;
+    if (!ReadFile(rest[1], text)) return Fail("cannot read " + rest[1]);
+    request.Set("program", Json::String(text));
+  } else if ((sub == "classify" || sub == "status" || sub == "metrics" ||
+              sub == "ping" || sub == "shutdown") &&
+             rest.size() == 1) {
+    // No arguments.
+  } else {
+    return Usage();
+  }
+
+  std::string error;
+  int fd = ConnectUnix(socket_path, &error);
+  if (fd < 0) return Fail(error);
+  // Containment may legitimately run long; bound the wait only when the
+  // caller bounded the check (plus slack for queueing), else 10 minutes
+  // as a hung-daemon backstop.
+  Deadline reply_by = budget.timeout_ms > 0
+                          ? Deadline::AfterMillis(budget.timeout_ms + 30'000)
+                          : Deadline::AfterMillis(600'000);
+  Status sent =
+      server::WriteFrame(fd, request.Serialize(), Deadline::AfterMillis(10'000));
+  if (!sent.ok()) {
+    ::close(fd);
+    return Fail(sent.ToString());
+  }
+  server::FrameDecoder decoder;
+  Result<std::string> payload = server::ReadFrame(fd, decoder, reply_by);
+  ::close(fd);
+  if (!payload.ok()) return Fail(payload.status().ToString());
+  std::printf("%s\n", payload->c_str());
+
+  Result<Json> reply = server::ParseJson(*payload);
+  if (!reply.ok()) return Fail(reply.status().ToString());
+  Result<bool> ok = reply->GetBool("ok");
+  if (!ok.ok()) return Fail("malformed reply: no ok field");
+  if (!*ok) {
+    // Typed failure: resource shedding is UNKNOWN territory (exit 3),
+    // everything else is operational (exit 4).
+    const Json* code = reply->Find("code");
+    if (code != nullptr && code->is_string() &&
+        (code->AsString() == "OVERLOADED" || code->AsString() == "UNKNOWN")) {
+      return kExitUnknown;
+    }
+    return kExitIo;
+  }
+  if (sub == "contain") {
+    const Json* resolution = reply->Find("resolution");
+    if (resolution == nullptr || !resolution->is_string()) {
+      return Fail("malformed reply: no resolution");
+    }
+    if (resolution->AsString() == "CONTAINED") return kExitOk;
+    if (resolution->AsString() == "NOT_CONTAINED") return kExitNo;
+    return kExitUnknown;
+  }
+  if (sub == "lint") {
+    Result<bool> errors = reply->GetBool("errors");
+    if (errors.ok() && *errors) return kExitNo;
+  }
+  return kExitOk;
 }
 
 int Usage() {
@@ -880,6 +1114,16 @@ int Usage() {
                "[--fail-on error|warn|note] [<file.fl>]\n"
                "  floq analyze [--json] [--deps <deps.fl>] [<file.fl>]\n"
                "  floq repl [kb.fl]\n"
+               "  floq serve <dir> [--socket PATH] [--workers N] "
+               "[--queue-limit N]\n"
+               "             [--max-connections N] [--idle-timeout-ms N] "
+               "[--checkpoint-every N]\n"
+               "  floq client --socket PATH register <name> '<query>' | "
+               "unregister <name> |\n"
+               "              contain <lhs> <rhs> [--lhs-query Q] "
+               "[--rhs-query Q] |\n"
+               "              classify | lint <file.fl> | status | metrics "
+               "| ping | shutdown\n"
                "global flags: --jobs N, --timeout-ms N, --hom-steps N,\n"
                "              --no-prune (disable the signature prefilter),\n"
                "              --cost-schedule (classify: cheapest-predicted-"
@@ -975,6 +1219,8 @@ int RunCommand(const std::string& command, std::vector<std::string>& args,
   if (command == "repl" && args.size() <= 2) {
     return CmdRepl(args.size() == 2 ? args[1] : std::string());
   }
+  if (command == "serve") return CmdServe(args, jobs, budget);
+  if (command == "client") return CmdClient(args, budget);
   return Usage();
 }
 

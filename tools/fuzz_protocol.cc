@@ -1,0 +1,54 @@
+// libFuzzer target for the `floq serve` wire layer (FLOQ_FUZZ=ON, Clang
+// only): the incremental frame decoder and the JSON parser, the two
+// components that consume untrusted socket bytes before any typed
+// handling. Every path must return a clean Status — any assertion
+// failure, sanitizer report, or hang is a finding.
+//
+//   clang++ -fsanitize=fuzzer,address ...   (via -DFLOQ_FUZZ=ON)
+//   ./fuzz_protocol testdata/ -max_total_time=60
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "server/protocol.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  // Raw bytes straight into the JSON parser.
+  if (floq::Result<floq::server::Json> parsed = floq::server::ParseJson(text);
+      parsed.ok()) {
+    // A successful parse must re-serialize, and the result must parse
+    // again (serialization round-trips its own output).
+    std::string round = parsed->Serialize();
+    (void)floq::server::ParseJson(round);
+  }
+
+  // The same bytes as a socket stream, fed to the decoder in two chunks
+  // to exercise the partial-frame buffering, then each decoded payload
+  // into the parser — the exact path a connection handler runs.
+  floq::server::FrameDecoder decoder;
+  size_t half = size / 2;
+  decoder.Append(reinterpret_cast<const char*>(data), half);
+  decoder.Append(reinterpret_cast<const char*>(data) + half, size - half);
+  for (;;) {
+    floq::Result<std::optional<std::string>> frame = decoder.Next();
+    if (!frame.ok() || !frame->has_value()) break;
+    (void)floq::server::ParseJson(**frame);
+  }
+
+  // And framed properly: EncodeFrame output must always decode to the
+  // identical payload.
+  floq::server::FrameDecoder reframe;
+  if (size <= floq::server::kMaxFrameBytes) {
+    std::string framed = floq::server::EncodeFrame(text);
+    reframe.Append(framed.data(), framed.size());
+    floq::Result<std::optional<std::string>> back = reframe.Next();
+    if (!back.ok() || !back->has_value() || **back != text) {
+      __builtin_trap();
+    }
+  }
+  return 0;
+}
