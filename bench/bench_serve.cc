@@ -12,6 +12,11 @@
 //                         CheckContainment from scratch per request,
 //                         i.e. what every `floq check` invocation pays.
 //                         speedup = oneshot_p50 / daemon_p50.
+//   * armed_contain     — the daemon arm again with the recommended
+//                         production observability config (structured
+//                         logging at info, tracing sampled at 1/64,
+//                         slow-request accounting). armed_overhead_p50 =
+//                         armed_p50 / daemon_p50; CI gates it ≤ 1.05x.
 //   * recovery          — QueryRegistry::Open wall time on a registry
 //                         whose state lives entirely in an N-record WAL
 //                         (no checkpoint), and on the same state after a
@@ -43,6 +48,7 @@
 #include "server/registry.h"
 #include "term/world.h"
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace {
 
@@ -120,8 +126,10 @@ struct Report {
   int requests = 0;
   double register_ms = 0.0;
   LatencyStats daemon;
+  LatencyStats armed;
   LatencyStats oneshot;
   double speedup_p50 = 0.0;
+  double armed_overhead_p50 = 0.0;
   double wal_records = 0;
   double recovery_wal_ms = 0.0;
   double recovery_checkpoint_ms = 0.0;
@@ -134,12 +142,11 @@ std::string MakeBenchDir() {
   return dir;
 }
 
-void RunDaemonArms(Report& report) {
-  const std::string dir = MakeBenchDir();
-  DaemonOptions options;
-  options.dir = dir;
-  options.socket_path = dir + "/s.sock";
-  options.workers = 2;
+// Spins up an in-process daemon with `options`, registers the working
+// set, measures the warm cached-contain loop, and shuts down. Fills
+// register_ms on the first (baseline) run only.
+LatencyStats MeasureDaemonContain(const DaemonOptions& options, int queries,
+                                  int requests, double* register_ms) {
   std::thread daemon([options] {
     Status status = RunDaemon(options);
     FLOQ_CHECK(status.ok());
@@ -165,7 +172,7 @@ void RunDaemonArms(Report& report) {
   FLOQ_CHECK(fd >= 0);
 
   double start = NowMs();
-  for (int i = 0; i < report.queries; ++i) {
+  for (int i = 0; i < queries; ++i) {
     Json request = Json::Object();
     request.Set("cmd", Json::String("register"));
     request.Set("name", Json::String("q" + std::to_string(i)));
@@ -173,38 +180,91 @@ void RunDaemonArms(Report& report) {
     Json reply = RoundTrip(fd, request);
     { Result<bool> ok = reply.GetBool("ok"); FLOQ_CHECK(ok.ok() && *ok); }
   }
-  report.register_ms = NowMs() - start;
+  if (register_ms != nullptr) *register_ms = NowMs() - start;
 
   // Warm cached contain round-trips, cycling over related name pairs.
   std::vector<double> samples_us;
-  samples_us.reserve(size_t(report.requests));
+  samples_us.reserve(size_t(requests));
   start = NowMs();
-  for (int i = 0; i < report.requests; ++i) {
+  for (int i = 0; i < requests; ++i) {
     Json request = Json::Object();
     request.Set("cmd", Json::String("contain"));
     request.Set("lhs",
-                Json::String("q" + std::to_string((3 * i + 1) %
-                                                  report.queries)));
+                Json::String("q" + std::to_string((3 * i + 1) % queries)));
     request.Set("rhs",
-                Json::String("q" + std::to_string((3 * i) %
-                                                  report.queries)));
+                Json::String("q" + std::to_string((3 * i) % queries)));
     double t0 = NowMs();
     Json reply = RoundTrip(fd, request);
     samples_us.push_back((NowMs() - t0) * 1000.0);
     { Result<bool> ok = reply.GetBool("ok"); FLOQ_CHECK(ok.ok() && *ok); }
     { Result<bool> cached = reply.GetBool("cached"); FLOQ_CHECK(cached.ok() && *cached); }
   }
-  report.daemon = Summarize(samples_us, NowMs() - start);
+  LatencyStats stats = Summarize(samples_us, NowMs() - start);
 
   Json shutdown = Json::Object();
   shutdown.Set("cmd", Json::String("shutdown"));
   (void)RoundTrip(fd, shutdown);
   ::close(fd);
   daemon.join();
+  return stats;
+}
+
+// One daemon lifetime per repetition, keep the repetition with the best
+// p50: min-of-N discards scheduler jitter (a background task landing on
+// one run), which on small boxes dwarfs the effect the overhead gate is
+// after. Both arms get the same treatment, so the ratio stays honest.
+constexpr int kRepetitions = 3;
+
+LatencyStats BestOf(const DaemonOptions& base_options, int queries,
+                    int requests, double* register_ms) {
+  LatencyStats best;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    DaemonOptions options = base_options;
+    options.dir = MakeBenchDir();
+    options.socket_path = options.dir + "/s.sock";
+    if (!base_options.log_out.empty()) {
+      options.log_out = options.dir + "/log.jsonl";
+    }
+    if (!base_options.trace_dir.empty()) {
+      options.trace_dir = options.dir + "/traces";
+    }
+    LatencyStats stats = MeasureDaemonContain(
+        options, queries, requests, rep == 0 ? register_ms : nullptr);
+    if (rep == 0 || stats.p50_us < best.p50_us) best = stats;
+  }
+  return best;
+}
+
+void RunDaemonArms(Report& report) {
+  DaemonOptions options;
+  options.workers = 2;
+  report.daemon =
+      BestOf(options, report.queries, report.requests, &report.register_ms);
+
+  // Armed arm: the same serving stack with the recommended production
+  // observability config — structured log sink at info (per-request
+  // request.done lines are debug-only), tracing sampled at 1/64, the
+  // slow-request clock running. What an operated deployment pays; CI
+  // gates the p50 ratio at 1.05x. trace_sample=1 (trace everything) is a
+  // debugging posture and is deliberately not what this arm prices.
+  DaemonOptions armed;
+  armed.workers = 2;
+  armed.log_out = "armed";  // non-empty: BestOf points it into each rep dir
+  armed.log_level = "info";
+  armed.trace_sample = 64;
+  armed.trace_dir = "armed";
+  report.armed = BestOf(armed, report.queries, report.requests, nullptr);
+  report.armed_overhead_p50 = report.armed.p50_us / report.daemon.p50_us;
+
+  // The daemon arms the process-wide metrics registry and leaves it on;
+  // switch it back off so the one-shot baseline prices the pre-daemon
+  // path, not the instrumented one.
+  MetricsRegistry::set_enabled(false);
 
   // One-shot baseline: the same questions with no resident state.
-  samples_us.clear();
-  start = NowMs();
+  std::vector<double> samples_us;
+  samples_us.reserve(size_t(report.requests));
+  double start = NowMs();
   for (int i = 0; i < report.requests; ++i) {
     double t0 = NowMs();
     World world;
@@ -259,7 +319,10 @@ void RunRecoveryArm(Report& report) {
 void PrintReport() {
   Report report;
   report.queries = SmallMode() ? 24 : 96;
-  report.requests = SmallMode() ? 250 : 2000;
+  // The overhead gate divides two p50s, so both arms need enough samples
+  // for a stable median even in small mode; cached contains cost ~10 us
+  // each, so 2000 requests is still milliseconds of wall clock.
+  report.requests = 2000;
   RunDaemonArms(report);
   RunRecoveryArm(report);
 
@@ -273,6 +336,11 @@ void PrintReport() {
       "  \"daemon_contain\": {\"p50_us\": %.1f, \"p99_us\": %.1f, "
       "\"req_per_s\": %.0f},\n",
       report.daemon.p50_us, report.daemon.p99_us, report.daemon.req_per_s);
+  std::printf(
+      "  \"armed_contain\": {\"p50_us\": %.1f, \"p99_us\": %.1f, "
+      "\"req_per_s\": %.0f},\n",
+      report.armed.p50_us, report.armed.p99_us, report.armed.req_per_s);
+  std::printf("  \"armed_overhead_p50\": %.3f,\n", report.armed_overhead_p50);
   std::printf(
       "  \"oneshot_contain\": {\"p50_us\": %.1f, \"p99_us\": %.1f, "
       "\"req_per_s\": %.0f},\n",

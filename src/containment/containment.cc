@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "util/request_context.h"
 #include "util/strings.h"
 #include "util/trace.h"
 
@@ -95,6 +96,7 @@ Result<ContainmentResult> CheckContainment(World& world,
   ContainmentResult result;
   result.level_bound = level_bound;
   TraceSpan span("check.containment");
+  AnnotateWithRequest(span);
   const SteadyClock::time_point chase_start = SteadyClock::now();
   result.chase = ChaseQuery(world, q1, chase_options);
   result.chase_ms = MsSince(chase_start);
@@ -183,6 +185,7 @@ Result<ContainmentResult> CheckClassicalContainment(
   ContainmentResult result;
   result.level_bound = -1;
   TraceSpan span("check.classical");
+  AnnotateWithRequest(span);
   Substitution renaming;
   ConjunctiveQuery q2_fresh = q2.RenameApart(world, &renaming);
   const SteadyClock::time_point hom_start = SteadyClock::now();
@@ -317,6 +320,7 @@ Result<ContainmentResult> CheckContainmentUnderDependencies(
   ContainmentResult result;
   result.level_bound = level_bound;
   TraceSpan span("check.under_dependencies");
+  AnnotateWithRequest(span);
   const SteadyClock::time_point chase_start = SteadyClock::now();
   result.chase = GenericChase(world, q1, dependencies, chase_options);
   result.chase_ms = MsSince(chase_start);

@@ -8,6 +8,7 @@
 #include "analysis/cost_model.h"
 #include "containment/homomorphism.h"
 #include "util/metrics.h"
+#include "util/request_context.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
@@ -185,6 +186,7 @@ Status ContainmentEngine::CheckPairsCore(
   }
 
   TraceSpan batch_span("engine.check_pairs");
+  AnnotateWithRequest(batch_span);
   if (batch_span.active()) {
     batch_span.Arg("pairs", int64_t(pairs.size()));
   }
@@ -209,6 +211,7 @@ Status ContainmentEngine::CheckPairsCore(
   // deadline must never manufacture a definite verdict.
   if (copts.use_signature_index && !pairs.empty()) {
     TraceSpan sig_span("engine.signature_stage");
+    AnnotateWithRequest(sig_span);
     const SteadyClock::time_point sig_start = SteadyClock::now();
     uint64_t pruned_here = 0;
     ExecGovernor sig_governor = MakeChaseGovernor(budget);
@@ -304,6 +307,7 @@ Status ContainmentEngine::CheckPairsCore(
     PairVerdict& verdict = out(k);
     ++stats_.chase_requests;
     TraceSpan span("engine.chase_stage");
+    AnnotateWithRequest(span);
     if (span.active()) {
       span.Arg("lhs", int64_t(lhs)).Arg("rhs", int64_t(rhs));
     }
@@ -444,6 +448,7 @@ Status ContainmentEngine::CheckPairsCore(
     PairVerdict& verdict = out(k);
     verdict.queue_wait_ms = MsSince(fanout_start);
     TraceSpan span("engine.hom_stage");
+    AnnotateWithRequest(span);
     {
       StageTimer timer(&verdict.hom_ms);
       run_pair_inner(k);

@@ -2,6 +2,7 @@
 
 #include <errno.h>
 #include <fcntl.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
@@ -11,10 +12,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -24,7 +28,11 @@
 #include "flogic/parser.h"
 #include "server/protocol.h"
 #include "util/fault.h"
+#include "util/log.h"
 #include "util/metrics.h"
+#include "util/request_context.h"
+#include "util/strings.h"
+#include "util/trace.h"
 
 namespace floq::server {
 
@@ -75,19 +83,23 @@ class AdmissionGate {
     std::unique_lock<std::mutex> lock(mu_);
     if (active_ < workers_) {
       ++active_;
+      PublishGaugesLocked();
       return true;
     }
     if (waiting_ >= queue_limit_) return false;
     ++waiting_;
+    PublishGaugesLocked();
     cv_.wait(lock, [&] { return active_ < workers_; });
     --waiting_;
     ++active_;
+    PublishGaugesLocked();
     return true;
   }
 
   void Exit() {
     std::lock_guard<std::mutex> lock(mu_);
     --active_;
+    PublishGaugesLocked();
     cv_.notify_one();
   }
 
@@ -97,6 +109,15 @@ class AdmissionGate {
   }
 
  private:
+  // Under mu_, so the two gauges are mutually consistent.
+  void PublishGaugesLocked() {
+    if (!MetricsRegistry::enabled()) return;
+    static Gauge& inflight = MetricsRegistry::Get().gauge("serve.inflight");
+    static Gauge& depth = MetricsRegistry::Get().gauge("serve.queue.depth");
+    inflight.Set(active_);
+    depth.Set(waiting_);
+  }
+
   const int workers_;
   const int queue_limit_;
   mutable std::mutex mu_;
@@ -108,12 +129,27 @@ class AdmissionGate {
 // ---------------------------------------------------------------------------
 // Responses
 
+// Stamps the ambient request attribution (util/request_context.h) into a
+// reply before serializing: the request_id in the reply is the same id the
+// span tree and every log line of this request carry. Replies built
+// outside a request scope (accept-path sheds, stream-level errors) pass
+// through unstamped.
+std::string Finalize(Json reply) {
+  if (const RequestContext* context = CurrentRequestContext()) {
+    reply.Set("request_id", Json::Number(double(context->id)));
+    if (!context->trace_id.empty()) {
+      reply.Set("trace_id", Json::String(context->trace_id));
+    }
+  }
+  return reply.Serialize();
+}
+
 std::string ErrorReply(const char* code, const std::string& message) {
   Json reply = Json::Object();
   reply.Set("ok", Json::Bool(false));
   reply.Set("code", Json::String(code));
   reply.Set("error", Json::String(message));
-  return reply.Serialize();
+  return Finalize(std::move(reply));
 }
 
 const char* CodeForStatus(const Status& status) {
@@ -155,13 +191,15 @@ class Daemon {
         gate_(options_.workers, options_.queue_limit) {}
 
   Status Run() {
+    FLOQ_RETURN_IF_ERROR(ConfigureObservability());
     FLOQ_RETURN_IF_ERROR(InstallSignalHandlers());
     DrainPendingSignals();
     FLOQ_RETURN_IF_ERROR(registry_.Open());
     FLOQ_RETURN_IF_ERROR(Listen());
-    std::fprintf(stderr, "floq serve: listening on %s (%zu queries)\n",
-                 options_.socket_path.c_str(),
-                 registry_.Snapshot()->entries.size());
+    FLOQ_RETURN_IF_ERROR(StartHttpMetrics());
+    FLOQ_LOG(Info, "serve.listening")
+        .Str("socket", options_.socket_path)
+        .Num("queries", int64_t(registry_.Snapshot()->entries.size()));
     Serve();
     return Drain();
   }
@@ -206,6 +244,143 @@ class Daemon {
     return Status::Ok();
   }
 
+  Status ConfigureObservability() {
+    // A long-lived server is not operable blind: metrics are always on
+    // (the cost is gated by E13/E17), logging level and sink follow the
+    // options, tracing is opt-in via --trace-sample.
+    MetricsRegistry::set_enabled(true);
+    LogLevel level = LogLevel::kInfo;
+    if (!options_.log_level.empty() &&
+        !ParseLogLevel(options_.log_level, &level)) {
+      return InvalidArgumentError("unknown log level '" + options_.log_level +
+                                  "' (debug|info|warn|error|off)");
+    }
+    Logger::Get().set_level(level);
+    if (!options_.log_out.empty()) {
+      FLOQ_RETURN_IF_ERROR(Logger::Get().OpenFile(options_.log_out));
+    }
+    if (options_.trace_sample > 0) {
+      trace_dir_ = options_.trace_dir.empty() ? options_.dir + "/traces"
+                                              : options_.trace_dir;
+      if (::mkdir(trace_dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+        return InternalError("mkdir(" + trace_dir_ +
+                             "): " + std::strerror(errno));
+      }
+      trace_session_ = std::make_unique<TraceSession>();
+    }
+    return Status::Ok();
+  }
+
+  // Writes the buffered spans to the next rolling trace file and restarts
+  // the session. Callers must guarantee quiescence (no connection thread
+  // live): the accept loop rotates only when connections_ == 0, and Drain
+  // rotates after joining every connection thread — the TraceSession
+  // single-writer contract (trace.h) holds at both sites.
+  void RotateTraceLocked() {
+    if (trace_session_ == nullptr || trace_session_->size() == 0) return;
+    std::string path =
+        StrCat(trace_dir_, "/floq-trace-", trace_file_seq_++, ".json");
+    std::string json = trace_session_->ToJson();
+    FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      FLOQ_LOG(Warn, "trace.rotate_failed")
+          .Str("path", path)
+          .Str("error", std::strerror(errno));
+    } else {
+      std::fwrite(json.data(), 1, json.size(), file);
+      std::fclose(file);
+      FLOQ_LOG(Info, "trace.rotated")
+          .Str("path", path)
+          .Num("events", int64_t(trace_session_->size()))
+          .Num("dropped", int64_t(trace_session_->dropped()));
+      if (MetricsRegistry::enabled()) {
+        static Counter& rotations =
+            MetricsRegistry::Get().counter("serve.trace.rotations");
+        rotations.Add(1);
+      }
+    }
+    // Destroy-then-recreate at this quiescent point; the generation-keyed
+    // thread cache makes reuse of the old address safe.
+    trace_session_.reset();
+    trace_session_ = std::make_unique<TraceSession>();
+  }
+
+  Status StartHttpMetrics() {
+    if (options_.http_metrics_port <= 0) return Status::Ok();
+    http_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (http_fd_ < 0) {
+      return InternalError(std::string("socket(http): ") +
+                           std::strerror(errno));
+    }
+    int one = 1;
+    ::setsockopt(http_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // never public
+    addr.sin_port = htons(uint16_t(options_.http_metrics_port));
+    if (::bind(http_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(http_fd_, 16) != 0) {
+      Status st = InternalError(
+          StrCat("bind(http 127.0.0.1:", options_.http_metrics_port,
+                 "): ", std::strerror(errno)));
+      ::close(http_fd_);
+      http_fd_ = -1;
+      return st;
+    }
+    FLOQ_LOG(Info, "serve.http_metrics.listening")
+        .Num("port", options_.http_metrics_port);
+    http_thread_ = std::thread([this] { ServeHttpMetrics(); });
+    return Status::Ok();
+  }
+
+  // Minimal HTTP/1.0 exposition endpoint: GET /metrics -> Prometheus text
+  // format. One request per connection, loopback only, no keep-alive —
+  // exactly what a scraper needs and nothing more.
+  void ServeHttpMetrics() {
+    while (!draining_.load(std::memory_order_acquire)) {
+      struct pollfd pfd = {http_fd_, POLLIN, 0};
+      int rc = ::poll(&pfd, 1, 200);
+      if (rc <= 0 || (pfd.revents & POLLIN) == 0) continue;
+      int client = ::accept(http_fd_, nullptr, nullptr);
+      if (client < 0) continue;
+      struct timeval tv = {1, 0};  // slow-scraper guard
+      ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+      std::string head;
+      char buf[1024];
+      while (head.find("\r\n\r\n") == std::string::npos &&
+             head.size() < 8192) {
+        ssize_t n = ::recv(client, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        head.append(buf, size_t(n));
+      }
+      bool found = head.rfind("GET /metrics", 0) == 0;
+      std::string body =
+          found ? MetricsRegistry::Get().Snapshot().ToPrometheus()
+                : std::string("not found\n");
+      std::string response = StrCat(
+          "HTTP/1.0 ", found ? "200 OK" : "404 Not Found",
+          "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8"
+          "\r\nContent-Length: ", body.size(),
+          "\r\nConnection: close\r\n\r\n", body);
+      size_t off = 0;
+      while (off < response.size()) {
+        ssize_t n = ::send(client, response.data() + off,
+                           response.size() - off, MSG_NOSIGNAL);
+        if (n <= 0) break;
+        off += size_t(n);
+      }
+      ::close(client);
+      if (MetricsRegistry::enabled()) {
+        static Counter& scrapes =
+            MetricsRegistry::Get().counter("serve.http_metrics.scrapes");
+        scrapes.Add(1);
+      }
+    }
+  }
+
   void DrainPendingSignals() {
     char buf[64];
     while (g_signal_pipe[0] >= 0 &&
@@ -225,6 +400,13 @@ class Daemon {
         break;
       }
       ReapFinished();
+      // Roll the trace file only while no connection thread is live — the
+      // only point the accept loop can prove span quiescence.
+      if (trace_session_ != nullptr &&
+          connections_.load(std::memory_order_acquire) == 0 &&
+          trace_session_->size() >= kTraceRotateEvents) {
+        RotateTraceLocked();
+      }
       if ((fds[1].revents & POLLIN) != 0) {
         DrainPendingSignals();
         if (!StartDrain()) {
@@ -241,13 +423,25 @@ class Daemon {
           options_.max_connections) {
         // Typed shed, then close: the client learns it was load, not a
         // protocol error.
+        if (MetricsRegistry::enabled()) {
+          static Counter& shed =
+              MetricsRegistry::Get().counter("serve.shed.connections");
+          shed.Add(1);
+        }
+        FLOQ_LOG(Warn, "connection.shed")
+            .Num("connections", connections_.load(std::memory_order_relaxed));
         (void)WriteFrame(client,
                          ErrorReply("OVERLOADED", "connection limit reached"),
                          Deadline::AfterMillis(1000));
         ::close(client);
         continue;
       }
-      connections_.fetch_add(1, std::memory_order_relaxed);
+      int now_open = connections_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (MetricsRegistry::enabled()) {
+        static Gauge& open =
+            MetricsRegistry::Get().gauge("serve.connections");
+        open.Set(now_open);
+      }
       auto done = std::make_shared<std::atomic<bool>>(false);
       std::lock_guard<std::mutex> lock(threads_mu_);
       threads_.push_back(ConnThread{
@@ -287,19 +481,41 @@ class Daemon {
       threads_.clear();
     }
     escalation.join();
+    if (http_thread_.joinable()) http_thread_.join();
+    if (http_fd_ >= 0) {
+      ::close(http_fd_);
+      http_fd_ = -1;
+    }
     if (listen_fd_ >= 0) {
       ::close(listen_fd_);
       listen_fd_ = -1;
     }
     ::unlink(options_.socket_path.c_str());
+    // Every connection thread is joined: a quiescent point, so the last
+    // trace window can roll out and the final metrics snapshot is exact.
+    RotateTraceLocked();
+    trace_session_.reset();
     Status st = registry_.Checkpoint();
     if (!st.ok()) {
       // The WAL already holds every acked mutation; a failed final
       // checkpoint costs recovery time, not data.
-      std::fprintf(stderr, "floq serve: final checkpoint failed: %s\n",
-                   st.ToString().c_str());
+      FLOQ_LOG(Error, "checkpoint.final_failed").Str("error", st.ToString());
     }
-    std::fprintf(stderr, "floq serve: drained\n");
+    if (!options_.metrics_out.empty()) {
+      std::string snapshot = MetricsRegistry::Get().ToJson() + "\n";
+      FILE* file = std::fopen(options_.metrics_out.c_str(), "w");
+      if (file == nullptr) {
+        FLOQ_LOG(Error, "metrics.write_failed")
+            .Str("path", options_.metrics_out)
+            .Str("error", std::strerror(errno));
+      } else {
+        std::fwrite(snapshot.data(), 1, snapshot.size(), file);
+        std::fclose(file);
+      }
+    }
+    FLOQ_LOG(Info, "serve.drained")
+        .Num("requests", int64_t(requests_served_.load(
+                             std::memory_order_relaxed)));
     return Status::Ok();
   }
 
@@ -346,11 +562,67 @@ class Daemon {
       if (close_after) break;
     }
     ::close(fd);
-    connections_.fetch_sub(1, std::memory_order_acq_rel);
+    int now_open = connections_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    if (MetricsRegistry::enabled()) {
+      static Gauge& open = MetricsRegistry::Get().gauge("serve.connections");
+      open.Set(now_open);
+    }
+  }
+
+  // The per-command latency instruments, resolved once: a dynamic
+  // name lookup per request would put the registry mutex on the hot path.
+  Histogram& LatencyHistogramFor(const std::string& cmd) {
+    static Histogram& reg =
+        MetricsRegistry::Get().histogram("serve.cmd.register.latency_us");
+    static Histogram& unreg =
+        MetricsRegistry::Get().histogram("serve.cmd.unregister.latency_us");
+    static Histogram& contain =
+        MetricsRegistry::Get().histogram("serve.cmd.contain.latency_us");
+    static Histogram& classify =
+        MetricsRegistry::Get().histogram("serve.cmd.classify.latency_us");
+    static Histogram& lint =
+        MetricsRegistry::Get().histogram("serve.cmd.lint.latency_us");
+    static Histogram& status =
+        MetricsRegistry::Get().histogram("serve.cmd.status.latency_us");
+    static Histogram& metrics =
+        MetricsRegistry::Get().histogram("serve.cmd.metrics.latency_us");
+    static Histogram& ping =
+        MetricsRegistry::Get().histogram("serve.cmd.ping.latency_us");
+    static Histogram& other =
+        MetricsRegistry::Get().histogram("serve.cmd.other.latency_us");
+    if (cmd == "register") return reg;
+    if (cmd == "unregister") return unreg;
+    if (cmd == "contain") return contain;
+    if (cmd == "classify") return classify;
+    if (cmd == "lint") return lint;
+    if (cmd == "status") return status;
+    if (cmd == "metrics") return metrics;
+    if (cmd == "ping") return ping;
+    return other;
   }
 
   std::string HandleRequest(const std::string& payload, bool* close_after) {
+    // Request attribution starts before parsing: even a BAD_REQUEST reply
+    // and its log line carry the server-assigned id.
+    RequestContext context;
+    context.id = next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
     Result<Json> request = ParseJson(payload);
+    if (request.ok() && request->is_object()) {
+      if (const Json* tid = request->Find("trace_id");
+          tid != nullptr && tid->is_string()) {
+        context.trace_id = tid->AsString();
+      }
+    }
+    ScopedRequestContext scope(&context);
+    // Sampled tracing: non-sampled requests suppress their whole span
+    // tree on this thread, so a long-lived session holds every Nth
+    // request end to end instead of a uniform smear of all of them.
+    std::optional<TraceSuppress> suppress;
+    if (trace_session_ != nullptr && options_.trace_sample > 0 &&
+        context.id % uint64_t(options_.trace_sample) != 0) {
+      suppress.emplace();
+    }
+
     if (!request.ok() || !request->is_object()) {
       *close_after = true;
       return ErrorReply("BAD_REQUEST",
@@ -361,14 +633,46 @@ class Daemon {
     if (!cmd.ok()) {
       return ErrorReply("INVALID", cmd.status().message());
     }
+
+    auto request_start = std::chrono::steady_clock::now();
+    TraceSpan span("serve.request");
+    AnnotateWithRequest(span);
     // Admission control guards execution, not parsing: shedding must be
     // cheap or it is no defense.
     if (!gate_.Enter()) {
+      if (MetricsRegistry::enabled()) {
+        static Counter& shed =
+            MetricsRegistry::Get().counter("serve.shed.requests");
+        shed.Add(1);
+      }
+      FLOQ_LOG(Warn, "request.shed").Str("cmd", *cmd);
       return ErrorReply("OVERLOADED", "request queue full");
     }
     fault::MaybeCrash("serve.request.before_execute");
     std::string reply = Execute(*cmd, *request, close_after);
     gate_.Exit();
+
+    auto elapsed = std::chrono::steady_clock::now() - request_start;
+    int64_t elapsed_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count();
+    if (MetricsRegistry::enabled()) {
+      static Counter& requests =
+          MetricsRegistry::Get().counter("serve.requests");
+      requests.Add(1);
+      LatencyHistogramFor(*cmd).Record(uint64_t(elapsed_us));
+    }
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.slow_request_ms > 0 &&
+        elapsed_us >= options_.slow_request_ms * 1000) {
+      FLOQ_LOG(Warn, "request.slow")
+          .Str("cmd", *cmd)
+          .Num("latency_us", elapsed_us);
+    } else {
+      FLOQ_LOG(Debug, "request.done")
+          .Str("cmd", *cmd)
+          .Num("latency_us", elapsed_us);
+    }
     fault::MaybeCrash("serve.request.before_reply");
     return reply;
   }
@@ -381,11 +685,11 @@ class Daemon {
     if (cmd == "classify") return CmdClassify();
     if (cmd == "lint") return CmdLint(request);
     if (cmd == "status") return CmdStatus();
-    if (cmd == "metrics") return CmdMetrics();
+    if (cmd == "metrics") return CmdMetrics(request);
     if (cmd == "ping") {
       Json reply = Json::Object();
       reply.Set("ok", Json::Bool(true));
-      return reply.Serialize();
+      return Finalize(std::move(reply));
     }
     if (cmd == "shutdown") {
       *close_after = true;
@@ -393,7 +697,7 @@ class Daemon {
       Json reply = Json::Object();
       reply.Set("ok", Json::Bool(true));
       reply.Set("draining", Json::Bool(true));
-      return reply.Serialize();
+      return Finalize(std::move(reply));
     }
     return ErrorReply("INVALID", "unknown command '" + cmd + "'");
   }
@@ -411,7 +715,7 @@ class Daemon {
     reply.Set("epoch", Json::Number(double(outcome->epoch)));
     reply.Set("already_registered",
               Json::Bool(outcome->already_registered));
-    return reply.Serialize();
+    return Finalize(std::move(reply));
   }
 
   std::string CmdUnregister(const Json& request) {
@@ -422,7 +726,7 @@ class Daemon {
     Json reply = Json::Object();
     reply.Set("ok", Json::Bool(true));
     reply.Set("epoch", Json::Number(double(*epoch)));
-    return reply.Serialize();
+    return Finalize(std::move(reply));
   }
 
   // Per-request budget: requests may *lower* the server default, never
@@ -474,7 +778,7 @@ class Daemon {
       reply.Set("resolution", Json::String(ResolutionName(resolution)));
       reply.Set("epoch", Json::Number(double(snap->epoch)));
       reply.Set("cached", Json::Bool(true));
-      return reply.Serialize();
+      return Finalize(std::move(reply));
     }
 
     // Ad-hoc: resolve each side to surface text (a name looks up the
@@ -528,7 +832,7 @@ class Daemon {
     }
     reply.Set("epoch", Json::Number(double(snap->epoch)));
     reply.Set("cached", Json::Bool(false));
-    return reply.Serialize();
+    return Finalize(std::move(reply));
   }
 
   // Deterministic classify payload: equivalence classes (names, in
@@ -557,7 +861,7 @@ class Daemon {
       hasse.Append(std::move(edge));
     }
     reply.Set("hasse", std::move(hasse));
-    return reply.Serialize();
+    return Finalize(std::move(reply));
   }
 
   std::string CmdLint(const Json& request) {
@@ -586,7 +890,7 @@ class Daemon {
     }
     reply.Set("diagnostics", std::move(items));
     reply.Set("errors", Json::Bool(has_error));
-    return reply.Serialize();
+    return Finalize(std::move(reply));
   }
 
   std::string CmdStatus() {
@@ -609,25 +913,58 @@ class Daemon {
     index.Set("pruned_pairs", Json::Number(double(stats.pruned_pairs)));
     index.Set("unknown_pairs", Json::Number(double(stats.unknown_pairs)));
     reply.Set("index", std::move(index));
-    return reply.Serialize();
+    return Finalize(std::move(reply));
   }
 
-  std::string CmdMetrics() {
-    // MetricsRegistry::ToJson already emits a JSON object; embed it raw.
+  std::string CmdMetrics(const Json& request) {
+    std::string format = "json";
+    if (const Json* f = request.Find("format");
+        f != nullptr && f->is_string()) {
+      format = f->AsString();
+    }
+    if (format == "prometheus") {
+      // Text exposition carried in the reply body; `floq client metrics
+      // --format prometheus` prints it verbatim for pipe-to-scraper use.
+      Json reply = Json::Object();
+      reply.Set("ok", Json::Bool(true));
+      reply.Set("format", Json::String("prometheus"));
+      reply.Set("body",
+                Json::String(MetricsRegistry::enabled()
+                                 ? MetricsRegistry::Get().Snapshot()
+                                       .ToPrometheus()
+                                 : std::string()));
+      return Finalize(std::move(reply));
+    }
+    if (format != "json") {
+      return ErrorReply("INVALID",
+                        "unknown metrics format '" + format +
+                            "' (json|prometheus)");
+    }
+    // The snapshot JSON is canonical (no trailing whitespace —
+    // MetricsSnapshot::ToJson), so it embeds raw with no trimming. Spliced
+    // as a string to keep uint64 counter values exact: a Json round-trip
+    // would route them through double.
     std::string metrics = MetricsRegistry::enabled()
                               ? MetricsRegistry::Get().ToJson()
                               : std::string("{}");
-    while (!metrics.empty() &&
-           (metrics.back() == '\n' || metrics.back() == ' ')) {
-      metrics.pop_back();
+    std::string head = "{\"ok\":true,";
+    if (const RequestContext* context = CurrentRequestContext()) {
+      head += "\"request_id\":" + std::to_string(context->id) + ",";
+      if (!context->trace_id.empty()) {
+        head += "\"trace_id\":" +
+                Json::String(context->trace_id).Serialize() + ",";
+      }
     }
-    return "{\"ok\":true,\"metrics\":" + metrics + "}";
+    return head + "\"metrics\":" + metrics + "}";
   }
 
   struct ConnThread {
     std::thread thread;
     std::shared_ptr<std::atomic<bool>> done;
   };
+
+  // Buffered spans that trigger a roll at the next quiescent poll slice.
+  static constexpr uint64_t kTraceRotateEvents = 4096;
 
   const DaemonOptions options_;
   QueryRegistry registry_;
@@ -638,6 +975,13 @@ class Daemon {
   std::atomic<int> connections_{0};
   std::mutex threads_mu_;
   std::vector<ConnThread> threads_;
+  std::atomic<uint64_t> next_request_id_{0};
+  std::atomic<uint64_t> requests_served_{0};
+  std::unique_ptr<TraceSession> trace_session_;
+  std::string trace_dir_;
+  uint64_t trace_file_seq_ = 0;
+  int http_fd_ = -1;
+  std::thread http_thread_;
 };
 
 }  // namespace

@@ -54,6 +54,29 @@ struct DaemonOptions {
   int checkpoint_every = 32;
   // Engine fan-out for index inserts.
   int jobs = 1;
+
+  // Observability (DESIGN.md §17). The daemon always arms the metrics
+  // registry — a server without counters is not operable — and the
+  // E13/E17 benches gate the cost.
+  //
+  // Structured log sink (JSON lines, util/log.h): empty = stderr.
+  std::string log_out;
+  // Minimum level that emits: debug|info|warn|error|off.
+  std::string log_level = "info";
+  // Requests slower than this log a warn-level "request.slow" line with
+  // the request id; <= 0 disables the slow-request log.
+  int64_t slow_request_ms = 1'000;
+  // Final metrics snapshot written here on graceful drain; empty = none.
+  std::string metrics_out;
+  // Sampled tracing: keep every Nth request's span tree in a long-lived
+  // trace session, rolled to Chrome-trace files in `trace_dir` at
+  // quiescent moments. 0 disables tracing entirely.
+  int trace_sample = 0;
+  // Rolling trace output directory; defaults to dir + "/traces".
+  std::string trace_dir;
+  // Loopback HTTP listener serving GET /metrics in Prometheus text
+  // exposition, so stock scrapers work unmodified. 0 disables.
+  int http_metrics_port = 0;
 };
 
 // Runs the daemon until a drain signal, serving on options.socket_path.

@@ -6,6 +6,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -13,6 +14,8 @@
 #include "server/protocol.h"
 #include "util/crc32.h"
 #include "util/fault.h"
+#include "util/log.h"
+#include "util/metrics.h"
 
 namespace floq::server {
 
@@ -309,14 +312,15 @@ void QueryRegistry::MaybeCheckpointLocked() {
     return;
   }
   if (Status checkpointed = CheckpointLocked(); !checkpointed.ok()) {
-    std::fprintf(stderr,
-                 "floq serve: checkpoint failed (WAL remains "
-                 "authoritative): %s\n",
-                 checkpointed.ToString().c_str());
+    // The WAL remains authoritative; recovery replays a longer log.
+    FLOQ_LOG(Warn, "checkpoint.failed")
+        .Str("error", checkpointed.ToString())
+        .Num("dirty", int64_t(dirty_));
   }
 }
 
 Status QueryRegistry::CheckpointLocked() {
+  auto checkpoint_start = std::chrono::steady_clock::now();
   if (fault::Armed("checkpoint.io_error")) {
     // The WAL still holds every mutation: recovery without this
     // checkpoint reaches the same state, so the daemon reports the error
@@ -385,6 +389,23 @@ Status QueryRegistry::CheckpointLocked() {
   fault::MaybeCrash("checkpoint.after_rename");
   FLOQ_RETURN_IF_ERROR(wal_.Reset());
   dirty_ = 0;
+  if (MetricsRegistry::enabled()) {
+    static Histogram& duration_us =
+        MetricsRegistry::Get().histogram("serve.checkpoint.duration_us");
+    static Counter& count =
+        MetricsRegistry::Get().counter("serve.checkpoint.count");
+    static Gauge& last_unix_s =
+        MetricsRegistry::Get().gauge("serve.checkpoint.last_unix_s");
+    duration_us.Record(uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - checkpoint_start)
+            .count()));
+    count.Add(1);
+    // Scrapers derive checkpoint age as time() - this gauge.
+    last_unix_s.Set(std::chrono::duration_cast<std::chrono::seconds>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count());
+  }
   return Status::Ok();
 }
 
@@ -408,6 +429,16 @@ void QueryRegistry::PublishLocked() {
     }
   }
   view->taxonomy = index_.TaxonomyOf(ids);
+  if (MetricsRegistry::enabled()) {
+    static Gauge& queries = MetricsRegistry::Get().gauge("serve.registry.queries");
+    static Gauge& epoch = MetricsRegistry::Get().gauge("serve.registry.epoch");
+    static Gauge& hasse = MetricsRegistry::Get().gauge("serve.registry.hasse_edges");
+    static Gauge& wal_dirty = MetricsRegistry::Get().gauge("serve.wal.dirty");
+    queries.Set(int64_t(view->entries.size()));
+    epoch.Set(int64_t(view->epoch));
+    hasse.Set(int64_t(view->taxonomy.hasse_edges.size()));
+    wal_dirty.Set(int64_t(dirty_));
+  }
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   snapshot_ = std::move(view);
 }

@@ -5,10 +5,12 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 
 #include "util/crc32.h"
 #include "util/fault.h"
+#include "util/metrics.h"
 
 namespace floq::server {
 
@@ -211,7 +213,27 @@ Status Wal::Append(std::string_view payload) {
     return st;
   }
   fault::MaybeCrash("wal.append.before_fsync");
-  if (::fsync(fd_) != 0) {
+  if (MetricsRegistry::enabled()) {
+    auto t0 = std::chrono::steady_clock::now();
+    int rc = ::fsync(fd_);
+    auto t1 = std::chrono::steady_clock::now();
+    static Histogram& fsync_us =
+        MetricsRegistry::Get().histogram("serve.wal.fsync_us");
+    fsync_us.Record(uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count()));
+    if (rc != 0) {
+      st = Errno("fsync(wal)");
+      Close();
+      return st;
+    }
+    static Counter& bytes =
+        MetricsRegistry::Get().counter("serve.wal.append.bytes");
+    static Counter& records =
+        MetricsRegistry::Get().counter("serve.wal.append.records");
+    bytes.Add(record.size());
+    records.Add(1);
+  } else if (::fsync(fd_) != 0) {
     st = Errno("fsync(wal)");
     Close();
     return st;

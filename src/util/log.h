@@ -1,0 +1,124 @@
+#ifndef FLOQ_UTIL_LOG_H_
+#define FLOQ_UTIL_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+// Structured JSON-lines logging (DESIGN.md §17). One line per event:
+//
+//   {"ts": 1723200000.123, "level": "info", "msg": "listening",
+//    "request_id": 42, "trace_id": "abc", "socket": "/tmp/s.sock"}
+//
+// `ts` is wall-clock unix seconds (millisecond precision), `level` one of
+// debug|info|warn|error, `msg` a stable literal identifying the event, and
+// the rest typed fields attached by the emitting site. When a
+// RequestContext is installed on the emitting thread (the daemon installs
+// one per request), `request_id` — and `trace_id` when the client supplied
+// one — are appended automatically, which is what makes every server log
+// line attributable to a request.
+//
+// Usage:
+//
+//   FLOQ_LOG(Warn, "checkpoint.failed").Str("error", message).Num("dirty", n);
+//
+// Below-threshold events return a disabled builder whose field calls are
+// no-ops (no string formatting, no allocation beyond the arguments), so
+// debug-level sites are cheap in production. The sink defaults to stderr;
+// `floq serve --log-out PATH` redirects it.
+// Emission (one fwrite + fflush) happens under a mutex, so concurrent
+// connection threads never interleave partial lines.
+
+namespace floq {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// "debug", "info", "warn", "error", "off".
+const char* LogLevelName(LogLevel level);
+/// Inverse of LogLevelName; false on unknown names.
+bool ParseLogLevel(std::string_view text, LogLevel* out);
+
+class Logger;
+
+/// A single in-flight log line, built field by field and emitted on
+/// destruction (end of the full expression at the call site). A
+/// default-constructed event is disabled and emits nothing — that is what
+/// Logger::Log returns for below-threshold levels.
+class LogEvent {
+ public:
+  LogEvent(LogEvent&& other) noexcept
+      : logger_(other.logger_), line_(std::move(other.line_)) {
+    other.logger_ = nullptr;
+  }
+  LogEvent& operator=(const LogEvent&) = delete;
+  LogEvent(const LogEvent&) = delete;
+  ~LogEvent();
+
+  LogEvent& Str(std::string_view key, std::string_view value);
+  LogEvent& Num(std::string_view key, int64_t value);
+
+ private:
+  friend class Logger;
+  LogEvent() = default;
+  LogEvent(Logger* logger, LogLevel level, std::string_view msg);
+
+  Logger* logger_ = nullptr;  // nullptr: disabled, emit nothing
+  std::string line_;
+};
+
+/// The process-wide structured logger. Like MetricsRegistry, a leaked
+/// singleton so emission stays valid through static destruction.
+class Logger {
+ public:
+  static Logger& Get();
+
+  /// Minimum level that emits. Relaxed atomic: callers may reconfigure
+  /// while connection threads log.
+  void set_level(LogLevel level) {
+    level_.store(int(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return LogLevel(level_.load(std::memory_order_relaxed));
+  }
+  bool ShouldLog(LogLevel level) const { return int(level) >= int(this->level()); }
+
+  /// Redirects the sink to `path` (append mode, line-buffered by explicit
+  /// flush). The previous file sink, if any, is closed. Call before
+  /// spawning threads that log.
+  Status OpenFile(const std::string& path);
+  /// Restores the default stderr sink (tests use this for isolation).
+  void UseStderr();
+
+  /// Starts a line at `level`. Returns a disabled event when the level is
+  /// filtered; field calls on a disabled event are no-ops.
+  LogEvent Log(LogLevel level, std::string_view msg);
+
+ private:
+  friend class LogEvent;
+  Logger() = default;
+
+  void Emit(const std::string& line);
+
+  std::atomic<int> level_{int(LogLevel::kInfo)};
+
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Emits at `level` (Debug|Info|Warn|Error) with message literal `msg`;
+/// chain .Str/.Num fields on the returned builder.
+#define FLOQ_LOG(level, msg) \
+  ::floq::Logger::Get().Log(::floq::LogLevel::k##level, (msg))
+
+}  // namespace floq
+
+#endif  // FLOQ_UTIL_LOG_H_

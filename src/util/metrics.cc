@@ -82,8 +82,10 @@ std::atomic<bool> MetricsRegistry::enabled_{false};
 struct MetricsRegistry::Impl {
   mutable std::mutex mu;
   std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
   std::deque<Histogram> histograms;
   std::unordered_map<std::string, Counter*> counter_by_name;
+  std::unordered_map<std::string, Gauge*> gauge_by_name;
   std::unordered_map<std::string, Histogram*> histogram_by_name;
 };
 
@@ -108,6 +110,17 @@ Counter& MetricsRegistry::counter(std::string_view name) {
   return *c;
 }
 
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.gauge_by_name.find(std::string(name));
+  if (it != i.gauge_by_name.end()) return *it->second;
+  i.gauges.emplace_back();
+  Gauge* g = &i.gauges.back();
+  i.gauge_by_name.emplace(std::string(name), g);
+  return *g;
+}
+
 Histogram& MetricsRegistry::histogram(std::string_view name) {
   Impl& i = impl();
   std::lock_guard<std::mutex> lock(i.mu);
@@ -127,6 +140,10 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   for (const auto& [name, counter] : i.counter_by_name) {
     snapshot.counters.push_back({name, counter->Value()});
   }
+  snapshot.gauges.reserve(i.gauge_by_name.size());
+  for (const auto& [name, gauge] : i.gauge_by_name) {
+    snapshot.gauges.push_back({name, gauge->Value()});
+  }
   snapshot.histograms.reserve(i.histogram_by_name.size());
   for (const auto& [name, histogram] : i.histogram_by_name) {
     MetricsSnapshot::HistogramValue value;
@@ -138,14 +155,41 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   }
   auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
   std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_name);
   std::sort(snapshot.histograms.begin(), snapshot.histograms.end(), by_name);
   return snapshot;
+}
+
+MetricsSnapshot MetricsRegistry::SnapshotDelta(const MetricsSnapshot& before,
+                                               const MetricsSnapshot& after) {
+  MetricsSnapshot delta = after;  // gauges (and names-only-in-after) as-is
+  for (auto& counter : delta.counters) {
+    for (const auto& prior : before.counters) {
+      if (prior.name != counter.name) continue;
+      counter.value -= std::min(prior.value, counter.value);
+      break;
+    }
+  }
+  for (auto& histogram : delta.histograms) {
+    for (const auto& prior : before.histograms) {
+      if (prior.name != histogram.name) continue;
+      histogram.count -= std::min(prior.count, histogram.count);
+      histogram.sum -= std::min(prior.sum, histogram.sum);
+      for (int b = 0; b < Histogram::kBuckets; ++b) {
+        uint64_t& cell = histogram.buckets[size_t(b)];
+        cell -= std::min(prior.buckets[size_t(b)], cell);
+      }
+      break;
+    }
+  }
+  return delta;
 }
 
 void MetricsRegistry::Reset() {
   Impl& i = impl();
   std::lock_guard<std::mutex> lock(i.mu);
   for (Counter& counter : i.counters) counter.Reset();
+  for (Gauge& gauge : i.gauges) gauge.Reset();
   for (Histogram& histogram : i.histograms) histogram.Reset();
 }
 
@@ -184,6 +228,12 @@ std::string MetricsSnapshot::ToJson() const {
                   JsonEscape(counters[i].name), "\": ", counters[i].value);
   }
   out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += StrCat(i == 0 ? "\n" : ",\n", "    \"", JsonEscape(gauges[i].name),
+                  "\": ", gauges[i].value);
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
   out += "  \"histograms\": {";
   for (size_t i = 0; i < histograms.size(); ++i) {
     const HistogramValue& h = histograms[i];
@@ -199,8 +249,82 @@ std::string MetricsSnapshot::ToJson() const {
     }
     out += "]}";
   }
-  out += histograms.empty() ? "}\n}\n" : "\n  }\n}\n";
+  // Canonical tail: no trailing newline, so embedders (the daemon's
+  // `metrics` reply, lint --json) splice the snapshot in verbatim.
+  out += histograms.empty() ? "}\n}" : "\n  }\n}";
   return out;
+}
+
+namespace {
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Dotted registry names
+// map onto underscores under a floq_ prefix.
+std::string PrometheusName(std::string_view name) {
+  std::string out = "floq_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+// Inclusive upper bound of a log2 bucket, i.e. the Prometheus `le` label:
+// bucket 0 holds only the value 0; bucket i >= 1 covers [2^(i-1), 2^i).
+uint64_t BucketUpperBound(int bucket) {
+  if (bucket <= 0) return 0;
+  if (bucket >= Histogram::kBuckets - 1) return ~uint64_t{0};
+  return (uint64_t{1} << bucket) - 1;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  for (const CounterValue& c : counters) {
+    std::string name = PrometheusName(c.name) + "_total";
+    out += StrCat("# HELP ", name, " floq counter ", c.name, "\n");
+    out += StrCat("# TYPE ", name, " counter\n");
+    out += StrCat(name, " ", c.value, "\n");
+  }
+  for (const GaugeValue& g : gauges) {
+    std::string name = PrometheusName(g.name);
+    out += StrCat("# HELP ", name, " floq gauge ", g.name, "\n");
+    out += StrCat("# TYPE ", name, " gauge\n");
+    out += StrCat(name, " ", g.value, "\n");
+  }
+  for (const HistogramValue& h : histograms) {
+    std::string name = PrometheusName(h.name);
+    out += StrCat("# HELP ", name, " floq log2 histogram ", h.name, "\n");
+    out += StrCat("# TYPE ", name, " histogram\n");
+    int highest = -1;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.buckets[size_t(b)] != 0) highest = b;
+    }
+    uint64_t cumulative = 0;
+    for (int b = 0; b <= highest; ++b) {
+      cumulative += h.buckets[size_t(b)];
+      out += StrCat(name, "_bucket{le=\"", BucketUpperBound(b), "\"} ",
+                    cumulative, "\n");
+    }
+    out += StrCat(name, "_bucket{le=\"+Inf\"} ", h.count, "\n");
+    out += StrCat(name, "_sum ", h.sum, "\n");
+    out += StrCat(name, "_count ", h.count, "\n");
+  }
+  return out;
+}
+
+double HistogramQuantile(const MetricsSnapshot::HistogramValue& h, double q) {
+  if (h.count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = uint64_t(q * double(h.count - 1)) + 1;  // 1-based
+  uint64_t cumulative = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    cumulative += h.buckets[size_t(b)];
+    if (cumulative >= rank) return double(BucketUpperBound(b));
+  }
+  return double(BucketUpperBound(Histogram::kBuckets - 1));
 }
 
 }  // namespace floq

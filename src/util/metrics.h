@@ -72,6 +72,21 @@ class Counter {
   std::array<Shard, kShards> shards_;
 };
 
+/// A named point-in-time value (queue depth, registry size, epoch):
+/// last-write-wins, not monotonic, so it is a single atomic rather than a
+/// sharded sum. Writers are the daemon's own threads; contention is one
+/// relaxed store.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
 /// A log2-bucketed histogram for latencies and sizes: bucket 0 holds the
 /// value 0, bucket i >= 1 holds [2^(i-1), 2^i). 64 buckets cover the full
 /// uint64 range (the last bucket absorbs the tail). Units are up to the
@@ -85,7 +100,7 @@ class Histogram {
   /// Bucket index of `value`: 0 -> 0, otherwise bit_width(value) capped at
   /// kBuckets - 1 (so bucket i >= 1 covers [2^(i-1), 2^i)).
   static int BucketOf(uint64_t value);
-  /// Smallest value landing in `bucket` (0 for buckets 0 and 1).
+  /// Smallest value landing in `bucket`: 0 for bucket 0, else 2^(bucket-1).
   static uint64_t BucketLowerBound(int bucket);
 
   void Record(uint64_t value) {
@@ -120,6 +135,10 @@ struct MetricsSnapshot {
     std::string name;
     uint64_t value = 0;
   };
+  struct GaugeValue {
+    std::string name;
+    int64_t value = 0;
+  };
   struct HistogramValue {
     std::string name;
     uint64_t count = 0;
@@ -128,13 +147,31 @@ struct MetricsSnapshot {
   };
 
   std::vector<CounterValue> counters;      // sorted by name
+  std::vector<GaugeValue> gauges;          // sorted by name
   std::vector<HistogramValue> histograms;  // sorted by name
 
-  /// {"counters": {...}, "histograms": {...}} — see DESIGN.md §12 for the
-  /// schema. Histogram buckets are emitted sparsely as
-  /// [[lower_bound, count], ...].
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} — see
+  /// DESIGN.md §12 for the schema. Histogram buckets are emitted sparsely
+  /// as [[lower_bound, count], ...]. The output is canonical: no trailing
+  /// newline or other trailing whitespace, so embedding the snapshot into
+  /// a larger JSON document needs no trimming.
   std::string ToJson() const;
+
+  /// Prometheus text exposition (format version 0.0.4): counters become
+  /// `floq_<name>_total`, gauges `floq_<name>`, histograms cumulative
+  /// `floq_<name>_bucket{le="..."}` series plus `_sum`/`_count`, each with
+  /// `# HELP`/`# TYPE` lines. Log2 bucket i >= 1 covers the integer values
+  /// [2^(i-1), 2^i), so its inclusive upper bound — the Prometheus `le`
+  /// label — is 2^i - 1; bucket 0 maps to le="0". Dots and any other
+  /// non-[a-zA-Z0-9_] characters in names become underscores.
+  std::string ToPrometheus() const;
 };
+
+/// Approximate quantile (q in [0, 1]) of a snapshot histogram: the
+/// inclusive upper bound of the log2 bucket containing the ceil(q*count)-th
+/// sample. Returns 0 when the histogram is empty. Good to a factor of two,
+/// which is what a log2 histogram promises.
+double HistogramQuantile(const MetricsSnapshot::HistogramValue& h, double q);
 
 /// The process-wide registry. Instruments are created on first use and
 /// live forever (references stay valid; node-stable storage), so sites can
@@ -160,10 +197,20 @@ class MetricsRegistry {
   /// Finds or creates the named instrument. Takes the registry mutex; hot
   /// paths must cache the returned reference.
   Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
 
   MetricsSnapshot Snapshot() const;
   std::string ToJson() const { return Snapshot().ToJson(); }
+
+  /// Pointwise difference `after - before`, matched by name: counter
+  /// values and histogram counts/sums/buckets subtract (clamped at zero —
+  /// a Reset between snapshots must not underflow); instruments present
+  /// only in `after` pass through unchanged; gauges are point-in-time, so
+  /// the delta carries `after`'s values verbatim. This is what `floq top`
+  /// renders between refreshes and what rate-asserting tests diff.
+  static MetricsSnapshot SnapshotDelta(const MetricsSnapshot& before,
+                                       const MetricsSnapshot& after);
 
   /// Zeroes every instrument (names stay registered). For tests and the
   /// overhead bench; only meaningful at a quiescent point.

@@ -1,0 +1,22 @@
+#include "util/request_context.h"
+
+namespace floq {
+
+namespace {
+
+thread_local const RequestContext* g_current_request = nullptr;
+
+}  // namespace
+
+ScopedRequestContext::ScopedRequestContext(const RequestContext* context)
+    : previous_(g_current_request) {
+  g_current_request = context;
+}
+
+ScopedRequestContext::~ScopedRequestContext() {
+  g_current_request = previous_;
+}
+
+const RequestContext* CurrentRequestContext() { return g_current_request; }
+
+}  // namespace floq

@@ -46,7 +46,13 @@ thread_local ThreadCache g_thread_cache;
 
 std::atomic<uint64_t> g_session_generation{0};
 
+thread_local int g_suppress_depth = 0;
+
 }  // namespace
+
+TraceSuppress::TraceSuppress() { ++g_suppress_depth; }
+TraceSuppress::~TraceSuppress() { --g_suppress_depth; }
+bool TraceSuppress::active() { return g_suppress_depth > 0; }
 
 TraceSession::TraceSession(size_t events_per_thread)
     : start_(std::chrono::steady_clock::now()),

@@ -91,6 +91,25 @@ class TraceSession {
   Impl* impl_;
 };
 
+/// Thread-local span suppression for sampled tracing: while a
+/// TraceSuppress scope is live on a thread, every TraceSpan constructed on
+/// that thread is a no-op even though a session is installed. The daemon
+/// wraps non-sampled requests in one of these (`--trace-sample N` keeps
+/// every N-th request), so a long-lived session records a representative
+/// sample instead of everything. Nestable; costs nothing when no session
+/// is installed (the span checks the session pointer first).
+class TraceSuppress {
+ public:
+  TraceSuppress();
+  ~TraceSuppress();
+
+  TraceSuppress(const TraceSuppress&) = delete;
+  TraceSuppress& operator=(const TraceSuppress&) = delete;
+
+  /// True while any TraceSuppress scope is live on this thread.
+  static bool active();
+};
+
 /// An RAII scope measured on the monotonic clock. Cheap no-op when no
 /// session is installed; the session pointer is captured once at
 /// construction, so a scope spans consistently even if the session is
@@ -101,6 +120,10 @@ class TraceSpan {
   explicit TraceSpan(const char* name)
       : session_(TraceSession::Current()) {
     if (session_ == nullptr) return;
+    if (TraceSuppress::active()) {
+      session_ = nullptr;
+      return;
+    }
     event_.name = name;
     start_ = std::chrono::steady_clock::now();
   }

@@ -2,7 +2,10 @@
 
 #include <atomic>
 #include <cctype>
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -398,6 +401,290 @@ TEST_F(MetricsTest, MetricsJsonRoundTrips) {
   const JsonArray& entry = std::get<JsonArray>(buckets[0]->value);
   EXPECT_EQ(std::get<double>(entry[0]->value), 4.0);  // lower bound of [4,8)
   EXPECT_EQ(std::get<double>(entry[1]->value), 1.0);
+}
+
+TEST_F(MetricsTest, ToJsonIsCanonicalWithNoTrailingWhitespace) {
+  // Empty registry and populated registry alike: the snapshot ends at the
+  // closing brace, so embedders (the daemon's `metrics` reply, lint
+  // --json) splice it in without trimming.
+  std::string empty = MetricsRegistry::Get().ToJson();
+  ASSERT_FALSE(empty.empty());
+  EXPECT_EQ(empty.back(), '}');
+
+  MetricsRegistry::Get().counter("test.canonical").Add(1);
+  MetricsRegistry::Get().gauge("test.canonical_gauge").Set(2);
+  MetricsRegistry::Get().histogram("test.canonical_histogram").Record(3);
+  std::string json = MetricsRegistry::Get().ToJson();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(json.find_last_not_of(" \t\r\n"), json.size() - 1);
+  ASSERT_NE(JsonParser(json).Parse(), nullptr) << json;
+}
+
+// ---- Gauge ------------------------------------------------------------
+
+TEST_F(MetricsTest, GaugeSetAddResetAndExport) {
+  Gauge& gauge = MetricsRegistry::Get().gauge("test.gauge");
+  EXPECT_EQ(gauge.Value(), 0);
+  gauge.Set(7);
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.Add(-10);
+  EXPECT_EQ(gauge.Value(), -3);  // gauges go down as well as up
+  Gauge& same = MetricsRegistry::Get().gauge("test.gauge");
+  EXPECT_EQ(&same, &gauge);
+
+  std::string json = MetricsRegistry::Get().ToJson();
+  std::shared_ptr<JsonValue> root = JsonParser(json).Parse();
+  ASSERT_NE(root, nullptr) << json;
+  const JsonObject& top = std::get<JsonObject>(root->value);
+  ASSERT_TRUE(top.count("gauges"));
+  const JsonObject& gauges = std::get<JsonObject>(top.at("gauges")->value);
+  ASSERT_TRUE(gauges.count("test.gauge"));
+  EXPECT_EQ(std::get<double>(gauges.at("test.gauge")->value), -3.0);
+
+  gauge.Reset();
+  EXPECT_EQ(gauge.Value(), 0);
+}
+
+// ---- SnapshotDelta ----------------------------------------------------
+
+TEST_F(MetricsTest, SnapshotDeltaSubtractsCountersAndHistograms) {
+  Counter& counter = MetricsRegistry::Get().counter("test.delta_counter");
+  Gauge& gauge = MetricsRegistry::Get().gauge("test.delta_gauge");
+  Histogram& histogram =
+      MetricsRegistry::Get().histogram("test.delta_histogram");
+
+  counter.Add(10);
+  gauge.Set(100);
+  histogram.Record(1);
+  histogram.Record(1000);
+  MetricsSnapshot before = MetricsRegistry::Get().Snapshot();
+
+  counter.Add(5);
+  gauge.Set(42);
+  histogram.Record(1);
+  MetricsRegistry::Get().counter("test.delta_fresh").Add(3);
+  MetricsSnapshot after = MetricsRegistry::Get().Snapshot();
+
+  MetricsSnapshot delta = MetricsRegistry::SnapshotDelta(before, after);
+  std::map<std::string, uint64_t> counters;
+  for (const auto& c : delta.counters) counters[c.name] = c.value;
+  EXPECT_EQ(counters["test.delta_counter"], 5u);
+  // An instrument born between the snapshots passes through unchanged.
+  EXPECT_EQ(counters["test.delta_fresh"], 3u);
+  // Gauges are point-in-time: the delta carries `after`'s value verbatim.
+  for (const auto& g : delta.gauges) {
+    if (g.name == "test.delta_gauge") EXPECT_EQ(g.value, 42);
+  }
+  for (const auto& h : delta.histograms) {
+    if (h.name != "test.delta_histogram") continue;
+    EXPECT_EQ(h.count, 1u);
+    EXPECT_EQ(h.sum, 1u);
+    EXPECT_EQ(h.buckets[1], 1u);   // the new Record(1)
+    EXPECT_EQ(h.buckets[10], 0u);  // the old Record(1000) subtracted out
+  }
+
+  // A Reset between snapshots clamps at zero instead of underflowing.
+  MetricsRegistry::Get().Reset();
+  counter.Add(2);
+  MetricsSnapshot reset_after = MetricsRegistry::Get().Snapshot();
+  MetricsSnapshot clamped = MetricsRegistry::SnapshotDelta(after, reset_after);
+  for (const auto& c : clamped.counters) {
+    if (c.name == "test.delta_counter") EXPECT_EQ(c.value, 0u);
+  }
+}
+
+// What `floq top` leans on: deltas between snapshots taken around a
+// concurrent burst are exact once the writers have joined.
+TEST_F(MetricsTest, SnapshotDeltaIsExactAroundConcurrentBurst) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5'000;
+  Counter& counter = MetricsRegistry::Get().counter("test.delta_burst");
+  Histogram& histogram =
+      MetricsRegistry::Get().histogram("test.delta_burst_histogram");
+  counter.Add(123);  // pre-existing baseline the delta must remove
+  histogram.Record(9);
+
+  MetricsSnapshot before = MetricsRegistry::Get().Snapshot();
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Add();
+        histogram.Record(uint64_t(i));
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  MetricsSnapshot after = MetricsRegistry::Get().Snapshot();
+
+  MetricsSnapshot delta = MetricsRegistry::SnapshotDelta(before, after);
+  for (const auto& c : delta.counters) {
+    if (c.name == "test.delta_burst") {
+      EXPECT_EQ(c.value, uint64_t(kThreads) * kPerThread);
+    }
+  }
+  for (const auto& h : delta.histograms) {
+    if (h.name == "test.delta_burst_histogram") {
+      EXPECT_EQ(h.count, uint64_t(kThreads) * kPerThread);
+      EXPECT_EQ(h.sum, uint64_t(kThreads) * kPerThread * (kPerThread - 1) / 2);
+    }
+  }
+}
+
+// ---- Prometheus exposition --------------------------------------------
+
+TEST_F(MetricsTest, PrometheusExpositionMatchesGoldenBlocks) {
+  MetricsRegistry::Get().counter("test.prom.requests").Add(42);
+  MetricsRegistry::Get().gauge("test.prom.queue.depth").Set(-3);
+  Histogram& histogram = MetricsRegistry::Get().histogram("test.prom.lat_us");
+  histogram.Record(0);
+  histogram.Record(1);
+  histogram.Record(3);
+  histogram.Record(1000);
+
+  std::string exposition = MetricsRegistry::Get().Snapshot().ToPrometheus();
+
+  // Golden per-instrument blocks: name sanitization, the _total suffix,
+  // and the log2 -> cumulative-le mapping are all load-bearing for stock
+  // scrapers, so they are asserted byte-for-byte.
+  const std::string counter_block =
+      "# HELP floq_test_prom_requests_total floq counter test.prom.requests\n"
+      "# TYPE floq_test_prom_requests_total counter\n"
+      "floq_test_prom_requests_total 42\n";
+  EXPECT_NE(exposition.find(counter_block), std::string::npos) << exposition;
+
+  const std::string gauge_block =
+      "# HELP floq_test_prom_queue_depth floq gauge test.prom.queue.depth\n"
+      "# TYPE floq_test_prom_queue_depth gauge\n"
+      "floq_test_prom_queue_depth -3\n";
+  EXPECT_NE(exposition.find(gauge_block), std::string::npos) << exposition;
+
+  // Values 0, 1, 3, 1000 land in log2 buckets 0, 1, 2, 10; cumulative
+  // counts are emitted for every bucket up to the highest populated one,
+  // with le = the bucket's inclusive upper bound 2^i - 1.
+  const std::string histogram_block =
+      "# HELP floq_test_prom_lat_us floq log2 histogram test.prom.lat_us\n"
+      "# TYPE floq_test_prom_lat_us histogram\n"
+      "floq_test_prom_lat_us_bucket{le=\"0\"} 1\n"
+      "floq_test_prom_lat_us_bucket{le=\"1\"} 2\n"
+      "floq_test_prom_lat_us_bucket{le=\"3\"} 3\n"
+      "floq_test_prom_lat_us_bucket{le=\"7\"} 3\n"
+      "floq_test_prom_lat_us_bucket{le=\"15\"} 3\n"
+      "floq_test_prom_lat_us_bucket{le=\"31\"} 3\n"
+      "floq_test_prom_lat_us_bucket{le=\"63\"} 3\n"
+      "floq_test_prom_lat_us_bucket{le=\"127\"} 3\n"
+      "floq_test_prom_lat_us_bucket{le=\"255\"} 3\n"
+      "floq_test_prom_lat_us_bucket{le=\"511\"} 3\n"
+      "floq_test_prom_lat_us_bucket{le=\"1023\"} 4\n"
+      "floq_test_prom_lat_us_bucket{le=\"+Inf\"} 4\n"
+      "floq_test_prom_lat_us_sum 1004\n"
+      "floq_test_prom_lat_us_count 4\n";
+  EXPECT_NE(exposition.find(histogram_block), std::string::npos) << exposition;
+}
+
+// Parse the exposition back and check the histogram contract every
+// scraper relies on: le labels strictly increase, cumulative bucket
+// counts never decrease, and the +Inf bucket equals _count.
+TEST_F(MetricsTest, PrometheusHistogramsAreCumulativeAndMonotone) {
+  Histogram& a = MetricsRegistry::Get().histogram("test.mono.a_us");
+  for (uint64_t v : {0ull, 2ull, 2ull, 70ull, 4096ull, 1ull << 40}) {
+    a.Record(v);
+  }
+  MetricsRegistry::Get().histogram("test.mono.empty_us");  // no samples
+
+  std::string exposition = MetricsRegistry::Get().Snapshot().ToPrometheus();
+  std::map<std::string, std::vector<std::pair<double, uint64_t>>> series;
+  std::map<std::string, uint64_t> totals;
+  size_t start = 0;
+  while (start < exposition.size()) {
+    size_t end = exposition.find('\n', start);
+    if (end == std::string::npos) end = exposition.size();
+    std::string line = exposition.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string name = line.substr(0, space);
+    uint64_t value = std::strtoull(line.c_str() + space + 1, nullptr, 10);
+    size_t brace = name.find("_bucket{le=\"");
+    if (brace != std::string::npos) {
+      std::string le = name.substr(brace + 12);
+      le.pop_back();  // trailing "}
+      le.pop_back();
+      double bound = le == "+Inf" ? std::numeric_limits<double>::infinity()
+                                  : std::stod(le);
+      series[name.substr(0, brace)].emplace_back(bound, value);
+    } else {
+      totals[name] = value;
+    }
+  }
+
+  ASSERT_TRUE(series.count("floq_test_mono_a_us"));
+  for (const auto& [name, buckets] : series) {
+    ASSERT_FALSE(buckets.empty()) << name;
+    for (size_t i = 1; i < buckets.size(); ++i) {
+      EXPECT_GT(buckets[i].first, buckets[i - 1].first) << name;
+      EXPECT_GE(buckets[i].second, buckets[i - 1].second) << name;
+    }
+    EXPECT_TRUE(std::isinf(buckets.back().first)) << name;
+    ASSERT_TRUE(totals.count(name + "_count")) << name;
+    EXPECT_EQ(buckets.back().second, totals[name + "_count"]) << name;
+  }
+  // The empty histogram still exposes +Inf/_sum/_count so the series
+  // exists from the first scrape.
+  ASSERT_TRUE(series.count("floq_test_mono_empty_us"));
+  EXPECT_EQ(series["floq_test_mono_empty_us"].back().second, 0u);
+}
+
+// ---- quantiles --------------------------------------------------------
+
+TEST_F(MetricsTest, HistogramQuantileWalksBucketUpperBounds) {
+  MetricsSnapshot::HistogramValue empty;
+  EXPECT_EQ(HistogramQuantile(empty, 0.5), 0.0);
+
+  Histogram& histogram = MetricsRegistry::Get().histogram("test.quantile");
+  histogram.Record(1);
+  histogram.Record(2);
+  histogram.Record(4);
+  histogram.Record(1000);
+  MetricsSnapshot snapshot = MetricsRegistry::Get().Snapshot();
+  const MetricsSnapshot::HistogramValue* h = nullptr;
+  for (const auto& candidate : snapshot.histograms) {
+    if (candidate.name == "test.quantile") h = &candidate;
+  }
+  ASSERT_NE(h, nullptr);
+  // Quantiles resolve to the inclusive upper bound of the target bucket:
+  // buckets are [2,4) -> 3, [4,8) -> 7, [512,1024) -> 1023.
+  EXPECT_EQ(HistogramQuantile(*h, 0.0), 1.0);
+  EXPECT_EQ(HistogramQuantile(*h, 0.5), 3.0);
+  EXPECT_EQ(HistogramQuantile(*h, 0.75), 7.0);
+  EXPECT_EQ(HistogramQuantile(*h, 1.0), 1023.0);
+}
+
+// ---- trace suppression (request sampling) -----------------------------
+
+TEST(TraceTest, TraceSuppressMakesSpansNoOps) {
+  TraceSession session;
+  { TraceSpan kept("suppress.kept"); }
+  {
+    TraceSuppress suppress;
+    TraceSpan dropped("suppress.dropped");
+    EXPECT_FALSE(dropped.active());
+    {
+      TraceSuppress nested;  // scopes nest; spans stay suppressed
+      TraceSpan also_dropped("suppress.nested");
+      EXPECT_FALSE(also_dropped.active());
+    }
+    TraceSpan still_dropped("suppress.still");
+    EXPECT_FALSE(still_dropped.active());
+  }
+  { TraceSpan after("suppress.after"); }
+  EXPECT_EQ(session.size(), 2u);
+  std::string json = session.ToJson();
+  EXPECT_NE(json.find("suppress.kept"), std::string::npos);
+  EXPECT_NE(json.find("suppress.after"), std::string::npos);
+  EXPECT_EQ(json.find("suppress.dropped"), std::string::npos);
 }
 
 // ---- tracing ----------------------------------------------------------

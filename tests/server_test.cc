@@ -12,6 +12,7 @@
 // a genuine process to kill -9 (via the fault point's _exit) and restart.
 
 #include <fcntl.h>
+#include <netinet/in.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
@@ -679,6 +680,182 @@ TEST(DaemonTest, IdleConnectionsAreDisconnected) {
   EXPECT_EQ(ShutdownDaemon(daemon), 0);
 }
 
+// --- observability: metrics snapshot, Prometheus, request attribution -----
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::string();
+  std::string content;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    content.append(buffer, n);
+  }
+  std::fclose(file);
+  return content;
+}
+
+TEST(ObservabilityTest, MetricsOutWrittenOnSigtermDrain) {
+  std::string dir = MakeTempDir();
+  std::string metrics_path = dir + "/final-metrics.json";
+  DaemonProc daemon = SpawnDaemon(dir, "", {"metrics_out=" + metrics_path});
+  DaemonReaper daemon_reaper(daemon);
+  ASSERT_TRUE(WaitForDaemon(daemon));
+  ASSERT_TRUE(Request(daemon.socket_path,
+                      RegisterRequest("students", "q(X) :- X : student."))
+                  .ok());
+
+  kill(daemon.pid, SIGTERM);
+  EXPECT_EQ(WaitForExit(daemon), 0);
+
+  // The drain path wrote a final snapshot: canonical JSON with the serve
+  // counters armed by the daemon itself.
+  std::string snapshot = ReadFileOrEmpty(metrics_path);
+  ASSERT_FALSE(snapshot.empty()) << metrics_path << " missing";
+  EXPECT_NE(snapshot.find("\"counters\""), std::string::npos);
+  EXPECT_NE(snapshot.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(snapshot.find("\"serve.requests\""), std::string::npos);
+  EXPECT_NE(snapshot.find("\"serve.wal.append.records\": 1"),
+            std::string::npos)
+      << snapshot;
+}
+
+TEST(ObservabilityTest, RepliesCarryRequestIdsAndClientTraceIds) {
+  std::string dir = MakeTempDir();
+  DaemonProc daemon = SpawnDaemon(dir);
+  DaemonReaper daemon_reaper(daemon);
+  ASSERT_TRUE(WaitForDaemon(daemon));
+
+  // Server-assigned ids are monotonically increasing across requests.
+  Result<Json> first = Request(daemon.socket_path, MakeRequest("ping"));
+  ASSERT_TRUE(first.ok());
+  Result<int64_t> first_id = first->GetInt("request_id");
+  ASSERT_TRUE(first_id.ok()) << first->Serialize();
+  Result<Json> second = Request(daemon.socket_path, MakeRequest("status"));
+  ASSERT_TRUE(second.ok());
+  Result<int64_t> second_id = second->GetInt("request_id");
+  ASSERT_TRUE(second_id.ok());
+  EXPECT_GT(*second_id, *first_id);
+
+  // A client-supplied trace id echoes back on the reply, even a typed
+  // error reply.
+  Json bad = MakeRequest("frobnicate");
+  bad.Set("trace_id", Json::String("deadbeef-cafe"));
+  Result<Json> reply = Request(daemon.socket_path, bad);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(*reply->GetBool("ok"));
+  Result<std::string> echoed = reply->GetString("trace_id");
+  ASSERT_TRUE(echoed.ok()) << reply->Serialize();
+  EXPECT_EQ(*echoed, "deadbeef-cafe");
+  EXPECT_TRUE(reply->GetInt("request_id").ok()) << reply->Serialize();
+
+  EXPECT_EQ(ShutdownDaemon(daemon), 0);
+}
+
+TEST(ObservabilityTest, PrometheusOverProtocol) {
+  std::string dir = MakeTempDir();
+  DaemonProc daemon = SpawnDaemon(dir);
+  DaemonReaper daemon_reaper(daemon);
+  ASSERT_TRUE(WaitForDaemon(daemon));
+  ASSERT_TRUE(Request(daemon.socket_path,
+                      RegisterRequest("students", "q(X) :- X : student."))
+                  .ok());
+
+  Json request = MakeRequest("metrics");
+  request.Set("format", Json::String("prometheus"));
+  Result<Json> reply = Request(daemon.socket_path, request);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_TRUE(*reply->GetBool("ok")) << reply->Serialize();
+  Result<std::string> body = reply->GetString("body");
+  ASSERT_TRUE(body.ok());
+  EXPECT_NE(body->find("# TYPE floq_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(body->find("# TYPE floq_serve_cmd_register_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(body->find("floq_serve_wal_fsync_us_bucket"), std::string::npos);
+  EXPECT_NE(body->find("# TYPE floq_serve_queue_depth gauge"),
+            std::string::npos);
+
+  // An unknown format is a typed INVALID, not a guess.
+  request.Set("format", Json::String("xml"));
+  reply = Request(daemon.socket_path, request);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(*reply->GetBool("ok"));
+  EXPECT_EQ(reply->Find("code")->AsString(), "INVALID");
+
+  EXPECT_EQ(ShutdownDaemon(daemon), 0);
+}
+
+// Binds an ephemeral loopback port, frees it, and returns its number —
+// the next bind can lose a race for it, but the window is tiny and the
+// test fails loudly rather than silently.
+int ProbeFreePort() {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  ::close(fd);
+  return int(ntohs(addr.sin_port));
+}
+
+TEST(ObservabilityTest, HttpMetricsEndpointServesExposition) {
+  int port = ProbeFreePort();
+  ASSERT_GT(port, 0);
+  std::string dir = MakeTempDir();
+  DaemonProc daemon = SpawnDaemon(
+      dir, "", {"http_metrics_port=" + std::to_string(port)});
+  DaemonReaper daemon_reaper(daemon);
+  ASSERT_TRUE(WaitForDaemon(daemon));
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(uint16_t(port));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0)
+      << std::strerror(errno);
+  const char request[] = "GET /metrics HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::write(fd, request, sizeof request - 1),
+            ssize_t(sizeof request - 1));
+  std::string response;
+  char buffer[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd, buffer, sizeof buffer)) > 0) {
+    response.append(buffer, size_t(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(response.find("floq_serve_requests_total"), std::string::npos);
+
+  // Non-/metrics paths 404 without killing the listener.
+  fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  const char bad[] = "GET /other HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::write(fd, bad, sizeof bad - 1), ssize_t(sizeof bad - 1));
+  response.clear();
+  while ((n = ::read(fd, buffer, sizeof buffer)) > 0) {
+    response.append(buffer, size_t(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("404"), std::string::npos) << response;
+
+  EXPECT_EQ(ShutdownDaemon(daemon), 0);
+}
+
 // --- fault-injection: error points (daemon survives) ----------------------
 
 #ifdef FLOQ_FAULT_INJECT
@@ -761,6 +938,68 @@ TEST(FaultTest, UnknownFaultPointRefusesToStart) {
   DaemonProc daemon = SpawnDaemon(dir, "no.such.point");
   DaemonReaper daemon_reaper(daemon);
   EXPECT_EQ(WaitForExit(daemon), fault::kBadPointExitCode);
+}
+
+// The attribution contract (DESIGN.md §17): one request's id is the SAME
+// number in the reply, in the slow-request log line, and in the span tree
+// of the rotated trace file. The stall point makes the contain take ~2s
+// against a 100ms slow threshold, so the warn line fires
+// deterministically; trace_sample=1 keeps every request's spans.
+TEST(FaultTest, RequestIdIsConsistentAcrossReplyLogAndTrace) {
+  std::string dir = MakeTempDir();
+  std::string log_path = dir + "/server-log.jsonl";
+  std::string trace_dir = dir + "/traces";
+  DaemonProc daemon = SpawnDaemon(
+      dir, "serve.contain.stall",
+      {"log_out=" + log_path, "log_level=debug", "slow_request_ms=100",
+       "trace_sample=1", "trace_dir=" + trace_dir});
+  DaemonReaper daemon_reaper(daemon);
+  ASSERT_TRUE(WaitForDaemon(daemon));
+
+  Json slow = MakeRequest("contain");
+  slow.Set("lhs_query", Json::String("q(X) :- X : student."));
+  slow.Set("rhs_query", Json::String("q(Y) :- Y : student."));
+  slow.Set("trace_id", Json::String("traceid-123"));
+  Result<Json> reply = Request(daemon.socket_path, slow);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  Result<int64_t> id = reply->GetInt("request_id");
+  ASSERT_TRUE(id.ok()) << reply->Serialize();
+  Result<std::string> echoed = reply->GetString("trace_id");
+  ASSERT_TRUE(echoed.ok()) << reply->Serialize();
+  EXPECT_EQ(*echoed, "traceid-123");
+
+  EXPECT_EQ(ShutdownDaemon(daemon), 0);  // drain rotates the trace file
+
+  const std::string id_field = "\"request_id\": " + std::to_string(*id);
+
+  // The slow-request log line names the same request and trace id.
+  std::string log = ReadFileOrEmpty(log_path);
+  bool found_slow = false;
+  size_t start = 0;
+  while (start < log.size()) {
+    size_t end = log.find('\n', start);
+    if (end == std::string::npos) end = log.size();
+    std::string line = log.substr(start, end - start);
+    if (line.find("\"msg\": \"request.slow\"") != std::string::npos &&
+        line.find("\"cmd\": \"contain\"") != std::string::npos) {
+      found_slow = true;
+      EXPECT_NE(line.find(id_field), std::string::npos) << line;
+      EXPECT_NE(line.find("\"trace_id\": \"traceid-123\""), std::string::npos)
+          << line;
+    }
+    start = end + 1;
+  }
+  EXPECT_TRUE(found_slow) << log;
+
+  // And the rotated trace's serve.request span carries the same id.
+  std::string traces;
+  for (int seq = 0; seq < 8; ++seq) {
+    traces += ReadFileOrEmpty(trace_dir + "/floq-trace-" +
+                              std::to_string(seq) + ".json");
+  }
+  ASSERT_FALSE(traces.empty());
+  EXPECT_NE(traces.find("\"serve.request\""), std::string::npos);
+  EXPECT_NE(traces.find(id_field), std::string::npos);
 }
 
 // --- the headline: crash-recovery parity suite ----------------------------
@@ -925,7 +1164,8 @@ int DaemonChildMain(int argc, char** argv) {
     size_t eq = arg.find('=');
     if (eq == std::string::npos) continue;
     std::string key = arg.substr(0, eq);
-    long long value = std::atoll(arg.c_str() + eq + 1);
+    std::string text = arg.substr(eq + 1);
+    long long value = std::atoll(text.c_str());
     if (key == "workers") options.workers = int(value);
     else if (key == "queue_limit") options.queue_limit = int(value);
     else if (key == "max_connections") options.max_connections = int(value);
@@ -933,6 +1173,13 @@ int DaemonChildMain(int argc, char** argv) {
     else if (key == "io_timeout_ms") options.io_timeout_ms = value;
     else if (key == "request_timeout_ms") options.request_timeout_ms = value;
     else if (key == "checkpoint_every") options.checkpoint_every = int(value);
+    else if (key == "slow_request_ms") options.slow_request_ms = value;
+    else if (key == "trace_sample") options.trace_sample = int(value);
+    else if (key == "http_metrics_port") options.http_metrics_port = int(value);
+    else if (key == "log_out") options.log_out = text;
+    else if (key == "log_level") options.log_level = text;
+    else if (key == "metrics_out") options.metrics_out = text;
+    else if (key == "trace_dir") options.trace_dir = text;
   }
   floq::Status status = floq::server::RunDaemon(options);
   if (!status.ok()) {

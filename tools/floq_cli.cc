@@ -41,7 +41,15 @@
 //                                      daemon: register/unregister/
 //                                      contain/classify/lint/status/
 //                                      metrics/ping/shutdown; prints the
-//                                      raw JSON response
+//                                      raw JSON response (`metrics
+//                                      --format prometheus` prints text
+//                                      exposition instead)
+//   floq top --socket PATH [--interval-ms N] [--count N] [--no-clear]
+//                                      live metrics console over a running
+//                                      daemon: request rates, per-command
+//                                      latency quantiles, queue depth, WAL
+//                                      lag, refreshed from SnapshotDelta
+//                                      (alias: floq client watch)
 //
 // Exit codes (uniform across commands, DESIGN.md §16.5):
 //   0   success: contained / consistent / no lint findings / request ok
@@ -85,7 +93,9 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <bit>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -93,6 +103,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
@@ -694,10 +705,10 @@ int CmdLint(const std::string& path, const std::string& deps_path,
       // With --metrics-out the array is wrapped in an object that also
       // embeds the collected metrics (the semantic probes run chases and
       // hom searches); the bare-array shape is kept otherwise for
-      // compatibility.
-      std::string snapshot = MetricsRegistry::Get().ToJson();
-      while (!snapshot.empty() && snapshot.back() == '\n') snapshot.pop_back();
-      out = "{\"diagnostics\": " + out + ",\n\"metrics\": " + snapshot + "}";
+      // compatibility. ToJson is canonical — no trailing whitespace — so
+      // the snapshot splices in verbatim.
+      out = "{\"diagnostics\": " + out + ",\n\"metrics\": " +
+            MetricsRegistry::Get().ToJson() + "}";
     }
     std::printf("%s\n", out.c_str());
   } else {
@@ -915,8 +926,11 @@ int Usage();  // forward: the daemon commands share the usage epilogue.
 // raise the budget). Exits 0 after a graceful drain, 4 on startup or
 // fatal I/O failure.
 int CmdServe(std::vector<std::string>& args, int jobs,
-             const ResourceBudget& budget) {
+             const ResourceBudget& budget, const std::string& metrics_out) {
   server::DaemonOptions options;
+  // The global --metrics-out flag doubles as the daemon's final-snapshot
+  // path: the drain path writes it before RunDaemon returns.
+  options.metrics_out = metrics_out;
   bool bad = false;
   for (size_t i = 1; i < args.size(); ++i) {
     auto int_flag = [&](const char* name, auto* slot) -> bool {
@@ -937,12 +951,21 @@ int CmdServe(std::vector<std::string>& args, int jobs,
     };
     if (args[i] == "--socket" && i + 1 < args.size()) {
       options.socket_path = args[++i];
+    } else if (args[i] == "--log-out" && i + 1 < args.size()) {
+      options.log_out = args[++i];
+    } else if (args[i] == "--log-level" && i + 1 < args.size()) {
+      options.log_level = args[++i];
+    } else if (args[i] == "--trace-dir" && i + 1 < args.size()) {
+      options.trace_dir = args[++i];
     } else if (int_flag("--workers", &options.workers) ||
                int_flag("--queue-limit", &options.queue_limit) ||
                int_flag("--max-connections", &options.max_connections) ||
                int_flag("--idle-timeout-ms", &options.idle_timeout_ms) ||
                int_flag("--io-timeout-ms", &options.io_timeout_ms) ||
-               int_flag("--checkpoint-every", &options.checkpoint_every)) {
+               int_flag("--checkpoint-every", &options.checkpoint_every) ||
+               int_flag("--slow-request-ms", &options.slow_request_ms) ||
+               int_flag("--trace-sample", &options.trace_sample) ||
+               int_flag("--http-metrics-port", &options.http_metrics_port)) {
       if (bad) break;
     } else if (!StartsWith(args[i], "--") && options.dir.empty()) {
       options.dir = args[i];
@@ -982,13 +1005,245 @@ int ConnectUnix(const std::string& path, std::string* error) {
   return fd;
 }
 
+// --- floq top -------------------------------------------------------------
+
+// Rebuilds a MetricsSnapshot from the `metrics` reply's embedded JSON
+// object (the exact shape MetricsSnapshot::ToJson emits). Values
+// round-trip through the protocol's double representation — exact through
+// 2^53, far beyond anything a live console renders. Bucket index from the
+// serialized lower bound inverts Histogram::BucketLowerBound:
+// 0 -> bucket 0, else 2^(b-1) -> b = bit_width.
+bool SnapshotFromJson(const server::Json& metrics, MetricsSnapshot* out) {
+  const server::Json* counters = metrics.Find("counters");
+  const server::Json* gauges = metrics.Find("gauges");
+  const server::Json* histograms = metrics.Find("histograms");
+  if (counters == nullptr || !counters->is_object() || gauges == nullptr ||
+      !gauges->is_object() || histograms == nullptr ||
+      !histograms->is_object()) {
+    return false;
+  }
+  for (const auto& [name, value] : counters->members()) {
+    out->counters.push_back({name, uint64_t(value.AsNumber())});
+  }
+  for (const auto& [name, value] : gauges->members()) {
+    out->gauges.push_back({name, int64_t(value.AsNumber())});
+  }
+  for (const auto& [name, value] : histograms->members()) {
+    MetricsSnapshot::HistogramValue h;
+    h.name = name;
+    const server::Json* count = value.Find("count");
+    const server::Json* sum = value.Find("sum");
+    h.count = count != nullptr ? uint64_t(count->AsNumber()) : 0;
+    h.sum = sum != nullptr ? uint64_t(sum->AsNumber()) : 0;
+    const server::Json* buckets = value.Find("buckets");
+    if (buckets != nullptr && buckets->is_array()) {
+      for (const server::Json& entry : buckets->items()) {
+        if (!entry.is_array() || entry.items().size() != 2) return false;
+        uint64_t lo = uint64_t(entry.items()[0].AsNumber());
+        int bucket = lo == 0 ? 0 : std::bit_width(lo);
+        if (bucket >= Histogram::kBuckets) bucket = Histogram::kBuckets - 1;
+        h.buckets[size_t(bucket)] += uint64_t(entry.items()[1].AsNumber());
+      }
+    }
+    out->histograms.push_back(std::move(h));
+  }
+  return true;
+}
+
+// One `metrics` request against a running daemon, decoded into a snapshot.
+bool FetchSnapshot(const std::string& socket_path, MetricsSnapshot* out,
+                   std::string* error) {
+  int fd = ConnectUnix(socket_path, error);
+  if (fd < 0) return false;
+  server::Json request = server::Json::Object();
+  request.Set("cmd", server::Json::String("metrics"));
+  Status sent = server::WriteFrame(fd, request.Serialize(),
+                                   Deadline::AfterMillis(10'000));
+  if (!sent.ok()) {
+    ::close(fd);
+    *error = sent.ToString();
+    return false;
+  }
+  server::FrameDecoder decoder;
+  Result<std::string> payload =
+      server::ReadFrame(fd, decoder, Deadline::AfterMillis(10'000));
+  ::close(fd);
+  if (!payload.ok()) {
+    *error = payload.status().ToString();
+    return false;
+  }
+  Result<server::Json> reply = server::ParseJson(*payload);
+  if (!reply.ok()) {
+    *error = reply.status().ToString();
+    return false;
+  }
+  const server::Json* metrics = reply->Find("metrics");
+  if (metrics == nullptr || !SnapshotFromJson(*metrics, out)) {
+    *error = "malformed metrics reply from " + socket_path;
+    return false;
+  }
+  return true;
+}
+
+uint64_t CounterValueOf(const MetricsSnapshot& s, std::string_view name) {
+  for (const auto& c : s.counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+int64_t GaugeValueOf(const MetricsSnapshot& s, std::string_view name) {
+  for (const auto& g : s.gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0;
+}
+
+const MetricsSnapshot::HistogramValue* HistogramOf(const MetricsSnapshot& s,
+                                                   std::string_view name) {
+  for (const auto& h : s.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+// `floq top --socket PATH [--interval-ms N] [--count N] [--no-clear]`
+// (alias: `floq client watch`): a live console over the daemon's `metrics`
+// command. Each refresh fetches a snapshot, diffs it against the previous
+// one with MetricsRegistry::SnapshotDelta, and renders rates and latency
+// quantiles from the delta; gauges are point-in-time and render as-is.
+// The first frame has no baseline, so it shows totals since daemon start
+// and no rates.
+int CmdTop(const std::string& socket_path, std::vector<std::string>& flags) {
+  int64_t interval_ms = 2'000;
+  int64_t count = 0;  // 0 = refresh until interrupted
+  bool no_clear = false;
+  bool bad = false;
+  for (size_t i = 0; i < flags.size(); ++i) {
+    auto int_flag = [&](const char* name, int64_t* slot) -> bool {
+      if (flags[i] != name) return false;
+      if (i + 1 >= flags.size()) {
+        bad = true;
+        return true;
+      }
+      char* end = nullptr;
+      long long value = std::strtoll(flags[i + 1].c_str(), &end, 10);
+      if (end == flags[i + 1].c_str() || *end != '\0' || value < 0) {
+        bad = true;
+        return true;
+      }
+      *slot = value;
+      ++i;
+      return true;
+    };
+    if (flags[i] == "--no-clear") {
+      no_clear = true;
+    } else if (int_flag("--interval-ms", &interval_ms) ||
+               int_flag("--count", &count)) {
+      if (bad) break;
+    } else {
+      bad = true;
+      break;
+    }
+  }
+  if (bad || socket_path.empty() || interval_ms <= 0) return Usage();
+
+  MetricsSnapshot previous;
+  bool have_previous = false;
+  auto last_fetch = std::chrono::steady_clock::now();
+  for (int64_t frame = 0; count == 0 || frame < count; ++frame) {
+    if (frame > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    MetricsSnapshot current;
+    std::string error;
+    if (!FetchSnapshot(socket_path, &current, &error)) return Fail(error);
+    auto now = std::chrono::steady_clock::now();
+    double elapsed_s =
+        std::chrono::duration<double>(now - last_fetch).count();
+    last_fetch = now;
+
+    const MetricsSnapshot& view =
+        have_previous ? MetricsRegistry::SnapshotDelta(previous, current)
+                      : current;
+    // Rates only have a well-defined window once there is a baseline.
+    auto rate = [&](uint64_t delta) -> std::string {
+      if (!have_previous || elapsed_s <= 0) return "--";
+      char buffer[32];
+      std::snprintf(buffer, sizeof buffer, "%.1f", double(delta) / elapsed_s);
+      return buffer;
+    };
+
+    if (!no_clear) std::printf("\x1b[H\x1b[2J");
+    std::printf("floq top — %s — every %lld ms — frame %lld%s\n",
+                socket_path.c_str(), static_cast<long long>(interval_ms),
+                static_cast<long long>(frame + 1),
+                have_previous ? "" : " (totals since daemon start)");
+    std::printf(
+        "requests %llu (%s/s)   shed %llu   inflight %lld   queued %lld   "
+        "connections %lld\n",
+        static_cast<unsigned long long>(CounterValueOf(view, "serve.requests")),
+        rate(CounterValueOf(view, "serve.requests")).c_str(),
+        static_cast<unsigned long long>(
+            CounterValueOf(view, "serve.shed.requests")),
+        static_cast<long long>(GaugeValueOf(current, "serve.inflight")),
+        static_cast<long long>(GaugeValueOf(current, "serve.queue.depth")),
+        static_cast<long long>(GaugeValueOf(current, "serve.connections")));
+    const MetricsSnapshot::HistogramValue* fsync =
+        HistogramOf(view, "serve.wal.fsync_us");
+    std::printf(
+        "wal      records %llu   bytes %llu   dirty %lld   fsync p50 %.0fus "
+        "p99 %.0fus\n",
+        static_cast<unsigned long long>(
+            CounterValueOf(view, "serve.wal.append.records")),
+        static_cast<unsigned long long>(
+            CounterValueOf(view, "serve.wal.append.bytes")),
+        static_cast<long long>(GaugeValueOf(current, "serve.wal.dirty")),
+        fsync != nullptr ? HistogramQuantile(*fsync, 0.5) : 0.0,
+        fsync != nullptr ? HistogramQuantile(*fsync, 0.99) : 0.0);
+    std::printf(
+        "registry queries %lld   epoch %lld   hasse edges %lld   "
+        "checkpoints %llu\n",
+        static_cast<long long>(GaugeValueOf(current, "serve.registry.queries")),
+        static_cast<long long>(GaugeValueOf(current, "serve.registry.epoch")),
+        static_cast<long long>(
+            GaugeValueOf(current, "serve.registry.hasse_edges")),
+        static_cast<unsigned long long>(
+            CounterValueOf(view, "serve.checkpoint.count")));
+    std::printf("%-12s %10s %8s %10s %10s\n", "command", "count", "rate/s",
+                "p50_us", "p99_us");
+    for (const auto& h : view.histograms) {
+      // serve.cmd.<name>.latency_us
+      constexpr std::string_view kPrefix = "serve.cmd.";
+      constexpr std::string_view kSuffix = ".latency_us";
+      if (h.name.size() <= kPrefix.size() + kSuffix.size() ||
+          h.name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+          h.name.compare(h.name.size() - kSuffix.size(), kSuffix.size(),
+                         kSuffix) != 0) {
+        continue;
+      }
+      std::string cmd = h.name.substr(
+          kPrefix.size(), h.name.size() - kPrefix.size() - kSuffix.size());
+      if (h.count == 0 && have_previous) continue;  // idle this window
+      std::printf("%-12s %10llu %8s %10.0f %10.0f\n", cmd.c_str(),
+                  static_cast<unsigned long long>(h.count),
+                  rate(h.count).c_str(), HistogramQuantile(h, 0.5),
+                  HistogramQuantile(h, 0.99));
+    }
+    std::fflush(stdout);
+    previous = std::move(current);
+    have_previous = true;
+  }
+  return kExitOk;
+}
+
 // `floq client --socket PATH <sub> [args]`: one request, one reply. The
 // raw JSON response goes to stdout; the exit code maps the reply onto the
 // uniform table (CONTAINED 0 / NOT_CONTAINED 2 / UNKNOWN or OVERLOADED 3
 // / any other failure 4) so shell scripts branch on verdicts without a
 // JSON parser.
 int CmdClient(std::vector<std::string>& args, const ResourceBudget& budget) {
-  std::string socket_path, lhs_query, rhs_query;
+  std::string socket_path, lhs_query, rhs_query, format;
   std::vector<std::string> rest;
   for (size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--socket" && i + 1 < args.size()) {
@@ -997,12 +1252,20 @@ int CmdClient(std::vector<std::string>& args, const ResourceBudget& budget) {
       lhs_query = args[++i];
     } else if (args[i] == "--rhs-query" && i + 1 < args.size()) {
       rhs_query = args[++i];
+    } else if (args[i] == "--format" && i + 1 < args.size()) {
+      format = args[++i];
     } else {
       rest.push_back(args[i]);
     }
   }
   if (socket_path.empty() || rest.empty()) return Usage();
   const std::string& sub = rest[0];
+  if (sub == "watch") {
+    // Alias for `floq top` — same loop, same flags (minus --socket, which
+    // the client already parsed).
+    std::vector<std::string> flags(rest.begin() + 1, rest.end());
+    return CmdTop(socket_path, flags);
+  }
 
   using server::Json;
   Json request = Json::Object();
@@ -1036,8 +1299,12 @@ int CmdClient(std::vector<std::string>& args, const ResourceBudget& budget) {
     std::string text;
     if (!ReadFile(rest[1], text)) return Fail("cannot read " + rest[1]);
     request.Set("program", Json::String(text));
-  } else if ((sub == "classify" || sub == "status" || sub == "metrics" ||
-              sub == "ping" || sub == "shutdown") &&
+  } else if (sub == "metrics" && rest.size() == 1) {
+    // `--format prometheus` asks the daemon for text exposition instead
+    // of the embedded JSON snapshot.
+    if (!format.empty()) request.Set("format", Json::String(format));
+  } else if ((sub == "classify" || sub == "status" || sub == "ping" ||
+              sub == "shutdown") &&
              rest.size() == 1) {
     // No arguments.
   } else {
@@ -1063,12 +1330,24 @@ int CmdClient(std::vector<std::string>& args, const ResourceBudget& budget) {
   Result<std::string> payload = server::ReadFrame(fd, decoder, reply_by);
   ::close(fd);
   if (!payload.ok()) return Fail(payload.status().ToString());
-  std::printf("%s\n", payload->c_str());
+  // Prometheus exposition prints as verbatim text (it IS the payload a
+  // scraper wants); every other reply prints as the raw JSON frame.
+  const bool prometheus_body = sub == "metrics" && format == "prometheus";
+  if (!prometheus_body) std::printf("%s\n", payload->c_str());
 
   Result<Json> reply = server::ParseJson(*payload);
   if (!reply.ok()) return Fail(reply.status().ToString());
   Result<bool> ok = reply->GetBool("ok");
   if (!ok.ok()) return Fail("malformed reply: no ok field");
+  if (prometheus_body) {
+    if (*ok) {
+      Result<std::string> body = reply->GetString("body");
+      if (!body.ok()) return Fail("malformed reply: no exposition body");
+      std::fputs(body->c_str(), stdout);  // exposition text ends in \n
+    } else {
+      std::printf("%s\n", payload->c_str());  // typed error, show the frame
+    }
+  }
   if (!*ok) {
     // Typed failure: resource shedding is UNKNOWN territory (exit 3),
     // everything else is operational (exit 4).
@@ -1118,12 +1397,20 @@ int Usage() {
                "[--queue-limit N]\n"
                "             [--max-connections N] [--idle-timeout-ms N] "
                "[--checkpoint-every N]\n"
+               "             [--log-out F] [--log-level "
+               "debug|info|warn|error|off]\n"
+               "             [--slow-request-ms N] [--trace-sample N] "
+               "[--trace-dir D]\n"
+               "             [--http-metrics-port P]\n"
+               "  floq top --socket PATH [--interval-ms N] [--count N] "
+               "[--no-clear]\n"
                "  floq client --socket PATH register <name> '<query>' | "
                "unregister <name> |\n"
                "              contain <lhs> <rhs> [--lhs-query Q] "
                "[--rhs-query Q] |\n"
-               "              classify | lint <file.fl> | status | metrics "
-               "| ping | shutdown\n"
+               "              classify | lint <file.fl> | status |\n"
+               "              metrics [--format prometheus] | ping | "
+               "shutdown | watch\n"
                "global flags: --jobs N, --timeout-ms N, --hom-steps N,\n"
                "              --no-prune (disable the signature prefilter),\n"
                "              --cost-schedule (classify: cheapest-predicted-"
@@ -1139,7 +1426,8 @@ int Usage() {
 
 int RunCommand(const std::string& command, std::vector<std::string>& args,
                int jobs, const ResourceBudget& budget, bool no_prune,
-               bool cost_schedule, const std::string& kb_snapshot) {
+               bool cost_schedule, const std::string& kb_snapshot,
+               const std::string& metrics_out) {
   if (command == "check" && args.size() == 2) {
     return CmdCheck(args[1], budget);
   }
@@ -1219,8 +1507,20 @@ int RunCommand(const std::string& command, std::vector<std::string>& args,
   if (command == "repl" && args.size() <= 2) {
     return CmdRepl(args.size() == 2 ? args[1] : std::string());
   }
-  if (command == "serve") return CmdServe(args, jobs, budget);
+  if (command == "serve") return CmdServe(args, jobs, budget, metrics_out);
   if (command == "client") return CmdClient(args, budget);
+  if (command == "top") {
+    std::string socket_path;
+    std::vector<std::string> flags;
+    for (size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--socket" && i + 1 < args.size()) {
+        socket_path = args[++i];
+      } else {
+        flags.push_back(args[i]);
+      }
+    }
+    return CmdTop(socket_path, flags);
+  }
   return Usage();
 }
 
@@ -1292,7 +1592,7 @@ int main(int argc, char** argv) {
   if (!trace_out.empty()) trace_session.emplace();
 
   int exit_code = RunCommand(command, args, jobs, budget, no_prune,
-                             cost_schedule, kb_snapshot);
+                             cost_schedule, kb_snapshot, metrics_out);
 
   if (!metrics_out.empty() &&
       !WriteFile(metrics_out, MetricsRegistry::Get().ToJson())) {
